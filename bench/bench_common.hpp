@@ -1,0 +1,49 @@
+#pragma once
+// Shared helpers for the benchmark binaries.
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include "model/quantity.hpp"
+#include "synthesis/networks.hpp"
+#include "synthesis/queries.hpp"
+#include "verify/engine.hpp"
+
+namespace aalwines::bench {
+
+/// One timed verification; returns (answer, seconds).
+struct RunOutcome {
+    verify::Answer answer = verify::Answer::Inconclusive;
+    double seconds = 0.0;
+};
+
+inline RunOutcome run_engine(const Network& network, const query::Query& query,
+                             verify::EngineKind engine, const WeightExpr* weights,
+                             std::size_t max_iterations = 0) {
+    verify::VerifyOptions options;
+    options.engine = engine;
+    options.weights = weights;
+    options.max_iterations = max_iterations;
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = verify::verify(network, query, options);
+    const auto seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    return {result.answer, seconds};
+}
+
+/// Integer knob from the environment, with default.
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+    if (const char* value = std::getenv(name)) {
+        const auto parsed = std::strtoull(value, nullptr, 10);
+        if (parsed > 0) return static_cast<std::size_t>(parsed);
+    }
+    return fallback;
+}
+
+inline bool env_flag(const char* name) {
+    const char* value = std::getenv(name);
+    return value != nullptr && value[0] != '\0' && value[0] != '0';
+}
+
+} // namespace aalwines::bench

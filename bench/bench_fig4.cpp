@@ -1,0 +1,166 @@
+// Figure 4 (paper §5): per-engine verification times across a suite of
+// Topology-Zoo-like networks and queries, reported as a cactus plot
+// (instances solved within t seconds, per engine, times sorted ascending)
+// plus the §5 inconclusive-rate statistics.
+//
+// Scale with AALWINES_BENCH_QUERIES (queries per network, default 6) and
+// AALWINES_BENCH_FULL=1 (uses every zoo-like instance; default samples a
+// prefix to stay laptop-friendly).  Per-run iteration cap stands in for the
+// paper's 10-minute timeout.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace aalwines;
+
+struct Experiment {
+    std::size_t network_index;
+    std::string query_text;
+};
+
+struct Series {
+    std::vector<double> seconds;
+    std::size_t yes = 0, no = 0, inconclusive = 0;
+};
+
+struct Fig4State {
+    std::vector<synthesis::ZooInstance> instances;
+    std::vector<Experiment> experiments;
+    Series series[3]; // moped, dual, weighted
+};
+
+Fig4State& state() {
+    static Fig4State instance = [] {
+        Fig4State s;
+        const auto networks = bench::env_flag("AALWINES_BENCH_FULL")
+                                  ? synthesis::zoo_like_count()
+                                  : bench::env_size("AALWINES_BENCH_NETWORKS", 10);
+        const auto queries_per_net = bench::env_size("AALWINES_BENCH_QUERIES", 6);
+        for (std::size_t i = 0; i < std::min(networks, synthesis::zoo_like_count());
+             ++i) {
+            s.instances.push_back(synthesis::make_zoo_like(i));
+            const auto battery = synthesis::make_query_battery(
+                s.instances.back().net,
+                {.count = queries_per_net, .seed = 11 + i});
+            for (const auto& text : battery)
+                s.experiments.push_back({s.instances.size() - 1, text});
+        }
+        return s;
+    }();
+    return instance;
+}
+
+const WeightExpr k_failures_weight = weight_of(Quantity::Failures);
+
+void run_suite(benchmark::State& bench_state, int engine_index) {
+    auto& s = state();
+    const verify::EngineKind engines[] = {verify::EngineKind::Moped,
+                                          verify::EngineKind::Dual,
+                                          verify::EngineKind::Weighted};
+    const auto engine = engines[engine_index];
+    const WeightExpr* weights =
+        engine == verify::EngineKind::Weighted ? &k_failures_weight : nullptr;
+    const auto cap = bench::env_size("AALWINES_BENCH_ITER_CAP", 2'000'000);
+
+    for (auto _ : bench_state) {
+        auto& series = s.series[engine_index];
+        series = Series{};
+        for (const auto& experiment : s.experiments) {
+            const auto& network = s.instances[experiment.network_index].net.network;
+            const auto query = query::parse_query(experiment.query_text, network);
+            const auto outcome =
+                bench::run_engine(network, query, engine, weights, cap);
+            series.seconds.push_back(outcome.seconds);
+            switch (outcome.answer) {
+                case verify::Answer::Yes: ++series.yes; break;
+                case verify::Answer::No: ++series.no; break;
+                case verify::Answer::Inconclusive: ++series.inconclusive; break;
+            }
+        }
+        std::sort(series.seconds.begin(), series.seconds.end());
+    }
+    bench_state.counters["experiments"] =
+        static_cast<double>(s.series[engine_index].seconds.size());
+    bench_state.counters["inconclusive"] =
+        static_cast<double>(s.series[engine_index].inconclusive);
+}
+
+void print_figure() {
+    auto& s = state();
+    const char* names[] = {"moped", "dual", "weighted(failures)"};
+    std::cout << "\n=== Figure 4: sorted verification times (cactus plot data) ===\n";
+    std::cout << s.experiments.size() << " experiments over " << s.instances.size()
+              << " zoo-like networks\n\n";
+
+    // Cactus rows: time of the p-th fastest instance, per engine.
+    std::cout << std::left << std::setw(22) << "solved-instances";
+    for (const auto* name : names) std::cout << std::right << std::setw(22) << name;
+    std::cout << "\n";
+    const auto total = s.series[1].seconds.size();
+    for (std::size_t p = 1; p <= total; ++p) {
+        // print ~25 rows regardless of suite size
+        if (total > 25 && p % std::max<std::size_t>(1, total / 25) != 0 && p != total)
+            continue;
+        std::cout << std::left << std::setw(22) << p << std::right << std::fixed
+                  << std::setprecision(4);
+        for (const auto& series : s.series) {
+            if (p <= series.seconds.size())
+                std::cout << std::setw(22) << series.seconds[p - 1];
+            else
+                std::cout << std::setw(22) << "-";
+        }
+        std::cout << "\n";
+    }
+
+    std::cout << "\n=== answers & inconclusive rates (paper: dual 0.57%, weighted 0.04%) ===\n";
+    for (int e = 0; e < 3; ++e) {
+        const auto& series = s.series[e];
+        const auto n = series.seconds.size();
+        double sum = 0;
+        for (const auto t : series.seconds) sum += t;
+        std::cout << std::left << std::setw(20) << names[e] << " yes " << std::setw(6)
+                  << series.yes << " no " << std::setw(6) << series.no
+                  << " inconclusive " << std::setw(4) << series.inconclusive << " ("
+                  << std::setprecision(2)
+                  << (n ? 100.0 * static_cast<double>(series.inconclusive) /
+                              static_cast<double>(n)
+                        : 0.0)
+                  << "%)  total " << std::setprecision(3) << sum << "s  median "
+                  << (n ? series.seconds[n / 2] : 0.0) << "s\n";
+    }
+    const auto total_time = [&](int e) {
+        double sum = 0;
+        for (const auto t : s.series[e].seconds) sum += t;
+        return sum;
+    };
+    std::cout << "\nspeedup vs moped (total time): dual "
+              << total_time(0) / total_time(1) << "x, weighted "
+              << total_time(0) / total_time(2) << "x\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    benchmark::RegisterBenchmark("Fig4/Moped", [](benchmark::State& st) {
+        run_suite(st, 0);
+    })->Unit(benchmark::kSecond)->Iterations(1);
+    benchmark::RegisterBenchmark("Fig4/Dual", [](benchmark::State& st) {
+        run_suite(st, 1);
+    })->Unit(benchmark::kSecond)->Iterations(1);
+    benchmark::RegisterBenchmark("Fig4/WeightedFailures", [](benchmark::State& st) {
+        run_suite(st, 2);
+    })->Unit(benchmark::kSecond)->Iterations(1);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    print_figure();
+    return 0;
+}

@@ -1,0 +1,84 @@
+// §5 claim: "we also ran the experiment for the other quantitative measures
+// and the verification times did not differ significantly."  This bench
+// verifies the Table-1 queries under every atomic quantity (and two
+// composed vectors) and reports the per-quantity totals.
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace aalwines;
+
+struct QuantityFixture {
+    synthesis::SyntheticNetwork net;
+    std::vector<std::string> queries;
+    std::vector<std::pair<std::string, WeightExpr>> objectives;
+    std::vector<double> totals;
+
+    QuantityFixture() {
+        net = synthesis::make_nordunet_like(bench::env_size("AALWINES_BENCH_SCALE", 200),
+                                            1);
+        queries = synthesis::make_table1_queries(net);
+        for (const char* objective :
+             {"links", "hops", "distance", "failures", "tunnels",
+              "hops, failures + 3*tunnels", "failures, distance"})
+            objectives.emplace_back(objective, parse_weight_expression(objective));
+        totals.resize(objectives.size(), 0.0);
+    }
+};
+
+QuantityFixture& fixture() {
+    static QuantityFixture instance;
+    return instance;
+}
+
+void run_objective(benchmark::State& state, std::size_t objective_index) {
+    auto& fix = fixture();
+    for (auto _ : state) {
+        double total = 0;
+        for (const auto& text : fix.queries) {
+            const auto query = query::parse_query(text, fix.net.network);
+            const auto outcome =
+                bench::run_engine(fix.net.network, query, verify::EngineKind::Weighted,
+                                  &fix.objectives[objective_index].second);
+            total += outcome.seconds;
+        }
+        fix.totals[objective_index] = total;
+        benchmark::DoNotOptimize(total);
+    }
+}
+
+void print_summary() {
+    auto& fix = fixture();
+    std::cout << "\n=== weighted-engine overhead per quantity (Table-1 query suite) ===\n";
+    double reference = fix.totals.empty() ? 1.0 : fix.totals.front();
+    for (std::size_t i = 0; i < fix.objectives.size(); ++i) {
+        std::cout << std::left << std::setw(32) << fix.objectives[i].first << std::right
+                  << std::fixed << std::setprecision(3) << std::setw(10)
+                  << fix.totals[i] << "s   (" << std::setprecision(2)
+                  << fix.totals[i] / reference << "x of '"
+                  << fix.objectives.front().first << "')\n";
+    }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    for (std::size_t i = 0; i < fixture().objectives.size(); ++i) {
+        const auto name = "Quantities/" + fixture().objectives[i].first;
+        benchmark::RegisterBenchmark(
+            name.c_str(), [i](benchmark::State& st) { run_objective(st, i); })
+            ->Unit(benchmark::kSecond)
+            ->Iterations(1);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    print_summary();
+    return 0;
+}

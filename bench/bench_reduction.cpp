@@ -1,0 +1,123 @@
+// Ablation (DESIGN.md): effect of the top-of-stack reduction levels on PDA
+// size and verification time, for both our demand-driven post* engine and
+// the Moped-style pre* baseline.  The interesting finding this reproduces:
+// the reduction barely matters for the demand-driven engine (rules that can
+// never fire are also never touched by post*), but it is decisive for a
+// backend that fully saturates the direct encoding.
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "verify/translation.hpp"
+
+namespace {
+
+using namespace aalwines;
+
+struct ReductionFixture {
+    std::vector<synthesis::ZooInstance> instances;
+    std::vector<std::vector<std::string>> batteries;
+    double dual_seconds[3] = {0, 0, 0};
+    double moped_seconds[3] = {0, 0, 0};
+    std::size_t rules_before[3] = {0, 0, 0};
+    std::size_t rules_after[3] = {0, 0, 0};
+
+    ReductionFixture() {
+        const auto networks = bench::env_size("AALWINES_BENCH_NETWORKS", 5);
+        for (std::size_t i = 0; i < std::min(networks, synthesis::zoo_like_count());
+             ++i) {
+            instances.push_back(
+                synthesis::make_zoo_like(i * 3 % synthesis::zoo_like_count()));
+            batteries.push_back(synthesis::make_query_battery(
+                instances.back().net, {.count = 4, .seed = 21 + i}));
+        }
+    }
+};
+
+ReductionFixture& fixture() {
+    static ReductionFixture instance;
+    return instance;
+}
+
+void run_level(benchmark::State& state, int level) {
+    auto& fix = fixture();
+    for (auto _ : state) {
+        double dual_total = 0, moped_total = 0;
+        std::size_t before = 0, after = 0;
+        for (std::size_t i = 0; i < fix.instances.size(); ++i) {
+            const auto& network = fix.instances[i].net.network;
+            for (const auto& text : fix.batteries[i]) {
+                const auto query = query::parse_query(text, network);
+                // Size effect of the reduction alone.
+                verify::Translation translation(network, query, {});
+                before += translation.pda().rule_count();
+                translation.reduce(level);
+                after += translation.pda().rule_count();
+                // End-to-end: our engine at this level...
+                verify::VerifyOptions options;
+                options.reduction_level = level;
+                auto t0 = std::chrono::steady_clock::now();
+                benchmark::DoNotOptimize(verify::verify(network, query, options));
+                dual_total += std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+                // ...and the Moped baseline fed the level-reduced PDA.
+                options.engine = verify::EngineKind::Moped;
+                options.moped_reduction = level > 0;
+                t0 = std::chrono::steady_clock::now();
+                benchmark::DoNotOptimize(verify::verify(network, query, options));
+                moped_total += std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count();
+            }
+        }
+        fix.dual_seconds[level] = dual_total;
+        fix.moped_seconds[level] = moped_total;
+        fix.rules_before[level] = before;
+        fix.rules_after[level] = after;
+    }
+}
+
+void print_summary() {
+    auto& fix = fixture();
+    std::cout << "\n=== ablation: PDA reduction levels ===\n";
+    std::cout << std::left << std::setw(8) << "level" << std::right << std::setw(14)
+              << "rules before" << std::setw(14) << "rules after" << std::setw(11)
+              << "removed" << std::setw(13) << "dual time" << std::setw(13)
+              << "moped time\n";
+    for (int level = 0; level < 3; ++level) {
+        const auto removed_pct =
+            fix.rules_before[level] == 0
+                ? 0.0
+                : 100.0 *
+                      static_cast<double>(fix.rules_before[level] -
+                                          fix.rules_after[level]) /
+                      static_cast<double>(fix.rules_before[level]);
+        std::cout << std::left << std::setw(8) << level << std::right << std::setw(14)
+                  << fix.rules_before[level] << std::setw(14) << fix.rules_after[level]
+                  << std::setw(10) << std::fixed << std::setprecision(1) << removed_pct
+                  << "%" << std::setw(12) << std::setprecision(3)
+                  << fix.dual_seconds[level] << "s" << std::setw(12)
+                  << fix.moped_seconds[level] << "s\n";
+    }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    for (int level = 0; level < 3; ++level) {
+        const auto name = "Reduction/level" + std::to_string(level);
+        benchmark::RegisterBenchmark(
+            name.c_str(), [level](benchmark::State& st) { run_level(st, level); })
+            ->Unit(benchmark::kSecond)
+            ->Iterations(1);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    print_summary();
+    return 0;
+}

@@ -1,0 +1,120 @@
+// Table 1 (paper §5): verification time in seconds for six operator
+// queries, per engine — Moped (baseline), Dual (our unweighted
+// over/under-approximation) and Failures (our weighted engine minimising
+// the Failures quantity).
+//
+// The operator snapshot is the NORDUnet-like synthetic network (DESIGN.md
+// §3).  Scale the rule count with AALWINES_BENCH_SCALE (number of service
+// chains; default 400, the paper's snapshot corresponds to ~20000).
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace aalwines;
+
+struct Table1Fixture {
+    synthesis::SyntheticNetwork net;
+    std::vector<std::string> queries;
+    // answer/time grid for the summary print: [query][engine].
+    std::vector<std::array<double, 3>> seconds;
+    std::vector<std::array<verify::Answer, 3>> answers;
+
+    Table1Fixture() {
+        const auto scale = bench::env_size("AALWINES_BENCH_SCALE", 400);
+        net = synthesis::make_nordunet_like(scale, 1);
+        queries = synthesis::make_table1_queries(net);
+        seconds.resize(queries.size());
+        answers.resize(queries.size(),
+                       {verify::Answer::Inconclusive, verify::Answer::Inconclusive,
+                        verify::Answer::Inconclusive});
+    }
+};
+
+Table1Fixture& fixture() {
+    static Table1Fixture instance;
+    return instance;
+}
+
+const WeightExpr k_failures_weight = weight_of(Quantity::Failures);
+
+void run_cell(benchmark::State& state, std::size_t query_index, int engine_index) {
+    auto& fix = fixture();
+    const auto query = query::parse_query(fix.queries[query_index], fix.net.network);
+    const verify::EngineKind engines[] = {verify::EngineKind::Moped,
+                                          verify::EngineKind::Dual,
+                                          verify::EngineKind::Weighted};
+    const auto engine = engines[engine_index];
+    const WeightExpr* weights =
+        engine == verify::EngineKind::Weighted ? &k_failures_weight : nullptr;
+    for (auto _ : state) {
+        const auto outcome = bench::run_engine(fix.net.network, query, engine, weights);
+        fix.seconds[query_index][static_cast<std::size_t>(engine_index)] =
+            outcome.seconds;
+        fix.answers[query_index][static_cast<std::size_t>(engine_index)] =
+            outcome.answer;
+        benchmark::DoNotOptimize(outcome);
+    }
+}
+
+void register_benchmarks() {
+    const char* engine_names[] = {"Moped", "Dual", "Failures"};
+    for (std::size_t q = 0; q < fixture().queries.size(); ++q) {
+        for (int e = 0; e < 3; ++e) {
+            const auto name =
+                "Table1/Q" + std::to_string(q + 1) + "/" + engine_names[e];
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [q, e](benchmark::State& state) { run_cell(state, q, e); })
+                ->Unit(benchmark::kMillisecond)
+                ->Iterations(1);
+        }
+    }
+}
+
+void print_table() {
+    auto& fix = fixture();
+    std::cout << "\n=== Table 1: query verification time (seconds) ===\n";
+    std::cout << "network: " << fix.net.network.name << " — "
+              << fix.net.network.topology.router_count() << " routers, "
+              << fix.net.network.routing.rule_count() << " forwarding rules\n\n";
+    std::cout << std::left << std::setw(78) << "Query" << std::right << std::setw(10)
+              << "Moped" << std::setw(10) << "Dual" << std::setw(10) << "Failures"
+              << "\n";
+    for (std::size_t q = 0; q < fix.queries.size(); ++q) {
+        std::cout << std::left << std::setw(78) << fix.queries[q] << std::right
+                  << std::fixed << std::setprecision(3);
+        for (int e = 0; e < 3; ++e) std::cout << std::setw(10) << fix.seconds[q][e];
+        std::cout << "   [";
+        for (int e = 0; e < 3; ++e)
+            std::cout << (e ? "/" : "")
+                      << verify::to_string(fix.answers[q][static_cast<std::size_t>(e)]);
+        std::cout << "]\n";
+    }
+    double moped_total = 0, dual_total = 0, weighted_total = 0;
+    for (std::size_t q = 0; q < fix.queries.size(); ++q) {
+        moped_total += fix.seconds[q][0];
+        dual_total += fix.seconds[q][1];
+        weighted_total += fix.seconds[q][2];
+    }
+    std::cout << std::setprecision(2) << "\nspeedup vs Moped:  Dual "
+              << moped_total / dual_total << "x, Failures "
+              << moped_total / weighted_total << "x\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    register_benchmarks();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    print_table();
+    return 0;
+}

@@ -1,0 +1,66 @@
+// Fleet-style batch audit: verify a whole battery of operator queries over
+// a network snapshot in parallel, then aggregate the results the way a CI
+// gate or nightly compliance job would.
+//
+//   $ ./batch_audit [jobs]
+
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+
+#include "synthesis/networks.hpp"
+#include "synthesis/queries.hpp"
+#include "verify/batch.hpp"
+
+int main(int argc, char** argv) {
+    using namespace aalwines;
+    const std::size_t jobs = argc > 1 ? std::stoul(argv[1]) : 0; // 0 = all cores
+
+    const auto synth = synthesis::make_nordunet_like(/*service_chains=*/400, /*seed=*/1);
+    const auto& net = synth.network;
+    const auto queries =
+        synthesis::make_query_battery(synth, {.count = 60, .seed = 31});
+    std::cout << "auditing " << queries.size() << " queries on " << net.name << " ("
+              << net.routing.rule_count() << " rules) with "
+              << (jobs ? std::to_string(jobs) : std::string("all")) << " threads\n\n";
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto items = verify::verify_batch(net, queries, {}, jobs);
+    const auto wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+    std::size_t yes = 0, no = 0, inconclusive = 0, errors = 0;
+    double engine_time = 0.0, slowest = 0.0;
+    std::string slowest_query;
+    for (const auto& item : items) {
+        if (!item.error.empty()) {
+            ++errors;
+            continue;
+        }
+        engine_time += item.result.stats.total_seconds;
+        if (item.result.stats.total_seconds > slowest) {
+            slowest = item.result.stats.total_seconds;
+            slowest_query = item.query_text;
+        }
+        switch (item.result.answer) {
+            case verify::Answer::Yes: ++yes; break;
+            case verify::Answer::No: ++no; break;
+            case verify::Answer::Inconclusive: ++inconclusive; break;
+        }
+    }
+
+    std::cout << std::fixed << std::setprecision(3);
+    std::cout << "answers:   yes " << yes << "  no " << no << "  inconclusive "
+              << inconclusive << "  errors " << errors << "\n";
+    std::cout << "wall time: " << wall << "s   engine time: " << engine_time
+              << "s   parallel speedup: " << engine_time / wall << "x\n";
+    std::cout << "slowest:   " << slowest << "s  " << slowest_query << "\n\n";
+
+    // Anything inconclusive deserves a second, more expensive look — print
+    // them so the operator can rerun with OVER/UNDER modes or higher k.
+    for (const auto& item : items)
+        if (item.error.empty() && item.result.answer == verify::Answer::Inconclusive)
+            std::cout << "INCONCLUSIVE: " << item.query_text << "\n              "
+                      << item.result.note << "\n";
+    return errors == 0 ? 0 : 1;
+}

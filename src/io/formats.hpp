@@ -1,0 +1,79 @@
+#pragma once
+// Input/output formats (paper, Appendix A):
+//   * vendor-agnostic topology XML (topo.xml)
+//   * vendor-agnostic routing XML (route.xml)
+//   * router location JSON (Appendix A.2)
+//   * Internet Topology Zoo GML (read-only)
+
+#include <string>
+#include <string_view>
+
+#include "model/routing.hpp"
+
+namespace aalwines::io {
+
+/// Parse a topo.xml document into a Topology.
+///
+///   <network name="...">
+///     <routers>
+///       <router name="R0">
+///         <interfaces><interface name="ae1.11"/>...</interfaces>
+///       </router>...
+///     </routers>
+///     <links>
+///       <sides distance="12">
+///         <shared_interface interface="et-3/0/0.2" router="R0"/>
+///         <shared_interface interface="et-1/3/0.2" router="R3"/>
+///       </sides>...
+///     </links>
+///   </network>
+///
+/// Every <sides> pair becomes two directed links (one per direction).
+[[nodiscard]] Topology read_topology_xml(std::string_view document, std::string* name = nullptr);
+
+[[nodiscard]] std::string write_topology_xml(const Topology& topology,
+                                             std::string_view name);
+
+/// Parse a route.xml document against `topology`, filling `labels` and
+/// returning the routing table.
+///
+///   <routes>
+///     <routings>
+///       <routing for="R0">
+///         <destinations>
+///           <destination from="ae1.11" label="300292" type="smpls">
+///             <te-group priority="1">
+///               <route to="ae5.0">
+///                 <actions>
+///                   <action op="swap" label="300293" type="smpls"/>
+///                 </actions>
+///               </route>
+///             </te-group>...
+///           </destination>...
+/// `type` is one of ip|mpls|smpls (default mpls); `op` is push|swap|pop.
+[[nodiscard]] RoutingTable read_routing_xml(std::string_view document,
+                                            const Topology& topology, LabelTable& labels);
+
+[[nodiscard]] std::string write_routing_xml(const Network& network);
+
+/// Read both documents into a complete network.
+[[nodiscard]] Network read_network_xml(std::string_view topology_document,
+                                       std::string_view routing_document);
+
+/// Router locations: { "R0": {"lat": 46.5, "lng": 7.3}, ... }.  Unknown
+/// router names are ignored; returns the number of coordinates applied.
+std::size_t apply_locations_json(std::string_view document, Topology& topology);
+
+[[nodiscard]] std::string write_locations_json(const Topology& topology);
+
+/// Parse a Topology Zoo GML document.  Nodes become routers (named by their
+/// `label`, falling back to "N<id>"); each edge becomes a duplex link with
+/// automatically numbered interfaces; `Latitude`/`Longitude` attributes
+/// become coordinates and link distances.
+[[nodiscard]] Topology read_gml(std::string_view document, std::string* name = nullptr);
+
+/// Write a topology as Topology-Zoo-style GML (nodes with labels and
+/// coordinates, one edge per duplex link pair).
+[[nodiscard]] std::string write_gml(const Topology& topology, std::string_view name);
+
+} // namespace aalwines::io

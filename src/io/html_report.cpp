@@ -1,0 +1,234 @@
+#include "io/html_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <set>
+#include <sstream>
+
+namespace aalwines::io {
+
+namespace {
+
+struct Point {
+    double x = 0, y = 0;
+};
+
+/// Router layout: equirectangular projection of the coordinates when
+/// present, deterministic circle otherwise; normalised into the viewbox.
+std::vector<Point> layout(const Topology& topology, double width, double height,
+                          double margin) {
+    const auto n = topology.router_count();
+    std::vector<Point> points(n);
+    bool any_coordinates = false;
+    for (RouterId r = 0; r < n; ++r) {
+        if (auto coord = topology.coordinate(r)) {
+            points[r] = {coord->longitude, -coord->latitude}; // screen y grows down
+            any_coordinates = true;
+        }
+    }
+    if (!any_coordinates) {
+        for (RouterId r = 0; r < n; ++r) {
+            const double angle =
+                2.0 * std::numbers::pi * static_cast<double>(r) / static_cast<double>(n);
+            points[r] = {std::cos(angle), std::sin(angle)};
+        }
+    } else {
+        // Routers without coordinates: park them on a small inner circle.
+        for (RouterId r = 0; r < n; ++r) {
+            if (topology.coordinate(r)) continue;
+            const double angle =
+                2.0 * std::numbers::pi * static_cast<double>(r) / static_cast<double>(n);
+            points[r] = {0.1 * std::cos(angle), 0.1 * std::sin(angle)};
+        }
+    }
+    double min_x = points[0].x, max_x = points[0].x;
+    double min_y = points[0].y, max_y = points[0].y;
+    for (const auto& p : points) {
+        min_x = std::min(min_x, p.x);
+        max_x = std::max(max_x, p.x);
+        min_y = std::min(min_y, p.y);
+        max_y = std::max(max_y, p.y);
+    }
+    const double span_x = std::max(1e-9, max_x - min_x);
+    const double span_y = std::max(1e-9, max_y - min_y);
+    for (auto& p : points) {
+        p.x = margin + (p.x - min_x) / span_x * (width - 2 * margin);
+        p.y = margin + (p.y - min_y) / span_y * (height - 2 * margin);
+    }
+    return points;
+}
+
+void escape_into(std::string& out, const std::string& text) {
+    for (const char c : text) {
+        switch (c) {
+            case '<': out += "&lt;"; break;
+            case '>': out += "&gt;"; break;
+            case '&': out += "&amp;"; break;
+            default: out.push_back(c);
+        }
+    }
+}
+
+std::string escaped(const std::string& text) {
+    std::string out;
+    escape_into(out, text);
+    return out;
+}
+
+/// The operation sequence applied between consecutive trace entries.
+std::string ops_between(const Network& network, const TraceEntry& current,
+                        const TraceEntry& next) {
+    const auto* groups = network.routing.entry(current.link, current.header.back());
+    if (groups == nullptr) return "?";
+    for (const auto& group : *groups)
+        for (const auto& rule : group) {
+            if (rule.out_link != next.link) continue;
+            const auto rewritten = apply_ops(network.labels, current.header, rule.ops);
+            if (rewritten && *rewritten == next.header)
+                return describe_ops(network.labels, rule.ops);
+        }
+    return "?";
+}
+
+void render_svg(std::string& out, const Network& network, const Trace* trace) {
+    constexpr double width = 640, height = 420, margin = 36;
+    const auto& topology = network.topology;
+    const auto points = layout(topology, width, height, margin);
+
+    std::set<LinkId> on_path;
+    if (trace != nullptr)
+        for (const auto& entry : trace->entries) on_path.insert(entry.link);
+
+    std::ostringstream svg;
+    svg << "<svg viewBox=\"0 0 " << width << " " << height << "\">\n";
+    // Links (draw each duplex pair once unless directionality matters).
+    for (const auto& link : topology.links()) {
+        const auto& a = points[link.source];
+        const auto& b = points[link.target];
+        const bool highlighted = on_path.contains(link.id);
+        svg << "<line x1=\"" << a.x << "\" y1=\"" << a.y << "\" x2=\"" << b.x
+            << "\" y2=\"" << b.y << "\" class=\""
+            << (highlighted ? "link path" : "link") << "\"/>\n";
+    }
+    // Path direction arrows: a dot at 2/3 of each traversed link.
+    if (trace != nullptr) {
+        for (const auto& entry : trace->entries) {
+            const auto& link = topology.link(entry.link);
+            const auto& a = points[link.source];
+            const auto& b = points[link.target];
+            svg << "<circle cx=\"" << (a.x + 2 * (b.x - a.x) / 3) << "\" cy=\""
+                << (a.y + 2 * (b.y - a.y) / 3) << "\" r=\"4\" class=\"dir\"/>\n";
+        }
+    }
+    // Routers.
+    for (RouterId r = 0; r < topology.router_count(); ++r) {
+        bool visited = false;
+        if (trace != nullptr)
+            for (const auto& entry : trace->entries) {
+                const auto& link = topology.link(entry.link);
+                if (link.source == r || link.target == r) visited = true;
+            }
+        svg << "<circle cx=\"" << points[r].x << "\" cy=\"" << points[r].y
+            << "\" r=\"7\" class=\"" << (visited ? "router visited" : "router")
+            << "\"/>\n";
+        svg << "<text x=\"" << points[r].x + 9 << "\" y=\"" << points[r].y - 6
+            << "\">" << escaped(topology.router_name(r)) << "</text>\n";
+    }
+    svg << "</svg>\n";
+    out += svg.str();
+}
+
+} // namespace
+
+std::string write_html_report(const Network& network,
+                              const std::vector<ReportEntry>& entries) {
+    std::string out;
+    out += "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n<title>AalWiNes — ";
+    escape_into(out, network.name);
+    out +=
+        "</title>\n<style>\n"
+        "body{font:14px/1.5 system-ui,sans-serif;margin:2rem auto;max-width:72rem;"
+        "color:#1d2733}\n"
+        "h1{font-size:1.4rem} h2{font-size:1.05rem;margin-top:2.2rem}\n"
+        "svg{width:100%;height:auto;background:#f7f9fb;border:1px solid #dde4ea;"
+        "border-radius:8px}\n"
+        ".link{stroke:#b9c4cd;stroke-width:1.4}\n"
+        ".link.path{stroke:#e2574c;stroke-width:3}\n"
+        ".dir{fill:#e2574c}\n"
+        ".router{fill:#3f6ea5;stroke:#fff;stroke-width:1.5}\n"
+        ".router.visited{fill:#e2574c}\n"
+        "svg text{font:11px system-ui,sans-serif;fill:#42505c}\n"
+        ".answer{display:inline-block;padding:.1rem .55rem;border-radius:1rem;"
+        "color:#fff;font-weight:600}\n"
+        ".yes{background:#2e8b57}.no{background:#3f6ea5}.inconclusive{background:#c98a1b}\n"
+        "table{border-collapse:collapse;margin:.8rem 0;width:100%}\n"
+        "td,th{border:1px solid #dde4ea;padding:.35rem .6rem;text-align:left;"
+        "font-size:.92em}\n"
+        "code{background:#eef2f5;padding:.05rem .3rem;border-radius:4px}\n"
+        ".meta{color:#5b6a77;font-size:.9em}\n"
+        "</style></head><body>\n";
+
+    out += "<h1>AalWiNes what-if analysis — ";
+    escape_into(out, network.name);
+    out += "</h1>\n<p class=\"meta\">" + std::to_string(network.topology.router_count()) +
+           " routers, " + std::to_string(network.topology.link_count()) +
+           " directed links, " + std::to_string(network.routing.rule_count()) +
+           " forwarding rules, " + std::to_string(network.labels.size()) +
+           " labels</p>\n";
+
+    for (const auto& entry : entries) {
+        out += "<h2><code>";
+        escape_into(out, entry.query_text);
+        out += "</code></h2>\n<p><span class=\"answer ";
+        out += to_string(entry.result.answer);
+        out += "\">";
+        out += to_string(entry.result.answer);
+        out += "</span>";
+        if (!entry.result.weight.empty()) {
+            out += " &nbsp;weight (";
+            for (std::size_t i = 0; i < entry.result.weight.size(); ++i)
+                out += (i ? ", " : "") + std::to_string(entry.result.weight[i]);
+            out += ")";
+        }
+        out += " <span class=\"meta\">" + std::to_string(entry.result.stats.total_seconds) +
+               "s</span></p>\n";
+        if (!entry.result.note.empty()) {
+            out += "<p class=\"meta\">";
+            escape_into(out, entry.result.note);
+            out += "</p>\n";
+        }
+        const Trace* trace =
+            entry.result.trace.has_value() ? &*entry.result.trace : nullptr;
+        render_svg(out, network, trace);
+        const auto& witnesses = entry.result.witnesses;
+        const auto render_table = [&](const Trace& t, std::size_t index) {
+            out += "<table><tr><th>#</th><th>link</th><th>header</th><th>operations"
+                   "</th></tr>\n";
+            for (std::size_t i = 0; i < t.entries.size(); ++i) {
+                out += "<tr><td>" + std::to_string(i + 1) + "</td><td>";
+                escape_into(out, network.topology.describe_link(t.entries[i].link));
+                out += "</td><td><code>";
+                escape_into(out, display_header(network.labels, t.entries[i].header));
+                out += "</code></td><td>";
+                if (i + 1 < t.entries.size())
+                    escape_into(out, ops_between(network, t.entries[i], t.entries[i + 1]));
+                out += "</td></tr>\n";
+            }
+            out += "</table>\n";
+            (void)index;
+        };
+        if (witnesses.size() > 1) {
+            for (std::size_t w = 0; w < witnesses.size(); ++w) {
+                out += "<p class=\"meta\">witness " + std::to_string(w + 1) + ":</p>\n";
+                render_table(witnesses[w], w);
+            }
+        } else if (trace != nullptr) {
+            render_table(*trace, 0);
+        }
+    }
+    out += "</body></html>\n";
+    return out;
+}
+
+} // namespace aalwines::io

@@ -1,0 +1,25 @@
+#pragma once
+// Standalone HTML visualisation of verification results — this repository's
+// substitute for the paper's web GUI (Figure 2): the topology drawn from
+// router coordinates, witness paths highlighted hop by hop, and the
+// operations each router applied, in a single self-contained file.
+
+#include <string>
+#include <vector>
+
+#include "verify/engine.hpp"
+
+namespace aalwines::io {
+
+struct ReportEntry {
+    std::string query_text;
+    verify::VerifyResult result;
+};
+
+/// Render a self-contained HTML document (inline SVG + CSS, no external
+/// resources).  Router positions come from coordinates when present,
+/// otherwise from a deterministic circular layout.
+[[nodiscard]] std::string write_html_report(const Network& network,
+                                            const std::vector<ReportEntry>& entries);
+
+} // namespace aalwines::io

@@ -1,0 +1,250 @@
+#include "io/isis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "xml/xml.hpp"
+
+namespace aalwines::io {
+
+namespace {
+
+std::string trim(std::string_view text) {
+    std::size_t begin = 0, end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+    return std::string(text.substr(begin, end - begin));
+}
+
+std::vector<std::string> split(std::string_view text, char separator) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= text.size(); ++i) {
+        if (i == text.size() || text[i] == separator) {
+            out.push_back(trim(text.substr(start, i - start)));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+/// Label naming conventions shared with the query language: `sX` is the
+/// bottom-of-stack label X, `ip ...`/`ip_...` an IP destination, anything
+/// else a plain MPLS label.  An explicit `type` attribute wins.
+Label parse_isis_label(LabelTable& labels, std::string_view type_attr,
+                       std::string_view name) {
+    if (type_attr == "ip") return labels.add(LabelType::Ip, name);
+    if (type_attr == "smpls") return labels.add(LabelType::MplsBos, name);
+    if (type_attr == "mpls") return labels.add(LabelType::Mpls, name);
+    if (!type_attr.empty())
+        throw model_error("isis: unknown label type '" + std::string(type_attr) + "'");
+    if (name.rfind("ip", 0) == 0) return labels.add(LabelType::Ip, name);
+    if (name.size() > 1 && name.front() == 's' &&
+        std::all_of(name.begin() + 1, name.end(),
+                    [](char c) { return std::isdigit(static_cast<unsigned char>(c)); }))
+        return labels.add(LabelType::MplsBos, name.substr(1));
+    return labels.add(LabelType::Mpls, name);
+}
+
+std::vector<Op> parse_operations(LabelTable& labels, std::string_view text) {
+    std::vector<Op> ops;
+    for (const auto& piece : split(text, ',')) {
+        if (piece.empty()) continue;
+        if (piece == "Pop" || piece == "pop") {
+            ops.push_back(Op::pop());
+            continue;
+        }
+        const auto space = piece.find(' ');
+        if (space == std::string::npos)
+            throw model_error("isis: malformed operation '" + piece + "'");
+        const auto verb = piece.substr(0, space);
+        const auto argument = trim(std::string_view(piece).substr(space + 1));
+        const auto label = parse_isis_label(labels, "", argument);
+        if (verb == "Swap" || verb == "swap") ops.push_back(Op::swap(label));
+        else if (verb == "Push" || verb == "push") ops.push_back(Op::push(label));
+        else throw model_error("isis: unknown operation verb '" + verb + "'");
+    }
+    return ops;
+}
+
+struct Adjacency {
+    std::string interface_name;
+    std::string neighbor; ///< any alias
+    bool consumed = false;
+};
+
+} // namespace
+
+std::vector<IsisMappingEntry> parse_isis_mapping(std::string_view text) {
+    std::vector<IsisMappingEntry> entries;
+    unsigned line_number = 0;
+    for (const auto& raw_line : split(text, '\n')) {
+        ++line_number;
+        const auto line = trim(raw_line);
+        if (line.empty() || line.front() == '#') continue;
+        const auto fields = split(line, ':');
+        if (fields.size() != 1 && fields.size() != 4)
+            throw parse_error("isis mapping: expected 1 or 4 ':'-separated fields",
+                              {line_number, 1});
+        IsisMappingEntry entry;
+        entry.aliases = split(fields[0], ',');
+        if (entry.aliases.empty() || entry.aliases.front().empty())
+            throw parse_error("isis mapping: missing router aliases", {line_number, 1});
+        if (fields.size() == 4) {
+            entry.adjacency_file = fields[1];
+            entry.route_file = fields[2];
+            entry.pfe_file = fields[3];
+            if (entry.adjacency_file.empty() || entry.route_file.empty() ||
+                entry.pfe_file.empty())
+                throw parse_error("isis mapping: empty document reference",
+                                  {line_number, 1});
+        }
+        entries.push_back(std::move(entry));
+    }
+    return entries;
+}
+
+Network read_isis(const std::vector<IsisRouterDocuments>& routers) {
+    Network network;
+    network.name = "isis-import";
+    auto& topology = network.topology;
+
+    // Routers and the alias table.
+    std::map<std::string, RouterId> by_alias;
+    for (const auto& doc : routers) {
+        const auto router = topology.add_router(doc.entry.aliases.front());
+        for (const auto& alias : doc.entry.aliases) {
+            if (!by_alias.emplace(alias, router).second)
+                throw model_error("isis: alias '" + alias + "' is not unique");
+        }
+    }
+
+    // Adjacencies per router.
+    std::vector<std::vector<Adjacency>> adjacencies(routers.size());
+    for (std::size_t i = 0; i < routers.size(); ++i) {
+        if (routers[i].entry.is_edge()) continue;
+        const auto root = xml::parse(routers[i].adjacency_xml);
+        if (root.name != "isis-adjacency-information")
+            throw model_error("isis: adjacency document root must be "
+                              "<isis-adjacency-information>");
+        for (const auto* adj : root.children_named("isis-adjacency")) {
+            const auto* state = adj->first_child("adjacency-state");
+            if (state != nullptr && trim(state->text) != "Up") continue;
+            const auto* iface = adj->first_child("interface-name");
+            const auto* neighbor = adj->first_child("system-name");
+            if (iface == nullptr || neighbor == nullptr)
+                throw model_error("isis: adjacency without interface or neighbour");
+            if (!by_alias.contains(trim(neighbor->text)))
+                throw model_error("isis: adjacency toward unknown system '" +
+                                  trim(neighbor->text) + "'");
+            adjacencies[i].push_back({trim(iface->text), trim(neighbor->text), false});
+        }
+    }
+
+    // Pair adjacencies into duplex links.
+    std::map<std::string, RouterId> canonical = by_alias;
+    for (std::size_t i = 0; i < routers.size(); ++i) {
+        const auto router_i = static_cast<RouterId>(i);
+        for (auto& adjacency : adjacencies[i]) {
+            if (adjacency.consumed) continue;
+            adjacency.consumed = true;
+            const auto neighbor_id = by_alias.at(adjacency.neighbor);
+            if (routers[neighbor_id].entry.is_edge()) {
+                // Edge routers export nothing; synthesize their interface.
+                topology.add_duplex(router_i, adjacency.interface_name, neighbor_id,
+                                    "to_" + topology.router_name(router_i) + "_" +
+                                        adjacency.interface_name);
+                continue;
+            }
+            // Find the reciprocal, unconsumed adjacency on the neighbour.
+            Adjacency* reciprocal = nullptr;
+            for (auto& candidate : adjacencies[neighbor_id]) {
+                if (candidate.consumed) continue;
+                if (by_alias.at(candidate.neighbor) != router_i) continue;
+                reciprocal = &candidate;
+                break;
+            }
+            if (reciprocal == nullptr)
+                throw model_error("isis: adjacency from '" +
+                                  topology.router_name(router_i) + "' via '" +
+                                  adjacency.interface_name + "' toward '" +
+                                  adjacency.neighbor + "' has no reciprocal entry");
+            reciprocal->consumed = true;
+            topology.add_duplex(router_i, adjacency.interface_name, neighbor_id,
+                                reciprocal->interface_name);
+        }
+    }
+
+    // PFE next-hop operation tables, then the forwarding tables.
+    for (std::size_t i = 0; i < routers.size(); ++i) {
+        if (routers[i].entry.is_edge()) continue;
+        const auto router_i = static_cast<RouterId>(i);
+
+        std::map<std::string, std::vector<Op>> ops_by_index;
+        {
+            const auto root = xml::parse(routers[i].pfe_xml);
+            if (root.name != "pfe-next-hop-information")
+                throw model_error("isis: PFE document root must be "
+                                  "<pfe-next-hop-information>");
+            for (const auto* nh : root.children_named("next-hop")) {
+                const auto* index = nh->first_child("nh-index");
+                const auto* operations = nh->first_child("operations");
+                if (index == nullptr)
+                    throw model_error("isis: PFE next-hop without nh-index");
+                ops_by_index.emplace(
+                    trim(index->text),
+                    operations != nullptr ? parse_operations(network.labels,
+                                                             trim(operations->text))
+                                          : std::vector<Op>{});
+            }
+        }
+
+        const auto root = xml::parse(routers[i].route_xml);
+        if (root.name != "forwarding-table-information")
+            throw model_error("isis: forwarding document root must be "
+                              "<forwarding-table-information>");
+        for (const auto* entry : root.children_named("rt-entry")) {
+            const auto* label_el = entry->first_child("label");
+            const auto* in_iface = entry->first_child("incoming-interface");
+            if (label_el == nullptr || in_iface == nullptr)
+                throw model_error("isis: rt-entry without label or incoming-interface");
+            const auto label = parse_isis_label(
+                network.labels, label_el->attr("type").value_or(""), trim(label_el->text));
+            const auto in_link = topology.in_link_through(router_i, trim(in_iface->text));
+            if (!in_link)
+                throw model_error("isis: router '" + topology.router_name(router_i) +
+                                  "' has no incoming link through '" +
+                                  trim(in_iface->text) + "'");
+            for (const auto* nh : entry->children_named("nh")) {
+                const auto* via = nh->first_child("via");
+                if (via == nullptr) throw model_error("isis: <nh> without <via>");
+                const auto out_link =
+                    topology.out_link_through(router_i, trim(via->text));
+                if (!out_link)
+                    throw model_error("isis: router '" + topology.router_name(router_i) +
+                                      "' has no outgoing link through '" +
+                                      trim(via->text) + "'");
+                std::uint32_t priority = 1;
+                if (auto weight = nh->attr("weight"))
+                    priority = static_cast<std::uint32_t>(
+                        std::strtoul(std::string(*weight).c_str(), nullptr, 10));
+                std::vector<Op> ops;
+                if (const auto* index = nh->first_child("nh-index")) {
+                    auto it = ops_by_index.find(trim(index->text));
+                    if (it == ops_by_index.end())
+                        throw model_error("isis: nh-index '" + trim(index->text) +
+                                          "' not present in the PFE document");
+                    ops = it->second;
+                }
+                network.routing.add_rule(*in_link, label, priority, *out_link,
+                                         std::move(ops));
+            }
+        }
+    }
+
+    network.routing.validate(topology);
+    return network;
+}
+
+} // namespace aalwines::io

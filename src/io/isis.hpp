@@ -1,0 +1,89 @@
+#pragma once
+// IS-IS dataplane ingestion (paper, Appendix A.1).
+//
+// The paper's tool reconstructs a network from per-router XML exports of a
+// Juniper-style IS-IS deployment:
+//
+//     show isis adjacency detail | display xml           -> adjacency doc
+//     show route forwarding-table family mpls extensive | display xml
+//                                                        -> forwarding doc
+//     show pfe next-hop | display xml                    -> PFE next-hop doc
+//
+// plus a *mapping file* with one line per logical routing entity:
+//
+//     <aliases>:<adj.xml>:<route-ft.xml>:<pfe.xml>
+//     192.0.0.1,R1:R1-adj.xml:R1-route.xml:R1-pfe.xml
+//     192.0.0.2,10.10.0.2,E1
+//
+// Edge routers omit the file references; they act as sink nodes with an
+// empty routing table.  The first alias of each line is the canonical
+// router name; any alias may be used by neighbours' adjacency documents.
+//
+// Since vendor exports cannot be redistributed, this module defines (and
+// documents here) a faithful simplified schema with the same structure:
+//
+// adjacency document:
+//   <isis-adjacency-information>
+//     <isis-adjacency>
+//       <interface-name>et-3/0/0.2</interface-name>
+//       <system-name>R3</system-name>         (neighbour, any alias)
+//       <adjacency-state>Up</adjacency-state> (non-Up adjacencies skipped)
+//     </isis-adjacency>...
+//   </isis-adjacency-information>
+//
+// forwarding document (route table; in-label + in-interface keyed):
+//   <forwarding-table-information>
+//     <rt-entry>
+//       <label>300292</label>                  (or <label type="ip">ip_R4</label>)
+//       <incoming-interface>ae1.11</incoming-interface>
+//       <nh weight="1"><via>et-3/0/0.2</via><nh-index>1048574</nh-index></nh>...
+//     </rt-entry>...
+//   </forwarding-table-information>
+// `weight` orders the next-hops into TE groups (1 = primary); several <nh>
+// with the same weight form one group.
+//
+// PFE document (next-hop index -> MPLS operations):
+//   <pfe-next-hop-information>
+//     <next-hop><nh-index>1048574</nh-index>
+//       <operations>Swap 300293</operations></next-hop>...
+//   </pfe-next-hop-information>
+// Operations grammar: comma-separated list of `Swap L`, `Push L`, `Pop`;
+// labels may carry an `s` prefix for the bottom-of-stack stratum and an
+// `ip ` prefix for IP destinations, matching the paper's conventions.
+
+#include <string>
+#include <vector>
+
+#include "model/routing.hpp"
+
+namespace aalwines::io {
+
+/// One logical routing entity from the mapping file.
+struct IsisMappingEntry {
+    std::vector<std::string> aliases;   ///< first is the canonical name
+    std::string adjacency_file;         ///< empty for edge routers
+    std::string route_file;
+    std::string pfe_file;
+
+    [[nodiscard]] bool is_edge() const { return adjacency_file.empty(); }
+};
+
+/// Parse the mapping file (see above).  Blank lines and '#' comments are
+/// skipped.  Throws parse_error on malformed lines.
+[[nodiscard]] std::vector<IsisMappingEntry> parse_isis_mapping(std::string_view text);
+
+/// A mapping entry with its referenced documents already loaded.
+struct IsisRouterDocuments {
+    IsisMappingEntry entry;
+    std::string adjacency_xml;
+    std::string route_xml;
+    std::string pfe_xml;
+};
+
+/// Reconstruct the network from per-router IS-IS exports.  Adjacencies are
+/// matched pairwise (router A's adjacency on interface i toward B pairs
+/// with B's adjacency toward A); edge routers receive one automatic
+/// interface per neighbour adjacency pointing at them.
+[[nodiscard]] Network read_isis(const std::vector<IsisRouterDocuments>& routers);
+
+} // namespace aalwines::io

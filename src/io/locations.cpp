@@ -1,0 +1,37 @@
+#include "io/formats.hpp"
+#include "json/json.hpp"
+
+namespace aalwines::io {
+
+std::size_t apply_locations_json(std::string_view document, Topology& topology) {
+    const auto value = json::parse(document);
+    if (!value.is_object()) throw model_error("locations document must be a JSON object");
+    std::size_t applied = 0;
+    for (const auto& [router_name, location] : value.as_object()) {
+        const auto router = topology.find_router(router_name);
+        if (!router) continue; // paper's format may carry aliases we do not model
+        if (!location.is_object()) continue;
+        const auto* lat = location.find("lat");
+        const auto* lng = location.find("lng");
+        if (lat == nullptr || lng == nullptr || !lat->is_number() || !lng->is_number())
+            continue;
+        topology.set_coordinate(*router, {lat->as_double(), lng->as_double()});
+        ++applied;
+    }
+    return applied;
+}
+
+std::string write_locations_json(const Topology& topology) {
+    json::Object object;
+    for (RouterId r = 0; r < topology.router_count(); ++r) {
+        const auto coord = topology.coordinate(r);
+        if (!coord) continue;
+        json::Object entry;
+        entry.emplace("lat", json::Value(coord->latitude));
+        entry.emplace("lng", json::Value(coord->longitude));
+        object.emplace(topology.router_name(r), json::Value(std::move(entry)));
+    }
+    return json::write(json::Value(std::move(object)), 2);
+}
+
+} // namespace aalwines::io

@@ -1,0 +1,80 @@
+#include "io/results_json.hpp"
+
+namespace aalwines::io {
+
+namespace {
+
+/// The operation sequence the router applied between two consecutive trace
+/// entries (lowest-priority-group match, as in the feasibility check).
+std::string ops_between(const Network& network, const TraceEntry& current,
+                        const TraceEntry& next) {
+    const auto* groups = network.routing.entry(current.link, current.header.back());
+    if (groups == nullptr) return "?";
+    for (const auto& group : *groups) {
+        for (const auto& rule : group) {
+            if (rule.out_link != next.link) continue;
+            const auto rewritten = apply_ops(network.labels, current.header, rule.ops);
+            if (rewritten && *rewritten == next.header)
+                return describe_ops(network.labels, rule.ops);
+        }
+    }
+    return "?";
+}
+
+json::Value trace_to_json(const Network& network, const Trace& trace) {
+    json::Array entries;
+    for (std::size_t i = 0; i < trace.entries.size(); ++i) {
+        const auto& entry = trace.entries[i];
+        json::Object step;
+        step.emplace("link", network.topology.describe_link(entry.link));
+        step.emplace("header", display_header(network.labels, entry.header));
+        if (i + 1 < trace.entries.size())
+            step.emplace("ops", ops_between(network, entry, trace.entries[i + 1]));
+        entries.push_back(json::Value(std::move(step)));
+    }
+    return json::Value(std::move(entries));
+}
+
+} // namespace
+
+json::Value result_to_json_value(const Network& network, const std::string& query_text,
+                                 const verify::VerifyResult& result,
+                                 bool include_stats) {
+    json::Object object;
+    object.emplace("query", query_text);
+    object.emplace("answer", std::string(to_string(result.answer)));
+    object.emplace("seconds", result.stats.total_seconds);
+    if (!result.weight.empty()) {
+        json::Array weight;
+        for (const auto w : result.weight) weight.push_back(json::Value(w));
+        object.emplace("weight", json::Value(std::move(weight)));
+    }
+    if (result.trace) object.emplace("trace", trace_to_json(network, *result.trace));
+    if (result.witnesses.size() > 1) {
+        json::Array witnesses;
+        for (const auto& trace : result.witnesses)
+            witnesses.push_back(trace_to_json(network, trace));
+        object.emplace("witnesses", json::Value(std::move(witnesses)));
+    }
+    if (!result.note.empty()) object.emplace("note", result.note);
+    if (include_stats) {
+        json::Object stats;
+        stats.emplace("pdaRules", result.stats.over.pda_rules);
+        stats.emplace("pdaRulesBeforeReduction",
+                      result.stats.over.pda_rules_before_reduction);
+        stats.emplace("saturationIterations", result.stats.over.saturation_iterations);
+        stats.emplace("automatonTransitions", result.stats.over.automaton_transitions);
+        stats.emplace("usedUnderApproximation", result.stats.under.ran);
+        object.emplace("stats", json::Value(std::move(stats)));
+    }
+    return json::Value(std::move(object));
+}
+
+std::string result_to_json(const Network& network, const std::string& query_text,
+                           const verify::VerifyResult& result, bool include_stats,
+                           int indent) {
+    return json::write(result_to_json_value(network, query_text, result, include_stats),
+                       indent);
+}
+
+} // namespace aalwines::io

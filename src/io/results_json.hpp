@@ -1,0 +1,38 @@
+#pragma once
+// Machine-readable result serialisation: the JSON shape the CLI emits and
+// downstream tooling (the GUI the paper ships, dashboards, CI gates)
+// consumes.  One object per verified query.
+
+#include <string>
+
+#include "json/json.hpp"
+#include "verify/engine.hpp"
+
+namespace aalwines::io {
+
+/// Serialise one verification outcome.
+///
+/// {
+///   "query":   "<ip> [.#v0] .* [v3#.] <ip> 0",
+///   "answer":  "yes" | "no" | "inconclusive",
+///   "seconds": 0.0123,
+///   "weight":  [5, 0],                  (weighted runs only)
+///   "trace":   [ {"link": "v0.e1 -> v2.in1",
+///                 "header": "s20 o ip1",
+///                 "ops": "swap(s21)"}, ... ],
+///   "note":    "...",                   (when present)
+///   "stats":   { "pdaRules": 8, "pdaRulesBeforeReduction": 32,
+///                "saturationIterations": 14, "usedUnderApproximation": false }
+/// }
+[[nodiscard]] std::string result_to_json(const Network& network,
+                                         const std::string& query_text,
+                                         const verify::VerifyResult& result,
+                                         bool include_stats = false, int indent = 2);
+
+/// Same, but the parsed json::Value (for embedding into larger documents).
+[[nodiscard]] json::Value result_to_json_value(const Network& network,
+                                               const std::string& query_text,
+                                               const verify::VerifyResult& result,
+                                               bool include_stats = false);
+
+} // namespace aalwines::io

@@ -1,0 +1,166 @@
+#include <charconv>
+
+#include "io/formats.hpp"
+#include "xml/xml.hpp"
+
+namespace aalwines::io {
+
+namespace {
+
+LabelType parse_label_type(std::string_view text) {
+    if (text == "ip") return LabelType::Ip;
+    if (text == "smpls") return LabelType::MplsBos;
+    if (text == "mpls" || text.empty()) return LabelType::Mpls;
+    throw model_error("unknown label type '" + std::string(text) + "'");
+}
+
+std::string_view label_type_attr(LabelType type) { return to_string(type); }
+
+std::uint32_t parse_priority(std::string_view text) {
+    std::uint32_t value = 0;
+    auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || ptr != text.data() + text.size() || value == 0)
+        throw model_error("invalid te-group priority '" + std::string(text) + "'");
+    return value;
+}
+
+} // namespace
+
+RoutingTable read_routing_xml(std::string_view document, const Topology& topology,
+                              LabelTable& labels) {
+    const auto root = xml::parse(document);
+    if (root.name != "routes")
+        throw model_error("routing document root must be <routes>, got <" + root.name + ">");
+    RoutingTable routing;
+
+    const auto* routings = root.first_child("routings");
+    if (routings == nullptr) return routing;
+    for (const auto* routing_el : routings->children_named("routing")) {
+        const auto router = topology.find_router(routing_el->required_attr("for"));
+        if (!router)
+            throw model_error("routing for unknown router '" +
+                              std::string(routing_el->required_attr("for")) + "'");
+        const auto* destinations = routing_el->first_child("destinations");
+        if (destinations == nullptr) continue;
+        for (const auto* dest : destinations->children_named("destination")) {
+            const auto from_interface = dest->required_attr("from");
+            const auto in_link = topology.in_link_through(*router, from_interface);
+            if (!in_link)
+                throw model_error("router '" + topology.router_name(*router) +
+                                  "' has no incoming link through interface '" +
+                                  std::string(from_interface) + "'");
+            const auto label =
+                labels.add(parse_label_type(dest->attr("type").value_or("mpls")),
+                           dest->required_attr("label"));
+            for (const auto* group : dest->children_named("te-group")) {
+                const auto priority = parse_priority(group->required_attr("priority"));
+                for (const auto* route : group->children_named("route")) {
+                    const auto to_interface = route->required_attr("to");
+                    const auto out_link = topology.out_link_through(*router, to_interface);
+                    if (!out_link)
+                        throw model_error("router '" + topology.router_name(*router) +
+                                          "' has no outgoing link through interface '" +
+                                          std::string(to_interface) + "'");
+                    std::vector<Op> ops;
+                    if (const auto* actions = route->first_child("actions")) {
+                        for (const auto* action : actions->children_named("action")) {
+                            const auto op_kind = action->required_attr("op");
+                            if (op_kind == "pop") {
+                                ops.push_back(Op::pop());
+                            } else {
+                                const auto op_label = labels.add(
+                                    parse_label_type(action->attr("type").value_or("mpls")),
+                                    action->required_attr("label"));
+                                if (op_kind == "push") ops.push_back(Op::push(op_label));
+                                else if (op_kind == "swap") ops.push_back(Op::swap(op_label));
+                                else
+                                    throw model_error("unknown action op '" +
+                                                      std::string(op_kind) + "'");
+                            }
+                        }
+                    }
+                    routing.add_rule(*in_link, label, priority, *out_link, std::move(ops));
+                }
+            }
+        }
+    }
+    routing.validate(topology);
+    return routing;
+}
+
+std::string write_routing_xml(const Network& network) {
+    const auto& topology = network.topology;
+    const auto& labels = network.labels;
+
+    xml::Element root;
+    root.name = "routes";
+    xml::Element routings;
+    routings.name = "routings";
+
+    // Group entries by the router the in-link enters.
+    std::vector<xml::Element> per_router(topology.router_count());
+    for (RouterId r = 0; r < topology.router_count(); ++r) {
+        per_router[r].name = "routing";
+        per_router[r].attributes.emplace_back("for", topology.router_name(r));
+        xml::Element destinations;
+        destinations.name = "destinations";
+        per_router[r].children.push_back(std::move(destinations));
+    }
+
+    network.routing.for_each([&](LinkId in_link, Label label, const RoutingEntry& groups) {
+        const auto& link = topology.link(in_link);
+        xml::Element destination;
+        destination.name = "destination";
+        destination.attributes.emplace_back(
+            "from", topology.interface(link.target_interface).name);
+        destination.attributes.emplace_back("label", labels.name_of(label));
+        destination.attributes.emplace_back("type",
+                                            std::string(label_type_attr(labels.type_of(label))));
+        for (std::size_t priority = 0; priority < groups.size(); ++priority) {
+            if (groups[priority].empty()) continue;
+            xml::Element group;
+            group.name = "te-group";
+            group.attributes.emplace_back("priority", std::to_string(priority + 1));
+            for (const auto& rule : groups[priority]) {
+                xml::Element route;
+                route.name = "route";
+                route.attributes.emplace_back(
+                    "to",
+                    topology.interface(topology.link(rule.out_link).source_interface).name);
+                xml::Element actions;
+                actions.name = "actions";
+                for (const auto& op : rule.ops) {
+                    xml::Element action;
+                    action.name = "action";
+                    switch (op.kind) {
+                        case Op::Kind::Pop:
+                            action.attributes.emplace_back("op", "pop");
+                            break;
+                        case Op::Kind::Push:
+                        case Op::Kind::Swap:
+                            action.attributes.emplace_back(
+                                "op", op.kind == Op::Kind::Push ? "push" : "swap");
+                            action.attributes.emplace_back("label", labels.name_of(op.label));
+                            action.attributes.emplace_back(
+                                "type", std::string(label_type_attr(labels.type_of(op.label))));
+                            break;
+                    }
+                    actions.children.push_back(std::move(action));
+                }
+                route.children.push_back(std::move(actions));
+                group.children.push_back(std::move(route));
+            }
+            destination.children.push_back(std::move(group));
+        }
+        per_router[link.target].children.front().children.push_back(std::move(destination));
+    });
+
+    for (auto& routing_el : per_router) {
+        if (routing_el.children.front().children.empty()) continue;
+        routings.children.push_back(std::move(routing_el));
+    }
+    root.children.push_back(std::move(routings));
+    return xml::write(root);
+}
+
+} // namespace aalwines::io

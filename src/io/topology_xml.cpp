@@ -1,0 +1,134 @@
+#include <charconv>
+
+#include "io/formats.hpp"
+#include "xml/xml.hpp"
+
+namespace aalwines::io {
+
+namespace {
+std::uint64_t parse_u64_attr(std::string_view text, std::uint64_t fallback) {
+    std::uint64_t value = 0;
+    auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || ptr != text.data() + text.size()) return fallback;
+    return value;
+}
+} // namespace
+
+Topology read_topology_xml(std::string_view document, std::string* name) {
+    const auto root = xml::parse(document);
+    if (root.name != "network")
+        throw model_error("topology document root must be <network>, got <" + root.name + ">");
+    if (name != nullptr) {
+        if (auto network_name = root.attr("name")) *name = std::string(*network_name);
+        else name->clear();
+    }
+
+    Topology topology;
+    if (const auto* routers = root.first_child("routers")) {
+        for (const auto* router_el : routers->children_named("router")) {
+            const auto router = topology.add_router(router_el->required_attr("name"));
+            if (const auto* interfaces = router_el->first_child("interfaces"))
+                for (const auto* iface : interfaces->children_named("interface"))
+                    topology.add_interface(router, iface->required_attr("name"));
+            const auto lat = router_el->attr("lat");
+            const auto lng = router_el->attr("lng");
+            if (lat && lng) {
+                Coordinate coord;
+                coord.latitude = std::stod(std::string(*lat));
+                coord.longitude = std::stod(std::string(*lng));
+                topology.set_coordinate(router, coord);
+            }
+        }
+    }
+    if (const auto* links = root.first_child("links")) {
+        for (const auto* sides : links->children_named("sides")) {
+            const auto ends = sides->children_named("shared_interface");
+            if (ends.size() != 2)
+                throw model_error("<sides> must contain exactly two <shared_interface>");
+            const auto router_a = topology.find_router(ends[0]->required_attr("router"));
+            const auto router_b = topology.find_router(ends[1]->required_attr("router"));
+            if (!router_a || !router_b)
+                throw model_error("<shared_interface> references an unknown router");
+            std::uint64_t distance = 1;
+            if (auto d = sides->attr("distance")) distance = parse_u64_attr(*d, 1);
+            topology.add_duplex(*router_a, ends[0]->required_attr("interface"), *router_b,
+                                ends[1]->required_attr("interface"), distance);
+        }
+    }
+    return topology;
+}
+
+std::string write_topology_xml(const Topology& topology, std::string_view name) {
+    xml::Element root;
+    root.name = "network";
+    if (!name.empty()) root.attributes.emplace_back("name", std::string(name));
+
+    xml::Element routers;
+    routers.name = "routers";
+    for (RouterId r = 0; r < topology.router_count(); ++r) {
+        xml::Element router;
+        router.name = "router";
+        router.attributes.emplace_back("name", topology.router_name(r));
+        if (auto coord = topology.coordinate(r)) {
+            router.attributes.emplace_back("lat", std::to_string(coord->latitude));
+            router.attributes.emplace_back("lng", std::to_string(coord->longitude));
+        }
+        xml::Element interfaces;
+        interfaces.name = "interfaces";
+        for (InterfaceId i = 0; i < topology.interface_count(); ++i) {
+            if (topology.interface(i).router != r) continue;
+            xml::Element iface;
+            iface.name = "interface";
+            iface.attributes.emplace_back("name", topology.interface(i).name);
+            interfaces.children.push_back(std::move(iface));
+        }
+        router.children.push_back(std::move(interfaces));
+        routers.children.push_back(std::move(router));
+    }
+    root.children.push_back(std::move(routers));
+
+    // Emit each duplex pair once: keep the direction with the smaller id
+    // whose reverse (same interfaces, swapped) exists with a larger id.
+    xml::Element links;
+    links.name = "links";
+    for (const auto& link : topology.links()) {
+        bool is_canonical = true;
+        for (const auto& other : topology.links()) {
+            if (other.source_interface == link.target_interface &&
+                other.target_interface == link.source_interface &&
+                other.id < link.id) {
+                is_canonical = false;
+                break;
+            }
+        }
+        if (!is_canonical) continue;
+        xml::Element sides;
+        sides.name = "sides";
+        sides.attributes.emplace_back("distance", std::to_string(link.distance));
+        xml::Element a;
+        a.name = "shared_interface";
+        a.attributes.emplace_back("interface",
+                                  topology.interface(link.source_interface).name);
+        a.attributes.emplace_back("router", topology.router_name(link.source));
+        xml::Element b;
+        b.name = "shared_interface";
+        b.attributes.emplace_back("interface",
+                                  topology.interface(link.target_interface).name);
+        b.attributes.emplace_back("router", topology.router_name(link.target));
+        sides.children.push_back(std::move(a));
+        sides.children.push_back(std::move(b));
+        links.children.push_back(std::move(sides));
+    }
+    root.children.push_back(std::move(links));
+    return xml::write(root);
+}
+
+Network read_network_xml(std::string_view topology_document,
+                         std::string_view routing_document) {
+    Network network;
+    network.topology = read_topology_xml(topology_document, &network.name);
+    network.routing = read_routing_xml(routing_document, network.topology, network.labels);
+    return network;
+}
+
+} // namespace aalwines::io

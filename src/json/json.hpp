@@ -1,0 +1,74 @@
+#pragma once
+// A compact JSON value type with parser and writer.
+//
+// Used for the router location files (paper, Appendix A.2) and for the CLI's
+// machine-readable result output.  Supports the full JSON grammar; numbers
+// are stored as double (plus an exact int64 fast path).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "util/errors.hpp"
+
+namespace aalwines::json {
+
+class Value;
+using Array = std::vector<Value>;
+/// std::map keeps object keys ordered, giving deterministic serialisation.
+using Object = std::map<std::string, Value>;
+
+class Value {
+public:
+    Value() : _data(nullptr) {}
+    Value(std::nullptr_t) : _data(nullptr) {}
+    Value(bool b) : _data(b) {}
+    Value(std::int64_t i) : _data(i) {}
+    Value(int i) : _data(static_cast<std::int64_t>(i)) {}
+    Value(std::size_t u) : _data(static_cast<std::int64_t>(u)) {}
+    Value(double d) : _data(d) {}
+    Value(std::string s) : _data(std::move(s)) {}
+    Value(const char* s) : _data(std::string(s)) {}
+    Value(Array a) : _data(std::move(a)) {}
+    Value(Object o) : _data(std::move(o)) {}
+
+    [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(_data); }
+    [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(_data); }
+    [[nodiscard]] bool is_int() const { return std::holds_alternative<std::int64_t>(_data); }
+    [[nodiscard]] bool is_double() const { return std::holds_alternative<double>(_data); }
+    [[nodiscard]] bool is_number() const { return is_int() || is_double(); }
+    [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(_data); }
+    [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(_data); }
+    [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(_data); }
+
+    [[nodiscard]] bool as_bool() const { return std::get<bool>(_data); }
+    [[nodiscard]] std::int64_t as_int() const;
+    [[nodiscard]] double as_double() const;
+    [[nodiscard]] const std::string& as_string() const { return std::get<std::string>(_data); }
+    [[nodiscard]] const Array& as_array() const { return std::get<Array>(_data); }
+    [[nodiscard]] Array& as_array() { return std::get<Array>(_data); }
+    [[nodiscard]] const Object& as_object() const { return std::get<Object>(_data); }
+    [[nodiscard]] Object& as_object() { return std::get<Object>(_data); }
+
+    /// Object member access; throws model_error when missing or not an object.
+    [[nodiscard]] const Value& at(const std::string& key) const;
+    /// Object member pointer, nullptr when absent.
+    [[nodiscard]] const Value* find(const std::string& key) const;
+
+    bool operator==(const Value& other) const = default;
+
+private:
+    std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array, Object> _data;
+};
+
+/// Parse a JSON document.  Throws parse_error with position on bad input.
+[[nodiscard]] Value parse(std::string_view input);
+
+/// Serialise; `indent` > 0 pretty-prints with that many spaces per level.
+[[nodiscard]] std::string write(const Value& value, int indent = 0);
+
+} // namespace aalwines::json

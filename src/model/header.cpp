@@ -1,0 +1,66 @@
+#include "model/header.hpp"
+
+#include <cassert>
+
+namespace aalwines {
+
+bool is_valid_header(const LabelTable& labels, const Header& header) {
+    if (header.empty()) return false;
+    if (labels.type_of(header.front()) != LabelType::Ip) return false;
+    if (header.size() == 1) return true;
+    if (labels.type_of(header[1]) != LabelType::MplsBos) return false;
+    for (std::size_t i = 2; i < header.size(); ++i)
+        if (labels.type_of(header[i]) != LabelType::Mpls) return false;
+    return true;
+}
+
+bool op_applicable(const LabelTable& labels, Label top, const Op& op) {
+    const auto top_type = labels.type_of(top);
+    switch (op.kind) {
+        case Op::Kind::Pop:
+            // Cannot pop the IP bottom label.
+            return top_type == LabelType::Mpls || top_type == LabelType::MplsBos;
+        case Op::Kind::Swap:
+            // Swapping across strata would break the ip·smpls·mpls* shape.
+            return labels.type_of(op.label) == top_type;
+        case Op::Kind::Push: {
+            const auto pushed = labels.type_of(op.label);
+            if (pushed == LabelType::Mpls)
+                return top_type == LabelType::Mpls || top_type == LabelType::MplsBos;
+            if (pushed == LabelType::MplsBos) return top_type == LabelType::Ip;
+            return false; // IP labels can never be pushed onto a stack
+        }
+    }
+    return false;
+}
+
+void apply_op_unchecked(Header& header, const Op& op) {
+    assert(!header.empty());
+    switch (op.kind) {
+        case Op::Kind::Pop: header.pop_back(); break;
+        case Op::Kind::Swap: header.back() = op.label; break;
+        case Op::Kind::Push: header.push_back(op.label); break;
+    }
+}
+
+std::optional<Header> apply_ops(const LabelTable& labels, Header header,
+                                std::span<const Op> ops) {
+    for (const auto& op : ops) {
+        if (header.empty()) return std::nullopt;
+        if (!op_applicable(labels, header.back(), op)) return std::nullopt;
+        apply_op_unchecked(header, op);
+    }
+    if (header.empty()) return std::nullopt;
+    return header;
+}
+
+std::string display_header(const LabelTable& labels, const Header& header) {
+    std::string out;
+    for (auto it = header.rbegin(); it != header.rend(); ++it) {
+        if (!out.empty()) out += " o ";
+        out += labels.display(*it);
+    }
+    return out.empty() ? "<empty>" : out;
+}
+
+} // namespace aalwines

@@ -1,0 +1,43 @@
+#pragma once
+// Valid MPLS headers and the header-rewrite function H (paper §2.2, Def. 3).
+//
+// A header is a label stack; we store it bottom-first, i.e. `back()` is the
+// top-of-stack (the left-most label in the paper's notation).  Valid headers
+// are exactly `ip` or `ip · smpls · mpls*` bottom-to-top.  The rewrite
+// function is partial: operation sequences that would leave the valid-header
+// language are undefined, which `apply_ops` signals with nullopt.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/label.hpp"
+#include "model/routing.hpp"
+
+namespace aalwines {
+
+/// Label stack; back() is the top of the stack.
+using Header = std::vector<Label>;
+
+/// Membership in the valid-header language H = L_IP ∪ L_M* L_M⊥ L_IP.
+[[nodiscard]] bool is_valid_header(const LabelTable& labels, const Header& header);
+
+/// Whether a single operation is defined on a valid header whose top label
+/// is `top`.  These local checks are exactly the definedness conditions of
+/// Definition 3, so applying an applicable op to a valid header yields a
+/// valid header; the PDA translation instantiates rules only where this
+/// predicate holds.
+[[nodiscard]] bool op_applicable(const LabelTable& labels, Label top, const Op& op);
+
+/// Apply one operation to the header (precondition: applicable, non-empty).
+void apply_op_unchecked(Header& header, const Op& op);
+
+/// H(header, ops): apply the sequence, or nullopt where H is undefined.
+[[nodiscard]] std::optional<Header> apply_ops(const LabelTable& labels, Header header,
+                                              std::span<const Op> ops);
+
+/// Paper-style rendering, top first: "30 o s21 o ip1".
+[[nodiscard]] std::string display_header(const LabelTable& labels, const Header& header);
+
+} // namespace aalwines

@@ -1,0 +1,70 @@
+#include "model/label.hpp"
+
+#include <cassert>
+
+namespace aalwines {
+
+std::string_view to_string(LabelType type) {
+    switch (type) {
+        case LabelType::Mpls: return "mpls";
+        case LabelType::MplsBos: return "smpls";
+        case LabelType::Ip: return "ip";
+    }
+    return "?";
+}
+
+namespace {
+std::uint64_t key_of(LabelType type, std::uint32_t name_id) {
+    return (static_cast<std::uint64_t>(type) << 32) | name_id;
+}
+} // namespace
+
+Label LabelTable::add(LabelType type, std::string_view name) {
+    const auto name_id = _names.intern(name);
+    const auto key = key_of(type, name_id);
+    if (auto it = _by_type_name.find(key); it != _by_type_name.end()) return it->second;
+    const Label label = static_cast<Label>(_types.size());
+    _types.push_back(type);
+    _name_ids.push_back(name_id);
+    _by_type_name.emplace(key, label);
+    return label;
+}
+
+std::optional<Label> LabelTable::find(LabelType type, std::string_view name) const {
+    const auto name_id = _names.find(name);
+    if (!name_id) return std::nullopt;
+    if (auto it = _by_type_name.find(key_of(type, *name_id)); it != _by_type_name.end())
+        return it->second;
+    return std::nullopt;
+}
+
+std::vector<Label> LabelTable::find_by_name(std::string_view name) const {
+    std::vector<Label> out;
+    for (const auto type : {LabelType::Mpls, LabelType::MplsBos, LabelType::Ip})
+        if (auto label = find(type, name)) out.push_back(*label);
+    return out;
+}
+
+LabelType LabelTable::type_of(Label label) const {
+    assert(label < _types.size());
+    return _types[label];
+}
+
+const std::string& LabelTable::name_of(Label label) const {
+    assert(label < _name_ids.size());
+    return _names.at(_name_ids[label]);
+}
+
+std::string LabelTable::display(Label label) const {
+    if (type_of(label) == LabelType::MplsBos) return "s" + name_of(label);
+    return name_of(label);
+}
+
+std::vector<Label> LabelTable::of_type(LabelType type) const {
+    std::vector<Label> out;
+    for (Label label = 0; label < _types.size(); ++label)
+        if (_types[label] == type) out.push_back(label);
+    return out;
+}
+
+} // namespace aalwines

@@ -1,0 +1,64 @@
+#pragma once
+// MPLS label alphabet (paper, Definition 2).
+//
+// The label set L is partitioned into plain MPLS labels (L_M), MPLS labels
+// with the bottom-of-stack bit set (L_M⊥, rendered with an `s` prefix in the
+// paper), and IP destinations (L_IP).  Labels are interned to dense uint32
+// ids; the id space is shared across the three strata and forms the stack
+// alphabet of the compiled pushdown system.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/interner.hpp"
+
+namespace aalwines {
+
+/// Dense label id; also the PDA stack-symbol id.
+using Label = std::uint32_t;
+inline constexpr Label k_invalid_label = UINT32_MAX;
+
+enum class LabelType : std::uint8_t {
+    Mpls,    ///< L_M: plain MPLS label
+    MplsBos, ///< L_M⊥: MPLS label with bottom-of-stack bit (S) set
+    Ip,      ///< L_IP: IP destination treated as the stack bottom
+};
+
+[[nodiscard]] std::string_view to_string(LabelType type);
+
+/// Interning table for the label alphabet of one network.
+class LabelTable {
+public:
+    /// Intern (type, name); returns the existing id when already present.
+    Label add(LabelType type, std::string_view name);
+
+    /// Find the label with this exact (type, name), if present.
+    [[nodiscard]] std::optional<Label> find(LabelType type, std::string_view name) const;
+
+    /// All labels carrying this name, across strata (query atoms are
+    /// name-based and a name may exist e.g. both with and without the S-bit).
+    [[nodiscard]] std::vector<Label> find_by_name(std::string_view name) const;
+
+    [[nodiscard]] LabelType type_of(Label label) const;
+    [[nodiscard]] const std::string& name_of(Label label) const;
+
+    /// Display form: `s`-prefixed for bottom-of-stack labels (paper convention).
+    [[nodiscard]] std::string display(Label label) const;
+
+    /// All labels of one stratum, sorted by id.
+    [[nodiscard]] std::vector<Label> of_type(LabelType type) const;
+
+    [[nodiscard]] std::size_t size() const noexcept { return _types.size(); }
+
+private:
+    StringInterner _names;               // interned names (shared across strata)
+    std::vector<LabelType> _types;       // per label id
+    std::vector<std::uint32_t> _name_ids; // per label id -> name id
+    std::unordered_map<std::uint64_t, Label> _by_type_name; // (type,name id) -> label
+};
+
+} // namespace aalwines

@@ -1,0 +1,82 @@
+#pragma once
+// Quantitative trace measures (paper §3): atomic quantities, linear
+// expressions over them, and lexicographically ordered expression vectors
+// used for the minimum-witness problem (Problem 2).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/trace.hpp"
+
+namespace aalwines {
+
+/// Atomic quantities of a trace (paper §3).
+enum class Quantity : std::uint8_t {
+    Links,    ///< trace length n
+    Hops,     ///< steps over non-self-loop links
+    Distance, ///< Σ d(e_i) for the link distance function
+    Failures, ///< Σ |failed(i)| (local failures enabling each step)
+    Tunnels,  ///< Σ max(0, |h_{i+1}| - |h_i|)
+};
+
+[[nodiscard]] std::string_view to_string(Quantity quantity);
+
+/// `coefficient * quantity` term of a linear expression.
+struct LinearTerm {
+    std::uint64_t coefficient = 1;
+    Quantity quantity = Quantity::Links;
+
+    bool operator==(const LinearTerm&) const = default;
+};
+
+/// expr ::= p | a * expr | expr + expr  — normalised to a sum of terms.
+struct LinearExpr {
+    std::vector<LinearTerm> terms;
+
+    bool operator==(const LinearExpr&) const = default;
+};
+
+/// Priority vector of linear expressions, compared lexicographically.
+struct WeightExpr {
+    std::vector<LinearExpr> priorities;
+
+    [[nodiscard]] bool empty() const noexcept { return priorities.empty(); }
+    [[nodiscard]] std::size_t size() const noexcept { return priorities.size(); }
+
+    bool operator==(const WeightExpr&) const = default;
+};
+
+/// Shorthand: a single-priority, single-term weight.
+[[nodiscard]] WeightExpr weight_of(Quantity quantity);
+
+/// Evaluate an atomic quantity on a full trace.  `Failures` uses the
+/// feasibility analysis (lowest matching TE group per step).
+[[nodiscard]] std::uint64_t evaluate_atomic(const Network& network, const Trace& trace,
+                                            Quantity quantity);
+
+[[nodiscard]] std::uint64_t evaluate(const Network& network, const Trace& trace,
+                                     const LinearExpr& expr);
+
+[[nodiscard]] std::vector<std::uint64_t> evaluate(const Network& network, const Trace& trace,
+                                                  const WeightExpr& expr);
+
+/// Per-step contribution of one linear expression, used to weight PDA rules:
+/// the step traverses `out_link` applying `ops` after `local_failures`
+/// higher-priority links failed.
+[[nodiscard]] std::uint64_t step_weight(const Network& network, const LinearExpr& expr,
+                                        LinkId out_link, const std::vector<Op>& ops,
+                                        std::uint64_t local_failures);
+
+/// Contribution of the initial link of a trace (Links/Hops/Distance only).
+[[nodiscard]] std::uint64_t initial_weight(const Network& network, const LinearExpr& expr,
+                                           LinkId first_link);
+
+/// Parse e.g. "hops, failures + 3*tunnels" into a weight vector.
+/// Accepted atoms: links, hops, distance, failures, tunnels (case-insensitive).
+[[nodiscard]] WeightExpr parse_weight_expression(std::string_view text);
+
+[[nodiscard]] std::string to_string(const WeightExpr& expr);
+
+} // namespace aalwines

@@ -1,0 +1,93 @@
+#include "model/routing.hpp"
+
+#include <algorithm>
+
+namespace aalwines {
+
+int stack_delta(const std::vector<Op>& ops) {
+    int delta = 0;
+    for (const auto& op : ops) {
+        if (op.kind == Op::Kind::Push) ++delta;
+        if (op.kind == Op::Kind::Pop) --delta;
+    }
+    return delta;
+}
+
+std::uint64_t tunnels_opened(const std::vector<Op>& ops) {
+    // Tunnels(σ) sums max(0, |h_{i+1}| - |h_i|) per step; for a single
+    // operation sequence that is the positive part of its net stack delta.
+    const int delta = stack_delta(ops);
+    return delta > 0 ? static_cast<std::uint64_t>(delta) : 0;
+}
+
+std::string describe_ops(const LabelTable& labels, const std::vector<Op>& ops) {
+    if (ops.empty()) return "-";
+    std::string out;
+    for (const auto& op : ops) {
+        if (!out.empty()) out += " o ";
+        switch (op.kind) {
+            case Op::Kind::Push: out += "push(" + labels.display(op.label) + ")"; break;
+            case Op::Kind::Swap: out += "swap(" + labels.display(op.label) + ")"; break;
+            case Op::Kind::Pop: out += "pop"; break;
+        }
+    }
+    return out;
+}
+
+void RoutingTable::add_rule(LinkId in_link, Label label, std::uint32_t priority,
+                            LinkId out_link, std::vector<Op> ops) {
+    if (priority == 0) throw model_error("rule priority must be >= 1");
+    auto& entry_groups = _entries[key_of(in_link, label)];
+    if (entry_groups.size() < priority) entry_groups.resize(priority);
+    entry_groups[priority - 1].push_back({out_link, std::move(ops)});
+}
+
+const RoutingEntry* RoutingTable::entry(LinkId in_link, Label label) const {
+    auto it = _entries.find(key_of(in_link, label));
+    return it == _entries.end() ? nullptr : &it->second;
+}
+
+void RoutingTable::for_each(
+    const std::function<void(LinkId, Label, const RoutingEntry&)>& fn) const {
+    // Deterministic order: iterate over sorted keys.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(_entries.size());
+    for (const auto& [key, entry_groups] : _entries) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    for (const auto key : keys) {
+        const auto in_link = static_cast<LinkId>(key >> 32);
+        const auto label = static_cast<Label>(key & 0xFFFFFFFFu);
+        fn(in_link, label, _entries.at(key));
+    }
+}
+
+std::size_t RoutingTable::rule_count() const {
+    std::size_t count = 0;
+    for (const auto& [key, entry_groups] : _entries)
+        for (const auto& group : entry_groups) count += group.size();
+    return count;
+}
+
+void RoutingTable::validate(const Topology& topology) const {
+    for (const auto& [key, entry_groups] : _entries) {
+        const auto in_link = static_cast<LinkId>(key >> 32);
+        if (in_link >= topology.link_count())
+            throw model_error("routing entry references unknown link id " +
+                              std::to_string(in_link));
+        const auto at_router = topology.link(in_link).target;
+        for (const auto& group : entry_groups) {
+            for (const auto& rule : group) {
+                if (rule.out_link >= topology.link_count())
+                    throw model_error("rule references unknown out-link id " +
+                                      std::to_string(rule.out_link));
+                if (topology.link(rule.out_link).source != at_router)
+                    throw model_error(
+                        "rule for link entering '" + topology.router_name(at_router) +
+                        "' forwards via link " + topology.describe_link(rule.out_link) +
+                        " which does not leave that router");
+            }
+        }
+    }
+}
+
+} // namespace aalwines

@@ -1,0 +1,100 @@
+#pragma once
+// Routing table τ : E × L → (2^(E×Op*))*  (paper, Definition 2).
+//
+// For every (incoming link, top-of-stack label) the table yields a priority-
+// ordered sequence of traffic-engineering groups; each group is a set of
+// (outgoing link, operation sequence) alternatives among which the router
+// chooses nondeterministically.  Lower group index = higher priority; a
+// group is only consulted when every link of all higher-priority groups has
+// failed (local fast-failover semantics).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "model/label.hpp"
+#include "model/topology.hpp"
+
+namespace aalwines {
+
+/// A single MPLS label-stack operation.
+struct Op {
+    enum class Kind : std::uint8_t { Push, Swap, Pop };
+    Kind kind = Kind::Pop;
+    Label label = k_invalid_label; ///< operand for Push/Swap; unused for Pop
+
+    [[nodiscard]] static Op push(Label l) { return {Kind::Push, l}; }
+    [[nodiscard]] static Op swap(Label l) { return {Kind::Swap, l}; }
+    [[nodiscard]] static Op pop() { return {Kind::Pop, k_invalid_label}; }
+
+    bool operator==(const Op&) const = default;
+};
+
+/// Net stack-height change of an operation sequence (pushes minus pops).
+[[nodiscard]] int stack_delta(const std::vector<Op>& ops);
+
+/// Number of tunnels opened: the positive part of the stack-height increase,
+/// counted push-by-push (matches Tunnels(σ) of paper §3 per forwarding step).
+[[nodiscard]] std::uint64_t tunnels_opened(const std::vector<Op>& ops);
+
+[[nodiscard]] std::string describe_ops(const LabelTable& labels, const std::vector<Op>& ops);
+
+/// One (outgoing link, operation sequence) alternative within a TE group.
+struct ForwardingRule {
+    LinkId out_link = k_invalid_id;
+    std::vector<Op> ops;
+
+    bool operator==(const ForwardingRule&) const = default;
+};
+
+/// A traffic-engineering group: the set of equally-preferred alternatives.
+using TeGroup = std::vector<ForwardingRule>;
+
+/// Priority-ordered sequence of TE groups for one (link, label) pair.
+using RoutingEntry = std::vector<TeGroup>;
+
+class RoutingTable {
+public:
+    /// Append a rule to the group with 1-based `priority` for (in_link, label).
+    /// Missing intermediate groups are created empty and skipped at lookup.
+    void add_rule(LinkId in_link, Label label, std::uint32_t priority,
+                  LinkId out_link, std::vector<Op> ops);
+
+    /// The entry for (in_link, label), or nullptr when none exists.
+    [[nodiscard]] const RoutingEntry* entry(LinkId in_link, Label label) const;
+
+    /// Invoke `fn(in_link, label, entry)` for every entry (iteration order is
+    /// unspecified but deterministic for a fixed table).
+    void for_each(const std::function<void(LinkId, Label, const RoutingEntry&)>& fn) const;
+
+    /// Total number of forwarding rules across all entries and groups.
+    [[nodiscard]] std::size_t rule_count() const;
+
+    /// Number of (link, label) entries.
+    [[nodiscard]] std::size_t entry_count() const noexcept { return _entries.size(); }
+
+    /// Check referential integrity against `topology` and header-validity of
+    /// every operation sequence: each rule's out-link must leave the router
+    /// the in-link enters.  Throws model_error on violation.
+    void validate(const Topology& topology) const;
+
+private:
+    static std::uint64_t key_of(LinkId in_link, Label label) {
+        return (static_cast<std::uint64_t>(in_link) << 32) | label;
+    }
+
+    std::unordered_map<std::uint64_t, RoutingEntry> _entries;
+};
+
+/// A complete MPLS network: topology, label alphabet and routing function
+/// (paper, Definition 2).
+struct Network {
+    std::string name;
+    Topology topology;
+    LabelTable labels;
+    RoutingTable routing;
+};
+
+} // namespace aalwines

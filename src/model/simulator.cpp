@@ -1,0 +1,69 @@
+#include "model/simulator.hpp"
+
+namespace aalwines {
+
+std::vector<ForwardingRule> Simulator::active_choices(LinkId link,
+                                                      const Header& header) const {
+    std::vector<ForwardingRule> choices;
+    if (header.empty()) return choices;
+    const auto* groups = _network->routing.entry(link, header.back());
+    if (groups == nullptr) return choices;
+    for (const auto& group : *groups) {
+        for (const auto& rule : group)
+            if (is_active(rule.out_link)) choices.push_back(rule);
+        if (!choices.empty()) return choices; // first active group wins
+    }
+    return choices;
+}
+
+std::optional<TraceEntry> Simulator::step(const TraceEntry& at,
+                                          const ForwardingRule& rule) const {
+    auto rewritten = apply_ops(_network->labels, at.header, rule.ops);
+    if (!rewritten) return std::nullopt;
+    return TraceEntry{rule.out_link, std::move(*rewritten)};
+}
+
+Trace Simulator::run(LinkId start_link, Header header, std::mt19937_64& rng,
+                     std::size_t max_steps) const {
+    Trace trace;
+    if (!is_active(start_link) || !is_valid_header(_network->labels, header))
+        return trace;
+    trace.entries.push_back({start_link, std::move(header)});
+    for (std::size_t i = 0; i < max_steps; ++i) {
+        const auto& at = trace.entries.back();
+        const auto choices = active_choices(at.link, at.header);
+        if (choices.empty()) return trace; // delivered or dropped
+        const auto& rule = choices[rng() % choices.size()];
+        auto next = step(at, rule);
+        if (!next) return trace; // undefined rewrite: packet dropped
+        trace.entries.push_back(std::move(*next));
+    }
+    return trace;
+}
+
+std::string query_for_trace(const Network& network, const Trace& trace,
+                            std::uint64_t max_failures) {
+    const auto& topology = network.topology;
+    const auto& labels = network.labels;
+    auto header_atoms = [&](const Header& header) {
+        std::string out;
+        for (auto it = header.rbegin(); it != header.rend(); ++it) {
+            if (!out.empty()) out += " ";
+            out += "'" + labels.name_of(*it) + "'";
+        }
+        return out;
+    };
+    std::string text = "<" + header_atoms(trace.entries.front().header) + "> ";
+    for (const auto& entry : trace.entries) {
+        const auto& link = topology.link(entry.link);
+        text += "[" + topology.router_name(link.source) + "." +
+                topology.interface(link.source_interface).name + "#" +
+                topology.router_name(link.target) + "." +
+                topology.interface(link.target_interface).name + "] ";
+    }
+    text += "<" + header_atoms(trace.entries.back().header) + "> " +
+            std::to_string(max_failures);
+    return text;
+}
+
+} // namespace aalwines

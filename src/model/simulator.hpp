@@ -1,0 +1,61 @@
+#pragma once
+// Concrete dataplane simulator: executes packets against the forwarding
+// tables under an explicit failure set, producing real traces
+// (Definition 4 made operational).
+//
+// The simulator serves two purposes: it lets examples and operators replay
+// "what exactly happens to this packet if these links are down", and it
+// drives the fuzzing tests — every simulated trace is by construction a
+// witness for the query describing it, so the verifier must answer YES.
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "model/trace.hpp"
+
+namespace aalwines {
+
+/// A concrete failure scenario: the set F of failed links.
+using FailureSet = std::set<LinkId>;
+
+class Simulator {
+public:
+    Simulator(const Network& network, FailureSet failed)
+        : _network(&network), _failed(std::move(failed)) {}
+
+    /// The forwarding alternatives available for a packet that arrived on
+    /// `link` with `header`: A(τ(e, head(h))) of the paper — the first
+    /// priority group with an active link, restricted to active links.
+    [[nodiscard]] std::vector<ForwardingRule> active_choices(LinkId link,
+                                                             const Header& header) const;
+
+    /// One forwarding step: apply `rule` to the packet.  Returns the next
+    /// trace entry, or nullopt when the header rewrite is undefined.
+    [[nodiscard]] std::optional<TraceEntry> step(const TraceEntry& at,
+                                                 const ForwardingRule& rule) const;
+
+    /// Run the packet from (link, header) for at most `max_steps`, choosing
+    /// uniformly among alternatives with `rng`.  Stops when no rule applies
+    /// (delivered or dropped).  The returned trace includes the start entry
+    /// and is always a valid trace of the network under F.
+    [[nodiscard]] Trace run(LinkId start_link, Header header, std::mt19937_64& rng,
+                            std::size_t max_steps = 64) const;
+
+    [[nodiscard]] const FailureSet& failed() const noexcept { return _failed; }
+    [[nodiscard]] bool is_active(LinkId link) const { return !_failed.contains(link); }
+
+private:
+    const Network* _network;
+    FailureSet _failed;
+};
+
+/// Build the exact query this trace witnesses: initial header, the precise
+/// link sequence and final header, with `max_failures` as given.  Verifying
+/// it must answer YES whenever the trace is feasible within the budget.
+[[nodiscard]] std::string query_for_trace(const Network& network, const Trace& trace,
+                                          std::uint64_t max_failures);
+
+} // namespace aalwines

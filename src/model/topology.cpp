@@ -1,0 +1,165 @@
+#include "model/topology.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace aalwines {
+
+double haversine_meters(const Coordinate& a, const Coordinate& b) {
+    constexpr double earth_radius_m = 6371008.8;
+    const double to_rad = std::numbers::pi / 180.0;
+    const double lat1 = a.latitude * to_rad;
+    const double lat2 = b.latitude * to_rad;
+    const double dlat = (b.latitude - a.latitude) * to_rad;
+    const double dlng = (b.longitude - a.longitude) * to_rad;
+    const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                     std::cos(lat1) * std::cos(lat2) * std::sin(dlng / 2) * std::sin(dlng / 2);
+    return 2.0 * earth_radius_m * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+RouterId Topology::add_router(std::string_view name) {
+    std::string key(name);
+    if (_router_ids.contains(key))
+        throw model_error("duplicate router name '" + key + "'");
+    const RouterId id = static_cast<RouterId>(_router_names.size());
+    _router_ids.emplace(key, id);
+    _router_names.push_back(std::move(key));
+    _coordinates.emplace_back();
+    _router_interfaces.emplace_back();
+    _out_links.emplace_back();
+    _in_links.emplace_back();
+    return id;
+}
+
+InterfaceId Topology::add_interface(RouterId router, std::string_view name) {
+    assert(router < _router_names.size());
+    auto& table = _router_interfaces[router];
+    std::string key(name);
+    if (auto it = table.find(key); it != table.end()) return it->second;
+    const InterfaceId id = static_cast<InterfaceId>(_interfaces.size());
+    _interfaces.push_back({router, key});
+    table.emplace(std::move(key), id);
+    return id;
+}
+
+LinkId Topology::add_link(RouterId source, InterfaceId source_interface,
+                          RouterId target, InterfaceId target_interface,
+                          std::uint64_t distance) {
+    if (_interfaces.at(source_interface).router != source)
+        throw model_error("interface does not belong to source router '" +
+                          router_name(source) + "'");
+    if (_interfaces.at(target_interface).router != target)
+        throw model_error("interface does not belong to target router '" +
+                          router_name(target) + "'");
+    const LinkId id = static_cast<LinkId>(_links.size());
+    _links.push_back({id, source, target, source_interface, target_interface, distance});
+    _out_links[source].push_back(id);
+    _in_links[target].push_back(id);
+    return id;
+}
+
+std::pair<LinkId, LinkId> Topology::add_duplex(RouterId a, std::string_view interface_on_a,
+                                               RouterId b, std::string_view interface_on_b,
+                                               std::uint64_t distance) {
+    const auto ia = add_interface(a, interface_on_a);
+    const auto ib = add_interface(b, interface_on_b);
+    const auto forward = add_link(a, ia, b, ib, distance);
+    const auto backward = add_link(b, ib, a, ia, distance);
+    return {forward, backward};
+}
+
+void Topology::set_coordinate(RouterId router, Coordinate coordinate) {
+    assert(router < _coordinates.size());
+    _coordinates[router] = coordinate;
+}
+
+std::optional<Coordinate> Topology::coordinate(RouterId router) const {
+    assert(router < _coordinates.size());
+    return _coordinates[router];
+}
+
+void Topology::distances_from_coordinates() {
+    for (auto& link : _links) {
+        const auto a = _coordinates[link.source];
+        const auto b = _coordinates[link.target];
+        if (a && b)
+            link.distance = static_cast<std::uint64_t>(std::llround(haversine_meters(*a, *b)));
+    }
+}
+
+void Topology::set_distance(LinkId link, std::uint64_t distance) {
+    _links.at(link).distance = distance;
+}
+
+std::optional<RouterId> Topology::find_router(std::string_view name) const {
+    if (auto it = _router_ids.find(std::string(name)); it != _router_ids.end())
+        return it->second;
+    return std::nullopt;
+}
+
+std::optional<InterfaceId> Topology::find_interface(RouterId router,
+                                                    std::string_view name) const {
+    assert(router < _router_interfaces.size());
+    const auto& table = _router_interfaces[router];
+    if (auto it = table.find(std::string(name)); it != table.end()) return it->second;
+    return std::nullopt;
+}
+
+std::optional<LinkId> Topology::out_link_through(RouterId router,
+                                                 std::string_view name) const {
+    const auto iface = find_interface(router, name);
+    if (!iface) return std::nullopt;
+    for (const auto link_id : _out_links[router])
+        if (_links[link_id].source_interface == *iface) return link_id;
+    return std::nullopt;
+}
+
+std::optional<LinkId> Topology::in_link_through(RouterId router,
+                                                std::string_view name) const {
+    const auto iface = find_interface(router, name);
+    if (!iface) return std::nullopt;
+    for (const auto link_id : _in_links[router])
+        if (_links[link_id].target_interface == *iface) return link_id;
+    return std::nullopt;
+}
+
+const std::string& Topology::router_name(RouterId router) const {
+    assert(router < _router_names.size());
+    return _router_names[router];
+}
+
+const Interface& Topology::interface(InterfaceId id) const {
+    assert(id < _interfaces.size());
+    return _interfaces[id];
+}
+
+const Link& Topology::link(LinkId id) const {
+    assert(id < _links.size());
+    return _links[id];
+}
+
+const std::vector<LinkId>& Topology::out_links(RouterId router) const {
+    assert(router < _out_links.size());
+    return _out_links[router];
+}
+
+const std::vector<LinkId>& Topology::in_links(RouterId router) const {
+    assert(router < _in_links.size());
+    return _in_links[router];
+}
+
+std::vector<LinkId> Topology::links_between(RouterId source, RouterId target) const {
+    std::vector<LinkId> out;
+    for (const auto link_id : _out_links[source])
+        if (_links[link_id].target == target) out.push_back(link_id);
+    return out;
+}
+
+std::string Topology::describe_link(LinkId id) const {
+    const auto& l = link(id);
+    return router_name(l.source) + "." + _interfaces[l.source_interface].name + " -> " +
+           router_name(l.target) + "." + _interfaces[l.target_interface].name;
+}
+
+} // namespace aalwines

@@ -1,0 +1,93 @@
+#include "model/trace.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace aalwines {
+
+std::string display_trace(const Network& network, const Trace& trace) {
+    std::string out;
+    for (const auto& entry : trace.entries) {
+        out += "  (";
+        out += network.topology.describe_link(entry.link);
+        out += ", ";
+        out += display_header(network.labels, entry.header);
+        out += ")\n";
+    }
+    return out;
+}
+
+Feasibility check_feasibility(const Network& network, const Trace& trace,
+                              std::uint64_t max_failures) {
+    Feasibility result;
+    if (trace.empty()) {
+        result.reason = "empty trace";
+        return result;
+    }
+    for (const auto& entry : trace.entries) {
+        if (!is_valid_header(network.labels, entry.header)) {
+            result.reason = "invalid header " + display_header(network.labels, entry.header);
+            return result;
+        }
+    }
+
+    std::set<LinkId> required; // F being assembled
+    std::uint64_t failures_total = 0;
+
+    for (std::size_t i = 0; i + 1 < trace.entries.size(); ++i) {
+        const auto& current = trace.entries[i];
+        const auto& next = trace.entries[i + 1];
+        const auto* groups = network.routing.entry(current.link, current.header.back());
+        if (groups == nullptr) {
+            result.reason = "no routing entry for (" +
+                            network.topology.describe_link(current.link) + ", " +
+                            network.labels.display(current.header.back()) + ")";
+            return result;
+        }
+        bool matched = false;
+        std::set<LinkId> failed_here; // links of higher-priority groups
+        for (const auto& group : *groups) {
+            for (const auto& rule : group) {
+                if (rule.out_link != next.link) continue;
+                auto rewritten = apply_ops(network.labels, current.header, rule.ops);
+                if (!rewritten || *rewritten != next.header) continue;
+                matched = true;
+                break;
+            }
+            if (matched) break;
+            for (const auto& rule : group) failed_here.insert(rule.out_link);
+        }
+        if (!matched) {
+            result.reason = "step " + std::to_string(i) + ": no rule forwards to " +
+                            network.topology.describe_link(next.link) +
+                            " with the observed header rewrite";
+            return result;
+        }
+        failures_total += failed_here.size();
+        required.insert(failed_here.begin(), failed_here.end());
+    }
+
+    // Every used link must be active, i.e. not in F.
+    for (const auto& entry : trace.entries) {
+        if (required.contains(entry.link)) {
+            result.reason = "link " + network.topology.describe_link(entry.link) +
+                            " is both used and required to fail";
+            result.failures_total = failures_total;
+            return result;
+        }
+    }
+    if (required.size() > max_failures) {
+        result.reason = "requires " + std::to_string(required.size()) +
+                        " failed links, budget is " + std::to_string(max_failures);
+        result.failures_total = failures_total;
+        result.required_failures.assign(required.begin(), required.end());
+        return result;
+    }
+
+    result.feasible = true;
+    result.failures_total = failures_total;
+    result.required_failures.assign(required.begin(), required.end());
+    return result;
+}
+
+} // namespace aalwines

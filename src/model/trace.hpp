@@ -1,0 +1,54 @@
+#pragma once
+// Network traces (paper, Definition 4) and the polynomial-time feasibility
+// check used by the dual engine: given a candidate trace, decide whether
+// some failure set F with |F| <= k enables it.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/header.hpp"
+#include "model/routing.hpp"
+
+namespace aalwines {
+
+/// One step of a trace: the packet traversed `link` carrying `header`.
+struct TraceEntry {
+    LinkId link = k_invalid_id;
+    Header header;
+
+    bool operator==(const TraceEntry&) const = default;
+};
+
+/// A routing of one packet: sequence of (active link, header) pairs.
+struct Trace {
+    std::vector<TraceEntry> entries;
+
+    [[nodiscard]] bool empty() const noexcept { return entries.empty(); }
+    [[nodiscard]] std::size_t size() const noexcept { return entries.size(); }
+
+    bool operator==(const Trace&) const = default;
+};
+
+/// Multi-line rendering of a trace for diagnostics and the CLI.
+[[nodiscard]] std::string display_trace(const Network& network, const Trace& trace);
+
+/// Outcome of checking a trace against the network under a failure budget.
+struct Feasibility {
+    bool feasible = false;
+    std::string reason;                      ///< human-readable cause when infeasible
+    std::vector<LinkId> required_failures;   ///< minimal F enabling the trace (sorted)
+    std::uint64_t failures_total = 0;        ///< Failures(σ) = Σ_i |failed(i)|
+};
+
+/// Check Definition 4 plus the global failure budget: every consecutive pair
+/// must be produced by the first TE group (under F) containing a matching
+/// rule, F collects all higher-priority links, no used link may be in F, and
+/// |F| <= max_failures.
+///
+/// Per step the candidate failed-link sets form an inclusion chain over the
+/// group index, so greedily taking the lowest matching group is exact.
+[[nodiscard]] Feasibility check_feasibility(const Network& network, const Trace& trace,
+                                            std::uint64_t max_failures);
+
+} // namespace aalwines

@@ -1,0 +1,276 @@
+#include "nfa/nfa.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "util/hash.hpp"
+
+namespace aalwines::nfa {
+
+namespace {
+
+/// Thompson construction with explicit ε-edges; converted to the public
+/// ε-free representation afterwards.
+struct ThompsonBuilder {
+    struct State {
+        std::vector<Nfa::Edge> edges;
+        std::vector<Nfa::StateId> eps;
+    };
+
+    std::vector<State> states;
+
+    Nfa::StateId add_state() {
+        states.emplace_back();
+        return static_cast<Nfa::StateId>(states.size() - 1);
+    }
+
+    struct Fragment {
+        Nfa::StateId start;
+        Nfa::StateId accept;
+    };
+
+    Fragment build(const Regex& regex) {
+        switch (regex.kind()) {
+            case Regex::Kind::Empty: {
+                const auto start = add_state();
+                const auto accept = add_state();
+                return {start, accept}; // no connection: empty language
+            }
+            case Regex::Kind::Epsilon: {
+                const auto start = add_state();
+                const auto accept = add_state();
+                states[start].eps.push_back(accept);
+                return {start, accept};
+            }
+            case Regex::Kind::Atom: {
+                const auto start = add_state();
+                const auto accept = add_state();
+                states[start].edges.push_back({regex.symbols(), accept});
+                return {start, accept};
+            }
+            case Regex::Kind::Concat: {
+                Fragment whole = build(regex.children().front());
+                for (std::size_t i = 1; i < regex.children().size(); ++i) {
+                    Fragment next = build(regex.children()[i]);
+                    states[whole.accept].eps.push_back(next.start);
+                    whole.accept = next.accept;
+                }
+                return whole;
+            }
+            case Regex::Kind::Alt: {
+                const auto start = add_state();
+                const auto accept = add_state();
+                for (const auto& child : regex.children()) {
+                    Fragment branch = build(child);
+                    states[start].eps.push_back(branch.start);
+                    states[branch.accept].eps.push_back(accept);
+                }
+                return {start, accept};
+            }
+            case Regex::Kind::Star: {
+                const auto start = add_state();
+                const auto accept = add_state();
+                Fragment body = build(regex.children().front());
+                states[start].eps.push_back(body.start);
+                states[start].eps.push_back(accept);
+                states[body.accept].eps.push_back(body.start);
+                states[body.accept].eps.push_back(accept);
+                return {start, accept};
+            }
+            case Regex::Kind::Plus: {
+                Fragment body = build(regex.children().front());
+                const auto accept = add_state();
+                states[body.accept].eps.push_back(body.start);
+                states[body.accept].eps.push_back(accept);
+                return {body.start, accept};
+            }
+            case Regex::Kind::Opt: {
+                const auto start = add_state();
+                const auto accept = add_state();
+                Fragment body = build(regex.children().front());
+                states[start].eps.push_back(body.start);
+                states[start].eps.push_back(accept);
+                states[body.accept].eps.push_back(accept);
+                return {start, accept};
+            }
+        }
+        assert(false && "unreachable regex kind");
+        return {0, 0};
+    }
+
+    /// ε-closure of `state`, including itself.
+    std::vector<Nfa::StateId> closure(Nfa::StateId state) const {
+        std::vector<Nfa::StateId> result;
+        std::vector<bool> seen(states.size(), false);
+        std::vector<Nfa::StateId> stack{state};
+        seen[state] = true;
+        while (!stack.empty()) {
+            const auto current = stack.back();
+            stack.pop_back();
+            result.push_back(current);
+            for (const auto next : states[current].eps) {
+                if (!seen[next]) {
+                    seen[next] = true;
+                    stack.push_back(next);
+                }
+            }
+        }
+        return result;
+    }
+};
+
+} // namespace
+
+Nfa Nfa::compile(const Regex& regex) {
+    ThompsonBuilder builder;
+    const auto fragment = builder.build(regex);
+
+    // ε-elimination: state s keeps the symbol edges of everything in its
+    // ε-closure; s is accepting iff its closure reaches the fragment accept.
+    std::vector<State> eliminated(builder.states.size());
+    for (StateId s = 0; s < builder.states.size(); ++s) {
+        for (const auto member : builder.closure(s)) {
+            for (const auto& edge : builder.states[member].edges)
+                eliminated[s].edges.push_back(edge);
+            if (member == fragment.accept) eliminated[s].accepting = true;
+        }
+    }
+
+    // Prune states unreachable from the start via symbol edges.
+    std::vector<StateId> remap(eliminated.size(), UINT32_MAX);
+    std::vector<StateId> order;
+    std::vector<StateId> stack{fragment.start};
+    remap[fragment.start] = 0;
+    order.push_back(fragment.start);
+    while (!stack.empty()) {
+        const auto current = stack.back();
+        stack.pop_back();
+        for (const auto& edge : eliminated[current].edges) {
+            if (remap[edge.target] == UINT32_MAX) {
+                remap[edge.target] = static_cast<StateId>(order.size());
+                order.push_back(edge.target);
+                stack.push_back(edge.target);
+            }
+        }
+    }
+
+    Nfa nfa;
+    nfa._states.resize(order.size());
+    for (StateId new_id = 0; new_id < order.size(); ++new_id) {
+        const auto& old_state = eliminated[order[new_id]];
+        auto& new_state = nfa._states[new_id];
+        new_state.accepting = old_state.accepting;
+        for (const auto& edge : old_state.edges)
+            new_state.edges.push_back({edge.symbols, remap[edge.target]});
+    }
+    nfa._initial.push_back(0);
+    return nfa;
+}
+
+Nfa Nfa::intersection(const Nfa& a, const Nfa& b) {
+    Nfa product;
+    std::map<std::pair<StateId, StateId>, StateId> ids;
+    std::deque<std::pair<StateId, StateId>> worklist;
+
+    auto state_of = [&](StateId sa, StateId sb) {
+        const auto key = std::make_pair(sa, sb);
+        if (auto it = ids.find(key); it != ids.end()) return it->second;
+        const auto id = static_cast<StateId>(product._states.size());
+        product._states.emplace_back();
+        product._states.back().accepting =
+            a._states[sa].accepting && b._states[sb].accepting;
+        ids.emplace(key, id);
+        worklist.push_back(key);
+        return id;
+    };
+
+    for (const auto ia : a._initial)
+        for (const auto ib : b._initial)
+            product._initial.push_back(state_of(ia, ib));
+
+    while (!worklist.empty()) {
+        const auto [sa, sb] = worklist.front();
+        worklist.pop_front();
+        const auto from = ids.at({sa, sb});
+        for (const auto& edge_a : a._states[sa].edges) {
+            for (const auto& edge_b : b._states[sb].edges) {
+                auto symbols = SymbolSet::intersection(edge_a.symbols, edge_b.symbols);
+                if (symbols.is_empty_set()) continue;
+                const auto to = state_of(edge_a.target, edge_b.target);
+                product._states[from].edges.push_back({std::move(symbols), to});
+            }
+        }
+    }
+    return product;
+}
+
+bool Nfa::accepts_epsilon() const {
+    return std::any_of(_initial.begin(), _initial.end(),
+                       [this](StateId s) { return _states[s].accepting; });
+}
+
+bool Nfa::accepts(std::span<const Symbol> word) const {
+    std::set<StateId> current(_initial.begin(), _initial.end());
+    for (const auto symbol : word) {
+        std::set<StateId> next;
+        for (const auto state : current)
+            for (const auto& edge : _states[state].edges)
+                if (edge.symbols.contains(symbol)) next.insert(edge.target);
+        current = std::move(next);
+        if (current.empty()) return false;
+    }
+    return std::any_of(current.begin(), current.end(),
+                       [this](StateId s) { return _states[s].accepting; });
+}
+
+bool Nfa::empty_language(Symbol domain_size) const {
+    return !example_word(domain_size).has_value();
+}
+
+std::optional<std::vector<Symbol>> Nfa::example_word(Symbol domain_size) const {
+    struct Visit {
+        StateId parent = UINT32_MAX;
+        Symbol via = 0;
+        bool seen = false;
+    };
+    std::vector<Visit> visits(_states.size());
+    std::deque<StateId> queue;
+    for (const auto s : _initial) {
+        if (!visits[s].seen) {
+            visits[s].seen = true;
+            queue.push_back(s);
+        }
+    }
+    std::optional<StateId> found;
+    for (const auto s : _initial)
+        if (_states[s].accepting) found = s;
+    while (!found && !queue.empty()) {
+        const auto current = queue.front();
+        queue.pop_front();
+        for (const auto& edge : _states[current].edges) {
+            if (visits[edge.target].seen) continue;
+            const auto symbol = edge.symbols.pick(domain_size);
+            if (!symbol) continue;
+            visits[edge.target] = {current, *symbol, true};
+            if (_states[edge.target].accepting) {
+                found = edge.target;
+                break;
+            }
+            queue.push_back(edge.target);
+        }
+    }
+    if (!found) return std::nullopt;
+    std::vector<Symbol> word;
+    StateId cursor = *found;
+    while (visits[cursor].parent != UINT32_MAX) {
+        word.push_back(visits[cursor].via);
+        cursor = visits[cursor].parent;
+    }
+    std::reverse(word.begin(), word.end());
+    return word;
+}
+
+} // namespace aalwines::nfa

@@ -1,0 +1,60 @@
+#pragma once
+// Nondeterministic finite automata with set-labelled edges.
+//
+// Compiled from Regex by Thompson construction followed by ε-elimination;
+// the resulting ε-free automata are what the verification layer consumes
+// (path NFAs become part of the PDA control state, header NFAs become the
+// initial and final P-automata).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nfa/regex.hpp"
+#include "nfa/symbol_set.hpp"
+
+namespace aalwines::nfa {
+
+class Nfa {
+public:
+    using StateId = std::uint32_t;
+
+    struct Edge {
+        SymbolSet symbols;
+        StateId target;
+    };
+
+    struct State {
+        std::vector<Edge> edges;
+        bool accepting = false;
+    };
+
+    /// Compile `regex` to an ε-free NFA.
+    [[nodiscard]] static Nfa compile(const Regex& regex);
+
+    /// Product automaton accepting the intersection of both languages.
+    /// Edges whose symbol-set intersection is definitely empty are dropped.
+    [[nodiscard]] static Nfa intersection(const Nfa& a, const Nfa& b);
+
+    [[nodiscard]] const std::vector<State>& states() const noexcept { return _states; }
+    [[nodiscard]] const std::vector<StateId>& initial() const noexcept { return _initial; }
+    [[nodiscard]] std::size_t size() const noexcept { return _states.size(); }
+
+    /// True when some initial state is accepting (ε in the language).
+    [[nodiscard]] bool accepts_epsilon() const;
+
+    /// Membership test by subset simulation; O(|word| * |edges|).
+    [[nodiscard]] bool accepts(std::span<const Symbol> word) const;
+
+    /// True when no word over the domain [0, domain_size) is accepted.
+    [[nodiscard]] bool empty_language(Symbol domain_size) const;
+
+    /// A shortest accepted word over the domain, if the language is nonempty.
+    [[nodiscard]] std::optional<std::vector<Symbol>> example_word(Symbol domain_size) const;
+
+private:
+    std::vector<State> _states;
+    std::vector<StateId> _initial;
+};
+
+} // namespace aalwines::nfa

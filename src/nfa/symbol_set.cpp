@@ -1,0 +1,184 @@
+#include "nfa/symbol_set.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aalwines::nfa {
+
+namespace {
+const std::vector<Symbol> k_empty_vector;
+
+std::vector<Symbol> normalized(std::vector<Symbol> symbols) {
+    std::sort(symbols.begin(), symbols.end());
+    symbols.erase(std::unique(symbols.begin(), symbols.end()), symbols.end());
+    return symbols;
+}
+
+std::vector<Symbol> sorted_union(const std::vector<Symbol>& a, const std::vector<Symbol>& b) {
+    std::vector<Symbol> out;
+    out.reserve(a.size() + b.size());
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+    return out;
+}
+
+std::vector<Symbol> sorted_intersection(const std::vector<Symbol>& a,
+                                        const std::vector<Symbol>& b) {
+    std::vector<Symbol> out;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+    return out;
+}
+
+std::vector<Symbol> sorted_difference(const std::vector<Symbol>& a,
+                                      const std::vector<Symbol>& b) {
+    std::vector<Symbol> out;
+    std::set_difference(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+    return out;
+}
+} // namespace
+
+SymbolSet::SymbolSet(Mode mode, std::vector<Symbol> symbols) : _mode(mode) {
+    if (!symbols.empty())
+        _symbols = std::make_shared<const std::vector<Symbol>>(std::move(symbols));
+}
+
+SymbolSet SymbolSet::of(std::vector<Symbol> symbols) {
+    return SymbolSet(Mode::Include, normalized(std::move(symbols)));
+}
+
+SymbolSet SymbolSet::excluding(std::vector<Symbol> symbols) {
+    auto norm = normalized(std::move(symbols));
+    if (norm.empty()) return any();
+    return SymbolSet(Mode::Exclude, std::move(norm));
+}
+
+const std::vector<Symbol>& SymbolSet::symbols() const {
+    return _symbols ? *_symbols : k_empty_vector;
+}
+
+bool SymbolSet::contains(Symbol symbol) const {
+    switch (_mode) {
+        case Mode::Any: return true;
+        case Mode::Include:
+            return std::binary_search(symbols().begin(), symbols().end(), symbol);
+        case Mode::Exclude:
+            return !std::binary_search(symbols().begin(), symbols().end(), symbol);
+    }
+    return false;
+}
+
+bool SymbolSet::is_empty_in(Symbol domain_size) const {
+    return !pick(domain_size).has_value();
+}
+
+std::optional<Symbol> SymbolSet::pick(Symbol domain_size) const {
+    switch (_mode) {
+        case Mode::Any:
+            if (domain_size == 0) return std::nullopt;
+            return Symbol{0};
+        case Mode::Include: {
+            const auto& list = symbols();
+            if (!list.empty() && list.front() < domain_size) return list.front();
+            return std::nullopt;
+        }
+        case Mode::Exclude: {
+            // Excluded list is sorted; find the first gap below domain_size.
+            Symbol candidate = 0;
+            for (const Symbol excluded : symbols()) {
+                if (excluded > candidate) break;
+                if (excluded == candidate) ++candidate;
+            }
+            if (candidate < domain_size) return candidate;
+            return std::nullopt;
+        }
+    }
+    return std::nullopt;
+}
+
+std::vector<Symbol> SymbolSet::materialize(Symbol domain_size) const {
+    std::vector<Symbol> out;
+    switch (_mode) {
+        case Mode::Any:
+            out.reserve(domain_size);
+            for (Symbol s = 0; s < domain_size; ++s) out.push_back(s);
+            return out;
+        case Mode::Include:
+            for (const Symbol s : symbols())
+                if (s < domain_size) out.push_back(s);
+            return out;
+        case Mode::Exclude: {
+            const auto& excluded = symbols();
+            std::size_t i = 0;
+            for (Symbol s = 0; s < domain_size; ++s) {
+                while (i < excluded.size() && excluded[i] < s) ++i;
+                if (i < excluded.size() && excluded[i] == s) continue;
+                out.push_back(s);
+            }
+            return out;
+        }
+    }
+    return out;
+}
+
+SymbolSet SymbolSet::intersection(const SymbolSet& a, const SymbolSet& b) {
+    if (a.is_any()) return b;
+    if (b.is_any()) return a;
+    if (a._mode == Mode::Include && b._mode == Mode::Include)
+        return SymbolSet(Mode::Include, sorted_intersection(a.symbols(), b.symbols()));
+    if (a._mode == Mode::Include) // b is Exclude
+        return SymbolSet(Mode::Include, sorted_difference(a.symbols(), b.symbols()));
+    if (b._mode == Mode::Include) // a is Exclude
+        return SymbolSet(Mode::Include, sorted_difference(b.symbols(), a.symbols()));
+    return SymbolSet(Mode::Exclude, sorted_union(a.symbols(), b.symbols()));
+}
+
+SymbolSet SymbolSet::set_union(const SymbolSet& a, const SymbolSet& b) {
+    if (a.is_any() || b.is_any()) return any();
+    if (a._mode == Mode::Include && b._mode == Mode::Include)
+        return SymbolSet(Mode::Include, sorted_union(a.symbols(), b.symbols()));
+    if (a._mode == Mode::Exclude && b._mode == Mode::Exclude) {
+        auto both = sorted_intersection(a.symbols(), b.symbols());
+        if (both.empty()) return any();
+        return SymbolSet(Mode::Exclude, std::move(both));
+    }
+    const SymbolSet& inc = a._mode == Mode::Include ? a : b;
+    const SymbolSet& exc = a._mode == Mode::Include ? b : a;
+    auto remaining = sorted_difference(exc.symbols(), inc.symbols());
+    if (remaining.empty()) return any();
+    return SymbolSet(Mode::Exclude, std::move(remaining));
+}
+
+bool SymbolSet::intersects(const SymbolSet& a, const SymbolSet& b) {
+    if (a.is_empty_set() || b.is_empty_set()) return false;
+    if (a.is_any() || b.is_any()) return true;
+    if (a._mode == Mode::Exclude && b._mode == Mode::Exclude) return true;
+    const SymbolSet& include = a._mode == Mode::Include ? a : b;
+    const SymbolSet& other = &include == &a ? b : a;
+    // Iterate the smaller include list, membership-test against the other.
+    if (other._mode == Mode::Include && other.symbols().size() < include.symbols().size())
+        return intersects(other, include);
+    for (const auto symbol : include.symbols())
+        if (other.contains(symbol)) return true;
+    return false;
+}
+
+bool SymbolSet::contains_all(const SymbolSet& other) const {
+    if (is_any()) return true;
+    if (other.is_empty_set()) return true;
+    if (other.is_any()) return false;
+    if (other._mode == Mode::Include) {
+        for (const auto symbol : other.symbols())
+            if (!contains(symbol)) return false;
+        return true;
+    }
+    // other is Exclude (cofinite): only an Exclude with a subset of the
+    // exclusions can contain it.
+    if (_mode != Mode::Exclude) return false;
+    return std::includes(other.symbols().begin(), other.symbols().end(),
+                         symbols().begin(), symbols().end());
+}
+
+bool SymbolSet::operator==(const SymbolSet& other) const {
+    return _mode == other._mode && symbols() == other.symbols();
+}
+
+} // namespace aalwines::nfa

@@ -1,0 +1,78 @@
+#pragma once
+// Symbolic sets of 32-bit symbol ids used on NFA and P-automaton edges.
+//
+// Query atoms like `smpls`, `.` or `[^v2#v3]` denote potentially huge symbol
+// sets (NORDUnet-scale networks have >100k labels).  Representing edges with
+// {any | include-list | exclude-list} keeps the compiled automata small; the
+// payload vector is shared, so copying a SymbolSet is O(1).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace aalwines::nfa {
+
+using Symbol = std::uint32_t;
+
+class SymbolSet {
+public:
+    enum class Mode : std::uint8_t {
+        Any,     ///< every symbol of the domain
+        Include, ///< exactly the listed symbols
+        Exclude, ///< every symbol except the listed ones
+    };
+
+    /// Default-constructed set is empty (Include of nothing).
+    SymbolSet() : _mode(Mode::Include) {}
+
+    [[nodiscard]] static SymbolSet any() { return SymbolSet(Mode::Any, {}); }
+    [[nodiscard]] static SymbolSet none() { return SymbolSet(Mode::Include, {}); }
+    [[nodiscard]] static SymbolSet of(std::vector<Symbol> symbols);
+    [[nodiscard]] static SymbolSet excluding(std::vector<Symbol> symbols);
+    [[nodiscard]] static SymbolSet single(Symbol symbol) { return of({symbol}); }
+
+    [[nodiscard]] Mode mode() const noexcept { return _mode; }
+    [[nodiscard]] bool is_any() const noexcept { return _mode == Mode::Any; }
+
+    /// The include/exclude payload (sorted, unique); empty for Any.
+    [[nodiscard]] const std::vector<Symbol>& symbols() const;
+
+    [[nodiscard]] bool contains(Symbol symbol) const;
+
+    /// True when the set is definitely empty regardless of the domain.
+    [[nodiscard]] bool is_empty_set() const {
+        return _mode == Mode::Include && symbols().empty();
+    }
+
+    /// True when the set contains no symbol of the domain [0, domain_size).
+    [[nodiscard]] bool is_empty_in(Symbol domain_size) const;
+
+    /// Smallest member within the domain [0, domain_size), if any.
+    [[nodiscard]] std::optional<Symbol> pick(Symbol domain_size) const;
+
+    /// All members within the domain [0, domain_size).
+    [[nodiscard]] std::vector<Symbol> materialize(Symbol domain_size) const;
+
+    [[nodiscard]] static SymbolSet intersection(const SymbolSet& a, const SymbolSet& b);
+    [[nodiscard]] static SymbolSet set_union(const SymbolSet& a, const SymbolSet& b);
+
+    /// True when a ∩ b is definitely non-empty (ignoring any domain bound);
+    /// avoids materializing the intersection.  Exclude/Exclude pairs are
+    /// reported as intersecting (they are, for any reasonably large domain).
+    [[nodiscard]] static bool intersects(const SymbolSet& a, const SymbolSet& b);
+
+    /// True when this set contains every member of `other` (conservative:
+    /// may return false for exotic Include ⊇ Exclude cases).
+    [[nodiscard]] bool contains_all(const SymbolSet& other) const;
+
+    bool operator==(const SymbolSet& other) const;
+
+private:
+    SymbolSet(Mode mode, std::vector<Symbol> symbols);
+
+    Mode _mode;
+    std::shared_ptr<const std::vector<Symbol>> _symbols; ///< sorted, unique; may be null (== empty)
+};
+
+} // namespace aalwines::nfa

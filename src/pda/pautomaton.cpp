@@ -1,0 +1,99 @@
+#include "pda/pautomaton.hpp"
+
+#include <cassert>
+
+namespace aalwines::pda {
+
+PAutomaton::PAutomaton(const Pda& pda) : _pda(&pda), _control_count(pda.state_count()) {
+    _final.resize(_control_count, false);
+    _trans_from.resize(_control_count);
+    _eps_by_target.resize(_control_count);
+    _eps_from.resize(_control_count);
+}
+
+StateId PAutomaton::add_state() {
+    _final.push_back(false);
+    _trans_from.emplace_back();
+    _eps_by_target.emplace_back();
+    _eps_from.emplace_back();
+    return static_cast<StateId>(_trans_from.size() - 1);
+}
+
+void PAutomaton::set_final(StateId state, bool final) {
+    assert(state < _final.size());
+    _final[state] = final;
+}
+
+std::pair<TransId, bool> PAutomaton::add_transition(StateId from, EdgeLabel label,
+                                                    StateId to, Weight weight,
+                                                    Provenance prov) {
+    assert(from < _trans_from.size() && to < _trans_from.size());
+    if (label.is_concrete()) {
+        const ConcreteKey key{from, label.concrete, to};
+        if (auto it = _concrete_index.find(key); it != _concrete_index.end()) {
+            auto& existing = _transitions[it->second];
+            if (weight < existing.weight) {
+                // Monotone (Dijkstra) processing never improves a finalized
+                // transition; a relaxation can only hit pending ones.
+                assert(!existing.finalized);
+                existing.weight = std::move(weight);
+                existing.prov = prov;
+                return {it->second, true};
+            }
+            return {it->second, false};
+        }
+        const TransId id = static_cast<TransId>(_transitions.size());
+        _transitions.push_back({from, to, label, std::move(weight), prov, false});
+        _trans_from[from].push_back(id);
+        _concrete_index.emplace(key, id);
+        return {id, true};
+    }
+    // Set-labelled: linear scan over the (few) set edges out of `from`.
+    for (const auto id : _trans_from[from]) {
+        auto& existing = _transitions[id];
+        if (existing.to != to || existing.label.is_concrete()) continue;
+        if (!(existing.label == label)) continue;
+        if (weight < existing.weight) {
+            assert(!existing.finalized);
+            existing.weight = std::move(weight);
+            existing.prov = prov;
+            return {id, true};
+        }
+        return {id, false};
+    }
+    const TransId id = static_cast<TransId>(_transitions.size());
+    _transitions.push_back({from, to, std::move(label), std::move(weight), prov, false});
+    _trans_from[from].push_back(id);
+    return {id, true};
+}
+
+std::pair<std::uint32_t, bool> PAutomaton::add_epsilon(StateId from, StateId to,
+                                                       Weight weight, Provenance prov) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
+    if (auto it = _eps_index.find(key); it != _eps_index.end()) {
+        auto& existing = _epsilons[it->second];
+        if (weight < existing.weight) {
+            assert(!existing.finalized);
+            existing.weight = std::move(weight);
+            existing.prov = prov;
+            return {it->second, true};
+        }
+        return {it->second, false};
+    }
+    const auto id = static_cast<std::uint32_t>(_epsilons.size());
+    _epsilons.push_back({from, to, std::move(weight), prov, false});
+    _eps_by_target[to].push_back(id);
+    _eps_from[from].push_back(id);
+    _eps_index.emplace(key, id);
+    return {id, true};
+}
+
+StateId PAutomaton::mid_state(StateId to, Symbol top) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(to) << 32) | top;
+    if (auto it = _mid_states.find(key); it != _mid_states.end()) return it->second;
+    const auto state = add_state();
+    _mid_states.emplace(key, state);
+    return state;
+}
+
+} // namespace aalwines::pda

@@ -1,0 +1,105 @@
+#include "pda/pda.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aalwines::pda {
+
+void Pda::set_symbol_class(Symbol symbol, SymbolClass cls) {
+    assert(symbol < _alphabet_size);
+    if (_symbol_classes.size() <= symbol) _symbol_classes.resize(symbol + 1, k_no_class);
+    _symbol_classes[symbol] = cls;
+    _class_sets.clear(); // invalidate cache
+}
+
+RuleId Pda::add_rule(Rule rule) {
+    assert(rule.from < _rules_by_state.size());
+    assert(rule.to < _rules_by_state.size());
+    assert(rule.op != Rule::OpKind::Swap || rule.label1 < _alphabet_size);
+    assert(rule.op != Rule::OpKind::Push ||
+           (rule.label1 < _alphabet_size &&
+            (rule.label2 < _alphabet_size || rule.label2 == k_same_symbol)));
+    const RuleId id = static_cast<RuleId>(_rules.size());
+    auto& index = _rules_by_state[rule.from];
+    switch (rule.pre.kind) {
+        case PreSpec::Kind::Concrete:
+            assert(rule.pre.symbol < _alphabet_size);
+            index.concrete[rule.pre.symbol].push_back(id);
+            break;
+        case PreSpec::Kind::Class: index.by_class[rule.pre.cls].push_back(id); break;
+        case PreSpec::Kind::Any: index.any.push_back(id); break;
+    }
+    _rules.push_back(std::move(rule));
+    return id;
+}
+
+const nfa::SymbolSet& Pda::class_set(SymbolClass cls) const {
+    if (auto it = _class_sets.find(cls); it != _class_sets.end()) return it->second;
+    std::vector<Symbol> members;
+    for (Symbol s = 0; s < _symbol_classes.size(); ++s)
+        if (_symbol_classes[s] == cls) members.push_back(s);
+    auto [it, inserted] = _class_sets.emplace(cls, nfa::SymbolSet::of(std::move(members)));
+    return it->second;
+}
+
+nfa::SymbolSet Pda::pre_set(const PreSpec& pre) const {
+    switch (pre.kind) {
+        case PreSpec::Kind::Concrete: return nfa::SymbolSet::single(pre.symbol);
+        case PreSpec::Kind::Class: return class_set(pre.cls);
+        case PreSpec::Kind::Any: return nfa::SymbolSet::any();
+    }
+    return nfa::SymbolSet::none();
+}
+
+void Pda::remove_rules(const std::vector<RuleId>& discard) {
+    if (discard.empty()) return;
+    std::vector<Rule> kept;
+    kept.reserve(_rules.size() - discard.size());
+    std::size_t di = 0;
+    for (RuleId id = 0; id < _rules.size(); ++id) {
+        if (di < discard.size() && discard[di] == id) {
+            ++di;
+            continue;
+        }
+        kept.push_back(std::move(_rules[id]));
+    }
+    assert(di == discard.size() && "discard list must be sorted and unique");
+    _rules = std::move(kept);
+    // Rebuild the per-state indexes with the new rule ids.
+    for (auto& index : _rules_by_state) index = StateIndex{};
+    for (RuleId id = 0; id < _rules.size(); ++id) {
+        const auto& rule = _rules[id];
+        auto& index = _rules_by_state[rule.from];
+        switch (rule.pre.kind) {
+            case PreSpec::Kind::Concrete: index.concrete[rule.pre.symbol].push_back(id); break;
+            case PreSpec::Kind::Class: index.by_class[rule.pre.cls].push_back(id); break;
+            case PreSpec::Kind::Any: index.any.push_back(id); break;
+        }
+    }
+}
+
+Pda Pda::expand_concrete() const {
+    Pda out(_alphabet_size);
+    for (StateId s = 0; s < state_count(); ++s) out.add_state();
+    for (Symbol s = 0; s < _symbol_classes.size(); ++s)
+        if (_symbol_classes[s] != k_no_class) out.set_symbol_class(s, _symbol_classes[s]);
+    for (const auto& rule : _rules) {
+        if (rule.pre.kind == PreSpec::Kind::Concrete) {
+            auto concrete = rule;
+            if (concrete.op == Rule::OpKind::Push && concrete.label2 == k_same_symbol)
+                concrete.label2 = concrete.pre.symbol;
+            out.add_rule(std::move(concrete));
+            continue;
+        }
+        for (const auto symbol : pre_set(rule.pre).materialize(_alphabet_size)) {
+            auto concrete = rule;
+            concrete.pre = PreSpec::concrete(symbol);
+            if (concrete.op == Rule::OpKind::Push && concrete.label2 == k_same_symbol)
+                concrete.label2 = symbol;
+            out.add_rule(std::move(concrete));
+        }
+    }
+    return out;
+}
+
+} // namespace aalwines::pda

@@ -1,0 +1,171 @@
+#pragma once
+// Weighted pushdown system (paper §4.1).
+//
+// Rules are in the normal form  p γ → q w  with |w| ≤ 2:
+//   Pop:   p γ → q ε
+//   Swap:  p γ → q γ'
+//   Push:  p γ → q γ₁γ₂   (γ₁ is the new top; γ₂ may be "same as matched")
+//
+// The left-hand symbol is a PreSpec: a concrete symbol, a *symbol class*
+// (every symbol of one stratum — how the MPLS translation expresses "any
+// label revealed by a pop, of the right kind"), or any symbol.  Classes keep
+// the rule set polynomial instead of multiplying by the label alphabet.
+//
+// Every rule carries a Weight (see weight.hpp) and an opaque 32-bit tag the
+// verification layer uses to map witness rule sequences back to forwarding
+// decisions.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "nfa/symbol_set.hpp"
+#include "pda/weight.hpp"
+
+namespace aalwines::pda {
+
+using StateId = std::uint32_t;
+using Symbol = nfa::Symbol;
+using RuleId = std::uint32_t;
+
+inline constexpr Symbol k_no_symbol = UINT32_MAX;
+/// In a Push rule, label2 == k_same_symbol keeps the matched symbol below
+/// the newly pushed top (a plain MPLS push on an unknown stack).
+inline constexpr Symbol k_same_symbol = UINT32_MAX - 1;
+
+using SymbolClass = std::uint8_t;
+inline constexpr SymbolClass k_no_class = 0xFF;
+
+/// Left-hand-side symbol specification of a rule.
+struct PreSpec {
+    enum class Kind : std::uint8_t { Concrete, Class, Any };
+    Kind kind = Kind::Concrete;
+    Symbol symbol = k_no_symbol;  ///< for Concrete
+    SymbolClass cls = k_no_class; ///< for Class
+
+    [[nodiscard]] static PreSpec concrete(Symbol s) { return {Kind::Concrete, s, k_no_class}; }
+    [[nodiscard]] static PreSpec of_class(SymbolClass c) {
+        return {Kind::Class, k_no_symbol, c};
+    }
+    [[nodiscard]] static PreSpec any() { return {Kind::Any, k_no_symbol, k_no_class}; }
+
+    bool operator==(const PreSpec&) const = default;
+};
+
+struct Rule {
+    StateId from = 0;
+    StateId to = 0;
+    PreSpec pre;
+    enum class OpKind : std::uint8_t { Pop, Swap, Push };
+    OpKind op = OpKind::Pop;
+    Symbol label1 = k_no_symbol; ///< Swap: written symbol; Push: new top
+    Symbol label2 = k_no_symbol; ///< Push: symbol below top (or k_same_symbol)
+    Weight weight = Weight::one();
+    std::uint32_t tag = UINT32_MAX; ///< caller-defined; UINT32_MAX = internal
+};
+
+class Pda {
+public:
+    /// `alphabet_size` is the stack-symbol universe [0, alphabet_size).
+    explicit Pda(Symbol alphabet_size) : _alphabet_size(alphabet_size) {}
+
+    StateId add_state() {
+        _rules_by_state.emplace_back();
+        return static_cast<StateId>(_rules_by_state.size() - 1);
+    }
+
+    /// Declare that `symbol` belongs to `cls` (default: no class).
+    void set_symbol_class(Symbol symbol, SymbolClass cls);
+
+    RuleId add_rule(Rule rule);
+
+    [[nodiscard]] std::size_t state_count() const noexcept { return _rules_by_state.size(); }
+    [[nodiscard]] std::size_t rule_count() const noexcept { return _rules.size(); }
+    [[nodiscard]] Symbol alphabet_size() const noexcept { return _alphabet_size; }
+    [[nodiscard]] const Rule& rule(RuleId id) const { return _rules[id]; }
+    [[nodiscard]] const std::vector<Rule>& rules() const noexcept { return _rules; }
+
+    [[nodiscard]] SymbolClass class_of(Symbol symbol) const {
+        return symbol < _symbol_classes.size() ? _symbol_classes[symbol] : k_no_class;
+    }
+
+    /// All symbols of one class, as an include-set (built lazily, cached).
+    [[nodiscard]] const nfa::SymbolSet& class_set(SymbolClass cls) const;
+
+    /// The symbol set matched by a rule's PreSpec.
+    [[nodiscard]] nfa::SymbolSet pre_set(const PreSpec& pre) const;
+
+    /// Invoke `fn(rule_id, matched)` for every rule from `state` applicable
+    /// to some symbol of `label`; `matched` is the (non-empty) subset of
+    /// `label` the rule fires on.
+    template <typename Fn>
+    void for_each_applicable(StateId state, const nfa::SymbolSet& label, Fn&& fn) const;
+
+    /// Overload for a concrete top symbol.
+    template <typename Fn>
+    void for_each_applicable(StateId state, Symbol symbol, Fn&& fn) const;
+
+    /// Remove the rules whose ids appear in `discard` (sorted).  Used by the
+    /// reduction pass; rebuilds the match indexes.  Tags are preserved.
+    void remove_rules(const std::vector<RuleId>& discard);
+
+    /// The fully concrete ("direct") encoding of this PDA: every class/any
+    /// rule is instantiated per matching symbol and "same as matched" push
+    /// operands are resolved.  Tags are preserved on every instance.  This
+    /// is the encoding a checker without symbolic wildcards (such as Moped)
+    /// consumes; its size grows with the label alphabet.
+    [[nodiscard]] Pda expand_concrete() const;
+
+private:
+    struct StateIndex {
+        std::unordered_map<Symbol, std::vector<RuleId>> concrete;
+        std::unordered_map<SymbolClass, std::vector<RuleId>> by_class;
+        std::vector<RuleId> any;
+    };
+
+    Symbol _alphabet_size;
+    std::vector<Rule> _rules;
+    std::vector<StateIndex> _rules_by_state;
+    std::vector<SymbolClass> _symbol_classes;
+    mutable std::unordered_map<SymbolClass, nfa::SymbolSet> _class_sets;
+};
+
+template <typename Fn>
+void Pda::for_each_applicable(StateId state, Symbol symbol, Fn&& fn) const {
+    const auto& index = _rules_by_state[state];
+    if (auto it = index.concrete.find(symbol); it != index.concrete.end())
+        for (const auto id : it->second) fn(id, nfa::SymbolSet::single(symbol));
+    const auto cls = class_of(symbol);
+    if (cls != k_no_class) {
+        if (auto it = index.by_class.find(cls); it != index.by_class.end())
+            for (const auto id : it->second) fn(id, nfa::SymbolSet::single(symbol));
+    }
+    for (const auto id : index.any) fn(id, nfa::SymbolSet::single(symbol));
+}
+
+template <typename Fn>
+void Pda::for_each_applicable(StateId state, const nfa::SymbolSet& label, Fn&& fn) const {
+    const auto& index = _rules_by_state[state];
+    using Mode = nfa::SymbolSet::Mode;
+    // Concrete-pre rules.
+    if (label.mode() == Mode::Include && label.symbols().size() <= index.concrete.size()) {
+        for (const auto symbol : label.symbols())
+            if (auto it = index.concrete.find(symbol); it != index.concrete.end())
+                for (const auto id : it->second) fn(id, nfa::SymbolSet::single(symbol));
+    } else {
+        for (const auto& [symbol, ids] : index.concrete)
+            if (label.contains(symbol))
+                for (const auto id : ids) fn(id, nfa::SymbolSet::single(symbol));
+    }
+    // Class rules.
+    for (const auto& [cls, ids] : index.by_class) {
+        auto matched = nfa::SymbolSet::intersection(label, class_set(cls));
+        if (matched.is_empty_set()) continue;
+        for (const auto id : ids) fn(id, matched);
+    }
+    // Any rules.
+    if (!label.is_empty_set())
+        for (const auto id : index.any) fn(id, label);
+}
+
+} // namespace aalwines::pda

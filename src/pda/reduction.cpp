@@ -1,0 +1,243 @@
+#include "pda/reduction.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <vector>
+
+namespace aalwines::pda {
+
+namespace {
+
+/// Bounded abstract domain for symbol sets, keyed by symbol class: each
+/// class is either "all symbols of the class" or a small explicit set that
+/// widens to "all" past a threshold.  All lattice operations are
+/// alphabet-size independent, which keeps the fixpoint cheap even on
+/// operator networks with 10⁵ labels.  Widening only loses precision (keeps
+/// more rules), never soundness.
+class StrataSet {
+public:
+    static constexpr std::size_t k_widen_threshold = 64;
+
+    [[nodiscard]] bool contains(Symbol symbol, SymbolClass cls) const {
+        const auto* part = find(cls);
+        if (part == nullptr) return false;
+        if (part->all) return true;
+        return std::binary_search(part->some.begin(), part->some.end(), symbol);
+    }
+
+    [[nodiscard]] bool has_class(SymbolClass cls) const {
+        const auto* part = find(cls);
+        return part != nullptr && (part->all || !part->some.empty());
+    }
+
+    [[nodiscard]] bool empty() const { return _parts.empty(); }
+
+    /// Insert one symbol; returns true on growth.
+    bool add(Symbol symbol, SymbolClass cls) {
+        auto& part = _parts[cls];
+        if (part.all) return false;
+        auto it = std::lower_bound(part.some.begin(), part.some.end(), symbol);
+        if (it != part.some.end() && *it == symbol) return false;
+        part.some.insert(it, symbol);
+        // Classless symbols cannot be summarized by a class set, so they
+        // never widen; in the MPLS translation every label has a stratum.
+        if (cls != k_no_class && part.some.size() > k_widen_threshold) {
+            part.all = true;
+            part.some.clear();
+            part.some.shrink_to_fit();
+        }
+        return true;
+    }
+
+    /// Make the whole class present; returns true on growth.
+    bool add_class(SymbolClass cls) {
+        auto& part = _parts[cls];
+        if (part.all) return false;
+        part.all = true;
+        part.some.clear();
+        return true;
+    }
+
+    /// this ∪= other; returns true on growth.
+    bool merge(const StrataSet& other) {
+        bool changed = false;
+        for (const auto& [cls, part] : other._parts) {
+            if (part.all) {
+                changed = add_class(cls) || changed;
+            } else {
+                for (const auto symbol : part.some) changed = add(symbol, cls) || changed;
+            }
+        }
+        return changed;
+    }
+
+    /// this ∪= (other restricted to class cls); returns true on growth.
+    bool merge_class(const StrataSet& other, SymbolClass cls) {
+        const auto* part = other.find(cls);
+        if (part == nullptr) return false;
+        if (part->all) return add_class(cls);
+        bool changed = false;
+        for (const auto symbol : part->some) changed = add(symbol, cls) || changed;
+        return changed;
+    }
+
+private:
+    struct Part {
+        bool all = false;
+        std::vector<Symbol> some; // sorted
+    };
+
+    [[nodiscard]] const Part* find(SymbolClass cls) const {
+        auto it = _parts.find(cls);
+        return it == _parts.end() ? nullptr : &it->second;
+    }
+
+    std::map<SymbolClass, Part> _parts;
+};
+
+/// Does `pre` match anything in `top`?
+bool pre_matches(const Pda& pda, const PreSpec& pre, const StrataSet& top) {
+    switch (pre.kind) {
+        case PreSpec::Kind::Concrete:
+            return top.contains(pre.symbol, pda.class_of(pre.symbol));
+        case PreSpec::Kind::Class: return top.has_class(pre.cls);
+        case PreSpec::Kind::Any: return !top.empty();
+    }
+    return false;
+}
+
+/// Grow `target` by (top ∩ pre) — the symbols a "push same" rule can leave
+/// below the new top.
+bool grow_matched(const Pda& pda, StrataSet& target, const StrataSet& top,
+                  const PreSpec& pre) {
+    switch (pre.kind) {
+        case PreSpec::Kind::Concrete: {
+            const auto cls = pda.class_of(pre.symbol);
+            if (!top.contains(pre.symbol, cls)) return false;
+            return target.add(pre.symbol, cls);
+        }
+        case PreSpec::Kind::Class: return target.merge_class(top, pre.cls);
+        case PreSpec::Kind::Any: return target.merge(top);
+    }
+    return false;
+}
+
+/// Import a concrete SymbolSet (a seed) into the abstract domain.
+bool grow_from_symbol_set(const Pda& pda, StrataSet& target, const nfa::SymbolSet& set) {
+    using Mode = nfa::SymbolSet::Mode;
+    if (set.is_empty_set()) return false;
+    if (set.mode() == Mode::Include) {
+        bool changed = false;
+        for (const auto symbol : set.symbols())
+            changed = target.add(symbol, pda.class_of(symbol)) || changed;
+        return changed;
+    }
+    // Any / Exclude: over-approximate with "every class entirely".
+    bool changed = false;
+    std::vector<SymbolClass> classes;
+    for (Symbol s = 0; s < pda.alphabet_size(); ++s) {
+        const auto cls = pda.class_of(s);
+        if (std::find(classes.begin(), classes.end(), cls) == classes.end())
+            classes.push_back(cls);
+        if (classes.size() >= 8) break; // enough: class ids are few by design
+    }
+    for (const auto cls : classes) changed = target.add_class(cls) || changed;
+    return changed;
+}
+
+} // namespace
+
+ReductionStats reduce(Pda& pda, std::span<const TosSeed> seeds,
+                      const nfa::SymbolSet& deep_symbols, int level) {
+    ReductionStats stats;
+    stats.rules_before = pda.rule_count();
+    stats.rules_after = pda.rule_count();
+    if (level <= 0) return stats;
+    const bool track_second = level >= 2;
+
+    const auto n = pda.state_count();
+    std::vector<StrataSet> top(n);    // possible top-of-stack per state
+    std::vector<StrataSet> second(n); // possible second-of-stack per state
+
+    // The coarse level-1 approximation of what a pop can reveal: anything
+    // that may be buried anywhere — seeds' second symbols, deep symbols and
+    // every symbol a push rule can leave below the new top.
+    StrataSet buried;
+    grow_from_symbol_set(pda, buried, deep_symbols);
+    for (const auto& seed : seeds) grow_from_symbol_set(pda, buried, seed.second);
+    for (const auto& rule : pda.rules()) {
+        if (rule.op != Rule::OpKind::Push) continue;
+        if (rule.label2 == k_same_symbol)
+            grow_from_symbol_set(pda, buried, pda.pre_set(rule.pre));
+        else
+            buried.add(rule.label2, pda.class_of(rule.label2));
+    }
+
+    std::deque<StateId> worklist;
+    std::vector<bool> queued(n, false);
+    auto enqueue = [&](StateId state) {
+        if (!queued[state]) {
+            queued[state] = true;
+            worklist.push_back(state);
+        }
+    };
+
+    for (const auto& seed : seeds) {
+        bool changed = grow_from_symbol_set(pda, top[seed.state], seed.top);
+        if (track_second)
+            changed = grow_from_symbol_set(pda, second[seed.state], seed.second) || changed;
+        if (changed) enqueue(seed.state);
+    }
+
+    // Group rules by source state once.
+    std::vector<std::vector<RuleId>> by_from(n);
+    for (RuleId id = 0; id < pda.rule_count(); ++id)
+        by_from[pda.rule(id).from].push_back(id);
+
+    while (!worklist.empty()) {
+        const auto state = worklist.front();
+        worklist.pop_front();
+        queued[state] = false;
+        for (const auto rule_id : by_from[state]) {
+            const auto& rule = pda.rule(rule_id);
+            if (!pre_matches(pda, rule.pre, top[state])) continue;
+            bool changed = false;
+            switch (rule.op) {
+                case Rule::OpKind::Swap:
+                    changed = top[rule.to].add(rule.label1, pda.class_of(rule.label1));
+                    if (track_second)
+                        changed = second[rule.to].merge(second[state]) || changed;
+                    break;
+                case Rule::OpKind::Push:
+                    changed = top[rule.to].add(rule.label1, pda.class_of(rule.label1));
+                    if (rule.label2 == k_same_symbol)
+                        changed = grow_matched(pda, second[rule.to], top[state],
+                                               rule.pre) ||
+                                  changed;
+                    else
+                        changed = second[rule.to].add(rule.label2,
+                                                      pda.class_of(rule.label2)) ||
+                                  changed;
+                    break;
+                case Rule::OpKind::Pop:
+                    changed = top[rule.to].merge(track_second ? second[state] : buried);
+                    if (track_second) changed = second[rule.to].merge(buried) || changed;
+                    break;
+            }
+            if (changed) enqueue(rule.to);
+        }
+    }
+
+    // Remove rules whose left-hand side can never appear on top.
+    std::vector<RuleId> discard;
+    for (RuleId id = 0; id < pda.rule_count(); ++id) {
+        const auto& rule = pda.rule(id);
+        if (!pre_matches(pda, rule.pre, top[rule.from])) discard.push_back(id);
+    }
+    pda.remove_rules(discard);
+    stats.rules_after = pda.rule_count();
+    return stats;
+}
+
+} // namespace aalwines::pda

@@ -1,0 +1,38 @@
+#pragma once
+// PDA reduction by static top-of-stack analysis (paper §4.2): a forward
+// fixpoint over-approximates, for every control state, the set of symbols
+// that can possibly be on top of the stack; rules whose left-hand side can
+// never match are removed before saturation.
+//
+// Level 1 tracks only the top symbol (pops fall back to a global
+// "anything that can be buried" set); level 2 additionally tracks the
+// possible second-of-stack symbol per state, making pops considerably more
+// precise on tunnel-heavy MPLS dataplanes.
+
+#include <span>
+
+#include "pda/pda.hpp"
+
+namespace aalwines::pda {
+
+/// Seed of the analysis: at `state` the top of stack can be in `top` and
+/// the symbol below it in `second` (from the initial configurations).
+struct TosSeed {
+    StateId state = 0;
+    nfa::SymbolSet top;
+    nfa::SymbolSet second;
+};
+
+struct ReductionStats {
+    std::size_t rules_before = 0;
+    std::size_t rules_after = 0;
+    [[nodiscard]] std::size_t removed() const { return rules_before - rules_after; }
+};
+
+/// Run the analysis at `level` (0 = off, 1 = top-only, 2 = top + second)
+/// and remove unmatchable rules in place.  `deep_symbols` over-approximates
+/// every symbol that may sit at depth ≥ 3 in any initial stack.
+ReductionStats reduce(Pda& pda, std::span<const TosSeed> seeds,
+                      const nfa::SymbolSet& deep_symbols, int level);
+
+} // namespace aalwines::pda

@@ -1,0 +1,662 @@
+#include "pda/solver.hpp"
+
+#include <cassert>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+
+#include "util/hash.hpp"
+
+namespace aalwines::pda {
+
+namespace {
+
+/// Worklist entry; min-ordered by (weight, insertion sequence).  The
+/// sequence tie-break makes the unweighted case behave like BFS, which
+/// keeps witnesses short.
+struct QueueItem {
+    Weight weight;
+    std::uint64_t seq = 0;
+    bool is_eps = false;
+    std::uint32_t id = 0;
+};
+
+struct QueueCompare {
+    bool operator()(const QueueItem& a, const QueueItem& b) const {
+        const auto cmp = a.weight <=> b.weight;
+        if (cmp != std::strong_ordering::equal) return cmp == std::strong_ordering::greater;
+        return a.seq > b.seq;
+    }
+};
+
+using Queue = std::priority_queue<QueueItem, std::vector<QueueItem>, QueueCompare>;
+
+EdgeLabel label_of_pre(const Pda& pda, const PreSpec& pre) {
+    switch (pre.kind) {
+        case PreSpec::Kind::Concrete: return EdgeLabel::of(pre.symbol);
+        case PreSpec::Kind::Class: return EdgeLabel::of_set(pda.class_set(pre.cls));
+        case PreSpec::Kind::Any: return EdgeLabel::of_set(nfa::SymbolSet::any());
+    }
+    return EdgeLabel::of_set(nfa::SymbolSet::none());
+}
+
+} // namespace
+
+SolverStats post_star(PAutomaton& aut, const SolverOptions& options) {
+    const Pda& pda = aut.pda();
+    SolverStats stats;
+    Queue queue;
+    std::uint64_t seq = 0;
+
+    auto enqueue_trans = [&](TransId id) {
+        queue.push({aut.transition(id).weight, seq++, false, id});
+    };
+    auto enqueue_eps = [&](std::uint32_t id) {
+        queue.push({aut.epsilon(id).weight, seq++, true, id});
+    };
+
+    for (TransId id = 0; id < aut.transition_count(); ++id) enqueue_trans(id);
+
+    std::size_t next_check = 512; // demand-driven acceptance checks, doubling
+
+    while (!queue.empty()) {
+        const QueueItem item = queue.top();
+        queue.pop();
+
+        if (options.check_accepted && stats.iterations >= next_check) {
+            next_check *= 2;
+            const auto best = options.check_accepted();
+            // Items finalize in non-decreasing weight order: once the best
+            // accepted weight is <= the frontier, it is globally minimal.
+            if (!best.is_infinite() && best <= item.weight) {
+                stats.early_terminated = true;
+                break;
+            }
+        }
+
+        if (item.is_eps) {
+            auto& eps = aut.epsilon(item.id);
+            if (eps.finalized || !(item.weight == eps.weight)) continue; // stale
+            eps.finalized = true;
+            ++stats.iterations;
+            // Combination: ε(x→q) ∘ (q, L, q')  ⇒  (x, L, q').
+            const EpsTransition eps_copy = eps;
+            const auto& outgoing = aut.transitions_from(eps_copy.to);
+            for (std::size_t i = 0; i < outgoing.size(); ++i) {
+                const TransId tid = outgoing[i];
+                const Transition trans = aut.transition(tid); // copy (relocation below)
+                if (!trans.finalized) continue;
+                auto [nid, improved] = aut.add_transition(
+                    eps_copy.from, trans.label, trans.to,
+                    extend(eps_copy.weight, trans.weight),
+                    {Provenance::Kind::PostCombine, UINT32_MAX, item.id, tid});
+                if (improved) enqueue_trans(nid);
+            }
+        } else {
+            auto& trans_ref = aut.transition(item.id);
+            if (trans_ref.finalized || !(item.weight == trans_ref.weight)) continue;
+            trans_ref.finalized = true;
+            ++stats.iterations;
+            const Transition trans = trans_ref; // copy: the vector may grow below
+
+            if (aut.is_control_state(trans.from)) {
+                auto apply = [&](RuleId rule_id, const nfa::SymbolSet& matched) {
+                    const Rule& rule = pda.rule(rule_id);
+                    switch (rule.op) {
+                        case Rule::OpKind::Swap: {
+                            auto [nid, improved] = aut.add_transition(
+                                rule.to, EdgeLabel::of(rule.label1), trans.to,
+                                extend(trans.weight, rule.weight),
+                                {Provenance::Kind::PostSwap, rule_id, item.id, k_no_trans});
+                            if (improved) enqueue_trans(nid);
+                            break;
+                        }
+                        case Rule::OpKind::Pop: {
+                            auto [nid, improved] = aut.add_epsilon(
+                                rule.to, trans.to, extend(trans.weight, rule.weight),
+                                {Provenance::Kind::PostEps, rule_id, item.id, k_no_trans});
+                            if (improved) enqueue_eps(nid);
+                            break;
+                        }
+                        case Rule::OpKind::Push: {
+                            const StateId mid = aut.mid_state(rule.to, rule.label1);
+                            auto [t1, improved1] = aut.add_transition(
+                                rule.to, EdgeLabel::of(rule.label1), mid, Weight::one(),
+                                {Provenance::Kind::PostPushT1, rule_id, k_no_trans,
+                                 k_no_trans});
+                            if (improved1) enqueue_trans(t1);
+                            const EdgeLabel below =
+                                rule.label2 == k_same_symbol
+                                    ? EdgeLabel::of_set(matched)
+                                    : EdgeLabel::of(rule.label2);
+                            auto [t2, improved2] = aut.add_transition(
+                                mid, below, trans.to, extend(trans.weight, rule.weight),
+                                {Provenance::Kind::PostPushT2, rule_id, item.id,
+                                 k_no_trans});
+                            if (improved2) enqueue_trans(t2);
+                            break;
+                        }
+                    }
+                };
+                if (trans.label.is_concrete())
+                    pda.for_each_applicable(trans.from, trans.label.concrete, apply);
+                else
+                    pda.for_each_applicable(trans.from, trans.label.set, apply);
+            }
+
+            // Combination where this transition is the second component.
+            for (const auto eid : aut.epsilons_into(trans.from)) {
+                const EpsTransition eps = aut.epsilon(eid);
+                if (!eps.finalized) continue;
+                auto [nid, improved] = aut.add_transition(
+                    eps.from, trans.label, trans.to, extend(eps.weight, trans.weight),
+                    {Provenance::Kind::PostCombine, UINT32_MAX, eid, item.id});
+                if (improved) enqueue_trans(nid);
+            }
+        }
+
+        if (options.max_iterations != 0 && stats.iterations >= options.max_iterations) {
+            stats.truncated = true;
+            break;
+        }
+    }
+
+    stats.transitions = aut.transition_count();
+    stats.epsilons = aut.epsilon_count();
+    return stats;
+}
+
+SolverStats pre_star(PAutomaton& aut, const SolverOptions& options) {
+    const Pda& pda = aut.pda();
+    SolverStats stats;
+    Queue queue;
+    std::uint64_t seq = 0;
+
+    auto enqueue_trans = [&](TransId id) {
+        queue.push({aut.transition(id).weight, seq++, false, id});
+    };
+
+    // Rule indexes by target state.
+    std::vector<std::vector<RuleId>> swaps_by_target(pda.state_count());
+    std::vector<std::vector<RuleId>> pushes_by_target(pda.state_count());
+    for (RuleId id = 0; id < pda.rule_count(); ++id) {
+        const auto& rule = pda.rule(id);
+        switch (rule.op) {
+            case Rule::OpKind::Swap: swaps_by_target[rule.to].push_back(id); break;
+            case Rule::OpKind::Push: pushes_by_target[rule.to].push_back(id); break;
+            case Rule::OpKind::Pop: break; // handled at initialization
+        }
+    }
+    // Push rules whose first written symbol matched a transition into state
+    // `m` wait there for a matching second transition out of `m`.
+    std::vector<std::vector<std::pair<RuleId, TransId>>> partials(aut.state_count());
+
+    for (TransId id = 0; id < aut.transition_count(); ++id) enqueue_trans(id);
+    for (RuleId id = 0; id < pda.rule_count(); ++id) {
+        const auto& rule = pda.rule(id);
+        if (rule.op != Rule::OpKind::Pop) continue;
+        auto [nid, improved] =
+            aut.add_transition(rule.from, label_of_pre(pda, rule.pre), rule.to, rule.weight,
+                               {Provenance::Kind::PrePop, id, k_no_trans, k_no_trans});
+        if (improved) enqueue_trans(nid);
+    }
+
+    auto try_complete = [&](RuleId rule_id, TransId t1_id, TransId t2_id) {
+        const auto& rule = pda.rule(rule_id);
+        const Transition t1 = aut.transition(t1_id);
+        const Transition t2 = aut.transition(t2_id);
+        EdgeLabel new_label;
+        if (rule.label2 == k_same_symbol) {
+            auto inter = t2.label.intersect(pda.pre_set(rule.pre));
+            if (!inter) return;
+            new_label = std::move(*inter);
+        } else {
+            if (!t2.label.contains(rule.label2)) return;
+            new_label = label_of_pre(pda, rule.pre);
+        }
+        auto [nid, improved] = aut.add_transition(
+            rule.from, std::move(new_label), t2.to,
+            extend(rule.weight, extend(t1.weight, t2.weight)),
+            {Provenance::Kind::PrePush, rule_id, t1_id, t2_id});
+        if (improved) enqueue_trans(nid);
+    };
+
+    while (!queue.empty()) {
+        const QueueItem item = queue.top();
+        queue.pop();
+        auto& trans_ref = aut.transition(item.id);
+        if (trans_ref.finalized || !(item.weight == trans_ref.weight)) continue;
+        trans_ref.finalized = true;
+        ++stats.iterations;
+        const Transition trans = trans_ref; // copy
+
+        // Rules can only target PDA control states; transitions leaving
+        // automaton-only helper states never match a rule's right-hand side.
+        if (trans.from < pda.state_count()) {
+            // Swap rules p γ → q γ' with q == trans.from and γ' in the label.
+            for (const auto rule_id : swaps_by_target[trans.from]) {
+                const auto& rule = pda.rule(rule_id);
+                if (!trans.label.contains(rule.label1)) continue;
+                auto [nid, improved] = aut.add_transition(
+                    rule.from, label_of_pre(pda, rule.pre), trans.to,
+                    extend(rule.weight, trans.weight),
+                    {Provenance::Kind::PreSwap, rule_id, item.id, k_no_trans});
+                if (improved) enqueue_trans(nid);
+            }
+            // Push rules where this transition reads the first written symbol.
+            for (const auto rule_id : pushes_by_target[trans.from]) {
+                const auto& rule = pda.rule(rule_id);
+                if (!trans.label.contains(rule.label1)) continue;
+                partials[trans.to].push_back({rule_id, item.id});
+                const auto& outgoing = aut.transitions_from(trans.to);
+                for (std::size_t i = 0; i < outgoing.size(); ++i) {
+                    if (aut.transition(outgoing[i]).finalized)
+                        try_complete(rule_id, item.id, outgoing[i]);
+                }
+            }
+        }
+        // This transition as the second written symbol of pending pushes.
+        const auto pending = partials[trans.from]; // copy: may grow during iteration
+        for (const auto& [rule_id, t1_id] : pending) try_complete(rule_id, t1_id, item.id);
+
+        if (options.max_iterations != 0 && stats.iterations >= options.max_iterations) {
+            stats.truncated = true;
+            break;
+        }
+    }
+
+    stats.transitions = aut.transition_count();
+    stats.epsilons = aut.epsilon_count();
+    return stats;
+}
+
+std::vector<AcceptedConfig> find_accepted_n(const PAutomaton& aut,
+                                            std::span<const StateId> starts,
+                                            const nfa::Nfa& stack_nfa, Symbol domain,
+                                            std::size_t count) {
+    // k-shortest accepting walks over the product automaton: a node may be
+    // settled up to `count` times; every settled visit keeps a back-pointer
+    // to the visit it was reached from, so each accepting visit spells its
+    // own path.
+    struct Visit {
+        Weight dist;
+        std::uint64_t key = 0;            // (automaton state << 32) | nfa state
+        std::uint32_t parent = UINT32_MAX; // index into `settled`
+        TransId via_trans = k_no_trans;    // k_no_trans => ε-move or start
+        std::uint32_t via_epsilon = UINT32_MAX;
+        Symbol via_symbol = k_no_symbol;
+    };
+    auto key_of = [](StateId a, std::uint32_t n) {
+        return (static_cast<std::uint64_t>(a) << 32) | n;
+    };
+
+    struct HeapItem {
+        Weight dist;
+        std::uint64_t seq;
+        Visit visit;
+    };
+    struct HeapCompare {
+        bool operator()(const HeapItem& a, const HeapItem& b) const {
+            const auto cmp = a.dist <=> b.dist;
+            if (cmp != std::strong_ordering::equal)
+                return cmp == std::strong_ordering::greater;
+            return a.seq > b.seq;
+        }
+    };
+    std::priority_queue<HeapItem, std::vector<HeapItem>, HeapCompare> heap;
+    std::uint64_t seq = 0;
+    std::vector<Visit> settled;
+    std::unordered_map<std::uint64_t, std::size_t> settle_counts;
+    std::vector<AcceptedConfig> results;
+
+    for (const auto start : starts)
+        for (const auto n0 : stack_nfa.initial())
+            heap.push({Weight::one(), seq++,
+                       Visit{Weight::one(), key_of(start, n0), UINT32_MAX, k_no_trans,
+                             UINT32_MAX, k_no_symbol}});
+
+    while (!heap.empty() && results.size() < count) {
+        const auto item = heap.top();
+        heap.pop();
+        auto& settles = settle_counts[item.visit.key];
+        if (settles >= count) continue;
+        ++settles;
+        const auto visit_index = static_cast<std::uint32_t>(settled.size());
+        settled.push_back(item.visit);
+        const auto a_state = static_cast<StateId>(item.visit.key >> 32);
+        const auto n_state = static_cast<std::uint32_t>(item.visit.key & 0xFFFFFFFFu);
+
+        if (aut.is_final(a_state) && stack_nfa.states()[n_state].accepting) {
+            AcceptedConfig config;
+            config.weight = item.visit.dist;
+            for (std::uint32_t cursor = visit_index; cursor != UINT32_MAX;
+                 cursor = settled[cursor].parent) {
+                const auto& step = settled[cursor];
+                if (step.parent == UINT32_MAX) {
+                    config.control_state = static_cast<StateId>(step.key >> 32);
+                } else if (step.via_trans == k_no_trans) {
+                    config.leading_epsilon = step.via_epsilon;
+                } else {
+                    config.path.emplace_back(step.via_trans, step.via_symbol);
+                }
+            }
+            std::reverse(config.path.begin(), config.path.end());
+            results.push_back(std::move(config));
+            // Fall through: longer configurations may read onward through
+            // this accepting node, so keep extending the visit.
+        }
+
+        for (const auto tid : aut.transitions_from(a_state)) {
+            const auto& trans = aut.transition(tid);
+            if (!trans.finalized) continue;
+            for (const auto& edge : stack_nfa.states()[n_state].edges) {
+                auto inter = trans.label.intersect(edge.symbols);
+                if (!inter) continue;
+                const auto symbol = inter->pick(domain);
+                if (!symbol) continue;
+                auto next_dist = extend(item.visit.dist, trans.weight);
+                heap.push({next_dist, seq++,
+                           Visit{std::move(next_dist), key_of(trans.to, edge.target),
+                                 visit_index, tid, UINT32_MAX, *symbol}});
+            }
+        }
+        if (aut.is_control_state(a_state)) {
+            for (const auto eps_id : aut.epsilons_from(a_state)) {
+                const auto& eps = aut.epsilon(eps_id);
+                if (!eps.finalized) continue;
+                auto next_dist = extend(item.visit.dist, eps.weight);
+                heap.push({next_dist, seq++,
+                           Visit{std::move(next_dist), key_of(eps.to, n_state),
+                                 visit_index, k_no_trans, eps_id, k_no_symbol}});
+            }
+        }
+    }
+    return results;
+}
+
+std::optional<AcceptedConfig> find_accepted(const PAutomaton& aut,
+                                            std::span<const StateId> starts,
+                                            const nfa::Nfa& stack_nfa, Symbol domain) {
+    // Dijkstra over the product of the P-automaton with the stack NFA.
+    struct NodeInfo {
+        Weight dist = Weight::infinity();
+        bool finalized = false;
+        std::uint64_t parent = UINT64_MAX;
+        TransId via_trans = k_no_trans;      // k_no_trans => via ε-transition
+        std::uint32_t via_epsilon = UINT32_MAX;
+        Symbol via_symbol = k_no_symbol;
+    };
+    auto key_of = [](StateId a, std::uint32_t n) {
+        return (static_cast<std::uint64_t>(a) << 32) | n;
+    };
+    std::unordered_map<std::uint64_t, NodeInfo> nodes;
+
+    struct ProductItem {
+        Weight weight;
+        std::uint64_t seq;
+        std::uint64_t key;
+    };
+    struct ProductCompare {
+        bool operator()(const ProductItem& a, const ProductItem& b) const {
+            const auto cmp = a.weight <=> b.weight;
+            if (cmp != std::strong_ordering::equal)
+                return cmp == std::strong_ordering::greater;
+            return a.seq > b.seq;
+        }
+    };
+    std::priority_queue<ProductItem, std::vector<ProductItem>, ProductCompare> queue;
+    std::uint64_t seq = 0;
+
+    for (const auto start : starts) {
+        for (const auto n0 : stack_nfa.initial()) {
+            const auto key = key_of(start, n0);
+            auto& node = nodes[key];
+            if (Weight::one() < node.dist) {
+                node.dist = Weight::one();
+                queue.push({Weight::one(), seq++, key});
+            }
+        }
+    }
+
+    while (!queue.empty()) {
+        const auto item = queue.top();
+        queue.pop();
+        auto& node = nodes[item.key];
+        if (node.finalized || !(item.weight == node.dist)) continue;
+        node.finalized = true;
+        const Weight dist = node.dist; // copy: `nodes` may rehash below
+        const auto a_state = static_cast<StateId>(item.key >> 32);
+        const auto n_state = static_cast<std::uint32_t>(item.key & 0xFFFFFFFFu);
+
+        if (aut.is_final(a_state) && stack_nfa.states()[n_state].accepting) {
+            // Reconstruct the accepting path.
+            AcceptedConfig config;
+            config.weight = dist;
+            std::uint64_t cursor = item.key;
+            while (nodes.at(cursor).parent != UINT64_MAX) {
+                const auto& info = nodes.at(cursor);
+                if (info.via_trans == k_no_trans) {
+                    // ε-move: only possible as the very first step.
+                    config.leading_epsilon = info.via_epsilon;
+                } else {
+                    config.path.emplace_back(info.via_trans, info.via_symbol);
+                }
+                cursor = info.parent;
+            }
+            std::reverse(config.path.begin(), config.path.end());
+            config.control_state = static_cast<StateId>(cursor >> 32);
+            return config;
+        }
+
+        // ε-moves (post* only; they leave control states and read nothing).
+        if (aut.is_control_state(a_state)) {
+            for (const auto eps_id : aut.epsilons_from(a_state)) {
+                const auto& eps = aut.epsilon(eps_id);
+                if (!eps.finalized) continue;
+                const auto next_key = key_of(eps.to, n_state);
+                auto next_dist = extend(dist, eps.weight);
+                auto& next = nodes[next_key];
+                if (next_dist < next.dist && !next.finalized) {
+                    next.dist = next_dist;
+                    next.parent = item.key;
+                    next.via_trans = k_no_trans;
+                    next.via_epsilon = eps_id;
+                    next.via_symbol = k_no_symbol;
+                    queue.push({std::move(next_dist), seq++, next_key});
+                }
+            }
+        }
+
+        for (const auto tid : aut.transitions_from(a_state)) {
+            const auto& trans = aut.transition(tid);
+            if (!trans.finalized) continue;
+            for (const auto& edge : stack_nfa.states()[n_state].edges) {
+                auto inter = trans.label.intersect(edge.symbols);
+                if (!inter) continue;
+                const auto symbol = inter->pick(domain);
+                if (!symbol) continue;
+                const auto next_key = key_of(trans.to, edge.target);
+                auto next_dist = extend(dist, trans.weight);
+                auto& next = nodes[next_key];
+                if (next_dist < next.dist && !next.finalized) {
+                    next.dist = next_dist;
+                    next.parent = item.key;
+                    next.via_trans = tid;
+                    next.via_symbol = *symbol;
+                    queue.push({std::move(next_dist), seq++, next_key});
+                }
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+namespace {
+constexpr std::size_t k_unroll_guard = 100'000'000;
+
+std::optional<Symbol> choose_pre_symbol(const Pda& pda, const EdgeLabel& label,
+                                        const Rule& rule) {
+    auto inter = label.intersect(pda.pre_set(rule.pre));
+    if (!inter) return std::nullopt;
+    return inter->pick(pda.alphabet_size());
+}
+} // namespace
+
+std::optional<PdaWitness> unroll_post_star(const PAutomaton& aut,
+                                           const AcceptedConfig& config) {
+    const Pda& pda = aut.pda();
+    std::deque<std::pair<TransId, Symbol>> path(config.path.begin(), config.path.end());
+    std::vector<RuleId> rules_reversed;
+
+    if (config.leading_epsilon) {
+        // The accepting run started with ε(p → q): the last derivation step
+        // was the pop that created it; undo it and continue normally.
+        const auto& eps = aut.epsilon(*config.leading_epsilon);
+        if (eps.prov.kind != Provenance::Kind::PostEps) return std::nullopt;
+        const auto& rule = pda.rule(eps.prov.rule);
+        const auto& prev = aut.transition(eps.prov.a);
+        const auto pre_symbol = choose_pre_symbol(pda, prev.label, rule);
+        if (!pre_symbol) return std::nullopt;
+        path.push_front({eps.prov.a, *pre_symbol});
+        rules_reversed.push_back(eps.prov.rule);
+    }
+
+    for (std::size_t guard = 0; guard < k_unroll_guard; ++guard) {
+        if (path.empty()) return std::nullopt; // configurations are never empty here
+        const auto [tid, symbol] = path.front();
+        const auto& trans = aut.transition(tid);
+        switch (trans.prov.kind) {
+            case Provenance::Kind::Initial: {
+                PdaWitness witness;
+                witness.initial_state = trans.from;
+                for (const auto& [id, s] : path) witness.initial_stack.push_back(s);
+                witness.rules.assign(rules_reversed.rbegin(), rules_reversed.rend());
+                return witness;
+            }
+            case Provenance::Kind::PostSwap: {
+                const auto& rule = pda.rule(trans.prov.rule);
+                const auto& prev = aut.transition(trans.prov.a);
+                const auto pre_symbol = choose_pre_symbol(pda, prev.label, rule);
+                if (!pre_symbol) return std::nullopt;
+                path.front() = {trans.prov.a, *pre_symbol};
+                rules_reversed.push_back(trans.prov.rule);
+                break;
+            }
+            case Provenance::Kind::PostPushT1: {
+                if (path.size() < 2) return std::nullopt;
+                const auto [t2_id, symbol2] = path[1];
+                const auto& t2 = aut.transition(t2_id);
+                if (t2.prov.kind != Provenance::Kind::PostPushT2) return std::nullopt;
+                const auto& rule = pda.rule(t2.prov.rule);
+                const auto& prev = aut.transition(t2.prov.a);
+                Symbol pre_symbol;
+                if (rule.label2 == k_same_symbol) {
+                    pre_symbol = symbol2; // the matched symbol stayed below the push
+                } else {
+                    const auto chosen = choose_pre_symbol(pda, prev.label, rule);
+                    if (!chosen) return std::nullopt;
+                    pre_symbol = *chosen;
+                }
+                path.pop_front();
+                path.pop_front();
+                path.push_front({t2.prov.a, pre_symbol});
+                rules_reversed.push_back(t2.prov.rule);
+                break;
+            }
+            case Provenance::Kind::PostCombine: {
+                const auto& eps = aut.epsilon(trans.prov.a);
+                if (eps.prov.kind != Provenance::Kind::PostEps) return std::nullopt;
+                const auto& rule = pda.rule(eps.prov.rule);
+                const auto& prev = aut.transition(eps.prov.a);
+                const auto pre_symbol = choose_pre_symbol(pda, prev.label, rule);
+                if (!pre_symbol) return std::nullopt;
+                path.front() = {trans.prov.b, symbol};
+                path.push_front({eps.prov.a, *pre_symbol});
+                rules_reversed.push_back(eps.prov.rule);
+                break;
+            }
+            default:
+                return std::nullopt; // PushT2/Eps/pre* kinds cannot lead a config path
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<PdaWitness> unroll_pre_star(const PAutomaton& aut,
+                                          const AcceptedConfig& config) {
+    const Pda& pda = aut.pda();
+    if (config.leading_epsilon) return std::nullopt; // pre* automata have no ε
+    PdaWitness witness;
+    witness.initial_state = config.control_state;
+    for (const auto& [id, symbol] : config.path) witness.initial_stack.push_back(symbol);
+
+    std::deque<std::pair<TransId, Symbol>> path(config.path.begin(), config.path.end());
+    for (std::size_t guard = 0; guard < k_unroll_guard; ++guard) {
+        if (path.empty()) return witness; // stack fully consumed into the target set
+        const auto [tid, symbol] = path.front();
+        const auto& trans = aut.transition(tid);
+        switch (trans.prov.kind) {
+            case Provenance::Kind::Initial:
+                return witness; // remaining path lies inside the target automaton
+            case Provenance::Kind::PrePop: {
+                witness.rules.push_back(trans.prov.rule);
+                path.pop_front();
+                break;
+            }
+            case Provenance::Kind::PreSwap: {
+                const auto& rule = pda.rule(trans.prov.rule);
+                witness.rules.push_back(trans.prov.rule);
+                path.front() = {trans.prov.a, rule.label1};
+                break;
+            }
+            case Provenance::Kind::PrePush: {
+                const auto& rule = pda.rule(trans.prov.rule);
+                witness.rules.push_back(trans.prov.rule);
+                const Symbol below =
+                    rule.label2 == k_same_symbol ? symbol : rule.label2;
+                path.pop_front();
+                path.push_front({trans.prov.b, below});
+                path.push_front({trans.prov.a, rule.label1});
+                break;
+            }
+            default:
+                return std::nullopt; // post* kinds cannot appear in a pre* automaton
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::vector<std::pair<StateId, std::vector<Symbol>>>>
+replay_witness(const Pda& pda, const PdaWitness& witness) {
+    std::vector<std::pair<StateId, std::vector<Symbol>>> configs;
+    StateId state = witness.initial_state;
+    // Internal stack representation: top at back.
+    std::vector<Symbol> stack(witness.initial_stack.rbegin(), witness.initial_stack.rend());
+
+    auto record = [&]() {
+        std::vector<Symbol> top_first(stack.rbegin(), stack.rend());
+        configs.emplace_back(state, std::move(top_first));
+    };
+    record();
+
+    for (const auto rule_id : witness.rules) {
+        const auto& rule = pda.rule(rule_id);
+        if (rule.from != state || stack.empty()) return std::nullopt;
+        const Symbol top = stack.back();
+        if (!pda.pre_set(rule.pre).contains(top)) return std::nullopt;
+        switch (rule.op) {
+            case Rule::OpKind::Pop: stack.pop_back(); break;
+            case Rule::OpKind::Swap: stack.back() = rule.label1; break;
+            case Rule::OpKind::Push: {
+                stack.back() = rule.label2 == k_same_symbol ? top : rule.label2;
+                stack.push_back(rule.label1);
+                break;
+            }
+        }
+        state = rule.to;
+        record();
+    }
+    return configs;
+}
+
+} // namespace aalwines::pda

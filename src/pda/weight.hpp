@@ -1,0 +1,99 @@
+#pragma once
+// Weight domain for the weighted pushdown system (paper §3, §4.1).
+//
+// Weights form a bounded, commutative, idempotent semiring:
+//   ⊕ = lexicographic minimum          (combine: choose the better path)
+//   ⊗ = component-wise addition        (extend: concatenate path segments)
+//   0̄ = +∞ (absorbing, unreachable)    1̄ = the all-zero vector
+// over fixed-width vectors of uint64.  The empty vector is the canonical 1̄,
+// so unweighted verification runs through the same solver allocation-free.
+// Commutativity of ⊗ lets post* accumulate weights without the left/right
+// extend distinction of the general Reps et al. framework.
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aalwines::pda {
+
+class Weight {
+public:
+    /// 1̄: neutral under extend; the weight of "no cost".
+    Weight() = default;
+
+    [[nodiscard]] static Weight one() { return Weight(); }
+    [[nodiscard]] static Weight infinity() {
+        Weight w;
+        w._infinite = true;
+        return w;
+    }
+    [[nodiscard]] static Weight of(std::vector<std::uint64_t> components) {
+        Weight w;
+        w._components = std::move(components);
+        return w;
+    }
+    /// Scalar convenience: a one-component vector.
+    [[nodiscard]] static Weight scalar(std::uint64_t value) { return of({value}); }
+
+    [[nodiscard]] bool is_infinite() const noexcept { return _infinite; }
+    [[nodiscard]] bool is_one() const noexcept { return !_infinite && _components.empty(); }
+    [[nodiscard]] const std::vector<std::uint64_t>& components() const noexcept {
+        return _components;
+    }
+
+    /// ⊗: component-wise *saturating* sum (weights accumulate along paths;
+    /// clamping at 2⁶⁴-1 keeps the order monotone even on adversarial
+    /// distance functions); shorter vectors are padded with zeros.
+    [[nodiscard]] friend Weight extend(const Weight& a, const Weight& b) {
+        if (a._infinite || b._infinite) return infinity();
+        if (a._components.empty()) return b;
+        if (b._components.empty()) return a;
+        const auto& longer = a._components.size() >= b._components.size() ? a : b;
+        const auto& shorter = &longer == &a ? b : a;
+        Weight out = longer;
+        for (std::size_t i = 0; i < shorter._components.size(); ++i) {
+            const auto addend = shorter._components[i];
+            auto& component = out._components[i];
+            component = component > UINT64_MAX - addend ? UINT64_MAX
+                                                        : component + addend;
+        }
+        return out;
+    }
+
+    /// Lexicographic order; +∞ compares greatest, missing components are 0.
+    [[nodiscard]] std::strong_ordering operator<=>(const Weight& other) const {
+        if (_infinite || other._infinite) {
+            if (_infinite && other._infinite) return std::strong_ordering::equal;
+            return _infinite ? std::strong_ordering::greater : std::strong_ordering::less;
+        }
+        const std::size_t n = std::max(_components.size(), other._components.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t a = i < _components.size() ? _components[i] : 0;
+            const std::uint64_t b = i < other._components.size() ? other._components[i] : 0;
+            if (a != b) return a <=> b;
+        }
+        return std::strong_ordering::equal;
+    }
+
+    [[nodiscard]] bool operator==(const Weight& other) const {
+        return (*this <=> other) == std::strong_ordering::equal;
+    }
+
+    [[nodiscard]] std::string to_string() const {
+        if (_infinite) return "inf";
+        if (_components.empty()) return "(0)";
+        std::string out = "(";
+        for (std::size_t i = 0; i < _components.size(); ++i) {
+            if (i) out += ", ";
+            out += std::to_string(_components[i]);
+        }
+        return out + ")";
+    }
+
+private:
+    std::vector<std::uint64_t> _components;
+    bool _infinite = false;
+};
+
+} // namespace aalwines::pda

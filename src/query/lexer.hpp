@@ -1,0 +1,55 @@
+#pragma once
+// Character-level cursor shared by the query parser: tracks line/column,
+// skips whitespace, and lexes names with the query language's slightly
+// unusual token rules (names may embed '.', '-' and '/' when the characters
+// around them are name characters — interface names like `et-1/3/0.2`).
+
+#include <string>
+#include <string_view>
+
+#include "util/errors.hpp"
+
+namespace aalwines::query {
+
+class Cursor {
+public:
+    explicit Cursor(std::string_view text) : _text(text) {}
+
+    [[nodiscard]] bool at_end() const { return _pos >= _text.size(); }
+    [[nodiscard]] char peek() const { return at_end() ? '\0' : _text[_pos]; }
+    [[nodiscard]] char peek_at(std::size_t offset) const {
+        return _pos + offset >= _text.size() ? '\0' : _text[_pos + offset];
+    }
+
+    char advance();
+    void skip_ws();
+
+    /// Consume `c` (after skipping whitespace) or fail with a parse_error.
+    void expect(char c);
+
+    /// True and consumed if the next non-space char is `c`.
+    bool try_consume(char c);
+
+    /// Next non-space char without consuming ('\0' at end).
+    [[nodiscard]] char lookahead();
+
+    /// A name token: starts with [A-Za-z0-9_$]; may continue with those and
+    /// with '.', '-', '/' when followed by another name character.  Also
+    /// accepts single-quoted names with no escape processing.
+    [[nodiscard]] std::string name();
+
+    /// True when the next non-space character can start a name.
+    [[nodiscard]] bool at_name();
+
+    [[nodiscard]] std::uint64_t number();
+
+    [[noreturn]] void fail(const std::string& message) const;
+
+private:
+    std::string_view _text;
+    std::size_t _pos = 0;
+    unsigned _line = 1;
+    unsigned _col = 1;
+};
+
+} // namespace aalwines::query

@@ -1,0 +1,41 @@
+#pragma once
+// Reachability queries  <a> b <c> k  (paper §2.5, Definition 5).
+//
+// `a` and `c` are regular expressions over labels (with the `ip`, `mpls`,
+// `smpls` class abbreviations), `b` is a regular expression over links
+// (with `[v#u]`, `[v.if1#u.if2]`, `.` and `[^...]` atoms), and `k` bounds
+// the number of failed links.  Queries are parsed against a concrete
+// network so atoms resolve to symbol sets immediately.
+
+#include <cstdint>
+#include <string>
+
+#include "model/routing.hpp"
+#include "nfa/regex.hpp"
+
+namespace aalwines::query {
+
+/// How the engine may approximate this query (optional trailing keyword:
+/// `OVER`, `UNDER` or `DUAL`, default DUAL).  OVER answers from the
+/// over-approximation alone (a YES may be spurious, flagged in the result
+/// note); UNDER answers from the under-approximation alone (a NO is then
+/// inconclusive).  DUAL is the paper's combined pipeline.
+enum class Mode : std::uint8_t { Dual, Over, Under };
+
+[[nodiscard]] std::string_view to_string(Mode mode);
+
+struct Query {
+    nfa::Regex initial_header = nfa::Regex::epsilon(); ///< a — over label ids
+    nfa::Regex path = nfa::Regex::epsilon();           ///< b — over link ids
+    nfa::Regex final_header = nfa::Regex::epsilon();   ///< c — over label ids
+    std::uint64_t max_failures = 0;                    ///< k
+    Mode mode = Mode::Dual;
+    std::string text;                                  ///< original query text
+};
+
+/// Parse a query against `network`.  Unknown router or interface names are
+/// errors (parse_error); unknown label names resolve to the empty set (the
+/// query is then simply unsatisfiable on that network).
+[[nodiscard]] Query parse_query(std::string_view text, const Network& network);
+
+} // namespace aalwines::query

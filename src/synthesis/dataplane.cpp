@@ -1,0 +1,350 @@
+#include "synthesis/dataplane.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <random>
+#include <set>
+
+namespace aalwines::synthesis {
+
+namespace {
+
+/// Dijkstra over directed links by distance; deterministic tie-breaking.
+/// Returns the link sequence from `from` to `to`, avoiding `avoid` if set.
+std::optional<std::vector<LinkId>> shortest_path(const Topology& topology, RouterId from,
+                                                 RouterId to,
+                                                 std::optional<LinkId> avoid) {
+    constexpr auto inf = UINT64_MAX;
+    std::vector<std::uint64_t> dist(topology.router_count(), inf);
+    std::vector<LinkId> via(topology.router_count(), k_invalid_id);
+    using Item = std::pair<std::uint64_t, RouterId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+    dist[from] = 0;
+    queue.push({0, from});
+    while (!queue.empty()) {
+        const auto [d, router] = queue.top();
+        queue.pop();
+        if (d != dist[router]) continue;
+        if (router == to) break;
+        for (const auto link_id : topology.out_links(router)) {
+            if (avoid && *avoid == link_id) continue;
+            const auto& link = topology.link(link_id);
+            const auto nd = d + std::max<std::uint64_t>(1, link.distance);
+            if (nd < dist[link.target]) {
+                dist[link.target] = nd;
+                via[link.target] = link_id;
+                queue.push({nd, link.target});
+            }
+        }
+    }
+    if (dist[to] == inf) return std::nullopt;
+    std::vector<LinkId> path;
+    for (RouterId cursor = to; cursor != from;) {
+        const auto link_id = via[cursor];
+        path.push_back(link_id);
+        cursor = topology.link(link_id).source;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+/// A hop whose outgoing link is candidate for fast-failover protection.
+struct ProtectEntry {
+    LinkId in_link = k_invalid_id;
+    Label label = k_invalid_label;
+    LinkId protected_link = k_invalid_id;
+    std::vector<Op> primary_ops;
+    Label result_top = k_invalid_label; ///< top of stack after primary_ops
+};
+
+struct Detour {
+    std::vector<LinkId> links;
+    std::vector<Label> tunnel_labels; ///< one per intermediate hop (size m-1)
+};
+
+} // namespace
+
+SyntheticNetwork build_dataplane(SyntheticTopology topo, const DataplaneOptions& options) {
+    SyntheticNetwork out;
+    out.network.name = "synthetic";
+    out.network.topology = std::move(topo.topology);
+    out.edge_routers = std::move(topo.edge_routers);
+
+    auto& topology = out.network.topology;
+    auto& labels = out.network.labels;
+    auto& routing = out.network.routing;
+    std::mt19937_64 rng(options.seed);
+
+    // External stubs: one per edge router; traffic enters through X -> r and
+    // leaves through r -> X.  Stubs are sinks with no routing of their own.
+    std::map<RouterId, LinkId> external_in, external_out;
+    for (const auto router : out.edge_routers) {
+        const auto stub = topology.add_router("X_" + topology.router_name(router));
+        if (auto coord = topology.coordinate(router))
+            topology.set_coordinate(stub, {coord->latitude + 0.02, coord->longitude + 0.02});
+        const auto [to_stub, from_stub] = topology.add_duplex(router, "ext", stub, "host");
+        external_out[router] = to_stub;
+        external_in[router] = from_stub;
+    }
+
+    // One IP destination label per edge router.
+    std::map<RouterId, Label> ip_of;
+    for (const auto router : out.edge_routers) {
+        const auto label = labels.add(LabelType::Ip, "ip_" + topology.router_name(router));
+        ip_of[router] = label;
+        out.ip_labels.push_back(label);
+    }
+
+    std::vector<ProtectEntry> protect;
+    std::set<std::pair<LinkId, Label>> delivery_rules; // dedup (link, ip) deliveries
+
+    auto add_delivery = [&](RouterId router, LinkId arrival_link, Label ip_label) {
+        if (!delivery_rules.emplace(arrival_link, ip_label).second) return;
+        routing.add_rule(arrival_link, ip_label, 1, external_out.at(router), {});
+    };
+
+    // ---- Label-switched paths between edge-router pairs (with PHP). ----
+    std::vector<std::pair<RouterId, RouterId>> pairs;
+    for (const auto a : out.edge_routers)
+        for (const auto b : out.edge_routers)
+            if (a != b) pairs.emplace_back(a, b);
+    std::shuffle(pairs.begin(), pairs.end(), rng);
+    if (pairs.size() > options.max_lsp_pairs) pairs.resize(options.max_lsp_pairs);
+
+    std::size_t lsp_index = 0;
+    for (const auto& [a, b] : pairs) {
+        const auto path = shortest_path(topology, a, b, std::nullopt);
+        if (!path || path->empty()) continue;
+        const auto& links = *path;
+        const auto n = links.size();
+        const auto ip_b = ip_of.at(b);
+        const auto in0 = external_in.at(a);
+
+        if (n == 1) {
+            // Adjacent: plain IP forwarding, no label.
+            routing.add_rule(in0, ip_b, 1, links[0], {});
+            protect.push_back({in0, ip_b, links[0], {}, ip_b});
+        } else {
+            // Per-hop labels l<lsp>_<i>, bottom-of-stack type (they sit
+            // directly on the IP label).
+            std::vector<Label> hop_labels;
+            for (std::size_t i = 0; i + 1 < n; ++i)
+                hop_labels.push_back(labels.add(
+                    LabelType::MplsBos,
+                    "l" + std::to_string(lsp_index) + "_" + std::to_string(i)));
+            // Ingress: push the first LSP label.
+            routing.add_rule(in0, ip_b, 1, links[0], {Op::push(hop_labels[0])});
+            protect.push_back({in0, ip_b, links[0], {Op::push(hop_labels[0])}, hop_labels[0]});
+            // Transit swaps.
+            for (std::size_t i = 1; i + 1 < n; ++i) {
+                routing.add_rule(links[i - 1], hop_labels[i - 1], 1, links[i],
+                                 {Op::swap(hop_labels[i])});
+                protect.push_back({links[i - 1], hop_labels[i - 1], links[i],
+                                   {Op::swap(hop_labels[i])}, hop_labels[i]});
+            }
+            // Penultimate-hop pop (PHP): the packet reaches b with plain IP.
+            routing.add_rule(links[n - 2], hop_labels[n - 2], 1, links[n - 1], {Op::pop()});
+            protect.push_back({links[n - 2], hop_labels[n - 2], links[n - 1],
+                               {Op::pop()}, ip_b});
+        }
+        add_delivery(b, links[n - 1], ip_b);
+        out.lsp_pairs.emplace_back(a, b);
+        ++lsp_index;
+    }
+
+    // ---- Service-label chains (per-hop smpls swaps; label stays on exit). ----
+    if (options.service_chains > 0 && out.edge_routers.size() >= 2) {
+        std::uniform_int_distribution<std::size_t> pick(0, out.edge_routers.size() - 1);
+        for (std::size_t c = 0; c < options.service_chains; ++c) {
+            const auto a = out.edge_routers[pick(rng)];
+            RouterId b = a;
+            for (int tries = 0; tries < 16 && b == a; ++tries)
+                b = out.edge_routers[pick(rng)];
+            if (b == a) continue;
+            const auto path = shortest_path(topology, a, b, std::nullopt);
+            if (!path || path->empty()) continue;
+            const auto& links = *path;
+            const auto n = links.size();
+            std::vector<Label> chain_labels; // s_0 .. s_n (arrival at hop i with s_i)
+            for (std::size_t i = 0; i <= n; ++i)
+                chain_labels.push_back(labels.add(
+                    LabelType::MplsBos,
+                    "svc" + std::to_string(c) + "_" + std::to_string(i)));
+            out.service_labels.push_back(chain_labels[0]);
+            out.service_pairs.emplace_back(a, b);
+            // Ingress swap.
+            routing.add_rule(external_in.at(a), chain_labels[0], 1, links[0],
+                             {Op::swap(chain_labels[1])});
+            protect.push_back({external_in.at(a), chain_labels[0], links[0],
+                               {Op::swap(chain_labels[1])}, chain_labels[1]});
+            // Transit swaps.
+            for (std::size_t i = 1; i < n; ++i) {
+                routing.add_rule(links[i - 1], chain_labels[i], 1, links[i],
+                                 {Op::swap(chain_labels[i + 1])});
+                protect.push_back({links[i - 1], chain_labels[i], links[i],
+                                   {Op::swap(chain_labels[i + 1])}, chain_labels[i + 1]});
+            }
+            // Egress: hand the final label to the neighbouring network.
+            routing.add_rule(links[n - 1], chain_labels[n], 1, external_out.at(b), {});
+        }
+    }
+
+    // ---- Fast-failover: facility-backup tunnels around protected links. ----
+    if (options.fast_failover) {
+        // Detours (and their shared tunnel labels) are cached per protected
+        // link and per tunnel-label stratum: a tunnel pushed onto an MPLS
+        // stack uses plain labels, one pushed onto bare IP needs the
+        // bottom-of-stack bit.
+        std::map<std::pair<LinkId, bool>, std::optional<Detour>> detours;
+        std::set<std::pair<LinkId, Label>> continuations_done;
+
+        auto detour_for = [&](LinkId protected_link, bool on_ip) -> const std::optional<Detour>& {
+            const auto key = std::make_pair(protected_link, on_ip);
+            if (auto it = detours.find(key); it != detours.end()) return it->second;
+            const auto& link = topology.link(protected_link);
+            auto path = shortest_path(topology, link.source, link.target, protected_link);
+            if (!path) return detours.emplace(key, std::nullopt).first->second;
+            Detour detour;
+            detour.links = std::move(*path);
+            const auto m = detour.links.size();
+            const auto stratum = on_ip ? LabelType::MplsBos : LabelType::Mpls;
+            for (std::size_t j = 0; j + 1 < m; ++j)
+                detour.tunnel_labels.push_back(labels.add(
+                    stratum, std::string("fr") + (on_ip ? "b" : "m") +
+                                 std::to_string(protected_link) + "_" + std::to_string(j)));
+            // Shared tunnel forwarding: swap along the detour, pop at the
+            // penultimate detour hop (the packet re-emerges at t(e) with the
+            // label the primary path would have delivered).
+            for (std::size_t j = 1; j + 1 < m; ++j)
+                routing.add_rule(detour.links[j - 1], detour.tunnel_labels[j - 1], 1,
+                                 detour.links[j], {Op::swap(detour.tunnel_labels[j])});
+            if (m >= 2)
+                routing.add_rule(detour.links[m - 2], detour.tunnel_labels[m - 2], 1,
+                                 detour.links[m - 1], {Op::pop()});
+            return detours.emplace(key, std::move(detour)).first->second;
+        };
+
+        struct Continuation {
+            LinkId arrival_link;
+            Label label;
+            LinkId copied_from;
+        };
+        std::vector<Continuation> continuations;
+
+        for (const auto& entry : protect) {
+            const bool on_ip = labels.type_of(entry.result_top) == LabelType::Ip;
+            const auto& detour = detour_for(entry.protected_link, on_ip);
+            if (!detour) continue;
+            // Priority-2 rule: apply the primary rewrite, then enter the
+            // tunnel (unless the detour is a single parallel link).
+            auto ops = entry.primary_ops;
+            if (detour->links.size() >= 2) ops.push_back(Op::push(detour->tunnel_labels[0]));
+            routing.add_rule(entry.in_link, entry.label, 2, detour->links.front(),
+                             std::move(ops));
+            // The packet re-enters the primary path at t(e) via the last
+            // detour link; whatever t(e) does with (protected_link,
+            // result_top) it must also do for the detour arrival.
+            continuations.push_back(
+                {detour->links.back(), entry.result_top, entry.protected_link});
+        }
+
+        for (const auto& continuation : continuations) {
+            if (!continuations_done
+                     .emplace(continuation.arrival_link, continuation.label)
+                     .second)
+                continue;
+            const auto* groups =
+                routing.entry(continuation.copied_from, continuation.label);
+            if (groups == nullptr) continue;
+            // Deep-copy now; add_rule may invalidate the entry pointer.
+            const RoutingEntry copied = *groups;
+            for (std::size_t priority = 0; priority < copied.size(); ++priority)
+                for (const auto& rule : copied[priority])
+                    routing.add_rule(continuation.arrival_link, continuation.label,
+                                     static_cast<std::uint32_t>(priority + 1),
+                                     rule.out_link, rule.ops);
+        }
+    }
+
+    routing.validate(topology);
+    return out;
+}
+
+std::string exit_atom(const SyntheticNetwork& net, RouterId edge) {
+    const auto& name = net.network.topology.router_name(edge);
+    return "[" + name + "#X_" + name + "]";
+}
+
+std::string all_exits_atom(const SyntheticNetwork& net) {
+    std::string atom = "[";
+    bool first = true;
+    for (const auto edge : net.edge_routers) {
+        const auto& name = net.network.topology.router_name(edge);
+        if (!first) atom += ", ";
+        first = false;
+        atom += name + "#X_" + name;
+    }
+    return atom + "]";
+}
+
+Network make_figure1_network() {
+    Network network;
+    network.name = "figure1";
+    auto& topology = network.topology;
+    auto& labels = network.labels;
+    auto& routing = network.routing;
+
+    const auto v0 = topology.add_router("v0");
+    const auto v1 = topology.add_router("v1");
+    const auto v2 = topology.add_router("v2");
+    const auto v3 = topology.add_router("v3");
+    const auto v4 = topology.add_router("v4");
+    const auto src = topology.add_router("src"); // outside, feeds e0
+    const auto dst = topology.add_router("dst"); // outside, receives e7
+
+    auto link = [&](RouterId a, std::string_view ia, RouterId b, std::string_view ib) {
+        return topology.add_link(a, topology.add_interface(a, ia), b,
+                                 topology.add_interface(b, ib));
+    };
+    const auto e0 = link(src, "out", v0, "e0");
+    const auto e1 = link(v0, "e1", v2, "in1");
+    const auto e2 = link(v0, "e2", v1, "in2");
+    const auto e3 = link(v1, "e3", v3, "in3");
+    const auto e4 = link(v2, "e4", v3, "in4");
+    const auto e5 = link(v2, "e5", v4, "in5");
+    const auto e6 = link(v4, "e6", v3, "in6");
+    const auto e7 = link(v3, "e7", dst, "in7");
+
+    const auto ip1 = labels.add(LabelType::Ip, "ip1");
+    const auto s10 = labels.add(LabelType::MplsBos, "10");
+    const auto s11 = labels.add(LabelType::MplsBos, "11");
+    const auto s20 = labels.add(LabelType::MplsBos, "20");
+    const auto s21 = labels.add(LabelType::MplsBos, "21");
+    const auto m30 = labels.add(LabelType::Mpls, "30");
+    const auto s40 = labels.add(LabelType::MplsBos, "40");
+    const auto s41 = labels.add(LabelType::MplsBos, "41");
+    const auto s42 = labels.add(LabelType::MplsBos, "42");
+    const auto s43 = labels.add(LabelType::MplsBos, "43");
+    const auto s44 = labels.add(LabelType::MplsBos, "44");
+
+    // Figure 1b, row by row.
+    routing.add_rule(e0, ip1, 1, e1, {Op::push(s20)});
+    routing.add_rule(e0, ip1, 1, e2, {Op::push(s10)});
+    routing.add_rule(e0, s40, 1, e1, {Op::swap(s41)});
+    routing.add_rule(e2, s10, 1, e3, {Op::swap(s11)});
+    routing.add_rule(e1, s20, 1, e4, {Op::swap(s21)});
+    routing.add_rule(e1, s41, 1, e5, {Op::swap(s42)});
+    routing.add_rule(e1, s20, 2, e5, {Op::swap(s21), Op::push(m30)});
+    routing.add_rule(e3, s11, 1, e7, {Op::pop()});
+    routing.add_rule(e4, s21, 1, e7, {Op::pop()});
+    routing.add_rule(e6, s43, 1, e7, {Op::swap(s44)});
+    routing.add_rule(e6, s21, 1, e7, {Op::pop()});
+    routing.add_rule(e5, m30, 1, e6, {Op::pop()});
+    routing.add_rule(e5, s42, 1, e6, {Op::swap(s43)});
+
+    routing.validate(topology);
+    return network;
+}
+
+} // namespace aalwines::synthesis

@@ -1,0 +1,66 @@
+#pragma once
+// MPLS dataplane synthesis (mirrors the pipeline the paper used to derive
+// forwarding tables for the Topology Zoo networks, §5): label-switched
+// paths between edge routers along shortest paths, local fast-failover
+// protection via facility-backup tunnels around each protected link, and
+// NORDUnet-style service-label chains.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/routing.hpp"
+#include "synthesis/topologies.hpp"
+
+namespace aalwines::synthesis {
+
+struct DataplaneOptions {
+    /// Cap on the number of ordered edge-router pairs receiving an LSP
+    /// (pairs are chosen in a seeded random order when capped).
+    std::size_t max_lsp_pairs = SIZE_MAX;
+    /// Protect every LSP/service hop with a priority-2 facility-backup
+    /// tunnel around the primary link (shortest detour avoiding it).
+    bool fast_failover = true;
+    /// Number of NORDUnet-style service-label chains (per-hop smpls swaps
+    /// between two random edge routers; the label leaves the network).
+    std::size_t service_chains = 0;
+    std::uint64_t seed = 1;
+};
+
+/// A synthesized network plus the handles the benchmarks need to phrase
+/// queries: edge routers, their IP destination labels and the ingress
+/// service labels of the generated chains.
+struct SyntheticNetwork {
+    Network network;
+    std::vector<RouterId> edge_routers;
+    std::vector<Label> ip_labels;      ///< ip label of each edge router (aligned)
+    std::vector<Label> service_labels; ///< ingress label of each service chain
+    /// Ordered edge-router pairs that actually received an LSP (when
+    /// max_lsp_pairs caps the mesh, queries should target these).
+    std::vector<std::pair<RouterId, RouterId>> lsp_pairs;
+    /// (ingress, egress) of each service chain, aligned with service_labels.
+    std::vector<std::pair<RouterId, RouterId>> service_pairs;
+};
+
+/// Query atom matching the link through which traffic leaves the network at
+/// `edge` (the edge-router → external-stub link): "[R#X_R]".
+[[nodiscard]] std::string exit_atom(const SyntheticNetwork& net, RouterId edge);
+
+/// Query atom matching every exit link of the network:
+/// "[R1#X_R1, R2#X_R2, ...]".
+[[nodiscard]] std::string all_exits_atom(const SyntheticNetwork& net);
+
+/// Build forwarding tables on top of `topo`.  Adds one external stub router
+/// per edge router (the links through which traffic enters and leaves the
+/// network — traces start and end there).
+[[nodiscard]] SyntheticNetwork build_dataplane(SyntheticTopology topo,
+                                               const DataplaneOptions& options = {});
+
+/// The running example of the paper (Figure 1): routers v0..v4, links
+/// e0..e7, the exact routing table of Figure 1b.  Label names: "ip1" (IP),
+/// "10".."44" with the bottom-of-stack bit ("s10".."s44" in paper
+/// rendering) and plain MPLS label "30".
+[[nodiscard]] Network make_figure1_network();
+
+} // namespace aalwines::synthesis

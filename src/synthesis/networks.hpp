@@ -1,0 +1,34 @@
+#pragma once
+// Ready-made benchmark networks standing in for the paper's datasets
+// (DESIGN.md §3 documents the substitutions).
+
+#include <string>
+#include <vector>
+
+#include "synthesis/dataplane.hpp"
+
+namespace aalwines::synthesis {
+
+/// A NORDUnet-like operator network: 31 routers across the Nordics and the
+/// major European/transatlantic exchange points the operator peers at, with
+/// geographically derived link latencies, a full LSP mesh between edge
+/// routers, fast-failover protection and `service_chains` service-label
+/// chains.  `service_chains` scales the rule count (the paper's snapshot
+/// has >250k rules; ~1000 chains ≈ 15-20k rules; scale up as needed).
+[[nodiscard]] SyntheticNetwork make_nordunet_like(std::size_t service_chains = 1000,
+                                                  std::uint64_t seed = 1);
+
+/// One Topology-Zoo-like instance.  `index` selects deterministically from
+/// a family of generator/size combinations matched to the Zoo distribution
+/// (tens of routers typical, up to ~240); the same index always produces
+/// the same network.
+struct ZooInstance {
+    std::string name;
+    SyntheticNetwork net;
+};
+[[nodiscard]] ZooInstance make_zoo_like(std::size_t index);
+
+/// Number of distinct instances make_zoo_like can produce.
+[[nodiscard]] std::size_t zoo_like_count();
+
+} // namespace aalwines::synthesis

@@ -1,0 +1,77 @@
+#include "synthesis/networks.hpp"
+
+namespace aalwines::synthesis {
+
+namespace {
+struct Site {
+    const char* name;
+    double lat;
+    double lng;
+    bool edge; ///< peers with neighbouring networks (LSP/service endpoint)
+};
+
+// A 31-router backbone shaped after a Nordic research network: PoPs in the
+// Nordic capitals and regional sites, plus the European and transatlantic
+// exchange points such an operator peers at.  Coordinates are real cities;
+// link latencies derive from the geography.
+constexpr Site k_sites[] = {
+    {"CPH1", 55.68, 12.57, true},  {"CPH2", 55.62, 12.65, false},
+    {"STO1", 59.33, 18.06, true},  {"STO2", 59.36, 17.95, false},
+    {"OSL1", 59.91, 10.75, true},  {"OSL2", 59.95, 10.60, false},
+    {"HEL1", 60.17, 24.94, true},  {"HEL2", 60.21, 25.08, false},
+    {"REY1", 64.13, -21.90, true}, {"TRD1", 63.43, 10.40, false},
+    {"BGO1", 60.39, 5.32, false},  {"GOT1", 57.71, 11.97, false},
+    {"MMX1", 55.60, 13.00, false}, {"ARH1", 56.16, 10.20, false},
+    {"AAL1", 57.05, 9.92, false},  {"ODE1", 55.40, 10.39, false},
+    {"TUK1", 60.45, 22.27, false}, {"OUL1", 65.01, 25.47, false},
+    {"UME1", 63.83, 20.26, false}, {"LUL1", 65.58, 22.15, false},
+    {"HAM1", 53.55, 9.99, true},   {"AMS1", 52.37, 4.90, true},
+    {"LON1", 51.51, -0.13, true},  {"LON2", 51.50, -0.08, false},
+    {"GVA1", 46.20, 6.14, true},   {"FRA1", 50.11, 8.68, true},
+    {"NYC1", 40.71, -74.01, true}, {"ASH1", 39.04, -77.49, false},
+    {"TLL1", 59.44, 24.75, false}, {"RIG1", 56.95, 24.11, false},
+    {"KUN1", 54.90, 23.90, false},
+};
+
+// Backbone adjacency (indices into k_sites); each becomes a duplex link.
+constexpr std::pair<int, int> k_adjacency[] = {
+    {0, 1},   {0, 12},  {0, 13},  {0, 20},  {1, 15},  {2, 3},   {2, 11},  {2, 18},
+    {2, 6},   {3, 5},   {4, 5},   {4, 9},   {4, 10},  {4, 2},   {6, 7},   {6, 16},
+    {6, 28},  {7, 17},  {8, 22},  {8, 26},  {9, 18},  {10, 11}, {11, 12}, {13, 14},
+    {14, 15}, {16, 17}, {17, 19}, {18, 19}, {20, 21}, {20, 25}, {21, 22}, {21, 25},
+    {22, 23}, {22, 26}, {23, 24}, {24, 25}, {26, 27}, {28, 29}, {29, 30}, {12, 0},
+    {5, 9},   {13, 15}, {3, 18},  {23, 26}, {0, 2},
+};
+} // namespace
+
+SyntheticNetwork make_nordunet_like(std::size_t service_chains, std::uint64_t seed) {
+    SyntheticTopology topo;
+    auto& topology = topo.topology;
+    for (const auto& site : k_sites) {
+        const auto router = topology.add_router(site.name);
+        topology.set_coordinate(router, {site.lat, site.lng});
+        if (site.edge) topo.edge_routers.push_back(router);
+    }
+    std::vector<std::size_t> interface_counter(std::size(k_sites), 0);
+    std::vector<std::vector<bool>> seen(std::size(k_sites),
+                                        std::vector<bool>(std::size(k_sites), false));
+    for (const auto& [a, b] : k_adjacency) {
+        if (a == b || seen[a][b]) continue;
+        seen[a][b] = seen[b][a] = true;
+        topology.add_duplex(static_cast<RouterId>(a),
+                            "ge-" + std::to_string(interface_counter[a]++),
+                            static_cast<RouterId>(b),
+                            "ge-" + std::to_string(interface_counter[b]++));
+    }
+    topology.distances_from_coordinates();
+
+    DataplaneOptions options;
+    options.fast_failover = true;
+    options.service_chains = service_chains;
+    options.seed = seed;
+    auto net = build_dataplane(std::move(topo), options);
+    net.network.name = "nordunet-like";
+    return net;
+}
+
+} // namespace aalwines::synthesis

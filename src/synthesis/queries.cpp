@@ -1,0 +1,124 @@
+#include "synthesis/queries.hpp"
+
+#include <random>
+
+namespace aalwines::synthesis {
+
+namespace {
+std::string router_of(const SyntheticNetwork& net, RouterId router) {
+    return net.network.topology.router_name(router);
+}
+
+std::string service_atom(const SyntheticNetwork& net, Label label) {
+    // Concrete-label atom; the generated service labels are unique by name.
+    return "[" + net.network.labels.name_of(label) + "]";
+}
+} // namespace
+
+std::vector<std::string> make_query_battery(const SyntheticNetwork& net,
+                                            const QueryBatteryOptions& options) {
+    std::vector<std::string> queries;
+    if (net.edge_routers.size() < 2) return queries;
+    std::mt19937_64 rng(options.seed);
+    std::uniform_int_distribution<std::size_t> pick_edge(0, net.edge_routers.size() - 1);
+    std::uniform_int_distribution<std::size_t> pick_k(0, options.failure_bounds.size() - 1);
+
+    // Provisioned endpoints produce the satisfiable half of the battery;
+    // random edge pairs add unsatisfiable and near-miss cases.
+    auto provisioned_pair = [&](std::string& a, std::string& b) {
+        if (!net.lsp_pairs.empty()) {
+            const auto& [ra, rb] = net.lsp_pairs[rng() % net.lsp_pairs.size()];
+            a = router_of(net, ra);
+            b = router_of(net, rb);
+            return;
+        }
+        a = router_of(net, net.edge_routers[pick_edge(rng)]);
+        b = router_of(net, net.edge_routers[pick_edge(rng)]);
+    };
+    auto random_pair = [&](std::string& a, std::string& b) {
+        const auto ia = pick_edge(rng);
+        auto ib = pick_edge(rng);
+        for (int tries = 0; tries < 16 && ib == ia; ++tries) ib = pick_edge(rng);
+        a = router_of(net, net.edge_routers[ia]);
+        b = router_of(net, net.edge_routers[ib]);
+    };
+
+    while (queries.size() < options.count) {
+        std::string a, b;
+        const auto k = std::to_string(options.failure_bounds[pick_k(rng)]);
+        switch (queries.size() % 5) {
+            case 0: // plain IP reachability on a provisioned pair (Table 1, row 3)
+                provisioned_pair(a, b);
+                queries.push_back("<ip> [.#" + a + "] .* [.#" + b + "] <ip> " + k);
+                break;
+            case 1: // IP reachability on a random pair (often a conclusive NO)
+                random_pair(a, b);
+                queries.push_back("<ip> [.#" + a + "] .* [.#" + b + "] <ip> " + k);
+                break;
+            case 2: { // service reachability along a generated chain (rows 1-2)
+                if (net.service_pairs.empty()) {
+                    provisioned_pair(a, b);
+                    queries.push_back("<smpls ip> [.#" + a + "] .* [.#" + b +
+                                      "] <(mpls* smpls)? ip> " + k);
+                } else {
+                    const auto chain = rng() % net.service_pairs.size();
+                    a = router_of(net, net.service_pairs[chain].first);
+                    b = router_of(net, net.service_pairs[chain].second);
+                    queries.push_back("<" + service_atom(net, net.service_labels[chain]) +
+                                      " ip> [.#" + a + "] .* [.#" + b +
+                                      "] <(mpls* smpls)? ip> " + k);
+                }
+                break;
+            }
+            case 3: { // waypointed routing (rows 4-5)
+                provisioned_pair(a, b);
+                std::string m, unused;
+                random_pair(m, unused);
+                queries.push_back("<ip> [.#" + a + "] .* [.#" + m + "] .* [.#" + b +
+                                  "] <ip> " + k);
+                break;
+            }
+            case 4: // transparency at the exits / unspecific stress query
+                if (options.include_stress && queries.size() % 10 == 4) {
+                    queries.push_back("<smpls? ip> .* <. smpls ip> " + k);
+                } else {
+                    provisioned_pair(a, b);
+                    const auto edge_b = net.network.topology.find_router(b);
+                    queries.push_back("<smpls ip> [.#" + a + "] .* " +
+                                      exit_atom(net, *edge_b) + " <mpls+ smpls ip> " + k);
+                }
+                break;
+        }
+    }
+    return queries;
+}
+
+std::vector<std::string> make_table1_queries(const SyntheticNetwork& net) {
+    auto edge = [&](std::size_t i) {
+        return router_of(net, net.edge_routers[i % net.edge_routers.size()]);
+    };
+    // Service-chain endpoints (satisfiable service queries).
+    std::string svc_label = "smpls", svc_a = edge(0), svc_b = edge(1);
+    if (!net.service_pairs.empty()) {
+        svc_label = service_atom(net, net.service_labels[0]);
+        svc_a = router_of(net, net.service_pairs[0].first);
+        svc_b = router_of(net, net.service_pairs[0].second);
+    }
+    // A provisioned IP pair.
+    std::string ip_a = edge(0), ip_b = edge(4);
+    if (!net.lsp_pairs.empty()) {
+        ip_a = router_of(net, net.lsp_pairs[0].first);
+        ip_b = router_of(net, net.lsp_pairs[0].second);
+    }
+    const auto r6 = edge(6), r4 = edge(4), r2 = edge(2), r18 = edge(8);
+    return {
+        "<smpls ip> [.#" + r6 + "] .* [.#" + r4 + "] <smpls ip> 1",
+        "<smpls ip> [.#" + r2 + "] .* [.#" + r18 + "] <(mpls* smpls)? ip> 1",
+        "<ip> [.#" + ip_a + "] .* [.#" + ip_b + "] <ip> 0",
+        "<" + svc_label + " ip> [.#" + svc_a + "] .* [.#" + svc_b + "] <smpls ip> 0",
+        "<" + svc_label + " ip> [.#" + svc_a + "] .* [.#" + svc_b + "] <smpls ip> 1",
+        "<smpls? ip> .* <. smpls ip> 0",
+    };
+}
+
+} // namespace aalwines::synthesis

@@ -1,0 +1,33 @@
+#pragma once
+// Query batteries for the benchmark harness: the same query shapes as the
+// paper's Table 1 and §5 suite (reachability, waypointing, service-label
+// routing, transparency, and the deliberately unspecific stress query),
+// instantiated over a synthesized network's edge routers and labels.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synthesis/dataplane.hpp"
+
+namespace aalwines::synthesis {
+
+struct QueryBatteryOptions {
+    std::size_t count = 20;
+    std::vector<std::uint64_t> failure_bounds = {0, 1, 2};
+    std::uint64_t seed = 7;
+    /// Include the `<smpls? ip> .* <. smpls ip> k` stress shape (the paper's
+    /// slowest query; every router sequence is admitted).
+    bool include_stress = true;
+};
+
+/// Generate `options.count` query strings over `net`.  Deterministic for a
+/// fixed seed.  All queries parse against net.network.
+[[nodiscard]] std::vector<std::string> make_query_battery(const SyntheticNetwork& net,
+                                                          const QueryBatteryOptions& options = {});
+
+/// The six Table-1-shaped queries for an operator network (used by
+/// bench_table1); R1..R3 pick deterministic edge routers.
+[[nodiscard]] std::vector<std::string> make_table1_queries(const SyntheticNetwork& net);
+
+} // namespace aalwines::synthesis

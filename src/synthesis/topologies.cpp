@@ -1,0 +1,192 @@
+#include "synthesis/topologies.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <random>
+
+namespace aalwines::synthesis {
+
+namespace {
+/// Place routers around a reference point so haversine distances are sane.
+constexpr double k_base_lat = 50.0;
+constexpr double k_base_lng = 10.0;
+
+std::string router_name(std::size_t index) { return "R" + std::to_string(index); }
+} // namespace
+
+SyntheticTopology make_ring(std::size_t n) {
+    SyntheticTopology out;
+    auto& topology = out.topology;
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto router = topology.add_router(router_name(i));
+        const double angle = 2.0 * std::numbers::pi * static_cast<double>(i) /
+                             static_cast<double>(n);
+        topology.set_coordinate(router,
+                                {k_base_lat + 2.0 * std::sin(angle),
+                                 k_base_lng + 3.0 * std::cos(angle)});
+        out.edge_routers.push_back(router);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto a = static_cast<RouterId>(i);
+        const auto b = static_cast<RouterId>((i + 1) % n);
+        topology.add_duplex(a, "ring_cw", b, "ring_ccw");
+    }
+    topology.distances_from_coordinates();
+    return out;
+}
+
+SyntheticTopology make_grid(std::size_t width, std::size_t height) {
+    SyntheticTopology out;
+    auto& topology = out.topology;
+    auto index = [&](std::size_t x, std::size_t y) {
+        return static_cast<RouterId>(y * width + x);
+    };
+    for (std::size_t y = 0; y < height; ++y) {
+        for (std::size_t x = 0; x < width; ++x) {
+            const auto router = topology.add_router(router_name(y * width + x));
+            topology.set_coordinate(router, {k_base_lat + 0.3 * static_cast<double>(y),
+                                             k_base_lng + 0.3 * static_cast<double>(x)});
+            if (x == 0 || y == 0 || x + 1 == width || y + 1 == height)
+                out.edge_routers.push_back(router);
+        }
+    }
+    for (std::size_t y = 0; y < height; ++y) {
+        for (std::size_t x = 0; x < width; ++x) {
+            if (x + 1 < width)
+                topology.add_duplex(index(x, y), "east", index(x + 1, y), "west");
+            if (y + 1 < height)
+                topology.add_duplex(index(x, y), "south", index(x, y + 1), "north");
+        }
+    }
+    topology.distances_from_coordinates();
+    return out;
+}
+
+SyntheticTopology make_waxman(std::size_t n, double alpha, double beta,
+                              std::uint64_t seed) {
+    SyntheticTopology out;
+    auto& topology = out.topology;
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+    std::vector<std::pair<double, double>> points;
+    points.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = unit(rng);
+        const double y = unit(rng);
+        points.emplace_back(x, y);
+        const auto router = topology.add_router(router_name(i));
+        topology.set_coordinate(router, {k_base_lat + 4.0 * y, k_base_lng + 6.0 * x});
+    }
+
+    auto distance = [&](std::size_t a, std::size_t b) {
+        const double dx = points[a].first - points[b].first;
+        const double dy = points[a].second - points[b].second;
+        return std::sqrt(dx * dx + dy * dy);
+    };
+    const double scale = std::numbers::sqrt2; // max distance in the unit square
+
+    std::vector<std::size_t> interface_counter(n, 0);
+    std::vector<std::vector<bool>> connected(n, std::vector<bool>(n, false));
+    auto connect = [&](std::size_t a, std::size_t b) {
+        if (a == b || connected[a][b]) return;
+        connected[a][b] = connected[b][a] = true;
+        topology.add_duplex(static_cast<RouterId>(a),
+                            "i" + std::to_string(interface_counter[a]++),
+                            static_cast<RouterId>(b),
+                            "i" + std::to_string(interface_counter[b]++));
+    };
+
+    // Spanning tree first (random attachment) so the graph is connected.
+    for (std::size_t i = 1; i < n; ++i)
+        connect(i, rng() % i);
+    // Waxman chords.
+    for (std::size_t a = 0; a < n; ++a) {
+        for (std::size_t b = a + 1; b < n; ++b) {
+            const double p = alpha * std::exp(-distance(a, b) / (beta * scale));
+            if (unit(rng) < p) connect(a, b);
+        }
+    }
+    topology.distances_from_coordinates();
+
+    // Edge routers: the quarter of routers with the fewest links (ties by id).
+    std::vector<std::pair<std::size_t, RouterId>> by_degree;
+    for (RouterId r = 0; r < n; ++r)
+        by_degree.emplace_back(topology.out_links(r).size(), r);
+    std::sort(by_degree.begin(), by_degree.end());
+    const auto edge_count = std::max<std::size_t>(2, n / 4);
+    for (std::size_t i = 0; i < edge_count; ++i)
+        out.edge_routers.push_back(by_degree[i].second);
+    std::sort(out.edge_routers.begin(), out.edge_routers.end());
+    return out;
+}
+
+SyntheticTopology make_backbone(std::size_t core, std::size_t leaves_per_core,
+                                std::uint64_t seed) {
+    SyntheticTopology out;
+    auto& topology = out.topology;
+    std::mt19937_64 rng(seed);
+
+    for (std::size_t i = 0; i < core; ++i) {
+        const auto router = topology.add_router("C" + std::to_string(i));
+        const double angle = 2.0 * std::numbers::pi * static_cast<double>(i) /
+                             static_cast<double>(core);
+        topology.set_coordinate(router, {k_base_lat + 3.0 * std::sin(angle),
+                                         k_base_lng + 4.5 * std::cos(angle)});
+    }
+    for (std::size_t i = 0; i < core; ++i)
+        topology.add_duplex(static_cast<RouterId>(i), "cw",
+                            static_cast<RouterId>((i + 1) % core), "ccw");
+    // A few chords across the core for path diversity.
+    for (std::size_t i = 0; i + 2 < core; i += 3)
+        topology.add_duplex(static_cast<RouterId>(i), "chord_a",
+                            static_cast<RouterId>((i + core / 2) % core), "chord_b");
+
+    std::size_t leaf_index = 0;
+    for (std::size_t c = 0; c < core; ++c) {
+        for (std::size_t l = 0; l < leaves_per_core; ++l) {
+            const auto leaf = topology.add_router("L" + std::to_string(leaf_index));
+            const auto core_coord = topology.coordinate(static_cast<RouterId>(c));
+            topology.set_coordinate(
+                leaf, {core_coord->latitude + 0.1 * static_cast<double>(l + 1),
+                       core_coord->longitude + 0.07 * static_cast<double>(l + 1)});
+            topology.add_duplex(static_cast<RouterId>(c),
+                                "leaf" + std::to_string(leaf_index), leaf, "up");
+            // Dual-homing for some leaves: connect to a second random core.
+            if (rng() % 3 == 0) {
+                const auto second = static_cast<RouterId>(rng() % core);
+                if (second != c)
+                    topology.add_duplex(second, "leaf2_" + std::to_string(leaf_index),
+                                        leaf, "up2");
+            }
+            out.edge_routers.push_back(leaf);
+            ++leaf_index;
+        }
+    }
+    topology.distances_from_coordinates();
+    return out;
+}
+
+SyntheticTopology make_clos(std::size_t spines, std::size_t leaves) {
+    SyntheticTopology out;
+    auto& topology = out.topology;
+    for (std::size_t s = 0; s < spines; ++s) {
+        const auto spine = topology.add_router("S" + std::to_string(s));
+        topology.set_coordinate(spine, {k_base_lat + 1.0,
+                                        k_base_lng + 0.4 * static_cast<double>(s)});
+    }
+    for (std::size_t l = 0; l < leaves; ++l) {
+        const auto leaf = topology.add_router("T" + std::to_string(l));
+        topology.set_coordinate(leaf,
+                                {k_base_lat, k_base_lng + 0.3 * static_cast<double>(l)});
+        out.edge_routers.push_back(leaf);
+        for (std::size_t s = 0; s < spines; ++s)
+            topology.add_duplex(static_cast<RouterId>(s), "down" + std::to_string(l),
+                                leaf, "up" + std::to_string(s));
+    }
+    topology.distances_from_coordinates();
+    return out;
+}
+
+} // namespace aalwines::synthesis

@@ -1,0 +1,49 @@
+#pragma once
+// Synthetic topology generators.
+//
+// The paper evaluates on the Internet Topology Zoo and on NORDUnet's
+// network, which we cannot redistribute; these deterministic generators
+// produce topologies matched to the Zoo's size distribution and structural
+// styles (rings, meshes, geometric graphs, two-level backbones).  Real Zoo
+// GML files can still be loaded through io::read_gml.
+
+#include <cstdint>
+#include <vector>
+
+#include "model/topology.hpp"
+
+namespace aalwines::synthesis {
+
+/// A generated topology plus the routers designated as network edges (the
+/// endpoints between which label-switched paths are provisioned).
+struct SyntheticTopology {
+    Topology topology;
+    std::vector<RouterId> edge_routers;
+};
+
+/// Ring of n routers; every router is an edge router.
+[[nodiscard]] SyntheticTopology make_ring(std::size_t n);
+
+/// w × h grid with toroidal coordinates off; border routers are edges.
+[[nodiscard]] SyntheticTopology make_grid(std::size_t width, std::size_t height);
+
+/// Waxman random geometric graph: n routers placed uniformly in a square,
+/// connected with probability alpha * exp(-d / (beta * L)).  A spanning
+/// tree guarantees connectivity.  Low-degree routers are edges.
+[[nodiscard]] SyntheticTopology make_waxman(std::size_t n, double alpha, double beta,
+                                            std::uint64_t seed);
+
+/// Two-level backbone: a core ring of `core` routers, each with
+/// `leaves_per_core` leaf routers attached (plus a few random core chords).
+/// Leaves are the edge routers.
+[[nodiscard]] SyntheticTopology make_backbone(std::size_t core,
+                                              std::size_t leaves_per_core,
+                                              std::uint64_t seed);
+
+/// Leaf-spine Clos fabric: `spines` spine routers fully meshed with
+/// `leaves` leaf routers (every leaf connects to every spine).  The leaves
+/// are the edge routers; path diversity is maximal, which stresses the TE
+/// groups and failover synthesis.
+[[nodiscard]] SyntheticTopology make_clos(std::size_t spines, std::size_t leaves);
+
+} // namespace aalwines::synthesis

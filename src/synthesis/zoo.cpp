@@ -1,0 +1,63 @@
+#include "synthesis/networks.hpp"
+
+namespace aalwines::synthesis {
+
+namespace {
+enum class Family { Ring, Grid, Waxman, Backbone, Clos };
+
+struct Spec {
+    Family family;
+    std::size_t a; ///< primary size parameter
+    std::size_t b; ///< secondary parameter (grid height / leaves per core)
+    const char* name;
+};
+
+// Size mix modelled on the Internet Topology Zoo: mostly small-to-medium
+// networks (tens of routers), a few large ones, topping out around 240
+// routers; the paper reports an average of 84.
+constexpr Spec k_specs[] = {
+    {Family::Ring, 12, 0, "ring12"},        {Family::Ring, 24, 0, "ring24"},
+    {Family::Ring, 48, 0, "ring48"},        {Family::Grid, 4, 4, "grid4x4"},
+    {Family::Grid, 5, 6, "grid5x6"},        {Family::Grid, 8, 8, "grid8x8"},
+    {Family::Grid, 10, 12, "grid10x12"},    {Family::Waxman, 20, 0, "waxman20"},
+    {Family::Waxman, 36, 0, "waxman36"},    {Family::Waxman, 60, 0, "waxman60"},
+    {Family::Waxman, 90, 0, "waxman90"},    {Family::Waxman, 140, 0, "waxman140"},
+    {Family::Backbone, 6, 3, "backbone6x3"},   {Family::Backbone, 8, 5, "backbone8x5"},
+    {Family::Backbone, 12, 6, "backbone12x6"}, {Family::Backbone, 16, 9, "backbone16x9"},
+    {Family::Backbone, 20, 11, "backbone20x11"},
+    {Family::Clos, 4, 8, "clos4x8"},           {Family::Clos, 6, 16, "clos6x16"},
+};
+} // namespace
+
+std::size_t zoo_like_count() { return std::size(k_specs); }
+
+ZooInstance make_zoo_like(std::size_t index) {
+    const auto& spec = k_specs[index % std::size(k_specs)];
+    const std::uint64_t seed = 0x5eed0000 + index;
+
+    SyntheticTopology topo;
+    switch (spec.family) {
+        case Family::Ring: topo = make_ring(spec.a); break;
+        case Family::Grid: topo = make_grid(spec.a, spec.b); break;
+        case Family::Waxman: topo = make_waxman(spec.a, 0.4, 0.25, seed); break;
+        case Family::Backbone: topo = make_backbone(spec.a, spec.b, seed); break;
+        case Family::Clos: topo = make_clos(spec.a, spec.b); break;
+    }
+
+    DataplaneOptions options;
+    options.fast_failover = true;
+    options.seed = seed;
+    // Keep the dataplane size proportional to the topology, as the paper's
+    // pipeline does (LSPs between all edge pairs would grow quadratically).
+    const auto routers = topo.topology.router_count();
+    options.max_lsp_pairs = routers * 4;
+    options.service_chains = routers / 2;
+
+    ZooInstance instance;
+    instance.name = spec.name;
+    instance.net = build_dataplane(std::move(topo), options);
+    instance.net.network.name = instance.name;
+    return instance;
+}
+
+} // namespace aalwines::synthesis

@@ -1,0 +1,25 @@
+#include "util/errors.hpp"
+
+namespace aalwines {
+
+namespace {
+std::string format_message(const std::string& message, SourcePos pos) {
+    if (pos.line == 0) return message;
+    return message + " (at line " + std::to_string(pos.line) + ", column " +
+           std::to_string(pos.column) + ")";
+}
+} // namespace
+
+parse_error::parse_error(std::string message, SourcePos pos)
+    : std::runtime_error(format_message(message, pos)), _pos(pos) {}
+
+parse_error::parse_error(std::string message)
+    : std::runtime_error(std::move(message)) {}
+
+namespace detail {
+void fail_parse(const std::string& message, SourcePos pos) {
+    throw parse_error(message, pos);
+}
+} // namespace detail
+
+} // namespace aalwines

@@ -1,0 +1,44 @@
+#pragma once
+// Error types shared across the AalWiNes library.
+//
+// The library reports malformed input (XML, GML, JSON, query text) through
+// `parse_error`, which carries a 1-based line/column position, and internal
+// contract violations through `logic_error`-derived types.  Verification
+// itself never throws for "query not satisfied" -- that is a regular result.
+
+#include <stdexcept>
+#include <string>
+
+namespace aalwines {
+
+/// Position in a textual input, 1-based.  line == 0 means "unknown".
+struct SourcePos {
+    unsigned line = 0;
+    unsigned column = 0;
+};
+
+/// Thrown when a textual input (XML, GML, JSON, query) is malformed.
+class parse_error : public std::runtime_error {
+public:
+    parse_error(std::string message, SourcePos pos);
+    explicit parse_error(std::string message);
+
+    /// Position of the offending token; line 0 when unknown.
+    [[nodiscard]] SourcePos where() const noexcept { return _pos; }
+
+private:
+    SourcePos _pos;
+};
+
+/// Thrown when input is well-formed but semantically inconsistent with the
+/// network model (e.g. a route referencing an unknown interface).
+class model_error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] void fail_parse(const std::string& message, SourcePos pos);
+} // namespace detail
+
+} // namespace aalwines

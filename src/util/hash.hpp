@@ -1,0 +1,28 @@
+#pragma once
+// Hash helpers: boost-style hash_combine and a std::hash specialisation
+// helper for aggregate key types used throughout the library.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace aalwines {
+
+/// Mix `value`'s hash into `seed` (boost::hash_combine with a 64-bit mixer).
+template <typename T>
+void hash_combine(std::size_t& seed, const T& value) {
+    std::size_t h = std::hash<T>{}(value);
+    h *= 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 32;
+    seed ^= h + (seed << 6) + (seed >> 2);
+}
+
+/// Hash a pack of values into a single seed.
+template <typename... Ts>
+std::size_t hash_all(const Ts&... values) {
+    std::size_t seed = 0;
+    (hash_combine(seed, values), ...);
+    return seed;
+}
+
+} // namespace aalwines

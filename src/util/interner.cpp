@@ -1,0 +1,27 @@
+#include "util/interner.hpp"
+
+#include <cassert>
+
+namespace aalwines {
+
+StringInterner::Id StringInterner::intern(std::string_view text) {
+    if (auto it = _ids.find(text); it != _ids.end()) return it->second;
+    const Id id = static_cast<Id>(_strings.size());
+    _strings.emplace_back(text);
+    // Keys view into deque elements, whose addresses are stable for the
+    // interner's lifetime (deques never move elements on growth).
+    _ids.emplace(std::string_view(_strings.back()), id);
+    return id;
+}
+
+std::optional<StringInterner::Id> StringInterner::find(std::string_view text) const {
+    if (auto it = _ids.find(text); it != _ids.end()) return it->second;
+    return std::nullopt;
+}
+
+const std::string& StringInterner::at(Id id) const {
+    assert(id < _strings.size());
+    return _strings[id];
+}
+
+} // namespace aalwines

@@ -1,0 +1,38 @@
+#pragma once
+// A string interner: maps strings to dense uint32 ids and back.
+//
+// Router names, interface names and label names are interned once at parse
+// time; the rest of the library works with 32-bit ids, keeping the hot
+// saturation loops free of string comparisons.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace aalwines {
+
+class StringInterner {
+public:
+    using Id = std::uint32_t;
+
+    /// Intern `text`, returning its dense id (existing id if already known).
+    Id intern(std::string_view text);
+
+    /// Id of `text` if already interned.
+    [[nodiscard]] std::optional<Id> find(std::string_view text) const;
+
+    /// The string for a previously returned id.  Precondition: id < size().
+    [[nodiscard]] const std::string& at(Id id) const;
+
+    [[nodiscard]] std::size_t size() const noexcept { return _strings.size(); }
+    [[nodiscard]] bool empty() const noexcept { return _strings.empty(); }
+
+private:
+    std::deque<std::string> _strings;
+    std::unordered_map<std::string_view, Id> _ids;
+};
+
+} // namespace aalwines

@@ -1,0 +1,44 @@
+#include "verify/batch.hpp"
+
+#include <atomic>
+#include <thread>
+
+namespace aalwines::verify {
+
+std::vector<BatchItem> verify_batch(const Network& network,
+                                    const std::vector<std::string>& texts,
+                                    const VerifyOptions& options, std::size_t jobs) {
+    std::vector<BatchItem> items(texts.size());
+    for (std::size_t i = 0; i < texts.size(); ++i) items[i].query_text = texts[i];
+    if (texts.empty()) return items;
+
+    if (jobs == 0) jobs = std::max(1u, std::thread::hardware_concurrency());
+    jobs = std::min(jobs, texts.size());
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            const auto index = next.fetch_add(1, std::memory_order_relaxed);
+            if (index >= items.size()) return;
+            auto& item = items[index];
+            try {
+                const auto query = query::parse_query(item.query_text, network);
+                item.result = verify(network, query, options);
+            } catch (const std::exception& error) {
+                item.error = error.what();
+            }
+        }
+    };
+
+    if (jobs == 1) {
+        worker();
+        return items;
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(jobs);
+    for (std::size_t i = 0; i < jobs; ++i) threads.emplace_back(worker);
+    for (auto& thread : threads) thread.join();
+    return items;
+}
+
+} // namespace aalwines::verify

@@ -1,0 +1,29 @@
+#pragma once
+// Parallel batch verification.  The paper's backend serves whole query
+// files per network snapshot; queries are independent (the network is only
+// read), so they distribute trivially across worker threads.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "verify/engine.hpp"
+
+namespace aalwines::verify {
+
+struct BatchItem {
+    std::string query_text;
+    VerifyResult result;
+    std::string error; ///< non-empty when the query failed to parse/verify
+};
+
+/// Verify every query in `texts` against `network`, using up to `jobs`
+/// worker threads (0 = hardware concurrency).  Results keep the input
+/// order.  Per-query parse or verification errors are captured in the
+/// item's `error` instead of aborting the batch.
+[[nodiscard]] std::vector<BatchItem> verify_batch(const Network& network,
+                                                  const std::vector<std::string>& texts,
+                                                  const VerifyOptions& options = {},
+                                                  std::size_t jobs = 0);
+
+} // namespace aalwines::verify

@@ -1,0 +1,233 @@
+#include "verify/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/errors.hpp"
+#include "verify/translation.hpp"
+
+namespace aalwines::verify {
+
+std::string_view to_string(Answer answer) {
+    switch (answer) {
+        case Answer::Yes: return "yes";
+        case Answer::No: return "no";
+        case Answer::Inconclusive: return "inconclusive";
+    }
+    return "?";
+}
+
+std::string_view to_string(EngineKind engine) {
+    switch (engine) {
+        case EngineKind::Moped: return "moped";
+        case EngineKind::Dual: return "dual";
+        case EngineKind::Weighted: return "weighted";
+        case EngineKind::Exact: return "exact";
+    }
+    return "?";
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Outcome of one over- or under-approximating post* run.
+struct PhaseOutcome {
+    bool satisfied = false;   ///< an accepted configuration exists
+    bool truncated = false;   ///< iteration cap hit: result unreliable
+    std::optional<Trace> trace;
+    std::vector<Trace> witnesses; ///< feasible traces (up to max_witnesses)
+    Feasibility feasibility;
+    std::vector<std::uint64_t> weight;
+    PhaseStats stats;
+};
+
+PhaseOutcome run_post_star_phase(const Network& network, const query::Query& query,
+                                 Approximation approximation,
+                                 const VerifyOptions& options) {
+    PhaseOutcome outcome;
+    const auto start = Clock::now();
+    outcome.stats.ran = true;
+
+    TranslationOptions topts;
+    topts.approximation = approximation;
+    if (options.engine == EngineKind::Weighted) topts.weights = options.weights;
+    Translation translation(network, query, topts);
+    outcome.stats.pda_rules_before_reduction = translation.pda().rule_count();
+    translation.reduce(options.reduction_level);
+    outcome.stats.pda_rules = translation.pda().rule_count();
+    outcome.stats.pda_states = translation.pda().state_count();
+
+    auto automaton = translation.make_initial_automaton();
+    const auto domain = static_cast<pda::Symbol>(network.labels.size());
+    pda::SolverOptions sopts;
+    sopts.max_iterations = options.max_iterations;
+    if (options.max_witnesses <= 1) {
+        // Demand-driven: stop saturating once a (minimal) witness is certain.
+        // (Alternative-witness collection needs the fully saturated automaton.)
+        sopts.check_accepted = [&]() {
+            const auto found =
+                pda::find_accepted(automaton, translation.accepting_states(),
+                                   translation.final_header_nfa(), domain);
+            return found ? found->weight : pda::Weight::infinity();
+        };
+    }
+    const auto sat_stats = pda::post_star(automaton, sopts);
+    outcome.stats.saturation_iterations = sat_stats.iterations;
+    outcome.stats.automaton_transitions = sat_stats.transitions;
+    outcome.truncated = outcome.stats.truncated = sat_stats.truncated;
+
+    const auto accepted =
+        pda::find_accepted(automaton, translation.accepting_states(),
+                           translation.final_header_nfa(), domain);
+    if (!accepted) {
+        outcome.stats.seconds = seconds_since(start);
+        return outcome;
+    }
+    outcome.satisfied = true;
+    outcome.weight = accepted->weight.components();
+
+    const auto witness = pda::unroll_post_star(automaton, *accepted);
+    if (witness) {
+        if (auto trace = translation.witness_to_trace(*witness)) {
+            outcome.feasibility =
+                check_feasibility(network, *trace, query.max_failures);
+            outcome.trace = std::move(trace);
+        }
+    }
+    if (options.max_witnesses > 1) {
+        // Enumerate alternative witnesses: walk the k-shortest accepted
+        // configurations, keep the distinct feasible traces.
+        const auto configs = pda::find_accepted_n(
+            automaton, translation.accepting_states(), translation.final_header_nfa(),
+            domain, options.max_witnesses * 4);
+        std::optional<pda::Weight> best_feasible_weight;
+        for (const auto& config : configs) {
+            if (outcome.witnesses.size() >= options.max_witnesses) break;
+            const auto alt_witness = pda::unroll_post_star(automaton, config);
+            if (!alt_witness) continue;
+            auto trace = translation.witness_to_trace(*alt_witness);
+            if (!trace) continue;
+            if (!check_feasibility(network, *trace, query.max_failures).feasible)
+                continue;
+            if (std::find(outcome.witnesses.begin(), outcome.witnesses.end(), *trace) !=
+                outcome.witnesses.end())
+                continue;
+            if (!best_feasible_weight) best_feasible_weight = config.weight;
+            outcome.witnesses.push_back(std::move(*trace));
+        }
+        if (!outcome.witnesses.empty()) {
+            // The canonical witness (and its reported weight) is the best
+            // *feasible* configuration — the minimal accepted one may have
+            // been infeasible.
+            outcome.trace = outcome.witnesses.front();
+            outcome.feasibility =
+                check_feasibility(network, *outcome.trace, query.max_failures);
+            outcome.weight = best_feasible_weight->components();
+        }
+    } else if (outcome.trace && outcome.feasibility.feasible) {
+        outcome.witnesses.push_back(*outcome.trace);
+    }
+    outcome.stats.seconds = seconds_since(start);
+    return outcome;
+}
+
+} // namespace
+
+VerifyResult verify(const Network& network, const query::Query& query,
+                    const VerifyOptions& options) {
+    if (options.engine == EngineKind::Moped) {
+        if (options.weights != nullptr && !options.weights->empty())
+            throw model_error("the Moped engine cannot verify weighted queries");
+        return moped_verify(network, query, options);
+    }
+    if (options.engine == EngineKind::Exact) return exact_verify(network, query, options);
+    if (options.engine == EngineKind::Weighted &&
+        (options.weights == nullptr || options.weights->empty()))
+        throw model_error("the weighted engine requires a weight expression");
+
+    const auto start = std::chrono::steady_clock::now();
+    VerifyResult result;
+
+    if (query.mode == query::Mode::Under) {
+        // Under-approximation only: YES answers are trustworthy, everything
+        // else is inconclusive (the under-approximation misses traces whose
+        // loops double-count failed links).
+        auto under = run_post_star_phase(network, query, Approximation::Under, options);
+        result.stats.under = under.stats;
+        if (under.satisfied && under.trace && under.feasibility.feasible) {
+            result.answer = Answer::Yes;
+            if (options.build_trace) result.trace = std::move(under.trace);
+            result.weight = std::move(under.weight);
+        } else {
+            result.answer = Answer::Inconclusive;
+            result.note = "UNDER mode: the under-approximation found no valid trace "
+                          "(not a conclusive NO)";
+        }
+        result.stats.total_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+        return result;
+    }
+
+    auto over = run_post_star_phase(network, query, Approximation::Over, options);
+    result.stats.over = over.stats;
+
+    if (!over.satisfied) {
+        result.answer = over.truncated ? Answer::Inconclusive : Answer::No;
+        if (over.truncated) result.note = "over-approximation truncated (iteration cap)";
+        result.stats.total_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+        return result;
+    }
+    if (over.trace && over.feasibility.feasible) {
+        result.answer = Answer::Yes;
+        if (options.build_trace) {
+            result.trace = std::move(over.trace);
+            result.witnesses = std::move(over.witnesses);
+        }
+        result.weight = std::move(over.weight);
+        result.stats.total_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+        return result;
+    }
+    if (query.mode == query::Mode::Over) {
+        // Over-approximation only: satisfiable there, but the candidate
+        // witness is infeasible — report YES with a caveat (OVER trusts the
+        // over-approximation; some such YES answers are spurious).
+        result.answer = Answer::Yes;
+        result.weight = std::move(over.weight);
+        result.note = "OVER mode: satisfied in the over-approximation; the witness "
+                      "exceeds the failure budget and may be spurious";
+        result.stats.total_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+        return result;
+    }
+
+    // Over-approximation produced an infeasible candidate; decide with the
+    // under-approximation (global failure counter in the control state).
+    auto under = run_post_star_phase(network, query, Approximation::Under, options);
+    result.stats.under = under.stats;
+    if (under.satisfied && under.trace && under.feasibility.feasible) {
+        result.answer = Answer::Yes;
+        if (options.build_trace) {
+            result.trace = std::move(under.trace);
+            result.witnesses = std::move(under.witnesses);
+        }
+        result.weight = std::move(under.weight);
+    } else {
+        result.answer = Answer::Inconclusive;
+        result.note = under.truncated
+                          ? "under-approximation truncated (iteration cap)"
+                          : "over-approximation satisfied but witness infeasible; "
+                            "under-approximation found no valid trace";
+    }
+    result.stats.total_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    return result;
+}
+
+} // namespace aalwines::verify

@@ -1,0 +1,98 @@
+#pragma once
+// Query verification engines (paper §4.2, Figure 3):
+//
+//   Dual     — unweighted: over-approximating post* first (conclusive NO, or
+//              a candidate trace whose feasibility is checked in polynomial
+//              time); on an infeasible candidate, an under-approximating
+//              PDA with a global failure counter decides YES or returns
+//              INCONCLUSIVE.
+//   Weighted — same pipeline on a weighted PDA; the witness returned is
+//              minimal w.r.t. the lexicographic weight vector (Problem 2).
+//   Moped    — baseline modelling the external Moped model checker used by
+//              P-Rex: the (reduced) PDA is serialised to a Moped-style text
+//              format, parsed back, and solved by classical pre* saturation
+//              with full saturation before the membership check.  Logical
+//              properties only (requesting weights is an error).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "model/quantity.hpp"
+#include "model/trace.hpp"
+#include "query/query.hpp"
+
+namespace aalwines::verify {
+
+enum class Answer : std::uint8_t { Yes, No, Inconclusive };
+
+[[nodiscard]] std::string_view to_string(Answer answer);
+
+enum class EngineKind : std::uint8_t { Moped, Dual, Weighted, Exact };
+
+[[nodiscard]] std::string_view to_string(EngineKind engine);
+
+struct VerifyOptions {
+    EngineKind engine = EngineKind::Dual;
+    /// PDA reduction level: 0 = off, 1 = top-of-stack, 2 = + second symbol.
+    int reduction_level = 2;
+    /// Minimisation objective for EngineKind::Weighted.
+    const WeightExpr* weights = nullptr;
+    /// Per-saturation iteration cap (0 = unlimited); exceeding it makes the
+    /// phase inconclusive — the benchmark harness's timeout stand-in.
+    std::size_t max_iterations = 0;
+    /// By default the Moped baseline models P-Rex's pipeline, which predates
+    /// the top-of-stack reduction: the PDA is expanded and solved unreduced.
+    /// Set true to feed Moped the reduced PDA instead (the architecture of
+    /// the paper's Figure 3); bench_reduction quantifies the difference.
+    bool moped_reduction = false;
+    /// Reconstruct a witness trace on YES answers.
+    bool build_trace = true;
+    /// Collect up to this many distinct feasible witness traces (ordered by
+    /// weight for the weighted engine).  Values > 1 disable demand-driven
+    /// early termination so the saturated automaton covers alternatives.
+    std::size_t max_witnesses = 1;
+};
+
+/// Timing and size figures for one saturation phase.
+struct PhaseStats {
+    std::size_t pda_rules_before_reduction = 0;
+    std::size_t pda_rules = 0;
+    std::size_t pda_states = 0;
+    std::size_t saturation_iterations = 0;
+    std::size_t automaton_transitions = 0;
+    double seconds = 0.0;
+    bool ran = false;
+    bool truncated = false;
+};
+
+struct VerifyStats {
+    PhaseStats over;
+    PhaseStats under;
+    double total_seconds = 0.0;
+};
+
+struct VerifyResult {
+    Answer answer = Answer::Inconclusive;
+    std::optional<Trace> trace;           ///< witness on YES (when requested)
+    std::vector<Trace> witnesses;         ///< all collected witnesses (max_witnesses)
+    std::vector<std::uint64_t> weight;    ///< witness weight per priority (Weighted)
+    VerifyStats stats;
+    std::string note;                     ///< human-readable detail
+};
+
+/// Decide the query satisfiability problem (Problem 1) — and, for the
+/// weighted engine, the minimum witness problem (Problem 2).
+[[nodiscard]] VerifyResult verify(const Network& network, const query::Query& query,
+                                  const VerifyOptions& options = {});
+
+/// Implementation of the Moped baseline; used directly by benches.
+[[nodiscard]] VerifyResult moped_verify(const Network& network, const query::Query& query,
+                                        const VerifyOptions& options);
+
+/// Implementation of the exact (scenario-enumerating) engine.
+[[nodiscard]] VerifyResult exact_verify(const Network& network, const query::Query& query,
+                                        const VerifyOptions& options);
+
+} // namespace aalwines::verify

@@ -1,0 +1,32 @@
+#pragma once
+// Moped-style textual pushdown-system format.
+//
+// The Moped model checker is driven through a textual input format; P-Rex
+// (and AalWiNes when using the Moped backend) serialise the compiled PDA,
+// hand it to the external process and parse the reply.  Our baseline models
+// that round trip faithfully: the PDA is written to text and re-parsed
+// before solving.  Rule order — and therefore rule ids and tags — is
+// preserved exactly, so witnesses from the round-tripped system map back
+// onto the original translation.
+//
+// Format (line oriented):
+//   pds <state-count> <alphabet-size>
+//   class <symbol> <class-id>
+//   rule <from> <pre-kind> <pre-value> <op> <label1> <label2> <to> <tag>
+// where pre-kind ∈ {c, k, a} (concrete/class/any), op ∈ {pop, swap, push},
+// and absent symbols are written as '-' ("same as matched" as '=').
+
+#include <string>
+#include <string_view>
+
+#include "pda/pda.hpp"
+
+namespace aalwines::verify {
+
+[[nodiscard]] std::string write_moped_format(const pda::Pda& pda);
+
+/// Parse a document produced by write_moped_format.  Weights are not part
+/// of the format (Moped is unweighted): parsed rules all carry weight 1̄.
+[[nodiscard]] pda::Pda parse_moped_format(std::string_view text);
+
+} // namespace aalwines::verify

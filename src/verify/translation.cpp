@@ -1,0 +1,453 @@
+#include "verify/translation.hpp"
+
+#include <cassert>
+#include <set>
+
+namespace aalwines::verify {
+
+using nfa::Regex;
+using nfa::SymbolSet;
+
+nfa::Regex valid_header_regex(const LabelTable& labels) {
+    // Top-first: mpls* smpls ip | ip.
+    auto mpls = Regex::atom(SymbolSet::of(labels.of_type(LabelType::Mpls)));
+    auto smpls = Regex::atom(SymbolSet::of(labels.of_type(LabelType::MplsBos)));
+    auto ip = Regex::atom(SymbolSet::of(labels.of_type(LabelType::Ip)));
+    std::vector<Regex> tunnel;
+    tunnel.push_back(Regex::star(std::move(mpls)));
+    tunnel.push_back(std::move(smpls));
+    tunnel.push_back(ip);
+    std::vector<Regex> branches;
+    branches.push_back(Regex::concat(std::move(tunnel)));
+    branches.push_back(std::move(ip));
+    return Regex::alt(std::move(branches));
+}
+
+namespace {
+/// Possible strata of an unknown top-of-stack symbol during a chain.
+struct TopDescriptor {
+    Label known = k_invalid_label; ///< concrete symbol, if known
+    bool mpls = false, bos = false, ip = false;
+
+    [[nodiscard]] static TopDescriptor of(Label label) {
+        TopDescriptor d;
+        d.known = label;
+        return d;
+    }
+    [[nodiscard]] bool is_known() const { return known != k_invalid_label; }
+};
+
+/// Strata that may lie directly below a label of type `type` in a valid
+/// header: below mpls is mpls|smpls, below smpls is ip, below ip nothing.
+TopDescriptor below_of(LabelType type) {
+    TopDescriptor d;
+    switch (type) {
+        case LabelType::Mpls: d.mpls = d.bos = true; break;
+        case LabelType::MplsBos: d.ip = true; break;
+        case LabelType::Ip: break;
+    }
+    return d;
+}
+
+pda::SymbolClass class_id(LabelType type) { return static_cast<pda::SymbolClass>(type); }
+} // namespace
+
+Translation::Translation(const Network& network, const query::Query& query,
+                         const TranslationOptions& options)
+    : _network(&network), _query(&query), _options(options) {
+    _nfa_b = nfa::Nfa::compile(query.path);
+    const auto header_nfa = nfa::Nfa::compile(valid_header_regex(network.labels));
+    _nfa_a = nfa::Nfa::intersection(nfa::Nfa::compile(query.initial_header), header_nfa);
+    _nfa_c = nfa::Nfa::intersection(nfa::Nfa::compile(query.final_header), header_nfa);
+    _failure_slots = _options.approximation == Approximation::Under
+                         ? static_cast<std::uint32_t>(query.max_failures) + 1
+                         : 1;
+    if (_options.approximation == Approximation::Exact && _options.failed_links == nullptr)
+        throw model_error("exact translation requires a concrete failure set");
+
+    _pda = std::make_unique<pda::Pda>(static_cast<pda::Symbol>(network.labels.size()));
+    for (Label label = 0; label < network.labels.size(); ++label)
+        _pda->set_symbol_class(label, class_id(network.labels.type_of(label)));
+
+    build_control_states();
+    build_rules();
+}
+
+pda::StateId Translation::control_state(LinkId link, std::uint32_t nfa_state,
+                                        std::uint32_t failures) const {
+    const auto n_links = static_cast<std::uint32_t>(_network->topology.link_count());
+    const auto n_q = static_cast<std::uint32_t>(_nfa_b.size());
+    assert(link < n_links && nfa_state < n_q && failures < _failure_slots);
+    return (failures * n_q + nfa_state) * n_links + link;
+}
+
+void Translation::build_control_states() {
+    const auto n_links = _network->topology.link_count();
+    for (std::uint32_t f = 0; f < _failure_slots; ++f) {
+        for (std::uint32_t q = 0; q < _nfa_b.size(); ++q) {
+            for (std::uint32_t e = 0; e < n_links; ++e) {
+                const auto state = _pda->add_state();
+                assert(state == control_state(e, q, f));
+                (void)state;
+                _control_info.push_back({static_cast<LinkId>(e), q, f, false});
+                if (_nfa_b.states()[q].accepting)
+                    _accepting_states.push_back(control_state(e, q, f));
+            }
+        }
+    }
+    // Initial configurations: the packet has just traversed any link e₁ the
+    // path NFA can start with; no failures consumed yet.
+    std::set<pda::StateId> initial;
+    const auto domain = static_cast<nfa::Symbol>(n_links);
+    for (const auto q0 : _nfa_b.initial()) {
+        for (const auto& edge : _nfa_b.states()[q0].edges) {
+            for (const auto link : edge.symbols.materialize(domain)) {
+                if (_options.approximation == Approximation::Exact &&
+                    _options.failed_links->contains(link))
+                    continue; // a trace cannot start on a failed link
+                initial.insert(control_state(link, edge.target, 0));
+            }
+        }
+    }
+    _initial_states.assign(initial.begin(), initial.end());
+}
+
+pda::Weight Translation::make_step_weight(const ForwardingRule& rule,
+                                          std::uint64_t local_failures) const {
+    if (_options.weights == nullptr || _options.weights->empty()) return pda::Weight::one();
+    std::vector<std::uint64_t> components;
+    components.reserve(_options.weights->size());
+    for (const auto& expr : _options.weights->priorities)
+        components.push_back(
+            step_weight(*_network, expr, rule.out_link, rule.ops, local_failures));
+    return pda::Weight::of(std::move(components));
+}
+
+pda::Weight Translation::make_initial_weight(LinkId first_link) const {
+    if (_options.weights == nullptr || _options.weights->empty()) return pda::Weight::one();
+    std::vector<std::uint64_t> components;
+    components.reserve(_options.weights->size());
+    for (const auto& expr : _options.weights->priorities)
+        components.push_back(initial_weight(*_network, expr, first_link));
+    return pda::Weight::of(std::move(components));
+}
+
+void Translation::build_rules() {
+    _network->routing.for_each([this](LinkId in_link, Label label, const RoutingEntry& groups) {
+        add_entry_rules(in_link, label, groups);
+    });
+}
+
+void Translation::add_entry_rules(LinkId in_link, Label label, const RoutingEntry& groups) {
+    const auto k = _query->max_failures;
+    if (_options.approximation == Approximation::Exact) {
+        const auto& failed = *_options.failed_links;
+        if (failed.contains(in_link)) return; // packets never arrive here
+        // Definition 4, exactly: the first TE group with an active link
+        // forwards; higher-priority groups are fully failed.
+        std::set<LinkId> higher_priority_links;
+        for (const auto& group : groups) {
+            std::vector<const ForwardingRule*> active;
+            for (const auto& rule : group)
+                if (!failed.contains(rule.out_link)) active.push_back(&rule);
+            if (active.empty()) {
+                for (const auto& rule : group)
+                    higher_priority_links.insert(rule.out_link);
+                continue;
+            }
+            const auto local_failures =
+                static_cast<std::uint64_t>(higher_priority_links.size());
+            for (const auto* rule : active) {
+                for (std::uint32_t q = 0; q < _nfa_b.size(); ++q) {
+                    for (const auto& edge : _nfa_b.states()[q].edges) {
+                        if (!edge.symbols.contains(rule->out_link)) continue;
+                        const auto from = control_state(in_link, q, 0);
+                        const auto to = control_state(rule->out_link, edge.target, 0);
+                        const auto tag = static_cast<std::uint32_t>(_steps.size());
+                        _steps.push_back(
+                            {rule->out_link, static_cast<std::uint32_t>(local_failures)});
+                        add_chain(from, label, *rule, to,
+                                  make_step_weight(*rule, local_failures), tag);
+                    }
+                }
+            }
+            return; // only the first active group forwards
+        }
+        return;
+    }
+    std::set<LinkId> higher_priority_links;
+    for (const auto& group : groups) {
+        const auto local_failures = static_cast<std::uint64_t>(higher_priority_links.size());
+        if (local_failures <= k) {
+            for (const auto& rule : group) {
+                // A rule fires for every path-NFA move that consumes its
+                // out-link, from every (in_link, q [, f]) control state.
+                for (std::uint32_t q = 0; q < _nfa_b.size(); ++q) {
+                    for (const auto& edge : _nfa_b.states()[q].edges) {
+                        if (!edge.symbols.contains(rule.out_link)) continue;
+                        for (std::uint32_t f = 0; f < _failure_slots; ++f) {
+                            std::uint32_t f_next = f;
+                            if (_options.approximation == Approximation::Under) {
+                                if (f + local_failures > k) continue;
+                                f_next = f + static_cast<std::uint32_t>(local_failures);
+                            }
+                            const auto from = control_state(in_link, q, f);
+                            const auto to = control_state(rule.out_link, edge.target, f_next);
+                            const auto tag = static_cast<std::uint32_t>(_steps.size());
+                            _steps.push_back(
+                                {rule.out_link, static_cast<std::uint32_t>(local_failures)});
+                            add_chain(from, label, rule, to,
+                                      make_step_weight(rule, local_failures), tag);
+                        }
+                    }
+                }
+            }
+        }
+        for (const auto& rule : group) higher_priority_links.insert(rule.out_link);
+    }
+}
+
+void Translation::add_chain(pda::StateId from, Label top, const ForwardingRule& rule,
+                            pda::StateId target, pda::Weight weight, std::uint32_t tag) {
+    const auto& labels = _network->labels;
+    const auto& ops = rule.ops;
+
+    // Pre-check the statically-known prefix so we do not emit half a chain.
+    {
+        TopDescriptor d = TopDescriptor::of(top);
+        for (const auto& op : ops) {
+            if (!d.is_known()) break; // runtime class branching takes over
+            if (!op_applicable(labels, d.known, op)) return; // chain can never fire
+            switch (op.kind) {
+                case Op::Kind::Swap: d = TopDescriptor::of(op.label); break;
+                case Op::Kind::Push: d = TopDescriptor::of(op.label); break;
+                case Op::Kind::Pop: d = below_of(labels.type_of(d.known)); break;
+            }
+        }
+    }
+
+    pda::StateId current = from;
+    TopDescriptor desc = TopDescriptor::of(top);
+
+    auto next_state = [&](std::size_t index) -> pda::StateId {
+        if (index + 1 == std::max<std::size_t>(ops.size(), 1)) return target;
+        const auto state = _pda->add_state();
+        _control_info.push_back({k_invalid_id, 0, 0, true});
+        return state;
+    };
+
+    if (ops.empty()) {
+        // Plain forwarding: keep the top label, move to the target state.
+        _pda->add_rule({current, target, pda::PreSpec::concrete(top),
+                        pda::Rule::OpKind::Swap, top, pda::k_no_symbol, std::move(weight),
+                        tag});
+        return;
+    }
+
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        const auto& op = ops[i];
+        const auto to = next_state(i);
+        const auto rule_weight = i == 0 ? std::move(weight) : pda::Weight::one();
+        const auto rule_tag = i == 0 ? tag : UINT32_MAX;
+
+        if (desc.is_known()) {
+            const Label s = desc.known;
+            if (!op_applicable(labels, s, op)) return; // dead chain (unknown-path)
+            switch (op.kind) {
+                case Op::Kind::Swap:
+                    _pda->add_rule({current, to, pda::PreSpec::concrete(s),
+                                    pda::Rule::OpKind::Swap, op.label, pda::k_no_symbol,
+                                    rule_weight, rule_tag});
+                    desc = TopDescriptor::of(op.label);
+                    break;
+                case Op::Kind::Push:
+                    _pda->add_rule({current, to, pda::PreSpec::concrete(s),
+                                    pda::Rule::OpKind::Push, op.label, s, rule_weight,
+                                    rule_tag});
+                    desc = TopDescriptor::of(op.label);
+                    break;
+                case Op::Kind::Pop:
+                    _pda->add_rule({current, to, pda::PreSpec::concrete(s),
+                                    pda::Rule::OpKind::Pop, pda::k_no_symbol,
+                                    pda::k_no_symbol, rule_weight, rule_tag});
+                    desc = below_of(labels.type_of(s));
+                    break;
+            }
+        } else {
+            // Unknown top: emit one class-guarded rule per possible stratum
+            // on which the operation is defined.
+            TopDescriptor next_desc; // union over branches
+            bool emitted = false;
+            const LabelType strata[] = {LabelType::Mpls, LabelType::MplsBos, LabelType::Ip};
+            const bool allowed[] = {desc.mpls, desc.bos, desc.ip};
+            for (int b = 0; b < 3; ++b) {
+                if (!allowed[b]) continue;
+                const auto stratum = strata[b];
+                // A representative check: op applicability depends only on
+                // the stratum of the top symbol.
+                bool applicable = false;
+                switch (op.kind) {
+                    case Op::Kind::Swap:
+                        applicable = labels.type_of(op.label) == stratum;
+                        break;
+                    case Op::Kind::Pop:
+                        applicable = stratum != LabelType::Ip;
+                        break;
+                    case Op::Kind::Push: {
+                        const auto pushed = labels.type_of(op.label);
+                        applicable = (pushed == LabelType::Mpls &&
+                                      stratum != LabelType::Ip) ||
+                                     (pushed == LabelType::MplsBos &&
+                                      stratum == LabelType::Ip);
+                        break;
+                    }
+                }
+                if (!applicable) continue;
+                emitted = true;
+                const auto pre = pda::PreSpec::of_class(class_id(stratum));
+                switch (op.kind) {
+                    case Op::Kind::Swap:
+                        _pda->add_rule({current, to, pre, pda::Rule::OpKind::Swap, op.label,
+                                        pda::k_no_symbol, rule_weight, rule_tag});
+                        next_desc = TopDescriptor::of(op.label);
+                        break;
+                    case Op::Kind::Push:
+                        _pda->add_rule({current, to, pre, pda::Rule::OpKind::Push, op.label,
+                                        pda::k_same_symbol, rule_weight, rule_tag});
+                        next_desc = TopDescriptor::of(op.label);
+                        break;
+                    case Op::Kind::Pop: {
+                        _pda->add_rule({current, to, pre, pda::Rule::OpKind::Pop,
+                                        pda::k_no_symbol, pda::k_no_symbol, rule_weight,
+                                        rule_tag});
+                        const auto branch_below = below_of(stratum);
+                        next_desc.mpls = next_desc.mpls || branch_below.mpls;
+                        next_desc.bos = next_desc.bos || branch_below.bos;
+                        next_desc.ip = next_desc.ip || branch_below.ip;
+                        next_desc.known = k_invalid_label;
+                        break;
+                    }
+                }
+            }
+            if (!emitted) return; // no stratum admits this op: dead chain
+            desc = next_desc;
+        }
+        current = to;
+    }
+}
+
+void Translation::attach_header_nfa(pda::PAutomaton& aut, const nfa::Nfa& header_nfa,
+                                    const std::vector<pda::StateId>& sources,
+                                    bool weighted_entry, bool concrete_edges) const {
+    const auto domain = static_cast<nfa::Symbol>(_network->labels.size());
+    auto add_edge = [&](pda::StateId from, const nfa::SymbolSet& symbols,
+                        pda::StateId to, const pda::Weight& weight) {
+        if (!concrete_edges) {
+            aut.add_transition(from, pda::EdgeLabel::of_set(symbols), to, weight, {});
+            return;
+        }
+        for (const auto symbol : symbols.materialize(domain))
+            aut.add_transition(from, pda::EdgeLabel::of(symbol), to, weight, {});
+    };
+
+    std::vector<pda::StateId> copy(header_nfa.size());
+    for (std::size_t i = 0; i < header_nfa.size(); ++i) {
+        copy[i] = aut.add_state();
+        if (header_nfa.states()[i].accepting) aut.set_final(copy[i]);
+    }
+    for (std::size_t i = 0; i < header_nfa.size(); ++i)
+        for (const auto& edge : header_nfa.states()[i].edges)
+            add_edge(copy[i], edge.symbols, copy[edge.target], pda::Weight::one());
+    for (const auto source : sources) {
+        const auto entry_weight = weighted_entry
+                                      ? make_initial_weight(_control_info[source].link)
+                                      : pda::Weight::one();
+        for (const auto q0 : header_nfa.initial())
+            for (const auto& edge : header_nfa.states()[q0].edges)
+                add_edge(source, edge.symbols, copy[edge.target], entry_weight);
+    }
+}
+
+pda::PAutomaton Translation::make_initial_automaton() const {
+    return make_initial_automaton(*_pda);
+}
+
+pda::PAutomaton Translation::make_final_automaton() const {
+    return make_final_automaton(*_pda);
+}
+
+pda::PAutomaton Translation::make_initial_automaton(const pda::Pda& backend,
+                                                    bool concrete_edges) const {
+    pda::PAutomaton aut(backend);
+    attach_header_nfa(aut, _nfa_a, _initial_states, /*weighted_entry=*/true,
+                      concrete_edges);
+    return aut;
+}
+
+pda::PAutomaton Translation::make_final_automaton(const pda::Pda& backend,
+                                                  bool concrete_edges) const {
+    pda::PAutomaton aut(backend);
+    attach_header_nfa(aut, _nfa_c, _accepting_states, /*weighted_entry=*/false,
+                      concrete_edges);
+    return aut;
+}
+
+pda::ReductionStats Translation::reduce(int level) {
+    // Seed the analysis with the stack languages of the initial configs.
+    SymbolSet top_set, second_set, deep_set;
+    for (const auto q0 : _nfa_a.initial()) {
+        for (const auto& edge : _nfa_a.states()[q0].edges) {
+            top_set = SymbolSet::set_union(top_set, edge.symbols);
+            for (const auto& second_edge : _nfa_a.states()[edge.target].edges)
+                second_set = SymbolSet::set_union(second_set, second_edge.symbols);
+        }
+    }
+    for (const auto& state : _nfa_a.states())
+        for (const auto& edge : state.edges)
+            deep_set = SymbolSet::set_union(deep_set, edge.symbols);
+
+    std::vector<pda::TosSeed> seeds;
+    seeds.reserve(_initial_states.size());
+    for (const auto state : _initial_states) seeds.push_back({state, top_set, second_set});
+    return pda::reduce(*_pda, seeds, deep_set, level);
+}
+
+std::optional<Trace> Translation::witness_to_trace(const pda::PdaWitness& witness) const {
+    return witness_to_trace(witness, *_pda);
+}
+
+std::optional<Trace> Translation::witness_to_trace(const pda::PdaWitness& witness,
+                                                   const pda::Pda& backend) const {
+    const auto replay = pda::replay_witness(backend, witness);
+    if (!replay) return std::nullopt;
+    const auto& configs = *replay;
+
+    auto header_of = [](const std::vector<pda::Symbol>& top_first) {
+        Header header(top_first.rbegin(), top_first.rend());
+        return header;
+    };
+
+    if (witness.initial_state >= _control_info.size() ||
+        _control_info[witness.initial_state].chain)
+        return std::nullopt;
+
+    Trace trace;
+    trace.entries.push_back(
+        {_control_info[witness.initial_state].link, header_of(configs.front().second)});
+
+    // Chain boundaries: the first rule of each forwarding chain carries a
+    // tag; the chain's effect is complete right before the next tagged rule.
+    std::vector<std::pair<std::size_t, const StepInfo*>> forwards;
+    for (std::size_t i = 0; i < witness.rules.size(); ++i) {
+        const auto tag = backend.rule(witness.rules[i]).tag;
+        if (tag != UINT32_MAX) forwards.emplace_back(i, &_steps[tag]);
+    }
+    for (std::size_t i = 0; i < forwards.size(); ++i) {
+        const std::size_t end =
+            i + 1 < forwards.size() ? forwards[i + 1].first : witness.rules.size();
+        trace.entries.push_back({forwards[i].second->out_link, header_of(configs[end].second)});
+    }
+    return trace;
+}
+
+} // namespace aalwines::verify

@@ -1,0 +1,143 @@
+#pragma once
+// Translation of (MPLS network, query) into a weighted pushdown system
+// (paper §4.2): control states are (last traversed link, path-NFA state)
+// pairs — extended with an accumulated failure counter for the
+// under-approximation — and the stack is the label stack.
+//
+// Over-approximation: a TE group whose activation requires c locally failed
+// links contributes rules whenever c ≤ k; the total across routers may
+// exceed k, hence over-approximation.  Under-approximation: the counter in
+// the control state bounds the *sum* of local failures along the trace,
+// which may double-count a link revisited in a loop, hence
+// under-approximation (paper §4.2).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "model/quantity.hpp"
+#include "model/trace.hpp"
+#include "nfa/nfa.hpp"
+#include "pda/pautomaton.hpp"
+#include "pda/reduction.hpp"
+#include "pda/solver.hpp"
+#include "query/query.hpp"
+
+namespace aalwines::verify {
+
+enum class Approximation : std::uint8_t { Over, Under, Exact };
+
+struct TranslationOptions {
+    Approximation approximation = Approximation::Over;
+    /// Weight vector for the minimum-witness problem; nullptr = unweighted.
+    const WeightExpr* weights = nullptr;
+    /// For Approximation::Exact: the concrete failure scenario.  The PDA
+    /// then encodes Definition 4 exactly — only active links, only the
+    /// first active TE group per entry (deciding the query requires
+    /// enumerating every such scenario, which is exponential in k; this is
+    /// what the over/under pair avoids).
+    const std::set<LinkId>* failed_links = nullptr;
+};
+
+class Translation {
+public:
+    Translation(const Network& network, const query::Query& query,
+                const TranslationOptions& options);
+
+    [[nodiscard]] pda::Pda& pda() noexcept { return *_pda; }
+    [[nodiscard]] const pda::Pda& pda() const noexcept { return *_pda; }
+
+    /// Run the top-of-stack reduction at `level` (0 = off).
+    pda::ReductionStats reduce(int level);
+
+    /// P-automaton accepting the initial configurations
+    /// {((e₁,q₁,0), h) : h ∈ L(a) ∩ H} — the post* source.
+    [[nodiscard]] pda::PAutomaton make_initial_automaton() const;
+
+    /// P-automaton accepting the final configurations
+    /// {((e,q,f), h) : q accepting, h ∈ L(c) ∩ H} — the pre* source.
+    [[nodiscard]] pda::PAutomaton make_final_automaton() const;
+
+    /// Same automata built over `backend` — a PDA with identical control
+    /// states (e.g. the Moped round-tripped copy of this translation).
+    /// `concrete_edges` materializes every symbolic edge set into concrete
+    /// per-symbol edges (checkers without symbolic alphabets need this).
+    [[nodiscard]] pda::PAutomaton make_initial_automaton(const pda::Pda& backend,
+                                                         bool concrete_edges = false) const;
+    [[nodiscard]] pda::PAutomaton make_final_automaton(const pda::Pda& backend,
+                                                       bool concrete_edges = false) const;
+
+    /// Control states where the path NFA accepts (post* acceptance starts).
+    [[nodiscard]] const std::vector<pda::StateId>& accepting_states() const {
+        return _accepting_states;
+    }
+    /// Control states of initial configurations (pre* acceptance starts).
+    [[nodiscard]] const std::vector<pda::StateId>& initial_states() const {
+        return _initial_states;
+    }
+
+    [[nodiscard]] const nfa::Nfa& initial_header_nfa() const { return _nfa_a; }
+    [[nodiscard]] const nfa::Nfa& final_header_nfa() const { return _nfa_c; }
+
+    /// Rebuild the network trace from a PDA witness (either direction).
+    [[nodiscard]] std::optional<Trace> witness_to_trace(const pda::PdaWitness& witness) const;
+
+    /// Same, for a witness whose rule ids refer to `backend` (a round-trip
+    /// or concrete expansion of this translation's PDA; tags and control
+    /// states must be preserved).
+    [[nodiscard]] std::optional<Trace> witness_to_trace(const pda::PdaWitness& witness,
+                                                        const pda::Pda& backend) const;
+
+private:
+    struct ControlInfo {
+        LinkId link = k_invalid_id;     ///< last traversed link (chain: the *next* link)
+        std::uint32_t nfa_state = 0;
+        std::uint32_t failures = 0;     ///< accumulated (under-approximation only)
+        bool chain = false;             ///< intermediate state of an op chain
+    };
+
+    /// Per-rule bookkeeping for trace reconstruction: the first rule of each
+    /// forwarding chain records the link the packet is sent through.
+    struct StepInfo {
+        LinkId out_link = k_invalid_id;
+        std::uint32_t local_failures = 0;
+    };
+
+    void build_control_states();
+    void build_rules();
+    void add_entry_rules(LinkId in_link, Label label, const RoutingEntry& groups);
+    void add_chain(pda::StateId from, Label top, const ForwardingRule& rule,
+                   pda::StateId target, pda::Weight weight, std::uint32_t tag);
+    [[nodiscard]] pda::Weight make_step_weight(const ForwardingRule& rule,
+                                               std::uint64_t local_failures) const;
+    [[nodiscard]] pda::Weight make_initial_weight(LinkId first_link) const;
+    [[nodiscard]] pda::StateId control_state(LinkId link, std::uint32_t nfa_state,
+                                             std::uint32_t failures) const;
+    /// Attach a header NFA copy reachable from `sources`; used for both the
+    /// initial and the final automaton.
+    void attach_header_nfa(pda::PAutomaton& aut, const nfa::Nfa& header_nfa,
+                           const std::vector<pda::StateId>& sources, bool weighted_entry,
+                           bool concrete_edges) const;
+
+    const Network* _network;
+    const query::Query* _query;
+    TranslationOptions _options;
+
+    nfa::Nfa _nfa_b;            // path NFA over links
+    nfa::Nfa _nfa_a;            // L(a) ∩ H over labels
+    nfa::Nfa _nfa_c;            // L(c) ∩ H over labels
+    std::uint32_t _failure_slots = 1; // k+1 for Under, 1 for Over
+
+    std::unique_ptr<pda::Pda> _pda;
+    std::vector<ControlInfo> _control_info; // per PDA state
+    std::vector<StepInfo> _steps;           // indexed by rule tag
+    std::vector<pda::StateId> _accepting_states;
+    std::vector<pda::StateId> _initial_states;
+};
+
+/// The valid-header language H = mpls* smpls ip | ip as a regex (top-first).
+[[nodiscard]] nfa::Regex valid_header_regex(const LabelTable& labels);
+
+} // namespace aalwines::verify

@@ -1,0 +1,54 @@
+#pragma once
+// Minimal non-validating XML DOM used for the vendor-agnostic topo.xml /
+// route.xml input formats (paper, Appendix A).
+//
+// Supported: elements, attributes (single- or double-quoted), character data,
+// comments, CDATA sections, processing instructions (skipped), the five
+// predefined entities plus decimal/hex character references.  Not supported
+// (and not needed for the formats at hand): DTDs, namespaces-as-semantics.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/errors.hpp"
+
+namespace aalwines::xml {
+
+/// A single element node: name, attributes, child elements and the
+/// concatenation of all its character data.
+class Element {
+public:
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> attributes;
+    std::vector<Element> children;
+    std::string text; ///< concatenated character data, entity-decoded
+
+    /// Value of attribute `attr_name`, if present.
+    [[nodiscard]] std::optional<std::string_view> attr(std::string_view attr_name) const;
+
+    /// Value of attribute `attr_name`; throws model_error when missing.
+    [[nodiscard]] std::string_view required_attr(std::string_view attr_name) const;
+
+    /// First child element named `child_name`, or nullptr.
+    [[nodiscard]] const Element* first_child(std::string_view child_name) const;
+
+    /// All child elements named `child_name`.
+    [[nodiscard]] std::vector<const Element*> children_named(std::string_view child_name) const;
+};
+
+/// Parse a whole document and return its root element.
+/// Throws parse_error (with line/column) on malformed input.
+[[nodiscard]] Element parse(std::string_view input);
+
+/// Serialisation options for `write`.
+struct WriteOptions {
+    bool pretty = true;   ///< newline + 2-space indentation per depth
+    bool declaration = true; ///< emit `<?xml version="1.0"?>` header
+};
+
+/// Serialise `root` to a string.  Escapes text and attribute values.
+[[nodiscard]] std::string write(const Element& root, WriteOptions options = {});
+
+} // namespace aalwines::xml

@@ -1,0 +1,68 @@
+#include "xml/xml.hpp"
+
+namespace aalwines::xml {
+
+namespace {
+
+void escape_into(std::string& out, std::string_view text, bool in_attribute) {
+    for (const char c : text) {
+        switch (c) {
+            case '<': out += "&lt;"; break;
+            case '>': out += "&gt;"; break;
+            case '&': out += "&amp;"; break;
+            case '"':
+                if (in_attribute) out += "&quot;";
+                else out.push_back(c);
+                break;
+            default: out.push_back(c); break;
+        }
+    }
+}
+
+void write_element(std::string& out, const Element& element, const WriteOptions& options,
+                   int depth) {
+    const std::string indent = options.pretty ? std::string(2 * static_cast<std::size_t>(depth), ' ')
+                                              : std::string();
+    out += indent;
+    out.push_back('<');
+    out += element.name;
+    for (const auto& [name, value] : element.attributes) {
+        out.push_back(' ');
+        out += name;
+        out += "=\"";
+        escape_into(out, value, true);
+        out.push_back('"');
+    }
+    const bool has_text = !element.text.empty();
+    if (element.children.empty() && !has_text) {
+        out += "/>";
+        if (options.pretty) out.push_back('\n');
+        return;
+    }
+    out.push_back('>');
+    if (has_text) escape_into(out, element.text, false);
+    if (!element.children.empty()) {
+        if (options.pretty) out.push_back('\n');
+        for (const auto& child : element.children)
+            write_element(out, child, options, depth + 1);
+        out += indent;
+    }
+    out += "</";
+    out += element.name;
+    out.push_back('>');
+    if (options.pretty) out.push_back('\n');
+}
+
+} // namespace
+
+std::string write(const Element& root, WriteOptions options) {
+    std::string out;
+    if (options.declaration) {
+        out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+        if (options.pretty) out.push_back('\n');
+    }
+    write_element(out, root, options, 0);
+    return out;
+}
+
+} // namespace aalwines::xml

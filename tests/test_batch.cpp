@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "synthesis/networks.hpp"
+#include "synthesis/queries.hpp"
+#include "verify/batch.hpp"
+
+namespace aalwines::verify {
+namespace {
+
+TEST(Batch, MatchesSequentialAnswers) {
+    const auto net = synthesis::build_dataplane(synthesis::make_ring(6),
+                                                {.service_chains = 2, .seed = 11});
+    const auto texts = synthesis::make_query_battery(net, {.count = 15, .seed = 2});
+
+    const auto parallel = verify_batch(net.network, texts, {}, 4);
+    ASSERT_EQ(parallel.size(), texts.size());
+    for (std::size_t i = 0; i < texts.size(); ++i) {
+        ASSERT_TRUE(parallel[i].error.empty()) << parallel[i].error;
+        const auto query = query::parse_query(texts[i], net.network);
+        const auto sequential = verify(net.network, query, {});
+        EXPECT_EQ(parallel[i].result.answer, sequential.answer) << texts[i];
+        EXPECT_EQ(parallel[i].query_text, texts[i]);
+    }
+}
+
+TEST(Batch, CapturesPerQueryErrors) {
+    const auto net = synthesis::make_figure1_network();
+    const std::vector<std::string> texts = {
+        "<ip> [.#v0] .* [v3#.] <ip> 0",
+        "not a query at all",
+        "<ip> [.#ghost] .* <ip> 0",
+    };
+    const auto items = verify_batch(net, texts, {}, 2);
+    ASSERT_EQ(items.size(), 3u);
+    EXPECT_TRUE(items[0].error.empty());
+    EXPECT_EQ(items[0].result.answer, Answer::Yes);
+    EXPECT_FALSE(items[1].error.empty());
+    EXPECT_FALSE(items[2].error.empty());
+    EXPECT_NE(items[2].error.find("ghost"), std::string::npos);
+}
+
+TEST(Batch, SingleJobAndEmptyBatch) {
+    const auto net = synthesis::make_figure1_network();
+    EXPECT_TRUE(verify_batch(net, {}, {}, 1).empty());
+    const auto items =
+        verify_batch(net, {"<ip> [.#v0] .* [v3#.] <ip> 0"}, {}, 1);
+    ASSERT_EQ(items.size(), 1u);
+    EXPECT_EQ(items[0].result.answer, Answer::Yes);
+}
+
+TEST(Batch, WeightedOptionsApplyToEveryItem) {
+    const auto net = synthesis::make_figure1_network();
+    const auto weights = parse_weight_expression("hops");
+    VerifyOptions options;
+    options.engine = EngineKind::Weighted;
+    options.weights = &weights;
+    const auto items = verify_batch(
+        net,
+        {"<ip> [.#v0] .* [v3#.] <ip> 0", "<s40 ip> [.#v0] .* [v3#.] <smpls ip> 0"},
+        options, 2);
+    for (const auto& item : items) {
+        ASSERT_TRUE(item.error.empty());
+        EXPECT_EQ(item.result.answer, Answer::Yes);
+        EXPECT_FALSE(item.result.weight.empty());
+    }
+}
+
+TEST(Batch, ManyThreadsOnLargerNetwork) {
+    const auto net = synthesis::make_nordunet_like(50, 3);
+    const auto texts = synthesis::make_query_battery(net, {.count = 24, .seed = 8});
+    const auto items = verify_batch(net.network, texts, {}, 8);
+    std::size_t conclusive = 0;
+    for (const auto& item : items) {
+        ASSERT_TRUE(item.error.empty()) << item.error;
+        if (item.result.answer != Answer::Inconclusive) ++conclusive;
+    }
+    EXPECT_GT(conclusive, items.size() / 2);
+}
+
+} // namespace
+} // namespace aalwines::verify

@@ -1,0 +1,184 @@
+// End-to-end fuzzing: simulate concrete packets under explicit failure
+// sets, then require the verifier to find every simulated behaviour.
+// (Network-state fuzzing in the spirit of Shukla et al., which the paper
+// cites as motivation for data-plane verification.)
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "model/quantity.hpp"
+#include "model/simulator.hpp"
+#include "synthesis/networks.hpp"
+#include "verify/engine.hpp"
+
+namespace aalwines {
+namespace {
+
+/// Build a valid header whose top is `label` (filling the strata below
+/// from the network's label table); nullopt if the table lacks pieces.
+std::optional<Header> header_with_top(const LabelTable& labels, Label label,
+                                      std::mt19937_64& rng) {
+    const auto ips = labels.of_type(LabelType::Ip);
+    const auto bos = labels.of_type(LabelType::MplsBos);
+    if (ips.empty()) return std::nullopt;
+    switch (labels.type_of(label)) {
+        case LabelType::Ip: return Header{label};
+        case LabelType::MplsBos: return Header{ips[rng() % ips.size()], label};
+        case LabelType::Mpls: {
+            if (bos.empty()) return std::nullopt;
+            return Header{ips[rng() % ips.size()], bos[rng() % bos.size()], label};
+        }
+    }
+    return std::nullopt;
+}
+
+struct FuzzStats {
+    std::size_t simulated = 0;
+    std::size_t verified = 0;
+};
+
+/// Simulate random packets on `network` and assert the verifier confirms
+/// every multi-hop behaviour with a YES and a feasible witness.
+/// (Out-parameter because gtest ASSERT_* requires a void return type.)
+void fuzz_network(const Network& network, std::mt19937_64& rng, std::size_t rounds,
+                  FuzzStats& stats) {
+    // Collect the (in-link, label) keys that have routing entries; random
+    // walks start there so most runs actually forward.
+    std::vector<std::pair<LinkId, Label>> entry_points;
+    network.routing.for_each([&](LinkId link, Label label, const RoutingEntry&) {
+        entry_points.emplace_back(link, label);
+    });
+    if (entry_points.empty()) return;
+
+    for (std::size_t round = 0; round < rounds; ++round) {
+        // Random failure scenario with |F| <= 2.
+        FailureSet failed;
+        const auto failure_count = rng() % 3;
+        for (std::uint64_t i = 0; i < failure_count; ++i)
+            failed.insert(static_cast<LinkId>(rng() % network.topology.link_count()));
+
+        const auto& [link, label] = entry_points[rng() % entry_points.size()];
+        if (failed.contains(link)) continue;
+        const auto header = header_with_top(network.labels, label, rng);
+        if (!header) continue;
+
+        Simulator simulator(network, failed);
+        const auto trace = simulator.run(link, *header, rng, 12);
+        if (trace.size() < 2) continue; // nothing forwarded
+        ++stats.simulated;
+
+        // The simulated trace is feasible within |F| by construction.
+        const auto budget = static_cast<std::uint64_t>(failed.size());
+        const auto feasibility = check_feasibility(network, trace, budget);
+        ASSERT_TRUE(feasibility.feasible)
+            << "simulator produced an infeasible trace: " << feasibility.reason
+            << "\n" << display_trace(network, trace);
+
+        // The verifier must confirm the exact behaviour.
+        const auto text = query_for_trace(network, trace, budget);
+        const auto query = query::parse_query(text, network);
+        const auto result = verify::verify(network, query, {});
+        ASSERT_EQ(result.answer, verify::Answer::Yes)
+            << "verifier missed a simulated behaviour\nquery: " << text << "\ntrace:\n"
+            << display_trace(network, trace);
+        ASSERT_TRUE(result.trace.has_value());
+        EXPECT_TRUE(
+            check_feasibility(network, *result.trace, budget).feasible);
+
+        // The weighted engine's minimum can never exceed the simulated
+        // trace's own value.
+        const auto weights = parse_weight_expression("links, failures");
+        verify::VerifyOptions options;
+        options.engine = verify::EngineKind::Weighted;
+        options.weights = &weights;
+        const auto weighted = verify::verify(network, query, options);
+        ASSERT_EQ(weighted.answer, verify::Answer::Yes) << text;
+        EXPECT_LE(weighted.weight, evaluate(network, trace, weights)) << text;
+        ++stats.verified;
+    }
+}
+
+TEST(Fuzz, Figure1NetworkBehavioursAreAllVerified) {
+    std::mt19937_64 rng(1234);
+    const auto network = synthesis::make_figure1_network();
+    FuzzStats stats;
+    fuzz_network(network, rng, 200, stats);
+    EXPECT_GT(stats.simulated, 50u);
+    EXPECT_EQ(stats.simulated, stats.verified);
+}
+
+TEST(Fuzz, SynthesizedRingBehavioursAreAllVerified) {
+    std::mt19937_64 rng(99);
+    const auto net = synthesis::build_dataplane(synthesis::make_ring(6),
+                                                {.service_chains = 3, .seed = 17});
+    FuzzStats stats;
+    fuzz_network(net.network, rng, 60, stats);
+    EXPECT_GT(stats.simulated, 20u);
+    EXPECT_EQ(stats.simulated, stats.verified);
+}
+
+TEST(Fuzz, BackboneBehavioursAreAllVerified) {
+    std::mt19937_64 rng(2718);
+    const auto net = synthesis::build_dataplane(
+        synthesis::make_backbone(5, 2, 3), {.max_lsp_pairs = 30, .seed = 5});
+    FuzzStats stats;
+    fuzz_network(net.network, rng, 40, stats);
+    EXPECT_GT(stats.simulated, 10u);
+    EXPECT_EQ(stats.simulated, stats.verified);
+}
+
+TEST(Simulator, FollowsFailoverUnderFailure) {
+    const auto network = synthesis::make_figure1_network();
+    const auto ip1 = *network.labels.find(LabelType::Ip, "ip1");
+    // Fail e4 (v2 -> v3): the only continuation from v2 with s20 is the
+    // priority-2 tunnel via e5 — the paper's σ2.
+    Simulator simulator(network, FailureSet{4});
+    std::mt19937_64 rng(7);
+    for (int round = 0; round < 20; ++round) {
+        const auto trace = simulator.run(0, Header{ip1}, rng, 16);
+        ASSERT_GE(trace.size(), 2u);
+        if (trace.entries[1].link == 1) { // took e1 toward v2
+            ASSERT_EQ(trace.size(), 5u);
+            EXPECT_EQ(trace.entries[2].link, 5u); // e5: the tunnel
+            EXPECT_EQ(trace.entries[2].header.size(), 3u); // pushed label 30
+        }
+    }
+}
+
+TEST(Simulator, StopsOnDeliveredPackets) {
+    const auto network = synthesis::make_figure1_network();
+    const auto ip1 = *network.labels.find(LabelType::Ip, "ip1");
+    Simulator simulator(network, {});
+    std::mt19937_64 rng(3);
+    const auto trace = simulator.run(0, Header{ip1}, rng, 100);
+    // Always terminates at e7 (no routing entry beyond the egress).
+    EXPECT_EQ(trace.entries.back().link, 7u);
+    EXPECT_EQ(trace.size(), 4u);
+}
+
+TEST(Simulator, InactiveStartYieldsEmptyTrace) {
+    const auto network = synthesis::make_figure1_network();
+    const auto ip1 = *network.labels.find(LabelType::Ip, "ip1");
+    Simulator simulator(network, FailureSet{0});
+    std::mt19937_64 rng(3);
+    EXPECT_TRUE(simulator.run(0, Header{ip1}, rng).empty());
+}
+
+TEST(QueryForTrace, ProducesExactWitnessQuery) {
+    const auto network = synthesis::make_figure1_network();
+    const auto ip1 = *network.labels.find(LabelType::Ip, "ip1");
+    const auto s20 = *network.labels.find(LabelType::MplsBos, "20");
+    const auto s21 = *network.labels.find(LabelType::MplsBos, "21");
+    const Trace sigma0{{{0, {ip1}}, {1, {ip1, s20}}, {4, {ip1, s21}}, {7, {ip1}}}};
+    const auto text = query_for_trace(network, sigma0, 0);
+    const auto query = query::parse_query(text, network);
+    const auto result = verify::verify(network, query, {});
+    EXPECT_EQ(result.answer, verify::Answer::Yes) << text;
+    // The query pins the exact link sequence, so the witness is σ0 itself.
+    ASSERT_TRUE(result.trace.has_value());
+    EXPECT_EQ(*result.trace, sigma0);
+}
+
+} // namespace
+} // namespace aalwines

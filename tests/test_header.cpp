@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "model/header.hpp"
+
+namespace aalwines {
+namespace {
+
+class HeaderFixture : public ::testing::Test {
+protected:
+    LabelTable labels;
+    Label ip1 = labels.add(LabelType::Ip, "ip1");
+    Label ip2 = labels.add(LabelType::Ip, "ip2");
+    Label s20 = labels.add(LabelType::MplsBos, "20");
+    Label s21 = labels.add(LabelType::MplsBos, "21");
+    Label m30 = labels.add(LabelType::Mpls, "30");
+    Label m31 = labels.add(LabelType::Mpls, "31");
+};
+
+TEST_F(HeaderFixture, ValidHeaderShapes) {
+    EXPECT_TRUE(is_valid_header(labels, {ip1}));
+    EXPECT_TRUE(is_valid_header(labels, {ip1, s20}));
+    EXPECT_TRUE(is_valid_header(labels, {ip1, s20, m30}));
+    EXPECT_TRUE(is_valid_header(labels, {ip1, s20, m30, m31}));
+}
+
+TEST_F(HeaderFixture, InvalidHeaderShapes) {
+    EXPECT_FALSE(is_valid_header(labels, {}));
+    EXPECT_FALSE(is_valid_header(labels, {s20}));            // no IP bottom
+    EXPECT_FALSE(is_valid_header(labels, {ip1, m30}));       // mpls directly on ip
+    EXPECT_FALSE(is_valid_header(labels, {ip1, s20, s21}));  // two bos labels
+    EXPECT_FALSE(is_valid_header(labels, {ip1, ip2}));       // stacked ip
+    EXPECT_FALSE(is_valid_header(labels, {ip1, s20, m30, s21})); // bos above mpls
+}
+
+TEST_F(HeaderFixture, PaperExampleRewrite) {
+    // H(30 s20 ip1, pop o swap(s21) o push(31)) = 31 s21 ip1  (paper §2.2).
+    const Header start{ip1, s20, m30};
+    const std::vector<Op> ops{Op::pop(), Op::swap(s21), Op::push(m31)};
+    const auto result = apply_ops(labels, start, ops);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(*result, (Header{ip1, s21, m31}));
+}
+
+TEST_F(HeaderFixture, PopUndefinedOnIp) {
+    EXPECT_FALSE(apply_ops(labels, {ip1}, std::vector<Op>{Op::pop()}).has_value());
+}
+
+TEST_F(HeaderFixture, SwapAcrossStrataUndefined) {
+    EXPECT_FALSE(apply_ops(labels, {ip1, s20}, std::vector<Op>{Op::swap(m30)}).has_value());
+    EXPECT_FALSE(apply_ops(labels, {ip1, s20, m30}, std::vector<Op>{Op::swap(s21)}).has_value());
+    EXPECT_FALSE(apply_ops(labels, {ip1}, std::vector<Op>{Op::swap(s20)}).has_value());
+}
+
+TEST_F(HeaderFixture, SwapWithinStratumDefined) {
+    EXPECT_EQ(apply_ops(labels, {ip1}, std::vector<Op>{Op::swap(ip2)}), (Header{ip2}));
+    EXPECT_EQ(apply_ops(labels, {ip1, s20}, std::vector<Op>{Op::swap(s21)}),
+              (Header{ip1, s21}));
+    EXPECT_EQ(apply_ops(labels, {ip1, s20, m30}, std::vector<Op>{Op::swap(m31)}),
+              (Header{ip1, s20, m31}));
+}
+
+TEST_F(HeaderFixture, PushRules) {
+    // smpls onto ip: ok.  mpls onto ip: undefined.  ip onto anything: undefined.
+    EXPECT_EQ(apply_ops(labels, {ip1}, std::vector<Op>{Op::push(s20)}),
+              (Header{ip1, s20}));
+    EXPECT_FALSE(apply_ops(labels, {ip1}, std::vector<Op>{Op::push(m30)}).has_value());
+    EXPECT_EQ(apply_ops(labels, {ip1, s20}, std::vector<Op>{Op::push(m30)}),
+              (Header{ip1, s20, m30}));
+    EXPECT_EQ(apply_ops(labels, {ip1, s20, m30}, std::vector<Op>{Op::push(m31)}),
+              (Header{ip1, s20, m30, m31}));
+    EXPECT_FALSE(apply_ops(labels, {ip1, s20}, std::vector<Op>{Op::push(s21)}).has_value());
+    EXPECT_FALSE(apply_ops(labels, {ip1}, std::vector<Op>{Op::push(ip2)}).has_value());
+}
+
+TEST_F(HeaderFixture, DisplayIsTopFirst) {
+    EXPECT_EQ(display_header(labels, {ip1, s21, m30}), "30 o s21 o ip1");
+    EXPECT_EQ(display_header(labels, {ip1}), "ip1");
+}
+
+/// Property (Definition 3 invariant): applying any defined operation
+/// sequence to a valid header yields a valid header.
+TEST_F(HeaderFixture, RandomOpSequencesPreserveValidity) {
+    std::mt19937_64 rng(99);
+    const std::vector<Label> all{ip1, ip2, s20, s21, m30, m31};
+    for (int round = 0; round < 3000; ++round) {
+        Header header{ip1};
+        if (rng() % 2) {
+            header.push_back(s20);
+            while (rng() % 3 == 0) header.push_back(rng() % 2 ? m30 : m31);
+        }
+        if (header.size() > 1 && rng() % 4 == 0) header = {ip2};
+        ASSERT_TRUE(is_valid_header(labels, header));
+
+        std::vector<Op> ops;
+        const auto op_count = rng() % 5;
+        for (std::uint64_t i = 0; i < op_count; ++i) {
+            switch (rng() % 3) {
+                case 0: ops.push_back(Op::pop()); break;
+                case 1: ops.push_back(Op::swap(all[rng() % all.size()])); break;
+                default: ops.push_back(Op::push(all[rng() % all.size()])); break;
+            }
+        }
+        const auto result = apply_ops(labels, header, ops);
+        if (result) {
+            EXPECT_TRUE(is_valid_header(labels, *result))
+                << "ops " << describe_ops(labels, ops) << " on "
+                << display_header(labels, header) << " gave invalid "
+                << display_header(labels, *result);
+        }
+    }
+}
+
+/// Property: op_applicable exactly predicts single-op definedness on valid headers.
+TEST_F(HeaderFixture, ApplicablePredictsDefinedness) {
+    const std::vector<Header> headers{
+        {ip1}, {ip2}, {ip1, s20}, {ip1, s20, m30}, {ip1, s21, m31, m30}};
+    const std::vector<Label> all{ip1, ip2, s20, s21, m30, m31};
+    std::vector<Op> ops{Op::pop()};
+    for (const auto l : all) {
+        ops.push_back(Op::swap(l));
+        ops.push_back(Op::push(l));
+    }
+    for (const auto& header : headers) {
+        for (const auto& op : ops) {
+            const bool defined =
+                apply_ops(labels, header, std::vector<Op>{op}).has_value();
+            EXPECT_EQ(defined, op_applicable(labels, header.back(), op))
+                << display_header(labels, header) << " with "
+                << describe_ops(labels, {op});
+        }
+    }
+}
+
+} // namespace
+} // namespace aalwines

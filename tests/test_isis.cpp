@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "io/isis.hpp"
+#include "verify/engine.hpp"
+
+namespace aalwines::io {
+namespace {
+
+TEST(IsisMapping, ParsesPaperExample) {
+    const auto entries = parse_isis_mapping(
+        "192.0.0.1,R1:R1-adj.xml:R1-route.xml:R1-pfe.xml\n"
+        "192.0.0.2,10.10.0.2,E1\n");
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].aliases,
+              (std::vector<std::string>{"192.0.0.1", "R1"}));
+    EXPECT_EQ(entries[0].adjacency_file, "R1-adj.xml");
+    EXPECT_EQ(entries[0].route_file, "R1-route.xml");
+    EXPECT_EQ(entries[0].pfe_file, "R1-pfe.xml");
+    EXPECT_FALSE(entries[0].is_edge());
+    EXPECT_TRUE(entries[1].is_edge());
+    EXPECT_EQ(entries[1].aliases,
+              (std::vector<std::string>{"192.0.0.2", "10.10.0.2", "E1"}));
+}
+
+TEST(IsisMapping, SkipsCommentsAndBlankLines) {
+    const auto entries = parse_isis_mapping("# comment\n\nE1\n  \n# more\nE2\n");
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].aliases.front(), "E1");
+}
+
+TEST(IsisMapping, RejectsMalformedLines) {
+    EXPECT_THROW(parse_isis_mapping("R1:adj.xml"), parse_error);
+    EXPECT_THROW(parse_isis_mapping("R1:a:b:"), parse_error);
+    EXPECT_THROW(parse_isis_mapping(":a:b:c"), parse_error);
+}
+
+/// A two-core-router + two-edge network in the simplified IS-IS export
+/// schema: E0 -> R0 -> R3 -> E1, with a swap at R0 and a pop at R3, plus a
+/// weight-2 backup next-hop at R0 (through the direct R0->R3 parallel
+/// adjacency is not available here, so backup reuses the same interface
+/// with a different operation chain).
+std::vector<IsisRouterDocuments> example_documents() {
+    IsisRouterDocuments r0;
+    r0.entry = {.aliases = {"192.0.0.1", "R0"},
+                .adjacency_file = "r0-adj.xml",
+                .route_file = "r0-route.xml",
+                .pfe_file = "r0-pfe.xml"};
+    r0.adjacency_xml = R"(
+        <isis-adjacency-information>
+          <isis-adjacency>
+            <interface-name>et-3/0/0.2</interface-name>
+            <system-name>R3</system-name>
+            <adjacency-state>Up</adjacency-state>
+          </isis-adjacency>
+          <isis-adjacency>
+            <interface-name>ae1.11</interface-name>
+            <system-name>E0</system-name>
+            <adjacency-state>Up</adjacency-state>
+          </isis-adjacency>
+          <isis-adjacency>
+            <interface-name>ge-9/9/9</interface-name>
+            <system-name>R3</system-name>
+            <adjacency-state>Down</adjacency-state>
+          </isis-adjacency>
+        </isis-adjacency-information>)";
+    r0.route_xml = R"(
+        <forwarding-table-information>
+          <rt-entry>
+            <label>s300292</label>
+            <incoming-interface>ae1.11</incoming-interface>
+            <nh weight="1"><via>et-3/0/0.2</via><nh-index>1048574</nh-index></nh>
+          </rt-entry>
+          <rt-entry>
+            <label type="ip">ip_E1</label>
+            <incoming-interface>ae1.11</incoming-interface>
+            <nh weight="1"><via>et-3/0/0.2</via><nh-index>1048575</nh-index></nh>
+          </rt-entry>
+        </forwarding-table-information>)";
+    r0.pfe_xml = R"(
+        <pfe-next-hop-information>
+          <next-hop><nh-index>1048574</nh-index>
+            <operations>Swap s300293</operations></next-hop>
+          <next-hop><nh-index>1048575</nh-index>
+            <operations>Push s300293</operations></next-hop>
+        </pfe-next-hop-information>)";
+
+    IsisRouterDocuments r3;
+    r3.entry = {.aliases = {"192.0.0.3", "R3"},
+                .adjacency_file = "r3-adj.xml",
+                .route_file = "r3-route.xml",
+                .pfe_file = "r3-pfe.xml"};
+    r3.adjacency_xml = R"(
+        <isis-adjacency-information>
+          <isis-adjacency>
+            <interface-name>et-1/3/0.2</interface-name>
+            <system-name>192.0.0.1</system-name>
+            <adjacency-state>Up</adjacency-state>
+          </isis-adjacency>
+          <isis-adjacency>
+            <interface-name>ae2.0</interface-name>
+            <system-name>E1</system-name>
+            <adjacency-state>Up</adjacency-state>
+          </isis-adjacency>
+        </isis-adjacency-information>)";
+    r3.route_xml = R"(
+        <forwarding-table-information>
+          <rt-entry>
+            <label>s300293</label>
+            <incoming-interface>et-1/3/0.2</incoming-interface>
+            <nh weight="1"><via>ae2.0</via><nh-index>7</nh-index></nh>
+          </rt-entry>
+        </forwarding-table-information>)";
+    r3.pfe_xml = R"(
+        <pfe-next-hop-information>
+          <next-hop><nh-index>7</nh-index><operations>Pop</operations></next-hop>
+        </pfe-next-hop-information>)";
+
+    IsisRouterDocuments e0;
+    e0.entry = {.aliases = {"E0"}, .adjacency_file = "", .route_file = "", .pfe_file = ""};
+    IsisRouterDocuments e1;
+    e1.entry = {.aliases = {"E1"}, .adjacency_file = "", .route_file = "", .pfe_file = ""};
+    return {r0, r3, e0, e1};
+}
+
+TEST(IsisImport, ReconstructsTopologyAndRouting) {
+    const auto network = read_isis(example_documents());
+    EXPECT_EQ(network.topology.router_count(), 4u);
+    // Three duplex connections: R0-R3, R0-E0, R3-E1 (the Down adjacency is
+    // ignored).
+    EXPECT_EQ(network.topology.link_count(), 6u);
+    EXPECT_EQ(network.routing.rule_count(), 3u);
+
+    const auto r0 = *network.topology.find_router("192.0.0.1");
+    EXPECT_TRUE(network.topology.out_link_through(r0, "et-3/0/0.2").has_value());
+
+    // Label conventions: s-prefixed labels land in the bottom-of-stack set,
+    // ip-prefixed labels are IP destinations.
+    EXPECT_TRUE(network.labels.find(LabelType::MplsBos, "300292").has_value());
+    EXPECT_TRUE(network.labels.find(LabelType::MplsBos, "300293").has_value());
+    EXPECT_TRUE(network.labels.find(LabelType::Ip, "ip_E1").has_value());
+}
+
+TEST(IsisImport, ImportedNetworkVerifiesEndToEnd) {
+    const auto network = read_isis(example_documents());
+    // An IP packet for ip_E1 entering R0 is tunneled over the R0->R3 LSP
+    // (push at ingress, pop at egress) and delivered to E1 as plain IP.
+    // Router names in queries are the canonical (first) aliases.
+    const auto query = query::parse_query(
+        "<ip> [.#192.0.0.1] .* [192.0.0.3#E1] <ip> 0", network);
+    const auto result = verify::verify(network, query, {});
+    EXPECT_EQ(result.answer, verify::Answer::Yes);
+    ASSERT_TRUE(result.trace.has_value());
+    EXPECT_EQ(result.trace->size(), 3u);
+    // Mid-trace the packet carries the LSP label on top of the IP label.
+    EXPECT_EQ(result.trace->entries[1].header.size(), 2u);
+    EXPECT_EQ(result.trace->entries.back().header.size(), 1u);
+}
+
+TEST(IsisImport, ErrorsAreDiagnosed) {
+    auto docs = example_documents();
+    // Unknown neighbour.
+    auto broken = docs;
+    broken[0].adjacency_xml = R"(
+        <isis-adjacency-information>
+          <isis-adjacency>
+            <interface-name>x</interface-name>
+            <system-name>GHOST</system-name>
+          </isis-adjacency>
+        </isis-adjacency-information>)";
+    EXPECT_THROW(read_isis(broken), model_error);
+
+    // Missing reciprocal adjacency.
+    broken = docs;
+    broken[1].adjacency_xml = R"(
+        <isis-adjacency-information>
+          <isis-adjacency>
+            <interface-name>ae2.0</interface-name>
+            <system-name>E1</system-name>
+          </isis-adjacency>
+        </isis-adjacency-information>)";
+    EXPECT_THROW(read_isis(broken), model_error);
+
+    // Forwarding through a non-existent interface.
+    broken = docs;
+    broken[0].route_xml = R"(
+        <forwarding-table-information>
+          <rt-entry>
+            <label>s300292</label>
+            <incoming-interface>nope</incoming-interface>
+            <nh weight="1"><via>et-3/0/0.2</via><nh-index>1048574</nh-index></nh>
+          </rt-entry>
+        </forwarding-table-information>)";
+    EXPECT_THROW(read_isis(broken), model_error);
+
+    // PFE index referenced but absent.
+    broken = docs;
+    broken[0].pfe_xml = "<pfe-next-hop-information/>";
+    EXPECT_THROW(read_isis(broken), model_error);
+
+    // Duplicate alias across routers.
+    broken = docs;
+    broken[2].entry.aliases = {"R3"};
+    EXPECT_THROW(read_isis(broken), model_error);
+}
+
+TEST(IsisImport, OperationsGrammar) {
+    auto docs = example_documents();
+    docs[0].pfe_xml = R"(
+        <pfe-next-hop-information>
+          <next-hop><nh-index>1048574</nh-index>
+            <operations>Swap s300293, Push 42</operations></next-hop>
+          <next-hop><nh-index>1048575</nh-index>
+            <operations>Push s300293</operations></next-hop>
+        </pfe-next-hop-information>)";
+    const auto network = read_isis(docs);
+    EXPECT_TRUE(network.labels.find(LabelType::Mpls, "42").has_value());
+    // The rule carries both operations in order.
+    bool found = false;
+    network.routing.for_each([&](LinkId, Label, const RoutingEntry& groups) {
+        for (const auto& group : groups)
+            for (const auto& rule : group)
+                if (rule.ops.size() == 2) {
+                    EXPECT_EQ(rule.ops[0].kind, Op::Kind::Swap);
+                    EXPECT_EQ(rule.ops[1].kind, Op::Kind::Push);
+                    found = true;
+                }
+    });
+    EXPECT_TRUE(found);
+}
+
+} // namespace
+} // namespace aalwines::io

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "model/routing.hpp"
+
+namespace aalwines {
+namespace {
+
+TEST(LabelTable, InternsPerTypeAndName) {
+    LabelTable labels;
+    const auto a = labels.add(LabelType::Mpls, "30");
+    const auto b = labels.add(LabelType::MplsBos, "30");
+    const auto c = labels.add(LabelType::Ip, "ip1");
+    EXPECT_NE(a, b); // same name, different stratum
+    EXPECT_EQ(labels.add(LabelType::Mpls, "30"), a);
+    EXPECT_EQ(labels.size(), 3u);
+    EXPECT_EQ(labels.type_of(b), LabelType::MplsBos);
+    EXPECT_EQ(labels.name_of(c), "ip1");
+}
+
+TEST(LabelTable, DisplayPrefixesBottomOfStack) {
+    LabelTable labels;
+    const auto bos = labels.add(LabelType::MplsBos, "40");
+    const auto plain = labels.add(LabelType::Mpls, "30");
+    EXPECT_EQ(labels.display(bos), "s40");
+    EXPECT_EQ(labels.display(plain), "30");
+}
+
+TEST(LabelTable, FindByNameSpansStrata) {
+    LabelTable labels;
+    labels.add(LabelType::Mpls, "7");
+    labels.add(LabelType::MplsBos, "7");
+    EXPECT_EQ(labels.find_by_name("7").size(), 2u);
+    EXPECT_TRUE(labels.find_by_name("nope").empty());
+}
+
+TEST(LabelTable, OfTypeReturnsStratum) {
+    LabelTable labels;
+    labels.add(LabelType::Mpls, "1");
+    labels.add(LabelType::Ip, "ip1");
+    labels.add(LabelType::Mpls, "2");
+    EXPECT_EQ(labels.of_type(LabelType::Mpls).size(), 2u);
+    EXPECT_EQ(labels.of_type(LabelType::Ip).size(), 1u);
+    EXPECT_TRUE(labels.of_type(LabelType::MplsBos).empty());
+}
+
+TEST(Topology, RejectsDuplicateRouterNames) {
+    Topology topology;
+    topology.add_router("R0");
+    EXPECT_THROW(topology.add_router("R0"), model_error);
+}
+
+TEST(Topology, DuplexCreatesBothDirections) {
+    Topology topology;
+    const auto a = topology.add_router("A");
+    const auto b = topology.add_router("B");
+    const auto [forward, backward] = topology.add_duplex(a, "to_b", b, "to_a", 10);
+    EXPECT_EQ(topology.link(forward).source, a);
+    EXPECT_EQ(topology.link(forward).target, b);
+    EXPECT_EQ(topology.link(backward).source, b);
+    EXPECT_EQ(topology.link(backward).target, a);
+    EXPECT_EQ(topology.link(forward).distance, 10u);
+    EXPECT_EQ(topology.out_links(a).size(), 1u);
+    EXPECT_EQ(topology.in_links(a).size(), 1u);
+}
+
+TEST(Topology, InterfaceLookupsResolveLinks) {
+    Topology topology;
+    const auto a = topology.add_router("A");
+    const auto b = topology.add_router("B");
+    const auto [forward, backward] = topology.add_duplex(a, "eth0", b, "eth1");
+    EXPECT_EQ(topology.out_link_through(a, "eth0"), forward);
+    EXPECT_EQ(topology.in_link_through(b, "eth1"), forward);
+    EXPECT_EQ(topology.out_link_through(b, "eth1"), backward);
+    EXPECT_FALSE(topology.out_link_through(a, "missing").has_value());
+}
+
+TEST(Topology, LinksBetweenSupportsMultigraph) {
+    Topology topology;
+    const auto a = topology.add_router("A");
+    const auto b = topology.add_router("B");
+    topology.add_duplex(a, "p0", b, "q0");
+    topology.add_duplex(a, "p1", b, "q1");
+    EXPECT_EQ(topology.links_between(a, b).size(), 2u);
+    EXPECT_EQ(topology.links_between(b, a).size(), 2u);
+}
+
+TEST(Topology, RejectsForeignInterface) {
+    Topology topology;
+    const auto a = topology.add_router("A");
+    const auto b = topology.add_router("B");
+    const auto iface_b = topology.add_interface(b, "x");
+    EXPECT_THROW(topology.add_link(a, iface_b, b, iface_b), model_error);
+}
+
+TEST(Topology, HaversineKnownDistance) {
+    // Copenhagen to Stockholm is roughly 520 km.
+    const Coordinate cph{55.68, 12.57};
+    const Coordinate sto{59.33, 18.06};
+    const double d = haversine_meters(cph, sto);
+    EXPECT_GT(d, 480'000.0);
+    EXPECT_LT(d, 560'000.0);
+    EXPECT_NEAR(haversine_meters(cph, cph), 0.0, 1e-6);
+}
+
+TEST(Topology, DistancesFromCoordinates) {
+    Topology topology;
+    const auto a = topology.add_router("A");
+    const auto b = topology.add_router("B");
+    topology.set_coordinate(a, {55.68, 12.57});
+    topology.set_coordinate(b, {59.33, 18.06});
+    const auto [forward, backward] = topology.add_duplex(a, "i", b, "j");
+    topology.distances_from_coordinates();
+    EXPECT_GT(topology.link(forward).distance, 480'000u);
+    EXPECT_EQ(topology.link(forward).distance, topology.link(backward).distance);
+}
+
+TEST(RoutingTable, GroupsByPriority) {
+    Topology topology;
+    const auto a = topology.add_router("A");
+    const auto b = topology.add_router("B");
+    const auto c = topology.add_router("C");
+    const auto [ab, ba] = topology.add_duplex(a, "i0", b, "j0");
+    const auto [bc, cb] = topology.add_duplex(b, "i1", c, "j1");
+    (void)ba;
+    (void)cb;
+
+    LabelTable labels;
+    const auto ip = labels.add(LabelType::Ip, "ip1");
+    RoutingTable routing;
+    routing.add_rule(ab, ip, 2, bc, {});
+    routing.add_rule(ab, ip, 1, bc, {Op::push(labels.add(LabelType::MplsBos, "x"))});
+    const auto* entry = routing.entry(ab, ip);
+    ASSERT_NE(entry, nullptr);
+    ASSERT_EQ(entry->size(), 2u);
+    EXPECT_EQ((*entry)[0].size(), 1u);
+    EXPECT_EQ((*entry)[1].size(), 1u);
+    EXPECT_EQ((*entry)[0][0].ops.size(), 1u); // priority 1 has the push
+    EXPECT_EQ(routing.rule_count(), 2u);
+    EXPECT_EQ(routing.entry_count(), 1u);
+    routing.validate(topology);
+}
+
+TEST(RoutingTable, RejectsPriorityZero) {
+    RoutingTable routing;
+    EXPECT_THROW(routing.add_rule(0, 0, 0, 0, {}), model_error);
+}
+
+TEST(RoutingTable, ValidateCatchesWrongRouter) {
+    Topology topology;
+    const auto a = topology.add_router("A");
+    const auto b = topology.add_router("B");
+    const auto c = topology.add_router("C");
+    const auto [ab, ba] = topology.add_duplex(a, "i0", b, "j0");
+    const auto [ac, ca] = topology.add_duplex(a, "i1", c, "j1");
+    (void)ba;
+    (void)ca;
+    LabelTable labels;
+    const auto ip = labels.add(LabelType::Ip, "ip1");
+    RoutingTable routing;
+    // ab enters B, but ac leaves A: invalid forwarding rule.
+    routing.add_rule(ab, ip, 1, ac, {});
+    EXPECT_THROW(routing.validate(topology), model_error);
+}
+
+TEST(RoutingTable, ForEachIsDeterministic) {
+    Topology topology;
+    const auto a = topology.add_router("A");
+    const auto b = topology.add_router("B");
+    const auto [ab, ba] = topology.add_duplex(a, "i", b, "j");
+    LabelTable labels;
+    RoutingTable routing;
+    for (int i = 0; i < 10; ++i)
+        routing.add_rule(ab, labels.add(LabelType::MplsBos, std::to_string(i)), 1, ba, {});
+    std::vector<Label> order_a, order_b;
+    routing.for_each([&](LinkId, Label l, const RoutingEntry&) { order_a.push_back(l); });
+    routing.for_each([&](LinkId, Label l, const RoutingEntry&) { order_b.push_back(l); });
+    EXPECT_EQ(order_a, order_b);
+    EXPECT_EQ(order_a.size(), 10u);
+}
+
+TEST(Ops, StackDeltaAndTunnels) {
+    LabelTable labels;
+    const auto x = labels.add(LabelType::Mpls, "x");
+    EXPECT_EQ(stack_delta({Op::push(x), Op::push(x)}), 2);
+    EXPECT_EQ(stack_delta({Op::pop(), Op::push(x)}), 0);
+    EXPECT_EQ(stack_delta({Op::pop(), Op::pop()}), -2);
+    EXPECT_EQ(tunnels_opened({Op::swap(x), Op::push(x)}), 1u);
+    EXPECT_EQ(tunnels_opened({Op::pop()}), 0u);
+}
+
+TEST(Ops, Describe) {
+    LabelTable labels;
+    const auto s21 = labels.add(LabelType::MplsBos, "21");
+    const auto m30 = labels.add(LabelType::Mpls, "30");
+    EXPECT_EQ(describe_ops(labels, {Op::swap(s21), Op::push(m30)}),
+              "swap(s21) o push(30)");
+    EXPECT_EQ(describe_ops(labels, {}), "-");
+    EXPECT_EQ(describe_ops(labels, {Op::pop()}), "pop");
+}
+
+} // namespace
+} // namespace aalwines

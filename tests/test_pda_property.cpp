@@ -1,0 +1,200 @@
+// Property tests cross-validating the saturation solvers against a
+// brute-force configuration-space explorer and against each other.
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "pda_test_util.hpp"
+
+namespace aalwines::pda {
+namespace {
+
+using testutil::automaton_for_configs;
+using testutil::brute_force_reachable;
+using testutil::Config;
+using testutil::exact_word;
+using testutil::random_pda;
+
+class PdaRandom : public ::testing::TestWithParam<int> {};
+
+/// post* soundness & completeness (up to the brute-force bound): every
+/// brute-force-reachable configuration is accepted, and the witness for any
+/// accepted target configuration replays to that configuration.
+TEST_P(PdaRandom, PostStarMatchesBruteForce) {
+    std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+    const Symbol alphabet = 3;
+    const auto pda = random_pda(rng, 4, alphabet, 8, false);
+    const std::vector<Config> initial{{0, {0, 1}}};
+
+    auto aut = automaton_for_configs(pda, initial);
+    post_star(aut);
+    const auto reachable = brute_force_reachable(pda, initial, 48, 5);
+
+    for (const auto& [state, stack] : reachable) {
+        const StateId starts[] = {state};
+        const auto accepted = find_accepted(aut, starts, exact_word(stack), alphabet);
+        EXPECT_TRUE(accepted.has_value())
+            << "seed " << GetParam() << ": post* misses a reachable config at state "
+            << state << " stack depth " << stack.size();
+        if (!accepted) continue;
+        const auto witness = unroll_post_star(aut, *accepted);
+        ASSERT_TRUE(witness.has_value()) << "seed " << GetParam();
+        const auto replay = replay_witness(pda, *witness);
+        ASSERT_TRUE(replay.has_value()) << "seed " << GetParam() << ": witness invalid";
+        EXPECT_EQ(replay->back().first, state);
+        EXPECT_EQ(replay->back().second, stack);
+        // The witness must start from a declared initial configuration.
+        const Config start{witness->initial_state, witness->initial_stack};
+        EXPECT_TRUE(std::find(initial.begin(), initial.end(), start) != initial.end());
+    }
+}
+
+/// pre* agrees with post* on satisfiability: post*(I) ∩ F ≠ ∅ iff
+/// I ∩ pre*(F) ≠ ∅, for random instances and fixed target configs.
+TEST_P(PdaRandom, PreStarAgreesWithPostStar) {
+    std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 5);
+    const Symbol alphabet = 3;
+    const auto pda = random_pda(rng, 4, alphabet, 9, false);
+    const std::vector<Config> initial{{0, {1, 0}}};
+
+    auto fwd = automaton_for_configs(pda, initial);
+    post_star(fwd);
+
+    // Try a panel of target configurations.
+    const std::vector<Config> targets{
+        {1, {0}}, {2, {1, 0}}, {3, {2, 2, 0}}, {1, {2}}, {0, {0, 0}},
+    };
+    for (const auto& target : targets) {
+        const StateId fwd_starts[] = {target.first};
+        const bool post_sat =
+            find_accepted(fwd, fwd_starts, exact_word(target.second), alphabet)
+                .has_value();
+
+        auto bwd = automaton_for_configs(pda, {target});
+        pre_star(bwd);
+        const StateId bwd_starts[] = {initial[0].first};
+        const bool pre_sat =
+            find_accepted(bwd, bwd_starts, exact_word(initial[0].second), alphabet)
+                .has_value();
+        EXPECT_EQ(post_sat, pre_sat)
+            << "seed " << GetParam() << " target state " << target.first;
+    }
+}
+
+/// Weighted post*: the reported minimum equals a Dijkstra over the concrete
+/// (bounded) configuration graph when the optimum lies within the bound.
+TEST_P(PdaRandom, WeightedPostStarFindsMinimum) {
+    std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 1);
+    const Symbol alphabet = 3;
+    const auto pda = random_pda(rng, 4, alphabet, 8, true);
+    const std::vector<Config> initial{{0, {0, 1}}};
+
+    // Brute-force Dijkstra over configurations (stack depth <= 5).
+    std::map<Config, std::uint64_t> dist;
+    using Item = std::pair<std::uint64_t, Config>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+    dist[initial[0]] = 0;
+    queue.push({0, initial[0]});
+    while (!queue.empty()) {
+        auto [d, config] = queue.top();
+        queue.pop();
+        if (dist.at(config) != d || config.second.empty()) continue;
+        const auto top = config.second.front();
+        pda.for_each_applicable(config.first, top, [&](RuleId rule_id,
+                                                       const nfa::SymbolSet&) {
+            const auto& rule = pda.rule(rule_id);
+            Config next;
+            next.first = rule.to;
+            switch (rule.op) {
+                case Rule::OpKind::Pop:
+                    next.second.assign(config.second.begin() + 1, config.second.end());
+                    break;
+                case Rule::OpKind::Swap:
+                    next.second = config.second;
+                    next.second.front() = rule.label1;
+                    break;
+                case Rule::OpKind::Push: {
+                    const auto below = rule.label2 == k_same_symbol ? top : rule.label2;
+                    next.second = std::vector<Symbol>{rule.label1, below};
+                    next.second.insert(next.second.end(), config.second.begin() + 1,
+                                       config.second.end());
+                    break;
+                }
+            }
+            if (next.second.size() > 5) return;
+            const auto nd = d + rule.weight.components().front();
+            auto it = dist.find(next);
+            if (it == dist.end() || nd < it->second) {
+                dist[next] = nd;
+                queue.push({nd, next});
+            }
+        });
+    }
+
+    auto aut = automaton_for_configs(pda, initial);
+    post_star(aut);
+
+    for (const auto& [config, d] : dist) {
+        const StateId starts[] = {config.first};
+        const auto accepted =
+            find_accepted(aut, starts, exact_word(config.second), alphabet);
+        ASSERT_TRUE(accepted.has_value()) << "seed " << GetParam();
+        const std::uint64_t reported = accepted->weight.is_one()
+                                           ? 0
+                                           : accepted->weight.components().front();
+        // post* explores unbounded stacks, so it may know a cheaper route
+        // that the depth-bounded Dijkstra missed — never a more expensive one.
+        EXPECT_LE(reported, d) << "seed " << GetParam();
+        // And the witness must replay with exactly the reported weight.
+        const auto witness = unroll_post_star(aut, *accepted);
+        ASSERT_TRUE(witness.has_value());
+        std::uint64_t replayed = 0;
+        for (const auto rule_id : witness->rules) {
+            const auto& w = pda.rule(rule_id).weight;
+            replayed += w.is_one() ? 0 : w.components().front();
+        }
+        EXPECT_EQ(replayed, reported) << "seed " << GetParam();
+    }
+}
+
+/// The direct (fully concrete) encoding accepts exactly the same
+/// configurations as the symbolic PDA.
+TEST_P(PdaRandom, ConcreteExpansionPreservesReachability) {
+    std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 193939 + 7);
+    const Symbol alphabet = 3;
+    const auto pda = random_pda(rng, 4, alphabet, 8, false);
+    const auto expanded = pda.expand_concrete();
+
+    // Expansion eliminates every symbolic left-hand side and "same" push.
+    for (const auto& rule : expanded.rules()) {
+        EXPECT_EQ(rule.pre.kind, PreSpec::Kind::Concrete);
+        EXPECT_NE(rule.label2, k_same_symbol);
+    }
+
+    const std::vector<Config> initial{{0, {0, 1}}};
+    EXPECT_EQ(brute_force_reachable(pda, initial, 40, 5),
+              brute_force_reachable(expanded, initial, 40, 5))
+        << "seed " << GetParam();
+
+    // And post* over both answers identically on a panel of targets.
+    auto symbolic_aut = automaton_for_configs(pda, initial);
+    post_star(symbolic_aut);
+    auto concrete_aut = automaton_for_configs(expanded, initial);
+    post_star(concrete_aut);
+    const std::vector<Config> targets{{1, {0}}, {2, {1, 0}}, {3, {2, 2, 0}}, {0, {2}}};
+    for (const auto& target : targets) {
+        const StateId starts[] = {target.first};
+        EXPECT_EQ(
+            find_accepted(symbolic_aut, starts, exact_word(target.second), alphabet)
+                .has_value(),
+            find_accepted(concrete_aut, starts, exact_word(target.second), alphabet)
+                .has_value())
+            << "seed " << GetParam() << " target " << target.first;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PdaRandom, ::testing::Range(0, 40));
+
+} // namespace
+} // namespace aalwines::pda

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "pda/reduction.hpp"
+#include "pda_test_util.hpp"
+
+namespace aalwines::pda {
+namespace {
+
+using testutil::automaton_for_configs;
+using testutil::brute_force_reachable;
+using testutil::Config;
+using testutil::exact_word;
+using testutil::random_pda;
+
+constexpr Symbol A = 0, B = 1, C = 2;
+
+TEST(Reduction, LevelZeroIsNoOp) {
+    Pda pda(3);
+    const auto p0 = pda.add_state();
+    pda.add_rule({p0, p0, PreSpec::concrete(C), Rule::OpKind::Swap, C, k_no_symbol,
+                  Weight::one(), 0});
+    const TosSeed seeds[] = {{p0, nfa::SymbolSet::single(A), nfa::SymbolSet::none()}};
+    const auto stats = reduce(pda, seeds, nfa::SymbolSet::none(), 0);
+    EXPECT_EQ(stats.removed(), 0u);
+}
+
+TEST(Reduction, RemovesRuleWithUnreachableTop) {
+    Pda pda(3);
+    const auto p0 = pda.add_state();
+    const auto p1 = pda.add_state();
+    // From (p0, top=A): the C-rule at p0 can never fire; nor can p1's rule
+    // on A, because p1 is only entered with top B.
+    pda.add_rule({p0, p1, PreSpec::concrete(A), Rule::OpKind::Swap, B, k_no_symbol,
+                  Weight::one(), 0});
+    pda.add_rule({p0, p1, PreSpec::concrete(C), Rule::OpKind::Swap, C, k_no_symbol,
+                  Weight::one(), 1});
+    pda.add_rule({p1, p0, PreSpec::concrete(A), Rule::OpKind::Swap, A, k_no_symbol,
+                  Weight::one(), 2});
+    pda.add_rule({p1, p0, PreSpec::concrete(B), Rule::OpKind::Swap, A, k_no_symbol,
+                  Weight::one(), 3});
+    const TosSeed seeds[] = {{p0, nfa::SymbolSet::single(A), nfa::SymbolSet::none()}};
+    const auto stats = reduce(pda, seeds, nfa::SymbolSet::none(), 1);
+    EXPECT_EQ(stats.rules_before, 4u);
+    EXPECT_EQ(stats.rules_after, 2u);
+    // The surviving rules are the A-swap at p0 and the B-swap at p1.
+    for (const auto& rule : pda.rules())
+        EXPECT_TRUE(rule.tag == 0 || rule.tag == 3);
+}
+
+TEST(Reduction, Level2TracksSecondSymbolThroughPop) {
+    Pda pda(3);
+    const auto p0 = pda.add_state();
+    const auto p1 = pda.add_state();
+    const auto p2 = pda.add_state(); // sink: no feedback into p0/p1
+    // (p0, A B): pop reveals B at p1.  Level 2 knows the revealed symbol is
+    // exactly B and drops p1's rule on C; level 1 falls back to the coarse
+    // "anything buried" set which here includes C via the deep seed.
+    pda.add_rule({p0, p1, PreSpec::concrete(A), Rule::OpKind::Pop, k_no_symbol,
+                  k_no_symbol, Weight::one(), 0});
+    pda.add_rule({p1, p2, PreSpec::concrete(C), Rule::OpKind::Swap, C, k_no_symbol,
+                  Weight::one(), 1});
+    pda.add_rule({p1, p2, PreSpec::concrete(B), Rule::OpKind::Swap, B, k_no_symbol,
+                  Weight::one(), 2});
+
+    {
+        auto copy = pda;
+        const TosSeed seeds[] = {{p0, nfa::SymbolSet::single(A), nfa::SymbolSet::single(B)}};
+        const auto stats = reduce(copy, seeds, nfa::SymbolSet::single(C), 2);
+        EXPECT_EQ(stats.rules_after, 2u) << "level 2 should drop the C rule";
+    }
+    {
+        auto copy = pda;
+        const TosSeed seeds[] = {{p0, nfa::SymbolSet::single(A), nfa::SymbolSet::single(B)}};
+        const auto stats = reduce(copy, seeds, nfa::SymbolSet::single(C), 1);
+        EXPECT_EQ(stats.rules_after, 3u) << "level 1 cannot distinguish buried symbols";
+    }
+}
+
+class ReductionRandom : public ::testing::TestWithParam<int> {};
+
+/// Soundness: reduction never changes the reachable configuration set.
+TEST_P(ReductionRandom, PreservesReachability) {
+    std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 3);
+    const Symbol alphabet = 3;
+    auto pda = random_pda(rng, 4, alphabet, 10, false);
+    const std::vector<Config> initial{{0, {0, 1}}};
+
+    const auto before = brute_force_reachable(pda, initial, 40, 5);
+
+    const TosSeed seeds[] = {
+        {0, nfa::SymbolSet::single(0), nfa::SymbolSet::single(1)}};
+    // Deep symbols: nothing deeper than the two-symbol initial stack.
+    for (const int level : {1, 2}) {
+        auto copy = pda;
+        reduce(copy, seeds, nfa::SymbolSet::none(), level);
+        const auto after = brute_force_reachable(copy, initial, 40, 5);
+        EXPECT_EQ(before, after) << "seed " << GetParam() << " level " << level;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionRandom, ::testing::Range(0, 32));
+
+} // namespace
+} // namespace aalwines::pda

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "nfa/symbol_set.hpp"
+
+namespace aalwines::nfa {
+namespace {
+
+TEST(SymbolSet, DefaultIsEmpty) {
+    SymbolSet set;
+    EXPECT_TRUE(set.is_empty_set());
+    EXPECT_FALSE(set.contains(0));
+}
+
+TEST(SymbolSet, IncludeSemantics) {
+    const auto set = SymbolSet::of({3, 1, 3, 2});
+    EXPECT_TRUE(set.contains(1));
+    EXPECT_TRUE(set.contains(2));
+    EXPECT_TRUE(set.contains(3));
+    EXPECT_FALSE(set.contains(0));
+    EXPECT_EQ(set.symbols(), (std::vector<Symbol>{1, 2, 3})); // sorted, deduped
+}
+
+TEST(SymbolSet, ExcludeSemantics) {
+    const auto set = SymbolSet::excluding({1, 3});
+    EXPECT_TRUE(set.contains(0));
+    EXPECT_FALSE(set.contains(1));
+    EXPECT_TRUE(set.contains(2));
+    EXPECT_FALSE(set.contains(3));
+}
+
+TEST(SymbolSet, ExcludingNothingIsAny) {
+    EXPECT_TRUE(SymbolSet::excluding({}).is_any());
+}
+
+TEST(SymbolSet, PickFindsSmallestMember) {
+    EXPECT_EQ(SymbolSet::any().pick(5), 0u);
+    EXPECT_EQ(SymbolSet::of({3, 4}).pick(5), 3u);
+    EXPECT_EQ(SymbolSet::excluding({0, 1, 2}).pick(5), 3u);
+    EXPECT_FALSE(SymbolSet::excluding({0, 1, 2}).pick(3).has_value());
+    EXPECT_FALSE(SymbolSet::of({7}).pick(5).has_value());
+    EXPECT_FALSE(SymbolSet::any().pick(0).has_value());
+}
+
+TEST(SymbolSet, EmptinessInDomain) {
+    EXPECT_TRUE(SymbolSet::none().is_empty_in(10));
+    EXPECT_TRUE(SymbolSet::excluding({0, 1}).is_empty_in(2));
+    EXPECT_FALSE(SymbolSet::excluding({0, 1}).is_empty_in(3));
+}
+
+TEST(SymbolSet, MaterializeListsDomainMembers) {
+    EXPECT_EQ(SymbolSet::any().materialize(3), (std::vector<Symbol>{0, 1, 2}));
+    EXPECT_EQ(SymbolSet::of({1, 9}).materialize(5), (std::vector<Symbol>{1}));
+    EXPECT_EQ(SymbolSet::excluding({1}).materialize(4), (std::vector<Symbol>{0, 2, 3}));
+}
+
+/// Property: intersection/union agree with per-symbol semantics on random sets.
+TEST(SymbolSetProperty, BooleanOperationsMatchMembership) {
+    std::mt19937_64 rng(42);
+    constexpr Symbol domain = 24;
+    auto random_set = [&]() {
+        std::vector<Symbol> symbols;
+        for (Symbol s = 0; s < domain; ++s)
+            if (rng() % 3 == 0) symbols.push_back(s);
+        switch (rng() % 3) {
+            case 0: return SymbolSet::of(symbols);
+            case 1: return SymbolSet::excluding(symbols);
+            default: return SymbolSet::any();
+        }
+    };
+    for (int round = 0; round < 200; ++round) {
+        const auto a = random_set();
+        const auto b = random_set();
+        const auto inter = SymbolSet::intersection(a, b);
+        const auto uni = SymbolSet::set_union(a, b);
+        for (Symbol s = 0; s < domain; ++s) {
+            EXPECT_EQ(inter.contains(s), a.contains(s) && b.contains(s))
+                << "intersection mismatch at " << s;
+            EXPECT_EQ(uni.contains(s), a.contains(s) || b.contains(s))
+                << "union mismatch at " << s;
+        }
+    }
+}
+
+TEST(SymbolSet, EqualityComparesContent) {
+    EXPECT_EQ(SymbolSet::of({1, 2}), SymbolSet::of({2, 1}));
+    EXPECT_FALSE(SymbolSet::of({1}) == SymbolSet::of({2}));
+    EXPECT_FALSE(SymbolSet::of({1}) == SymbolSet::excluding({1}));
+}
+
+} // namespace
+} // namespace aalwines::nfa

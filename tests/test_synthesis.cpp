@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "synthesis/networks.hpp"
+#include "synthesis/queries.hpp"
+#include "verify/engine.hpp"
+
+namespace aalwines::synthesis {
+namespace {
+
+TEST(Topologies, RingShape) {
+    const auto topo = make_ring(8);
+    EXPECT_EQ(topo.topology.router_count(), 8u);
+    EXPECT_EQ(topo.topology.link_count(), 16u); // 8 duplex connections
+    EXPECT_EQ(topo.edge_routers.size(), 8u);
+    for (RouterId r = 0; r < 8; ++r) EXPECT_EQ(topo.topology.out_links(r).size(), 2u);
+}
+
+TEST(Topologies, GridShape) {
+    const auto topo = make_grid(3, 4);
+    EXPECT_EQ(topo.topology.router_count(), 12u);
+    // 3x4 grid: 2*4 + 3*3 = 17 connections, duplex.
+    EXPECT_EQ(topo.topology.link_count(), 34u);
+    EXPECT_EQ(topo.edge_routers.size(), 10u); // border routers
+}
+
+TEST(Topologies, WaxmanIsConnectedAndDeterministic) {
+    const auto a = make_waxman(30, 0.4, 0.25, 42);
+    const auto b = make_waxman(30, 0.4, 0.25, 42);
+    EXPECT_EQ(a.topology.link_count(), b.topology.link_count());
+    EXPECT_GE(a.topology.link_count(), 2 * 29u); // spanning tree minimum
+    EXPECT_GE(a.edge_routers.size(), 2u);
+    // Connectivity: BFS from router 0 reaches everyone.
+    std::vector<bool> seen(a.topology.router_count(), false);
+    std::vector<RouterId> stack{0};
+    seen[0] = true;
+    while (!stack.empty()) {
+        const auto r = stack.back();
+        stack.pop_back();
+        for (const auto l : a.topology.out_links(r)) {
+            const auto t = a.topology.link(l).target;
+            if (!seen[t]) {
+                seen[t] = true;
+                stack.push_back(t);
+            }
+        }
+    }
+    for (const auto reached : seen) EXPECT_TRUE(reached);
+}
+
+TEST(Topologies, BackboneHasLeavesAsEdges) {
+    const auto topo = make_backbone(6, 3, 1);
+    EXPECT_EQ(topo.edge_routers.size(), 18u);
+    for (const auto leaf : topo.edge_routers)
+        EXPECT_TRUE(topo.topology.router_name(leaf).starts_with("L"));
+}
+
+TEST(Topologies, ClosIsFullBipartiteMesh) {
+    const auto topo = make_clos(3, 5);
+    EXPECT_EQ(topo.topology.router_count(), 8u);
+    EXPECT_EQ(topo.topology.link_count(), 2u * 3u * 5u);
+    EXPECT_EQ(topo.edge_routers.size(), 5u);
+    // Every leaf sees every spine.
+    for (const auto leaf : topo.edge_routers)
+        EXPECT_EQ(topo.topology.out_links(leaf).size(), 3u);
+    // A clos dataplane has rich failover (parallel spine choices).
+    const auto net = build_dataplane(make_clos(3, 5), {.seed = 4});
+    net.network.routing.validate(net.network.topology);
+    const auto& t = net.network.topology;
+    const auto a = t.router_name(net.lsp_pairs[0].first);
+    const auto b = t.router_name(net.lsp_pairs[0].second);
+    const auto q = query::parse_query(
+        "<ip> [.#" + a + "] .* [.#" + b + "] <ip> 1", net.network);
+    EXPECT_EQ(verify::verify(net.network, q, {}).answer, verify::Answer::Yes);
+}
+
+TEST(Dataplane, BuildsValidRoutingWithFailover) {
+    auto net = build_dataplane(make_ring(6), {.service_chains = 3, .seed = 5});
+    EXPECT_GT(net.network.routing.rule_count(), 0u);
+    EXPECT_EQ(net.ip_labels.size(), net.edge_routers.size());
+    EXPECT_EQ(net.service_labels.size(), 3u);
+    // validate() ran inside build_dataplane; re-run for good measure.
+    net.network.routing.validate(net.network.topology);
+
+    // Failover must have produced priority-2 groups somewhere.
+    bool has_backup = false;
+    net.network.routing.for_each(
+        [&](LinkId, Label, const RoutingEntry& groups) {
+            if (groups.size() >= 2 && !groups[1].empty()) has_backup = true;
+        });
+    EXPECT_TRUE(has_backup);
+}
+
+TEST(Dataplane, ReachabilityHoldsOnPrimaryPaths) {
+    const auto net = build_dataplane(make_ring(5), {.seed = 3});
+    const auto& topology = net.network.topology;
+    // Every generated LSP pair answers YES for plain reachability at k=0.
+    const auto a = topology.router_name(net.edge_routers[0]);
+    const auto b = topology.router_name(net.edge_routers[2]);
+    const auto query = query::parse_query(
+        "<ip> [.#" + a + "] .* [.#" + b + "] <ip> 0", net.network);
+    const auto result = verify::verify(net.network, query, {});
+    EXPECT_EQ(result.answer, verify::Answer::Yes);
+}
+
+TEST(Dataplane, FailoverSurvivesSingleLinkFailure) {
+    // Ring: the protected primary hop can be routed around, so reachability
+    // through the backup requires exactly one failure.
+    const auto net = build_dataplane(make_ring(5), {.seed = 3});
+    const auto& topology = net.network.topology;
+    const auto a = topology.router_name(net.edge_routers[0]);
+    const auto b = topology.router_name(net.edge_routers[1]);
+    // Force the witness through some failover: ask for a strictly longer
+    // path than the primary (ring detours are long).
+    const auto query = query::parse_query(
+        "<ip> [.#" + a + "] . . . . .* [.#" + b + "] <ip> 1", net.network);
+    const auto result = verify::verify(net.network, query, {});
+    EXPECT_NE(result.answer, verify::Answer::Inconclusive);
+}
+
+TEST(Networks, NordunetLikeShape) {
+    const auto net = make_nordunet_like(50, 1);
+    EXPECT_EQ(net.network.topology.router_count(),
+              31u + net.edge_routers.size()); // + external stubs
+    EXPECT_GT(net.network.routing.rule_count(), 500u);
+    EXPECT_EQ(net.service_labels.size(), 50u);
+    net.network.routing.validate(net.network.topology);
+    // Latencies derive from geography: some long-haul link must be present.
+    bool long_haul = false;
+    for (const auto& link : net.network.topology.links())
+        if (link.distance > 1'000'000) long_haul = true;
+    EXPECT_TRUE(long_haul);
+}
+
+TEST(Networks, NordunetRuleCountScalesWithServiceChains) {
+    const auto small = make_nordunet_like(10, 1);
+    const auto large = make_nordunet_like(200, 1);
+    EXPECT_GT(large.network.routing.rule_count(),
+              small.network.routing.rule_count() + 500);
+}
+
+TEST(Networks, ZooLikeSuiteIsDeterministic) {
+    ASSERT_GE(zoo_like_count(), 10u);
+    const auto a = make_zoo_like(3);
+    const auto b = make_zoo_like(3);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.net.network.routing.rule_count(), b.net.network.routing.rule_count());
+    EXPECT_EQ(a.net.network.topology.router_count(),
+              b.net.network.topology.router_count());
+}
+
+TEST(Networks, ZooLikeSizesSpanTheDistribution) {
+    std::size_t smallest = SIZE_MAX, largest = 0;
+    for (std::size_t i = 0; i < zoo_like_count(); ++i) {
+        const auto instance = make_zoo_like(i);
+        const auto routers = instance.net.network.topology.router_count();
+        smallest = std::min(smallest, routers);
+        largest = std::max(largest, routers);
+    }
+    // Router counts include the external stubs added per edge router.
+    EXPECT_LE(smallest, 32u);
+    EXPECT_GE(largest, 200u);
+}
+
+TEST(Queries, BatteryParsesAgainstItsNetwork) {
+    const auto net = build_dataplane(make_ring(6), {.service_chains = 2, .seed = 9});
+    const auto battery = make_query_battery(net, {.count = 25, .seed = 4});
+    ASSERT_EQ(battery.size(), 25u);
+    for (const auto& text : battery)
+        EXPECT_NO_THROW((void)query::parse_query(text, net.network)) << text;
+}
+
+TEST(Queries, Table1QueriesParseAgainstNordunet) {
+    const auto net = make_nordunet_like(20, 1);
+    const auto queries = make_table1_queries(net);
+    ASSERT_EQ(queries.size(), 6u);
+    for (const auto& text : queries)
+        EXPECT_NO_THROW((void)query::parse_query(text, net.network)) << text;
+}
+
+TEST(Queries, BatteryIsDeterministic) {
+    const auto net = build_dataplane(make_ring(6), {.seed = 9});
+    EXPECT_EQ(make_query_battery(net, {.count = 10, .seed = 4}),
+              make_query_battery(net, {.count = 10, .seed = 4}));
+}
+
+} // namespace
+} // namespace aalwines::synthesis

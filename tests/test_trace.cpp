@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "model/trace.hpp"
+#include "synthesis/dataplane.hpp"
+
+namespace aalwines {
+namespace {
+
+/// The paper's traces σ0..σ3 (Figure 1c) over make_figure1_network, whose
+/// links e0..e7 get ids 0..7 in construction order.
+class Figure1Traces : public ::testing::Test {
+protected:
+    Network net = synthesis::make_figure1_network();
+
+    Label label(LabelType type, std::string_view name) {
+        const auto found = net.labels.find(type, name);
+        EXPECT_TRUE(found.has_value()) << name;
+        return *found;
+    }
+    Label ip1 = label(LabelType::Ip, "ip1");
+    Label s10 = label(LabelType::MplsBos, "10");
+    Label s11 = label(LabelType::MplsBos, "11");
+    Label s20 = label(LabelType::MplsBos, "20");
+    Label s21 = label(LabelType::MplsBos, "21");
+    Label m30 = label(LabelType::Mpls, "30");
+    Label s40 = label(LabelType::MplsBos, "40");
+    Label s41 = label(LabelType::MplsBos, "41");
+    Label s42 = label(LabelType::MplsBos, "42");
+    Label s43 = label(LabelType::MplsBos, "43");
+    Label s44 = label(LabelType::MplsBos, "44");
+
+    Trace sigma0{{{0, {ip1}}, {1, {ip1, s20}}, {4, {ip1, s21}}, {7, {ip1}}}};
+    Trace sigma1{{{0, {ip1}}, {2, {ip1, s10}}, {3, {ip1, s11}}, {7, {ip1}}}};
+    Trace sigma2{{{0, {ip1}},
+                  {1, {ip1, s20}},
+                  {5, {ip1, s21, m30}},
+                  {6, {ip1, s21}},
+                  {7, {ip1}}}};
+    Trace sigma3{{{0, {ip1, s40}},
+                  {1, {ip1, s41}},
+                  {5, {ip1, s42}},
+                  {6, {ip1, s43}},
+                  {7, {ip1, s44}}}};
+};
+
+TEST_F(Figure1Traces, Sigma0FeasibleWithoutFailures) {
+    const auto result = check_feasibility(net, sigma0, 0);
+    EXPECT_TRUE(result.feasible) << result.reason;
+    EXPECT_TRUE(result.required_failures.empty());
+    EXPECT_EQ(result.failures_total, 0u);
+}
+
+TEST_F(Figure1Traces, Sigma1FeasibleWithoutFailures) {
+    const auto result = check_feasibility(net, sigma1, 0);
+    EXPECT_TRUE(result.feasible) << result.reason;
+}
+
+TEST_F(Figure1Traces, Sigma2NeedsOneFailure) {
+    const auto at_zero = check_feasibility(net, sigma2, 0);
+    EXPECT_FALSE(at_zero.feasible);
+    const auto at_one = check_feasibility(net, sigma2, 1);
+    EXPECT_TRUE(at_one.feasible) << at_one.reason;
+    EXPECT_EQ(at_one.required_failures, (std::vector<LinkId>{4})); // e4
+    EXPECT_EQ(at_one.failures_total, 1u);
+}
+
+TEST_F(Figure1Traces, Sigma3FeasibleWithoutFailures) {
+    const auto result = check_feasibility(net, sigma3, 0);
+    EXPECT_TRUE(result.feasible) << result.reason;
+    EXPECT_EQ(result.failures_total, 0u);
+}
+
+TEST_F(Figure1Traces, WrongRewriteIsInfeasible) {
+    Trace bogus = sigma0;
+    bogus.entries[1].header = {ip1, s21}; // v0 pushes s20, not s21
+    const auto result = check_feasibility(net, bogus, 8);
+    EXPECT_FALSE(result.feasible);
+    EXPECT_NE(result.reason.find("no rule"), std::string::npos);
+}
+
+TEST_F(Figure1Traces, InvalidHeaderIsInfeasible) {
+    Trace bogus = sigma0;
+    bogus.entries[0].header = {s20}; // no IP bottom
+    EXPECT_FALSE(check_feasibility(net, bogus, 8).feasible);
+}
+
+TEST_F(Figure1Traces, EmptyTraceIsInfeasible) {
+    EXPECT_FALSE(check_feasibility(net, Trace{}, 8).feasible);
+}
+
+TEST_F(Figure1Traces, SingleEntryTraceIsTriviallyFeasible) {
+    const Trace only_arrival{{{0, {ip1}}}};
+    EXPECT_TRUE(check_feasibility(net, only_arrival, 0).feasible);
+}
+
+TEST_F(Figure1Traces, DisplayTraceMentionsLinksAndHeaders) {
+    const auto text = display_trace(net, sigma2);
+    EXPECT_NE(text.find("30 o s21 o ip1"), std::string::npos);
+    EXPECT_NE(text.find("v2"), std::string::npos);
+}
+
+/// A trace must not use a link it simultaneously requires to fail.
+TEST(TraceFeasibility, UsedLinkInFailureSetIsRejected) {
+    Network net;
+    net.name = "conflict";
+    auto& topology = net.topology;
+    const auto a = topology.add_router("A");
+    const auto b = topology.add_router("B");
+    const auto c = topology.add_router("C");
+    auto link = [&](RouterId s, std::string_view si, RouterId t, std::string_view ti) {
+        return topology.add_link(s, topology.add_interface(s, si), t,
+                                 topology.add_interface(t, ti));
+    };
+    const auto x = link(a, "x", b, "xi"); // A -> B
+    const auto y = link(b, "y", c, "yi"); // B -> C primary
+    const auto z = link(b, "z", c, "zi"); // B -> C backup
+    const auto w = link(c, "w", b, "wi"); // C -> B return
+
+    const auto ell = net.labels.add(LabelType::MplsBos, "l");
+    const auto ip = net.labels.add(LabelType::Ip, "ip");
+    (void)ip;
+    // B: primary over y, backup over z (requires y failed).
+    net.routing.add_rule(x, ell, 1, y, {});
+    net.routing.add_rule(x, ell, 2, z, {});
+    // C bounces the packet back to B, and B then forwards over y.
+    net.routing.add_rule(z, ell, 1, w, {});
+    net.routing.add_rule(w, ell, 1, y, {});
+    net.routing.validate(topology);
+
+    const Header h{ip, ell};
+    // Uses z (requires y ∈ F), then later uses y itself: contradiction.
+    const Trace trace{{{x, h}, {z, h}, {w, h}, {y, h}}};
+    const auto result = check_feasibility(net, trace, 8);
+    EXPECT_FALSE(result.feasible);
+    EXPECT_NE(result.reason.find("both used and required to fail"), std::string::npos);
+
+    // The shorter prefix that stops before reusing y is fine with k >= 1.
+    const Trace prefix{{{x, h}, {z, h}, {w, h}}};
+    EXPECT_TRUE(check_feasibility(net, prefix, 1).feasible);
+    EXPECT_FALSE(check_feasibility(net, prefix, 0).feasible);
+}
+
+} // namespace
+} // namespace aalwines

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "model/quantity.hpp"
+#include "synthesis/dataplane.hpp"
+#include "verify/engine.hpp"
+#include "verify/translation.hpp"
+
+namespace aalwines::verify {
+namespace {
+
+class TranslationFixture : public ::testing::Test {
+protected:
+    Network net = synthesis::make_figure1_network();
+
+    query::Query parse(const std::string& text) { return query::parse_query(text, net); }
+};
+
+TEST_F(TranslationFixture, ValidHeaderRegexMatchesH) {
+    const auto nfa = nfa::Nfa::compile(valid_header_regex(net.labels));
+    const auto ip1 = *net.labels.find(LabelType::Ip, "ip1");
+    const auto s20 = *net.labels.find(LabelType::MplsBos, "20");
+    const auto m30 = *net.labels.find(LabelType::Mpls, "30");
+    // Top-first words.
+    EXPECT_TRUE(nfa.accepts(std::vector<nfa::Symbol>{ip1}));
+    EXPECT_TRUE(nfa.accepts(std::vector<nfa::Symbol>{s20, ip1}));
+    EXPECT_TRUE(nfa.accepts(std::vector<nfa::Symbol>{m30, s20, ip1}));
+    EXPECT_TRUE(nfa.accepts(std::vector<nfa::Symbol>{m30, m30, s20, ip1}));
+    EXPECT_FALSE(nfa.accepts(std::vector<nfa::Symbol>{m30, ip1}));
+    EXPECT_FALSE(nfa.accepts(std::vector<nfa::Symbol>{ip1, ip1}));
+    EXPECT_FALSE(nfa.accepts(std::vector<nfa::Symbol>{s20, s20, ip1}));
+    EXPECT_FALSE(nfa.accepts(std::vector<nfa::Symbol>{}));
+}
+
+TEST_F(TranslationFixture, BuildsControlStatesAndRules) {
+    const auto query = parse("<ip> [.#v0] .* [v3#.] <ip> 0");
+    Translation translation(net, query, {});
+    EXPECT_GT(translation.pda().state_count(), 0u);
+    EXPECT_GT(translation.pda().rule_count(), 0u);
+    EXPECT_FALSE(translation.initial_states().empty());
+    EXPECT_FALSE(translation.accepting_states().empty());
+}
+
+TEST_F(TranslationFixture, PostStarFindsWitnessTrace) {
+    const auto query = parse("<ip> [.#v0] .* [v3#.] <ip> 0");
+    Translation translation(net, query, {});
+    auto aut = translation.make_initial_automaton();
+    pda::post_star(aut);
+    const auto accepted =
+        pda::find_accepted(aut, translation.accepting_states(),
+                           translation.final_header_nfa(),
+                           static_cast<pda::Symbol>(net.labels.size()));
+    ASSERT_TRUE(accepted.has_value());
+    const auto witness = pda::unroll_post_star(aut, *accepted);
+    ASSERT_TRUE(witness.has_value());
+    const auto trace = translation.witness_to_trace(*witness);
+    ASSERT_TRUE(trace.has_value());
+    // The witness must be one of σ0 / σ1: 4 links, starting at e0 (id 0),
+    // ending at e7 (id 7), feasible without failures.
+    ASSERT_EQ(trace->size(), 4u);
+    EXPECT_EQ(trace->entries.front().link, 0u);
+    EXPECT_EQ(trace->entries.back().link, 7u);
+    const auto feasibility = check_feasibility(net, *trace, 0);
+    EXPECT_TRUE(feasibility.feasible) << feasibility.reason;
+}
+
+TEST_F(TranslationFixture, UnderApproximationBoundsFailures) {
+    // k=0 under-approximation must not contain the failover trace σ2.
+    const auto query = parse("<ip> [.#v0] [v0#v2] [v2#v4] [v4#v3] [v3#.] <ip> 0");
+    TranslationOptions options;
+    options.approximation = Approximation::Under;
+    Translation translation(net, query, options);
+    auto aut = translation.make_initial_automaton();
+    pda::post_star(aut);
+    EXPECT_FALSE(pda::find_accepted(aut, translation.accepting_states(),
+                                    translation.final_header_nfa(),
+                                    static_cast<pda::Symbol>(net.labels.size()))
+                     .has_value());
+}
+
+TEST_F(TranslationFixture, UnderApproximationAdmitsWithBudget) {
+    const auto query = parse("<ip> [.#v0] [v0#v2] [v2#v4] [v4#v3] [v3#.] <ip> 1");
+    TranslationOptions options;
+    options.approximation = Approximation::Under;
+    Translation translation(net, query, options);
+    auto aut = translation.make_initial_automaton();
+    pda::post_star(aut);
+    const auto accepted =
+        pda::find_accepted(aut, translation.accepting_states(),
+                           translation.final_header_nfa(),
+                           static_cast<pda::Symbol>(net.labels.size()));
+    ASSERT_TRUE(accepted.has_value());
+    const auto witness = pda::unroll_post_star(aut, *accepted);
+    ASSERT_TRUE(witness.has_value());
+    const auto trace = translation.witness_to_trace(*witness);
+    ASSERT_TRUE(trace.has_value());
+    EXPECT_TRUE(check_feasibility(net, *trace, 1).feasible);
+    EXPECT_EQ(trace->size(), 5u); // σ2
+}
+
+TEST_F(TranslationFixture, ReductionShrinksRuleSet) {
+    // A very specific query: most forwarding entries cannot participate.
+    const auto query = parse("<s40 ip> [.#v0] .* [v3#.] <smpls ip> 0");
+    Translation with(net, query, {});
+    const auto before = with.pda().rule_count();
+    const auto stats = with.reduce(2);
+    EXPECT_EQ(stats.rules_before, before);
+    EXPECT_LT(stats.rules_after, before);
+
+    // Reduction must not change the verdict.
+    auto aut = with.make_initial_automaton();
+    pda::post_star(aut);
+    EXPECT_TRUE(pda::find_accepted(aut, with.accepting_states(), with.final_header_nfa(),
+                                   static_cast<pda::Symbol>(net.labels.size()))
+                    .has_value());
+}
+
+TEST_F(TranslationFixture, WeightedTranslationReportsMinimum) {
+    // φ4 with (Hops, Failures + 3*Tunnels): minimum witness is σ3 = (5, 0).
+    const auto query = parse("<smpls? ip> [.#v0] . . . .* [v3#.] <smpls? ip> 1");
+    const auto weights = parse_weight_expression("hops, failures + 3*tunnels");
+    TranslationOptions options;
+    options.weights = &weights;
+    Translation translation(net, query, options);
+    auto aut = translation.make_initial_automaton();
+    pda::post_star(aut);
+    const auto accepted =
+        pda::find_accepted(aut, translation.accepting_states(),
+                           translation.final_header_nfa(),
+                           static_cast<pda::Symbol>(net.labels.size()));
+    ASSERT_TRUE(accepted.has_value());
+    EXPECT_EQ(accepted->weight.components(), (std::vector<std::uint64_t>{5, 0}));
+    const auto witness = pda::unroll_post_star(aut, *accepted);
+    ASSERT_TRUE(witness.has_value());
+    const auto trace = translation.witness_to_trace(*witness);
+    ASSERT_TRUE(trace.has_value());
+    EXPECT_EQ(evaluate(net, *trace, weights), (std::vector<std::uint64_t>{5, 0}));
+}
+
+TEST_F(TranslationFixture, FinalAutomatonDrivesPreStar) {
+    const auto query = parse("<ip> [.#v0] .* [v3#.] <ip> 0");
+    Translation translation(net, query, {});
+    auto aut = translation.make_final_automaton();
+    pda::pre_star(aut);
+    const auto accepted =
+        pda::find_accepted(aut, translation.initial_states(),
+                           translation.initial_header_nfa(),
+                           static_cast<pda::Symbol>(net.labels.size()));
+    ASSERT_TRUE(accepted.has_value());
+    const auto witness = pda::unroll_pre_star(aut, *accepted);
+    ASSERT_TRUE(witness.has_value());
+    const auto trace = translation.witness_to_trace(*witness);
+    ASSERT_TRUE(trace.has_value());
+    EXPECT_TRUE(check_feasibility(net, *trace, 0).feasible);
+}
+
+
+/// Deep operation chains: pops reveal unknown symbols, so the translation
+/// must branch per stratum mid-chain and still produce exact traces.
+TEST(TranslationChains, MultiPopChainsVerifyEndToEnd) {
+    Network net;
+    net.name = "chains";
+    auto& topology = net.topology;
+    const auto a = topology.add_router("A");
+    const auto b = topology.add_router("B");
+    const auto c = topology.add_router("C");
+    auto link = [&](RouterId s, std::string_view si, RouterId t, std::string_view ti) {
+        return topology.add_link(s, topology.add_interface(s, si), t,
+                                 topology.add_interface(t, ti));
+    };
+    const auto ab = link(a, "o", b, "i");
+    const auto bc = link(b, "o", c, "i");
+    auto& labels = net.labels;
+    const auto ip1 = labels.add(LabelType::Ip, "ip1");
+    const auto ip2 = labels.add(LabelType::Ip, "ip2");
+    const auto s0 = labels.add(LabelType::MplsBos, "0");
+    const auto m0 = labels.add(LabelType::Mpls, "m0");
+    const auto m1 = labels.add(LabelType::Mpls, "m1");
+    (void)ip1;
+    (void)m1;
+    // Terminate a two-level tunnel and rewrite the revealed IP in one rule:
+    // pop (m0 off), pop (s0 off), swap(ip2).
+    net.routing.add_rule(ab, m0, 1, bc, {Op::pop(), Op::pop(), Op::swap(ip2)});
+    // And a deep push chain in the other direction of processing:
+    // swap(m1) then two pushes (stack grows by two).
+    net.routing.add_rule(ab, s0, 1, bc, {Op::swap(s0), Op::push(m0), Op::push(m1)});
+    net.routing.validate(topology);
+
+    {
+        const auto q = query::parse_query("<m0 s0 ip> [A#B] [B#C] <ip2> 0", net);
+        const auto result = verify(net, q, {});
+        ASSERT_EQ(result.answer, Answer::Yes);
+        ASSERT_TRUE(result.trace.has_value());
+        EXPECT_EQ(result.trace->entries.back().header, (Header{ip2}));
+    }
+    {
+        // The multi-pop rule must NOT fire when the stack is too shallow
+        // for its rewrite to stay valid (pop pop on [s0 ip] pops the ip).
+        const auto q = query::parse_query("<s0 ip> [A#B] [B#C] <ip2> 0", net);
+        EXPECT_EQ(verify(net, q, {}).answer, Answer::No);
+    }
+    {
+        const auto q =
+            query::parse_query("<s0 ip> [A#B] [B#C] <m1 m0 s0 ip> 0", net);
+        const auto result = verify(net, q, {});
+        ASSERT_EQ(result.answer, Answer::Yes);
+        ASSERT_TRUE(result.trace.has_value());
+        EXPECT_EQ(result.trace->entries.back().header.size(), 4u);
+    }
+}
+
+} // namespace
+} // namespace aalwines::verify

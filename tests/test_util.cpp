@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "util/errors.hpp"
+#include "util/hash.hpp"
+#include "util/interner.hpp"
+
+namespace aalwines {
+namespace {
+
+TEST(Interner, AssignsDenseIdsInOrder) {
+    StringInterner interner;
+    EXPECT_EQ(interner.intern("alpha"), 0u);
+    EXPECT_EQ(interner.intern("beta"), 1u);
+    EXPECT_EQ(interner.intern("gamma"), 2u);
+    EXPECT_EQ(interner.size(), 3u);
+}
+
+TEST(Interner, ReturnsExistingIdForKnownString) {
+    StringInterner interner;
+    const auto id = interner.intern("router-0");
+    EXPECT_EQ(interner.intern("router-0"), id);
+    EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(Interner, RoundTripsThroughAt) {
+    StringInterner interner;
+    const auto id = interner.intern("et-1/3/0.2");
+    EXPECT_EQ(interner.at(id), "et-1/3/0.2");
+}
+
+TEST(Interner, FindDoesNotIntern) {
+    StringInterner interner;
+    EXPECT_FALSE(interner.find("missing").has_value());
+    EXPECT_TRUE(interner.empty());
+    interner.intern("present");
+    ASSERT_TRUE(interner.find("present").has_value());
+    EXPECT_EQ(*interner.find("present"), 0u);
+}
+
+TEST(Interner, SurvivesManyInsertionsWithoutDanglingKeys) {
+    // Short strings are SSO; a vector-backed interner would dangle on
+    // reallocation.  Exercise enough growth to catch that class of bug.
+    StringInterner interner;
+    for (int i = 0; i < 10000; ++i)
+        interner.intern("s" + std::to_string(i));
+    for (int i = 0; i < 10000; ++i) {
+        auto id = interner.find("s" + std::to_string(i));
+        ASSERT_TRUE(id.has_value());
+        EXPECT_EQ(interner.at(*id), "s" + std::to_string(i));
+    }
+}
+
+TEST(Hash, CombineDiffersByOrder) {
+    EXPECT_NE(hash_all(1, 2), hash_all(2, 1));
+    EXPECT_EQ(hash_all(1, 2), hash_all(1, 2));
+}
+
+TEST(Errors, ParseErrorCarriesPosition) {
+    const parse_error error("bad token", SourcePos{3, 7});
+    EXPECT_EQ(error.where().line, 3u);
+    EXPECT_EQ(error.where().column, 7u);
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos);
+}
+
+} // namespace
+} // namespace aalwines
