@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pda.dir/bench_pda.cpp.o"
+  "CMakeFiles/bench_pda.dir/bench_pda.cpp.o.d"
+  "bench_pda"
+  "bench_pda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quantities.dir/bench_quantities.cpp.o"
+  "CMakeFiles/bench_quantities.dir/bench_quantities.cpp.o.d"
+  "bench_quantities"
+  "bench_quantities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quantities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

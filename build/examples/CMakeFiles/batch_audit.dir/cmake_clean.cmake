@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_audit.dir/batch_audit.cpp.o"
+  "CMakeFiles/batch_audit.dir/batch_audit.cpp.o.d"
+  "batch_audit"
+  "batch_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

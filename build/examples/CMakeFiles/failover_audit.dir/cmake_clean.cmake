@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover_audit.dir/failover_audit.cpp.o"
+  "CMakeFiles/failover_audit.dir/failover_audit.cpp.o.d"
+  "failover_audit"
+  "failover_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_transparency.dir/service_transparency.cpp.o"
+  "CMakeFiles/service_transparency.dir/service_transparency.cpp.o.d"
+  "service_transparency"
+  "service_transparency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_transparency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

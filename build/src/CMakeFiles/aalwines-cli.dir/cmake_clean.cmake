@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aalwines-cli.dir/cli/main.cpp.o"
+  "CMakeFiles/aalwines-cli.dir/cli/main.cpp.o.d"
+  "aalwines"
+  "aalwines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aalwines-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

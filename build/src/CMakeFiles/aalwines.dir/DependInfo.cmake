@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/gml.cpp" "src/CMakeFiles/aalwines.dir/io/gml.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/io/gml.cpp.o.d"
+  "/root/repo/src/io/html_report.cpp" "src/CMakeFiles/aalwines.dir/io/html_report.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/io/html_report.cpp.o.d"
+  "/root/repo/src/io/isis.cpp" "src/CMakeFiles/aalwines.dir/io/isis.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/io/isis.cpp.o.d"
+  "/root/repo/src/io/locations.cpp" "src/CMakeFiles/aalwines.dir/io/locations.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/io/locations.cpp.o.d"
+  "/root/repo/src/io/results_json.cpp" "src/CMakeFiles/aalwines.dir/io/results_json.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/io/results_json.cpp.o.d"
+  "/root/repo/src/io/routing_xml.cpp" "src/CMakeFiles/aalwines.dir/io/routing_xml.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/io/routing_xml.cpp.o.d"
+  "/root/repo/src/io/topology_xml.cpp" "src/CMakeFiles/aalwines.dir/io/topology_xml.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/io/topology_xml.cpp.o.d"
+  "/root/repo/src/json/json.cpp" "src/CMakeFiles/aalwines.dir/json/json.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/json/json.cpp.o.d"
+  "/root/repo/src/model/header.cpp" "src/CMakeFiles/aalwines.dir/model/header.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/model/header.cpp.o.d"
+  "/root/repo/src/model/label.cpp" "src/CMakeFiles/aalwines.dir/model/label.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/model/label.cpp.o.d"
+  "/root/repo/src/model/quantity.cpp" "src/CMakeFiles/aalwines.dir/model/quantity.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/model/quantity.cpp.o.d"
+  "/root/repo/src/model/routing.cpp" "src/CMakeFiles/aalwines.dir/model/routing.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/model/routing.cpp.o.d"
+  "/root/repo/src/model/simulator.cpp" "src/CMakeFiles/aalwines.dir/model/simulator.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/model/simulator.cpp.o.d"
+  "/root/repo/src/model/topology.cpp" "src/CMakeFiles/aalwines.dir/model/topology.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/model/topology.cpp.o.d"
+  "/root/repo/src/model/trace.cpp" "src/CMakeFiles/aalwines.dir/model/trace.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/model/trace.cpp.o.d"
+  "/root/repo/src/nfa/nfa.cpp" "src/CMakeFiles/aalwines.dir/nfa/nfa.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/nfa/nfa.cpp.o.d"
+  "/root/repo/src/nfa/regex.cpp" "src/CMakeFiles/aalwines.dir/nfa/regex.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/nfa/regex.cpp.o.d"
+  "/root/repo/src/nfa/symbol_set.cpp" "src/CMakeFiles/aalwines.dir/nfa/symbol_set.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/nfa/symbol_set.cpp.o.d"
+  "/root/repo/src/pda/pautomaton.cpp" "src/CMakeFiles/aalwines.dir/pda/pautomaton.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/pda/pautomaton.cpp.o.d"
+  "/root/repo/src/pda/pda.cpp" "src/CMakeFiles/aalwines.dir/pda/pda.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/pda/pda.cpp.o.d"
+  "/root/repo/src/pda/reduction.cpp" "src/CMakeFiles/aalwines.dir/pda/reduction.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/pda/reduction.cpp.o.d"
+  "/root/repo/src/pda/solver.cpp" "src/CMakeFiles/aalwines.dir/pda/solver.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/pda/solver.cpp.o.d"
+  "/root/repo/src/query/lexer.cpp" "src/CMakeFiles/aalwines.dir/query/lexer.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/query/lexer.cpp.o.d"
+  "/root/repo/src/query/parser.cpp" "src/CMakeFiles/aalwines.dir/query/parser.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/query/parser.cpp.o.d"
+  "/root/repo/src/synthesis/dataplane.cpp" "src/CMakeFiles/aalwines.dir/synthesis/dataplane.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/synthesis/dataplane.cpp.o.d"
+  "/root/repo/src/synthesis/nordunet.cpp" "src/CMakeFiles/aalwines.dir/synthesis/nordunet.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/synthesis/nordunet.cpp.o.d"
+  "/root/repo/src/synthesis/queries.cpp" "src/CMakeFiles/aalwines.dir/synthesis/queries.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/synthesis/queries.cpp.o.d"
+  "/root/repo/src/synthesis/topologies.cpp" "src/CMakeFiles/aalwines.dir/synthesis/topologies.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/synthesis/topologies.cpp.o.d"
+  "/root/repo/src/synthesis/zoo.cpp" "src/CMakeFiles/aalwines.dir/synthesis/zoo.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/synthesis/zoo.cpp.o.d"
+  "/root/repo/src/util/errors.cpp" "src/CMakeFiles/aalwines.dir/util/errors.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/util/errors.cpp.o.d"
+  "/root/repo/src/util/interner.cpp" "src/CMakeFiles/aalwines.dir/util/interner.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/util/interner.cpp.o.d"
+  "/root/repo/src/verify/batch.cpp" "src/CMakeFiles/aalwines.dir/verify/batch.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/verify/batch.cpp.o.d"
+  "/root/repo/src/verify/engine.cpp" "src/CMakeFiles/aalwines.dir/verify/engine.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/verify/engine.cpp.o.d"
+  "/root/repo/src/verify/exact_engine.cpp" "src/CMakeFiles/aalwines.dir/verify/exact_engine.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/verify/exact_engine.cpp.o.d"
+  "/root/repo/src/verify/moped_engine.cpp" "src/CMakeFiles/aalwines.dir/verify/moped_engine.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/verify/moped_engine.cpp.o.d"
+  "/root/repo/src/verify/moped_format.cpp" "src/CMakeFiles/aalwines.dir/verify/moped_format.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/verify/moped_format.cpp.o.d"
+  "/root/repo/src/verify/translation.cpp" "src/CMakeFiles/aalwines.dir/verify/translation.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/verify/translation.cpp.o.d"
+  "/root/repo/src/xml/xml_parser.cpp" "src/CMakeFiles/aalwines.dir/xml/xml_parser.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/xml/xml_parser.cpp.o.d"
+  "/root/repo/src/xml/xml_writer.cpp" "src/CMakeFiles/aalwines.dir/xml/xml_writer.cpp.o" "gcc" "src/CMakeFiles/aalwines.dir/xml/xml_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_batch.cpp" "tests/CMakeFiles/aalwines_tests.dir/test_batch.cpp.o" "gcc" "tests/CMakeFiles/aalwines_tests.dir/test_batch.cpp.o.d"
+  "/root/repo/tests/test_engine_figure1.cpp" "tests/CMakeFiles/aalwines_tests.dir/test_engine_figure1.cpp.o" "gcc" "tests/CMakeFiles/aalwines_tests.dir/test_engine_figure1.cpp.o.d"
+  "/root/repo/tests/test_engine_property.cpp" "tests/CMakeFiles/aalwines_tests.dir/test_engine_property.cpp.o" "gcc" "tests/CMakeFiles/aalwines_tests.dir/test_engine_property.cpp.o.d"
+  "/root/repo/tests/test_exact.cpp" "tests/CMakeFiles/aalwines_tests.dir/test_exact.cpp.o" "gcc" "tests/CMakeFiles/aalwines_tests.dir/test_exact.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/aalwines_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/aalwines_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_header.cpp" "tests/CMakeFiles/aalwines_tests.dir/test_header.cpp.o" "gcc" "tests/CMakeFiles/aalwines_tests.dir/test_header.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/aalwines_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/aalwines_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_isis.cpp" "tests/CMakeFiles/aalwines_tests.dir/test_isis.cpp.o" "gcc" "tests/CMakeFiles/aalwines_tests.dir/test_isis.cpp.o.d"
+  "/root/repo/tests/test_json.cpp" "tests/CMakeFiles/aalwines_tests.dir/test_json.cpp.o" "gcc" "tests/CMakeFiles/aalwines_tests.dir/test_json.cpp.o.d"
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/aalwines_tests.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/aalwines_tests.dir/test_model.cpp.o.d"
+  "/root/repo/tests/test_moped.cpp" "tests/CMakeFiles/aalwines_tests.dir/test_moped.cpp.o" "gcc" "tests/CMakeFiles/aalwines_tests.dir/test_moped.cpp.o.d"
+  "/root/repo/tests/test_nfa.cpp" "tests/CMakeFiles/aalwines_tests.dir/test_nfa.cpp.o" "gcc" "tests/CMakeFiles/aalwines_tests.dir/test_nfa.cpp.o.d"
+  "/root/repo/tests/test_pautomaton.cpp" "tests/CMakeFiles/aalwines_tests.dir/test_pautomaton.cpp.o" "gcc" "tests/CMakeFiles/aalwines_tests.dir/test_pautomaton.cpp.o.d"
+  "/root/repo/tests/test_pda_post.cpp" "tests/CMakeFiles/aalwines_tests.dir/test_pda_post.cpp.o" "gcc" "tests/CMakeFiles/aalwines_tests.dir/test_pda_post.cpp.o.d"
+  "/root/repo/tests/test_pda_pre.cpp" "tests/CMakeFiles/aalwines_tests.dir/test_pda_pre.cpp.o" "gcc" "tests/CMakeFiles/aalwines_tests.dir/test_pda_pre.cpp.o.d"
+  "/root/repo/tests/test_pda_property.cpp" "tests/CMakeFiles/aalwines_tests.dir/test_pda_property.cpp.o" "gcc" "tests/CMakeFiles/aalwines_tests.dir/test_pda_property.cpp.o.d"
+  "/root/repo/tests/test_quantity.cpp" "tests/CMakeFiles/aalwines_tests.dir/test_quantity.cpp.o" "gcc" "tests/CMakeFiles/aalwines_tests.dir/test_quantity.cpp.o.d"
+  "/root/repo/tests/test_query.cpp" "tests/CMakeFiles/aalwines_tests.dir/test_query.cpp.o" "gcc" "tests/CMakeFiles/aalwines_tests.dir/test_query.cpp.o.d"
+  "/root/repo/tests/test_reduction.cpp" "tests/CMakeFiles/aalwines_tests.dir/test_reduction.cpp.o" "gcc" "tests/CMakeFiles/aalwines_tests.dir/test_reduction.cpp.o.d"
+  "/root/repo/tests/test_results_json.cpp" "tests/CMakeFiles/aalwines_tests.dir/test_results_json.cpp.o" "gcc" "tests/CMakeFiles/aalwines_tests.dir/test_results_json.cpp.o.d"
+  "/root/repo/tests/test_symbol_set.cpp" "tests/CMakeFiles/aalwines_tests.dir/test_symbol_set.cpp.o" "gcc" "tests/CMakeFiles/aalwines_tests.dir/test_symbol_set.cpp.o.d"
+  "/root/repo/tests/test_synthesis.cpp" "tests/CMakeFiles/aalwines_tests.dir/test_synthesis.cpp.o" "gcc" "tests/CMakeFiles/aalwines_tests.dir/test_synthesis.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/aalwines_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/aalwines_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_translation.cpp" "tests/CMakeFiles/aalwines_tests.dir/test_translation.cpp.o" "gcc" "tests/CMakeFiles/aalwines_tests.dir/test_translation.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/aalwines_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/aalwines_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_weight.cpp" "tests/CMakeFiles/aalwines_tests.dir/test_weight.cpp.o" "gcc" "tests/CMakeFiles/aalwines_tests.dir/test_weight.cpp.o.d"
+  "/root/repo/tests/test_xml.cpp" "tests/CMakeFiles/aalwines_tests.dir/test_xml.cpp.o" "gcc" "tests/CMakeFiles/aalwines_tests.dir/test_xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aalwines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
