@@ -103,6 +103,7 @@ void print_summary() {
 } // namespace
 
 int main(int argc, char** argv) {
+    const auto json_path = bench::take_json_flag(argc, argv);
     for (int k = 0; k <= ExactFixture::k_max; ++k) {
         benchmark::RegisterBenchmark(("Exact/k" + std::to_string(k)).c_str(),
                                      [k](benchmark::State& st) { run_k(st, k, true); })
@@ -117,5 +118,6 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     print_summary();
+    if (json_path && !bench::write_json_report(*json_path, "bench_exact")) return 1;
     return 0;
 }

@@ -149,6 +149,7 @@ void print_figure() {
 } // namespace
 
 int main(int argc, char** argv) {
+    const auto json_path = bench::take_json_flag(argc, argv);
     benchmark::RegisterBenchmark("Fig4/Moped", [](benchmark::State& st) {
         run_suite(st, 0);
     })->Unit(benchmark::kSecond)->Iterations(1);
@@ -162,5 +163,6 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     print_figure();
+    if (json_path && !bench::write_json_report(*json_path, "bench_fig4")) return 1;
     return 0;
 }

@@ -126,4 +126,13 @@ BENCHMARK(nordunet_scaling_moped)
     ->Arg(1600)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    const auto json_path = aalwines::bench::take_json_flag(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    if (json_path && !aalwines::bench::write_json_report(*json_path, "bench_pda"))
+        return 1;
+    return 0;
+}

@@ -69,6 +69,7 @@ void print_summary() {
 } // namespace
 
 int main(int argc, char** argv) {
+    const auto json_path = bench::take_json_flag(argc, argv);
     for (std::size_t i = 0; i < fixture().objectives.size(); ++i) {
         const auto name = "Quantities/" + fixture().objectives[i].first;
         benchmark::RegisterBenchmark(
@@ -80,5 +81,6 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     print_summary();
+    if (json_path && !bench::write_json_report(*json_path, "bench_quantities")) return 1;
     return 0;
 }

@@ -108,6 +108,7 @@ void print_summary() {
 } // namespace
 
 int main(int argc, char** argv) {
+    const auto json_path = bench::take_json_flag(argc, argv);
     for (int level = 0; level < 3; ++level) {
         const auto name = "Reduction/level" + std::to_string(level);
         benchmark::RegisterBenchmark(
@@ -119,5 +120,6 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     print_summary();
+    if (json_path && !bench::write_json_report(*json_path, "bench_reduction")) return 1;
     return 0;
 }

@@ -111,10 +111,12 @@ void print_table() {
 } // namespace
 
 int main(int argc, char** argv) {
+    const auto json_path = bench::take_json_flag(argc, argv);
     register_benchmarks();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     print_table();
+    if (json_path && !bench::write_json_report(*json_path, "bench_table1")) return 1;
     return 0;
 }

@@ -19,6 +19,7 @@
 #include "model/quantity.hpp"
 #include "synthesis/networks.hpp"
 #include "synthesis/queries.hpp"
+#include "telemetry/telemetry.hpp"
 #include "verify/batch.hpp"
 #include "verify/engine.hpp"
 
@@ -53,6 +54,8 @@ using namespace aalwines;
         "  --json               machine-readable output\n"
         "  --html FILE          write an HTML report with topology + witness paths\n"
         "  --stats              print engine statistics\n"
+        "  --trace-json FILE    write the telemetry trace (span tree + counters)\n"
+        "                       as JSON on exit (see docs/OBSERVABILITY.md)\n"
         "  --write-topology F   write the loaded topology as XML and exit\n"
         "  --write-routing F    write the loaded routing as XML and exit\n"
         "  --write-gml F        write the loaded topology as GML and exit\n"
@@ -84,6 +87,7 @@ struct Cli {
     bool want_trace = true;
     bool as_json = false;
     std::string html_file;
+    std::string trace_json_file;
     bool stats = false;
     std::string write_topology, write_routing, write_gml;
     bool info = false;
@@ -114,6 +118,7 @@ Cli parse_cli(int argc, char** argv) {
         else if (arg == "--no-trace") cli.want_trace = false;
         else if (arg == "--json") cli.as_json = true;
         else if (arg == "--html") cli.html_file = value(i);
+        else if (arg == "--trace-json") cli.trace_json_file = value(i);
         else if (arg == "--stats") cli.stats = true;
         else if (arg == "--write-topology") cli.write_topology = value(i);
         else if (arg == "--write-routing") cli.write_routing = value(i);
@@ -179,6 +184,17 @@ Network load_network(const Cli& cli) {
     std::exit(2);
 }
 
+void write_trace_json(const std::string& path) {
+    if (path.empty()) return;
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "aalwines: cannot write '" << path << "'\n";
+        return;
+    }
+    out << telemetry::to_json(telemetry::snapshot(), 2) << "\n";
+    std::cerr << "wrote " << path << "\n";
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -226,8 +242,10 @@ int main(int argc, char** argv) {
                       << " (backup: " << backup_rules << ")\n";
         }
         if (!cli.write_topology.empty() || !cli.write_routing.empty() ||
-            !cli.write_gml.empty() || cli.info)
+            !cli.write_gml.empty() || cli.info) {
+            write_trace_json(cli.trace_json_file);
             return 0;
+        }
 
         std::vector<std::string> queries = cli.queries;
         if (!cli.queries_file.empty()) {
@@ -307,7 +325,23 @@ int main(int argc, char** argv) {
                               << result.stats.over.pda_rules_before_reduction
                               << " before reduction)"
                               << "  saturation-iterations: "
-                              << result.stats.over.saturation_iterations << "\n";
+                              << result.stats.over.saturation_iterations
+                              << "  relaxations: "
+                              << result.stats.over.worklist_relaxations
+                              << "  peak-worklist: " << result.stats.over.peak_worklist
+                              << "\n";
+                    if (result.stats.over.pda_rules_expanded != 0)
+                        std::cout << "  expanded-pda-rules: "
+                                  << result.stats.over.pda_rules_expanded
+                                  << "  expanded-pda-states: "
+                                  << result.stats.over.pda_states_expanded << "\n";
+                    if (result.stats.under.ran)
+                        std::cout << "  under-phase: "
+                                  << result.stats.under.saturation_iterations
+                                  << " iterations, "
+                                  << result.stats.under.worklist_relaxations
+                                  << " relaxations, " << result.stats.under.seconds
+                                  << "s\n";
                 }
             }
             if (result.answer == verify::Answer::Inconclusive) all_ok = false;
@@ -351,8 +385,10 @@ int main(int argc, char** argv) {
                 }
                 std::cout.flush();
             }
+            write_trace_json(cli.trace_json_file);
             return 0;
         }
+        write_trace_json(cli.trace_json_file);
         return all_ok ? 0 : 3;
     } catch (const std::exception& error) {
         std::cerr << "aalwines: " << error.what() << "\n";

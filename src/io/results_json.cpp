@@ -21,6 +21,24 @@ std::string ops_between(const Network& network, const TraceEntry& current,
     return "?";
 }
 
+json::Value phase_to_json(const verify::PhaseStats& phase) {
+    json::Object object;
+    object.emplace("pdaRules", phase.pda_rules);
+    object.emplace("pdaRulesBeforeReduction", phase.pda_rules_before_reduction);
+    object.emplace("pdaStates", phase.pda_states);
+    if (phase.pda_rules_expanded != 0) {
+        object.emplace("pdaRulesExpanded", phase.pda_rules_expanded);
+        object.emplace("pdaStatesExpanded", phase.pda_states_expanded);
+    }
+    object.emplace("saturationIterations", phase.saturation_iterations);
+    object.emplace("automatonTransitions", phase.automaton_transitions);
+    object.emplace("worklistRelaxations", phase.worklist_relaxations);
+    object.emplace("peakWorklist", phase.peak_worklist);
+    object.emplace("seconds", phase.seconds);
+    if (phase.truncated) object.emplace("truncated", true);
+    return json::Value(std::move(object));
+}
+
 json::Value trace_to_json(const Network& network, const Trace& trace) {
     json::Array entries;
     for (std::size_t i = 0; i < trace.entries.size(); ++i) {
@@ -59,12 +77,18 @@ json::Value result_to_json_value(const Network& network, const std::string& quer
     if (!result.note.empty()) object.emplace("note", result.note);
     if (include_stats) {
         json::Object stats;
+        // Legacy flat keys (over-approximation phase), kept for consumers of
+        // earlier releases; the nested phase objects carry the full picture.
         stats.emplace("pdaRules", result.stats.over.pda_rules);
         stats.emplace("pdaRulesBeforeReduction",
                       result.stats.over.pda_rules_before_reduction);
         stats.emplace("saturationIterations", result.stats.over.saturation_iterations);
         stats.emplace("automatonTransitions", result.stats.over.automaton_transitions);
         stats.emplace("usedUnderApproximation", result.stats.under.ran);
+        if (result.stats.over.ran) stats.emplace("over", phase_to_json(result.stats.over));
+        if (result.stats.under.ran)
+            stats.emplace("under", phase_to_json(result.stats.under));
+        stats.emplace("totalSeconds", result.stats.total_seconds);
         object.emplace("stats", json::Value(std::move(stats)));
     }
     return json::Value(std::move(object));

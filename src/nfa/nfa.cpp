@@ -6,6 +6,7 @@
 #include <map>
 #include <set>
 
+#include "telemetry/telemetry.hpp"
 #include "util/hash.hpp"
 
 namespace aalwines::nfa {
@@ -167,6 +168,10 @@ Nfa Nfa::compile(const Regex& regex) {
             new_state.edges.push_back({edge.symbols, remap[edge.target]});
     }
     nfa._initial.push_back(0);
+    telemetry::count(telemetry::Counter::nfa_states_built, nfa._states.size());
+    std::size_t edge_count = 0;
+    for (const auto& state : nfa._states) edge_count += state.edges.size();
+    telemetry::count(telemetry::Counter::nfa_edges_built, edge_count);
     return nfa;
 }
 

@@ -5,6 +5,8 @@
 #include <map>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
+
 namespace aalwines::pda {
 
 namespace {
@@ -237,6 +239,7 @@ ReductionStats reduce(Pda& pda, std::span<const TosSeed> seeds,
     }
     pda.remove_rules(discard);
     stats.rules_after = pda.rule_count();
+    telemetry::count(telemetry::Counter::reduction_rules_pruned, discard.size());
     return stats;
 }
 

@@ -5,6 +5,7 @@
 #include <queue>
 #include <unordered_map>
 
+#include "telemetry/telemetry.hpp"
 #include "util/hash.hpp"
 
 namespace aalwines::pda {
@@ -43,15 +44,20 @@ EdgeLabel label_of_pre(const Pda& pda, const PreSpec& pre) {
 } // namespace
 
 SolverStats post_star(PAutomaton& aut, const SolverOptions& options) {
+    AALWINES_SPAN("post_star");
     const Pda& pda = aut.pda();
     SolverStats stats;
     Queue queue;
     std::uint64_t seq = 0;
 
+    std::size_t eps_relaxations = 0;
     auto enqueue_trans = [&](TransId id) {
+        ++stats.relaxations;
         queue.push({aut.transition(id).weight, seq++, false, id});
     };
     auto enqueue_eps = [&](std::uint32_t id) {
+        ++stats.relaxations;
+        ++eps_relaxations;
         queue.push({aut.epsilon(id).weight, seq++, true, id});
     };
 
@@ -60,6 +66,7 @@ SolverStats post_star(PAutomaton& aut, const SolverOptions& options) {
     std::size_t next_check = 512; // demand-driven acceptance checks, doubling
 
     while (!queue.empty()) {
+        stats.peak_queue = std::max(stats.peak_queue, queue.size());
         const QueueItem item = queue.top();
         queue.pop();
 
@@ -163,16 +170,25 @@ SolverStats post_star(PAutomaton& aut, const SolverOptions& options) {
 
     stats.transitions = aut.transition_count();
     stats.epsilons = aut.epsilon_count();
+    telemetry::count(telemetry::Counter::post_star_pops, stats.iterations);
+    telemetry::count(telemetry::Counter::edge_relaxations,
+                     stats.relaxations - eps_relaxations);
+    telemetry::count(telemetry::Counter::epsilon_relaxations, eps_relaxations);
+    telemetry::gauge_max(telemetry::Gauge::transition_high_water, stats.transitions);
+    telemetry::gauge_max(telemetry::Gauge::epsilon_high_water, stats.epsilons);
+    telemetry::gauge_max(telemetry::Gauge::worklist_high_water, stats.peak_queue);
     return stats;
 }
 
 SolverStats pre_star(PAutomaton& aut, const SolverOptions& options) {
+    AALWINES_SPAN("pre_star");
     const Pda& pda = aut.pda();
     SolverStats stats;
     Queue queue;
     std::uint64_t seq = 0;
 
     auto enqueue_trans = [&](TransId id) {
+        ++stats.relaxations;
         queue.push({aut.transition(id).weight, seq++, false, id});
     };
 
@@ -222,6 +238,7 @@ SolverStats pre_star(PAutomaton& aut, const SolverOptions& options) {
     };
 
     while (!queue.empty()) {
+        stats.peak_queue = std::max(stats.peak_queue, queue.size());
         const QueueItem item = queue.top();
         queue.pop();
         auto& trans_ref = aut.transition(item.id);
@@ -267,6 +284,10 @@ SolverStats pre_star(PAutomaton& aut, const SolverOptions& options) {
 
     stats.transitions = aut.transition_count();
     stats.epsilons = aut.epsilon_count();
+    telemetry::count(telemetry::Counter::pre_star_pops, stats.iterations);
+    telemetry::count(telemetry::Counter::edge_relaxations, stats.relaxations);
+    telemetry::gauge_max(telemetry::Gauge::transition_high_water, stats.transitions);
+    telemetry::gauge_max(telemetry::Gauge::worklist_high_water, stats.peak_queue);
     return stats;
 }
 
@@ -274,6 +295,7 @@ std::vector<AcceptedConfig> find_accepted_n(const PAutomaton& aut,
                                             std::span<const StateId> starts,
                                             const nfa::Nfa& stack_nfa, Symbol domain,
                                             std::size_t count) {
+    AALWINES_SPAN("find_accepted");
     // k-shortest accepting walks over the product automaton: a node may be
     // settled up to `count` times; every settled visit keeps a back-pointer
     // to the visit it was reached from, so each accepting visit spells its
@@ -308,6 +330,7 @@ std::vector<AcceptedConfig> find_accepted_n(const PAutomaton& aut,
     std::vector<Visit> settled;
     std::unordered_map<std::uint64_t, std::size_t> settle_counts;
     std::vector<AcceptedConfig> results;
+    std::size_t decrease_keys = 0;
 
     for (const auto start : starts)
         for (const auto n0 : stack_nfa.initial())
@@ -355,6 +378,7 @@ std::vector<AcceptedConfig> find_accepted_n(const PAutomaton& aut,
                 const auto symbol = inter->pick(domain);
                 if (!symbol) continue;
                 auto next_dist = extend(item.visit.dist, trans.weight);
+                ++decrease_keys;
                 heap.push({next_dist, seq++,
                            Visit{std::move(next_dist), key_of(trans.to, edge.target),
                                  visit_index, tid, UINT32_MAX, *symbol}});
@@ -365,18 +389,21 @@ std::vector<AcceptedConfig> find_accepted_n(const PAutomaton& aut,
                 const auto& eps = aut.epsilon(eps_id);
                 if (!eps.finalized) continue;
                 auto next_dist = extend(item.visit.dist, eps.weight);
+                ++decrease_keys;
                 heap.push({next_dist, seq++,
                            Visit{std::move(next_dist), key_of(eps.to, n_state),
                                  visit_index, k_no_trans, eps_id, k_no_symbol}});
             }
         }
     }
+    telemetry::count(telemetry::Counter::accept_decrease_keys, decrease_keys);
     return results;
 }
 
 std::optional<AcceptedConfig> find_accepted(const PAutomaton& aut,
                                             std::span<const StateId> starts,
                                             const nfa::Nfa& stack_nfa, Symbol domain) {
+    AALWINES_SPAN("find_accepted");
     // Dijkstra over the product of the P-automaton with the stack NFA.
     struct NodeInfo {
         Weight dist = Weight::infinity();
@@ -406,6 +433,7 @@ std::optional<AcceptedConfig> find_accepted(const PAutomaton& aut,
     };
     std::priority_queue<ProductItem, std::vector<ProductItem>, ProductCompare> queue;
     std::uint64_t seq = 0;
+    std::size_t decrease_keys = 0;
 
     for (const auto start : starts) {
         for (const auto n0 : stack_nfa.initial()) {
@@ -445,6 +473,7 @@ std::optional<AcceptedConfig> find_accepted(const PAutomaton& aut,
             }
             std::reverse(config.path.begin(), config.path.end());
             config.control_state = static_cast<StateId>(cursor >> 32);
+            telemetry::count(telemetry::Counter::accept_decrease_keys, decrease_keys);
             return config;
         }
 
@@ -462,6 +491,7 @@ std::optional<AcceptedConfig> find_accepted(const PAutomaton& aut,
                     next.via_trans = k_no_trans;
                     next.via_epsilon = eps_id;
                     next.via_symbol = k_no_symbol;
+                    ++decrease_keys;
                     queue.push({std::move(next_dist), seq++, next_key});
                 }
             }
@@ -483,11 +513,13 @@ std::optional<AcceptedConfig> find_accepted(const PAutomaton& aut,
                     next.parent = item.key;
                     next.via_trans = tid;
                     next.via_symbol = *symbol;
+                    ++decrease_keys;
                     queue.push({std::move(next_dist), seq++, next_key});
                 }
             }
         }
     }
+    telemetry::count(telemetry::Counter::accept_decrease_keys, decrease_keys);
     return std::nullopt;
 }
 
@@ -531,6 +563,8 @@ std::optional<PdaWitness> unroll_post_star(const PAutomaton& aut,
                 witness.initial_state = trans.from;
                 for (const auto& [id, s] : path) witness.initial_stack.push_back(s);
                 witness.rules.assign(rules_reversed.rbegin(), rules_reversed.rend());
+                telemetry::count(telemetry::Counter::witness_unroll_steps,
+                                 witness.rules.size());
                 return witness;
             }
             case Provenance::Kind::PostSwap: {
@@ -592,11 +626,17 @@ std::optional<PdaWitness> unroll_pre_star(const PAutomaton& aut,
 
     std::deque<std::pair<TransId, Symbol>> path(config.path.begin(), config.path.end());
     for (std::size_t guard = 0; guard < k_unroll_guard; ++guard) {
-        if (path.empty()) return witness; // stack fully consumed into the target set
+        if (path.empty()) {
+            telemetry::count(telemetry::Counter::witness_unroll_steps,
+                             witness.rules.size());
+            return witness; // stack fully consumed into the target set
+        }
         const auto [tid, symbol] = path.front();
         const auto& trans = aut.transition(tid);
         switch (trans.prov.kind) {
             case Provenance::Kind::Initial:
+                telemetry::count(telemetry::Counter::witness_unroll_steps,
+                                 witness.rules.size());
                 return witness; // remaining path lies inside the target automaton
             case Provenance::Kind::PrePop: {
                 witness.rules.push_back(trans.prov.rule);

@@ -36,9 +36,11 @@ struct SolverOptions {
 };
 
 struct SolverStats {
-    std::size_t iterations = 0;
-    std::size_t transitions = 0;
-    std::size_t epsilons = 0;
+    std::size_t iterations = 0;  ///< worklist pops (items finalized)
+    std::size_t transitions = 0; ///< automaton transitions after saturation
+    std::size_t epsilons = 0;    ///< ε-transitions after saturation
+    std::size_t relaxations = 0; ///< inserts/weight decreases enqueued
+    std::size_t peak_queue = 0;  ///< worklist length high-water mark
     bool truncated = false;
     bool early_terminated = false;
 };

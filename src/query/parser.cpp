@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "query/lexer.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace aalwines::query {
 
@@ -240,9 +241,12 @@ private:
 } // namespace
 
 Query parse_query(std::string_view text, const Network& network) {
+    AALWINES_SPAN("parse_query");
     Parser parser(text, network);
     parser.remember_text(text);
-    return parser.parse();
+    auto query = parser.parse();
+    telemetry::count(telemetry::Counter::queries_parsed);
+    return query;
 }
 
 } // namespace aalwines::query

@@ -1,0 +1,252 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "json/json.hpp"
+
+namespace aalwines::telemetry {
+
+std::string_view name_of(Counter counter) {
+    switch (counter) {
+        case Counter::queries_parsed: return "queries_parsed";
+        case Counter::nfa_states_built: return "nfa_states_built";
+        case Counter::nfa_edges_built: return "nfa_edges_built";
+        case Counter::pda_states_interned: return "pda_states_interned";
+        case Counter::pda_rules_emitted: return "pda_rules_emitted";
+        case Counter::reduction_rules_pruned: return "reduction_rules_pruned";
+        case Counter::post_star_pops: return "post_star_pops";
+        case Counter::pre_star_pops: return "pre_star_pops";
+        case Counter::edge_relaxations: return "edge_relaxations";
+        case Counter::epsilon_relaxations: return "epsilon_relaxations";
+        case Counter::accept_decrease_keys: return "accept_decrease_keys";
+        case Counter::witness_unroll_steps: return "witness_unroll_steps";
+        case Counter::traces_reconstructed: return "traces_reconstructed";
+        case Counter::count_: break;
+    }
+    return "?";
+}
+
+std::string_view name_of(Gauge gauge) {
+    switch (gauge) {
+        case Gauge::transition_high_water: return "transition_high_water";
+        case Gauge::epsilon_high_water: return "epsilon_high_water";
+        case Gauge::worklist_high_water: return "worklist_high_water";
+        case Gauge::count_: break;
+    }
+    return "?";
+}
+
+namespace detail {
+
+std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+ThreadBuffer::ThreadBuffer() { Registry::global().attach(this); }
+
+ThreadBuffer::~ThreadBuffer() { Registry::global().detach(this); }
+
+#if AALWINES_TELEMETRY_ENABLED
+ThreadBuffer& buffer() {
+    thread_local ThreadBuffer instance;
+    return instance;
+}
+#endif
+
+} // namespace detail
+
+#if AALWINES_TELEMETRY_ENABLED
+Span::Span(const char* name) {
+    auto& buf = detail::buffer();
+    const std::lock_guard lock(buf.span_mutex);
+    _index = static_cast<std::int32_t>(buf.spans.size());
+    buf.spans.push_back({name, buf.current, detail::now_ns(), 0});
+    buf.current = _index;
+}
+
+Span::~Span() {
+    auto& buf = detail::buffer();
+    const std::lock_guard lock(buf.span_mutex);
+    buf.spans[static_cast<std::size_t>(_index)].end_ns = detail::now_ns();
+    buf.current = buf.spans[static_cast<std::size_t>(_index)].parent;
+}
+#endif
+
+Registry::Registry() : _epoch_ns(detail::now_ns()) {}
+
+Registry& Registry::global() {
+    static Registry instance;
+    return instance;
+}
+
+void Registry::attach(detail::ThreadBuffer* buffer) {
+    const std::lock_guard lock(_mutex);
+    buffer->thread_index = _next_thread_index++;
+    _live.push_back(buffer);
+}
+
+void Registry::detach(detail::ThreadBuffer* buffer) {
+    const std::lock_guard lock(_mutex);
+    _live.erase(std::remove(_live.begin(), _live.end(), buffer), _live.end());
+    Retired retired;
+    for (std::size_t i = 0; i < k_counter_count; ++i)
+        retired.counters[i] = buffer->counters[i].load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < k_gauge_count; ++i)
+        retired.gauges[i] = buffer->gauges[i].load(std::memory_order_relaxed);
+    retired.spans = std::move(buffer->spans);
+    retired.thread_index = buffer->thread_index;
+    _retired.push_back(std::move(retired));
+}
+
+namespace {
+
+/// Assemble the nested SpanNode tree from the flat record list (records
+/// are appended in open order, so parents precede their children).
+std::vector<SpanNode> build_tree(const std::vector<detail::SpanRecord>& records,
+                                 std::uint64_t epoch_ns, std::uint64_t now_ns) {
+    std::vector<std::vector<std::size_t>> children(records.size());
+    std::vector<std::size_t> roots;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        if (records[i].parent < 0)
+            roots.push_back(i);
+        else
+            children[static_cast<std::size_t>(records[i].parent)].push_back(i);
+    }
+    auto make_node = [&](const auto& self, std::size_t index) -> SpanNode {
+        const auto& record = records[index];
+        SpanNode node;
+        node.name = record.name != nullptr ? record.name : "?";
+        const auto start = std::max(record.start_ns, epoch_ns);
+        const auto end = record.end_ns != 0 ? record.end_ns : now_ns;
+        node.open = record.end_ns == 0;
+        node.start_us = static_cast<double>(start - epoch_ns) / 1000.0;
+        node.duration_us = end > start ? static_cast<double>(end - start) / 1000.0 : 0.0;
+        for (const auto child : children[index]) node.children.push_back(self(self, child));
+        return node;
+    };
+    std::vector<SpanNode> result;
+    result.reserve(roots.size());
+    for (const auto root : roots) result.push_back(make_node(make_node, root));
+    return result;
+}
+
+} // namespace
+
+Snapshot Registry::snapshot() {
+    const std::lock_guard lock(_mutex);
+    const auto now = detail::now_ns();
+    Snapshot snap;
+    std::vector<std::pair<std::uint32_t, std::vector<detail::SpanRecord>>> span_sets;
+
+    for (const auto& retired : _retired) {
+        for (std::size_t i = 0; i < k_counter_count; ++i) snap.counters[i] += retired.counters[i];
+        for (std::size_t i = 0; i < k_gauge_count; ++i)
+            snap.gauges[i] = std::max(snap.gauges[i], retired.gauges[i]);
+        if (!retired.spans.empty()) span_sets.emplace_back(retired.thread_index, retired.spans);
+    }
+    for (auto* live : _live) {
+        for (std::size_t i = 0; i < k_counter_count; ++i)
+            snap.counters[i] += live->counters[i].load(std::memory_order_relaxed);
+        for (std::size_t i = 0; i < k_gauge_count; ++i)
+            snap.gauges[i] =
+                std::max(snap.gauges[i], live->gauges[i].load(std::memory_order_relaxed));
+        const std::lock_guard span_lock(live->span_mutex);
+        if (!live->spans.empty()) span_sets.emplace_back(live->thread_index, live->spans);
+    }
+
+    std::sort(span_sets.begin(), span_sets.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto& [thread_index, records] : span_sets) {
+        ThreadTrace trace;
+        trace.thread = thread_index;
+        trace.roots = build_tree(records, _epoch_ns, now);
+        snap.threads.push_back(std::move(trace));
+    }
+    return snap;
+}
+
+void Registry::reset() {
+    const std::lock_guard lock(_mutex);
+    _retired.clear();
+    _epoch_ns = detail::now_ns();
+    for (auto* live : _live) {
+        for (auto& counter : live->counters) counter.store(0, std::memory_order_relaxed);
+        for (auto& gauge : live->gauges) gauge.store(0, std::memory_order_relaxed);
+        const std::lock_guard span_lock(live->span_mutex);
+        // Keep the chain of still-open spans (the caller may hold Span
+        // objects across the reset); everything completed is dropped.
+        std::vector<detail::SpanRecord> kept;
+        for (auto cursor = live->current; cursor >= 0;
+             cursor = live->spans[static_cast<std::size_t>(cursor)].parent)
+            kept.push_back(live->spans[static_cast<std::size_t>(cursor)]);
+        std::reverse(kept.begin(), kept.end());
+        for (std::size_t i = 0; i < kept.size(); ++i)
+            kept[i].parent = static_cast<std::int32_t>(i) - 1;
+        live->spans = std::move(kept);
+        live->current = static_cast<std::int32_t>(live->spans.size()) - 1;
+    }
+}
+
+Snapshot snapshot() { return Registry::global().snapshot(); }
+
+void reset() { Registry::global().reset(); }
+
+std::string to_json(const Snapshot& snap, int indent) {
+    json::Object counters;
+    for (std::size_t i = 0; i < k_counter_count; ++i)
+        counters.emplace(std::string(name_of(static_cast<Counter>(i))), snap.counters[i]);
+    json::Object gauges;
+    for (std::size_t i = 0; i < k_gauge_count; ++i)
+        gauges.emplace(std::string(name_of(static_cast<Gauge>(i))), snap.gauges[i]);
+
+    auto span_to_json = [](const auto& self, const SpanNode& node) -> json::Value {
+        json::Object object;
+        object.emplace("name", node.name);
+        object.emplace("start_us", node.start_us);
+        object.emplace("duration_us", node.duration_us);
+        if (node.open) object.emplace("open", true);
+        json::Array children;
+        for (const auto& child : node.children) children.push_back(self(self, child));
+        object.emplace("children", json::Value(std::move(children)));
+        return json::Value(std::move(object));
+    };
+
+    json::Array threads;
+    for (const auto& trace : snap.threads) {
+        json::Object entry;
+        entry.emplace("thread", static_cast<std::size_t>(trace.thread));
+        json::Array spans;
+        for (const auto& root : trace.roots) spans.push_back(span_to_json(span_to_json, root));
+        entry.emplace("spans", json::Value(std::move(spans)));
+        threads.emplace_back(std::move(entry));
+    }
+
+    json::Object document;
+    document.emplace("schema", "aalwines-trace-1");
+    document.emplace("counters", json::Value(std::move(counters)));
+    document.emplace("gauges", json::Value(std::move(gauges)));
+    document.emplace("threads", json::Value(std::move(threads)));
+    return json::write(json::Value(std::move(document)), indent);
+}
+
+std::size_t peak_rss_kb() {
+    std::ifstream status("/proc/self/status");
+    if (!status) return 0;
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) != 0) continue;
+        std::istringstream fields(line.substr(6));
+        std::size_t kb = 0;
+        fields >> kb;
+        return kb;
+    }
+    return 0;
+}
+
+} // namespace aalwines::telemetry

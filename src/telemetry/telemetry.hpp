@@ -1,0 +1,227 @@
+#pragma once
+// Cross-cutting telemetry for the verification pipeline: scoped RAII span
+// timers forming a hierarchical trace tree per thread, monotonic counters
+// and max-gauges, aggregated by a process-global Registry.
+//
+// Probes are designed for the solver hot path: counters and gauges land in
+// a thread-local buffer (one relaxed atomic add, no shared cache line, no
+// lock), so `verify_batch` workers never contend.  Only opening/closing a
+// span takes a (thread-local, uncontended) mutex, and spans fire per
+// pipeline phase, not per worklist item.  The Registry merges live and
+// retired thread buffers on demand into a Snapshot that serialises to JSON
+// (see docs/OBSERVABILITY.md for the schema).
+//
+// Compile-time gated by the CMake option AALWINES_TELEMETRY (default ON),
+// which defines AALWINES_TELEMETRY_ENABLED=1/0.  When disabled, every
+// probe — count(), gauge_max(), Span, AALWINES_SPAN — reduces to a no-op
+// and snapshots are empty; the API stays source-compatible.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef AALWINES_TELEMETRY_ENABLED
+#define AALWINES_TELEMETRY_ENABLED 1
+#endif
+
+namespace aalwines::telemetry {
+
+/// Monotonic counters, one per instrumented event class.  Totals are
+/// deterministic for a fixed workload regardless of thread count.
+enum class Counter : std::uint32_t {
+    queries_parsed,         ///< query::parse_query calls
+    nfa_states_built,       ///< NFA states constructed (Thompson + product)
+    nfa_edges_built,        ///< NFA edges constructed
+    pda_states_interned,    ///< PDA control + chain states (translation)
+    pda_rules_emitted,      ///< PDA rules emitted by the translation
+    reduction_rules_pruned, ///< rules removed by the top-of-stack reduction
+    post_star_pops,         ///< post* worklist items finalized
+    pre_star_pops,          ///< pre* worklist items finalized
+    edge_relaxations,       ///< transition inserts/weight decreases enqueued
+    epsilon_relaxations,    ///< ε-transition inserts/decreases enqueued
+    accept_decrease_keys,   ///< Dijkstra decrease-keys in find_accepted[_n]
+    witness_unroll_steps,   ///< provenance-walk steps during unrolling
+    traces_reconstructed,   ///< witnesses successfully mapped to traces
+    count_,
+};
+inline constexpr std::size_t k_counter_count = static_cast<std::size_t>(Counter::count_);
+
+/// High-water marks; aggregation keeps the maximum across threads/runs.
+enum class Gauge : std::uint32_t {
+    transition_high_water, ///< P-automaton transition table size after saturation
+    epsilon_high_water,    ///< ε-transition table size after saturation
+    worklist_high_water,   ///< peak saturation worklist length
+    count_,
+};
+inline constexpr std::size_t k_gauge_count = static_cast<std::size_t>(Gauge::count_);
+
+[[nodiscard]] std::string_view name_of(Counter counter);
+[[nodiscard]] std::string_view name_of(Gauge gauge);
+
+/// One node of the merged trace tree (times relative to the registry
+/// epoch — process start or the last reset()).
+struct SpanNode {
+    std::string name;
+    double start_us = 0.0;
+    double duration_us = 0.0;
+    bool open = false; ///< still running when the snapshot was taken
+    std::vector<SpanNode> children;
+};
+
+struct ThreadTrace {
+    std::uint32_t thread = 0; ///< registry-assigned dense thread index
+    std::vector<SpanNode> roots;
+};
+
+struct Snapshot {
+    std::array<std::uint64_t, k_counter_count> counters{};
+    std::array<std::uint64_t, k_gauge_count> gauges{};
+    std::vector<ThreadTrace> threads;
+
+    [[nodiscard]] std::uint64_t counter(Counter c) const {
+        return counters[static_cast<std::size_t>(c)];
+    }
+    [[nodiscard]] std::uint64_t gauge(Gauge g) const {
+        return gauges[static_cast<std::size_t>(g)];
+    }
+};
+
+namespace detail {
+
+struct SpanRecord {
+    const char* name = nullptr; ///< static string (literal) supplied by the probe
+    std::int32_t parent = -1;   ///< index into the same buffer; -1 = root
+    std::uint64_t start_ns = 0;
+    std::uint64_t end_ns = 0;   ///< 0 = still open
+};
+
+/// Per-thread probe sink.  Registered with the Registry on construction,
+/// retired into it when the thread exits.
+class ThreadBuffer {
+public:
+    ThreadBuffer();
+    ~ThreadBuffer();
+    ThreadBuffer(const ThreadBuffer&) = delete;
+    ThreadBuffer& operator=(const ThreadBuffer&) = delete;
+
+    // Counters/gauges: written by the owning thread with relaxed atomics,
+    // read by snapshots from any thread.  The cache line is effectively
+    // thread-private, so the adds cost the same as plain increments.
+    std::array<std::atomic<std::uint64_t>, k_counter_count> counters{};
+    std::array<std::atomic<std::uint64_t>, k_gauge_count> gauges{};
+
+    // Spans: mutated only by the owning thread, but snapshots copy them
+    // cross-thread, so open/close/copy are guarded.  Spans are per phase,
+    // not per worklist item, so this mutex is cold and uncontended.
+    std::mutex span_mutex;
+    std::vector<SpanRecord> spans;
+    std::int32_t current = -1; ///< innermost open span, -1 = none
+    std::uint32_t thread_index = 0;
+};
+
+#if AALWINES_TELEMETRY_ENABLED
+[[nodiscard]] ThreadBuffer& buffer();
+#endif
+[[nodiscard]] std::uint64_t now_ns();
+
+} // namespace detail
+
+/// Add `n` to a counter (hot-path safe).
+inline void count([[maybe_unused]] Counter counter, [[maybe_unused]] std::uint64_t n = 1) {
+#if AALWINES_TELEMETRY_ENABLED
+    detail::buffer().counters[static_cast<std::size_t>(counter)].fetch_add(
+        n, std::memory_order_relaxed);
+#endif
+}
+
+/// Raise a gauge to at least `value` (hot-path safe).
+inline void gauge_max([[maybe_unused]] Gauge gauge, [[maybe_unused]] std::uint64_t value) {
+#if AALWINES_TELEMETRY_ENABLED
+    auto& cell = detail::buffer().gauges[static_cast<std::size_t>(gauge)];
+    auto current = cell.load(std::memory_order_relaxed);
+    while (value > current &&
+           !cell.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+    }
+#endif
+}
+
+/// Scoped span timer.  Construction opens a child of the innermost open
+/// span on this thread; destruction closes it.  `name` must be a string
+/// with static storage duration (a literal).
+class Span {
+public:
+#if AALWINES_TELEMETRY_ENABLED
+    explicit Span(const char* name);
+    ~Span();
+#else
+    explicit Span(const char*) noexcept {}
+#endif
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+private:
+#if AALWINES_TELEMETRY_ENABLED
+    std::int32_t _index = -1;
+#endif
+};
+
+class Registry {
+public:
+    [[nodiscard]] static Registry& global();
+
+    /// Merge every live and retired thread buffer into one Snapshot.
+    /// Counters sum, gauges max, span trees are reported per thread.
+    [[nodiscard]] Snapshot snapshot();
+
+    /// Zero all counters/gauges, drop completed spans and retired buffers,
+    /// and restart the time epoch.  Spans still open on the calling thread
+    /// survive (re-rooted); other threads must not have open spans.
+    void reset();
+
+private:
+    friend class detail::ThreadBuffer;
+    Registry();
+
+    void attach(detail::ThreadBuffer* buffer);
+    void detach(detail::ThreadBuffer* buffer);
+
+    struct Retired {
+        std::array<std::uint64_t, k_counter_count> counters{};
+        std::array<std::uint64_t, k_gauge_count> gauges{};
+        std::vector<detail::SpanRecord> spans;
+        std::uint32_t thread_index = 0;
+    };
+
+    std::mutex _mutex;
+    std::vector<detail::ThreadBuffer*> _live;
+    std::vector<Retired> _retired;
+    std::uint32_t _next_thread_index = 0;
+    std::uint64_t _epoch_ns = 0;
+};
+
+/// Shorthands over the global registry.
+[[nodiscard]] Snapshot snapshot();
+void reset();
+
+/// Serialise a snapshot as the `aalwines-trace-1` JSON document.
+[[nodiscard]] std::string to_json(const Snapshot& snap, int indent = 2);
+
+/// Peak resident set size in kB (VmHWM from /proc/self/status; 0 when
+/// unavailable on this platform).
+[[nodiscard]] std::size_t peak_rss_kb();
+
+} // namespace aalwines::telemetry
+
+#define AALWINES_TELEMETRY_CAT2(a, b) a##b
+#define AALWINES_TELEMETRY_CAT(a, b) AALWINES_TELEMETRY_CAT2(a, b)
+#if AALWINES_TELEMETRY_ENABLED
+/// Open a span for the rest of the enclosing scope.
+#define AALWINES_SPAN(name) \
+    ::aalwines::telemetry::Span AALWINES_TELEMETRY_CAT(aalwines_span_, __LINE__)(name)
+#else
+#define AALWINES_SPAN(name) static_cast<void>(0)
+#endif

@@ -3,11 +3,14 @@
 #include <atomic>
 #include <thread>
 
+#include "telemetry/telemetry.hpp"
+
 namespace aalwines::verify {
 
 std::vector<BatchItem> verify_batch(const Network& network,
                                     const std::vector<std::string>& texts,
                                     const VerifyOptions& options, std::size_t jobs) {
+    AALWINES_SPAN("verify_batch");
     std::vector<BatchItem> items(texts.size());
     for (std::size_t i = 0; i < texts.size(); ++i) items[i].query_text = texts[i];
     if (texts.empty()) return items;
@@ -17,6 +20,7 @@ std::vector<BatchItem> verify_batch(const Network& network,
 
     std::atomic<std::size_t> next{0};
     auto worker = [&]() {
+        AALWINES_SPAN("batch_worker");
         for (;;) {
             const auto index = next.fetch_add(1, std::memory_order_relaxed);
             if (index >= items.size()) return;

@@ -3,10 +3,20 @@
 #include <algorithm>
 #include <chrono>
 
+#include "pda/solver.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/errors.hpp"
 #include "verify/translation.hpp"
 
 namespace aalwines::verify {
+
+void absorb_solver_stats(PhaseStats& phase, const pda::SolverStats& solver) {
+    phase.saturation_iterations = solver.iterations;
+    phase.automaton_transitions = solver.transitions + solver.epsilons;
+    phase.worklist_relaxations = solver.relaxations;
+    phase.peak_worklist = solver.peak_queue;
+    phase.truncated = solver.truncated;
+}
 
 std::string_view to_string(Answer answer) {
     switch (answer) {
@@ -49,6 +59,8 @@ struct PhaseOutcome {
 PhaseOutcome run_post_star_phase(const Network& network, const query::Query& query,
                                  Approximation approximation,
                                  const VerifyOptions& options) {
+    AALWINES_SPAN(approximation == Approximation::Under ? "post_star_phase(under)"
+                                                        : "post_star_phase(over)");
     PhaseOutcome outcome;
     const auto start = Clock::now();
     outcome.stats.ran = true;
@@ -77,9 +89,8 @@ PhaseOutcome run_post_star_phase(const Network& network, const query::Query& que
         };
     }
     const auto sat_stats = pda::post_star(automaton, sopts);
-    outcome.stats.saturation_iterations = sat_stats.iterations;
-    outcome.stats.automaton_transitions = sat_stats.transitions;
-    outcome.truncated = outcome.stats.truncated = sat_stats.truncated;
+    absorb_solver_stats(outcome.stats, sat_stats);
+    outcome.truncated = sat_stats.truncated;
 
     const auto accepted =
         pda::find_accepted(automaton, translation.accepting_states(),
@@ -140,6 +151,7 @@ PhaseOutcome run_post_star_phase(const Network& network, const query::Query& que
 
 VerifyResult verify(const Network& network, const query::Query& query,
                     const VerifyOptions& options) {
+    AALWINES_SPAN("verify");
     if (options.engine == EngineKind::Moped) {
         if (options.weights != nullptr && !options.weights->empty())
             throw model_error("the Moped engine cannot verify weighted queries");

@@ -23,6 +23,10 @@
 #include "model/trace.hpp"
 #include "query/query.hpp"
 
+namespace aalwines::pda {
+struct SolverStats;
+}
+
 namespace aalwines::verify {
 
 enum class Answer : std::uint8_t { Yes, No, Inconclusive };
@@ -55,17 +59,30 @@ struct VerifyOptions {
     std::size_t max_witnesses = 1;
 };
 
-/// Timing and size figures for one saturation phase.
+/// Timing and size figures for one saturation phase.  Every engine reports
+/// the same semantics so `--stats` output is comparable across engines:
+/// `pda_rules`/`pda_states` describe the symbolic translation PDA after any
+/// reduction (the solver's direct input for dual/weighted); engines that
+/// additionally expand the PDA (Moped's concrete label encoding) report that
+/// backend's size in the `_expanded` fields, which stay 0 elsewhere.
 struct PhaseStats {
     std::size_t pda_rules_before_reduction = 0;
     std::size_t pda_rules = 0;
     std::size_t pda_states = 0;
-    std::size_t saturation_iterations = 0;
-    std::size_t automaton_transitions = 0;
+    std::size_t pda_rules_expanded = 0;  ///< Moped concrete backend only
+    std::size_t pda_states_expanded = 0; ///< Moped concrete backend only
+    std::size_t saturation_iterations = 0; ///< worklist pops (items finalized)
+    std::size_t automaton_transitions = 0; ///< incl. ε-transitions
+    std::size_t worklist_relaxations = 0;  ///< inserts + weight decreases
+    std::size_t peak_worklist = 0;         ///< worklist length high-water mark
     double seconds = 0.0;
     bool ran = false;
     bool truncated = false;
 };
+
+/// Copy solver-side counters into a phase record (shared by every engine so
+/// the fields above mean the same thing regardless of solver direction).
+void absorb_solver_stats(PhaseStats& phase, const pda::SolverStats& solver);
 
 struct VerifyStats {
     PhaseStats over;

@@ -7,9 +7,11 @@
 // avoids; the engine serves as a ground-truth oracle in the tests and as
 // the baseline of the scaling benchmarks.
 
+#include <algorithm>
 #include <chrono>
 #include <functional>
 
+#include "telemetry/telemetry.hpp"
 #include "util/errors.hpp"
 #include "verify/engine.hpp"
 #include "verify/translation.hpp"
@@ -46,6 +48,7 @@ bool for_each_failure_set(LinkId links, std::uint64_t k,
 
 VerifyResult exact_verify(const Network& network, const query::Query& query,
                           const VerifyOptions& options) {
+    AALWINES_SPAN("exact_verify");
     const auto start = Clock::now();
     VerifyResult result;
     result.answer = Answer::No;
@@ -79,6 +82,10 @@ VerifyResult exact_verify(const Network& network, const query::Query& query,
         };
         const auto sat_stats = pda::post_star(automaton, sopts);
         result.stats.over.saturation_iterations += sat_stats.iterations;
+        result.stats.over.automaton_transitions += sat_stats.transitions + sat_stats.epsilons;
+        result.stats.over.worklist_relaxations += sat_stats.relaxations;
+        result.stats.over.peak_worklist =
+            std::max(result.stats.over.peak_worklist, sat_stats.peak_queue);
         result.stats.over.ran = true;
         if (sat_stats.truncated) {
             truncated = true;

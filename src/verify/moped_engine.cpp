@@ -1,5 +1,6 @@
 #include <chrono>
 
+#include "telemetry/telemetry.hpp"
 #include "verify/engine.hpp"
 #include "verify/moped_format.hpp"
 #include "verify/translation.hpp"
@@ -28,6 +29,8 @@ struct MopedPhaseOutcome {
 MopedPhaseOutcome run_pre_star_phase(const Network& network, const query::Query& query,
                                      Approximation approximation,
                                      const VerifyOptions& options) {
+    AALWINES_SPAN(approximation == Approximation::Under ? "pre_star_phase(under)"
+                                                        : "pre_star_phase(over)");
     MopedPhaseOutcome outcome;
     const auto start = Clock::now();
     outcome.stats.ran = true;
@@ -37,20 +40,29 @@ MopedPhaseOutcome run_pre_star_phase(const Network& network, const query::Query&
     Translation translation(network, query, topts);
     outcome.stats.pda_rules_before_reduction = translation.pda().rule_count();
     if (options.moped_reduction) translation.reduce(options.reduction_level);
+    // Same semantics as the dual engine: the (optionally reduced) symbolic
+    // translation PDA.  The concrete backend's size goes in `_expanded`.
+    outcome.stats.pda_rules = translation.pda().rule_count();
+    outcome.stats.pda_states = translation.pda().state_count();
 
     // The external-tool round trip, in the direct (fully concrete) encoding.
-    const auto expanded = translation.pda().expand_concrete();
-    const auto document = write_moped_format(expanded);
-    const auto backend = parse_moped_format(document);
-    outcome.stats.pda_rules = backend.rule_count();
-    outcome.stats.pda_states = backend.state_count();
+    pda::Pda backend(0);
+    {
+        AALWINES_SPAN("moped_roundtrip");
+        const auto expanded = translation.pda().expand_concrete();
+        const auto document = write_moped_format(expanded);
+        backend = parse_moped_format(document);
+    }
+    outcome.stats.pda_rules_expanded = backend.rule_count();
+    outcome.stats.pda_states_expanded = backend.state_count();
 
     auto automaton =
         translation.make_final_automaton(backend, /*concrete_edges=*/true);
-    const auto sat_stats = pda::pre_star(automaton, {options.max_iterations});
-    outcome.stats.saturation_iterations = sat_stats.iterations;
-    outcome.stats.automaton_transitions = sat_stats.transitions;
-    outcome.truncated = outcome.stats.truncated = sat_stats.truncated;
+    pda::SolverOptions solver_options;
+    solver_options.max_iterations = options.max_iterations;
+    const auto sat_stats = pda::pre_star(automaton, solver_options);
+    absorb_solver_stats(outcome.stats, sat_stats);
+    outcome.truncated = sat_stats.truncated;
 
     const auto accepted = pda::find_accepted(
         automaton, translation.initial_states(), translation.initial_header_nfa(),
@@ -78,6 +90,7 @@ MopedPhaseOutcome run_pre_star_phase(const Network& network, const query::Query&
 
 VerifyResult moped_verify(const Network& network, const query::Query& query,
                           const VerifyOptions& options) {
+    AALWINES_SPAN("moped_verify");
     const auto start = Clock::now();
     VerifyResult result;
 

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <set>
 
+#include "telemetry/telemetry.hpp"
+
 namespace aalwines::verify {
 
 using nfa::Regex;
@@ -55,6 +57,7 @@ pda::SymbolClass class_id(LabelType type) { return static_cast<pda::SymbolClass>
 Translation::Translation(const Network& network, const query::Query& query,
                          const TranslationOptions& options)
     : _network(&network), _query(&query), _options(options) {
+    AALWINES_SPAN("translate");
     _nfa_b = nfa::Nfa::compile(query.path);
     const auto header_nfa = nfa::Nfa::compile(valid_header_regex(network.labels));
     _nfa_a = nfa::Nfa::intersection(nfa::Nfa::compile(query.initial_header), header_nfa);
@@ -71,6 +74,8 @@ Translation::Translation(const Network& network, const query::Query& query,
 
     build_control_states();
     build_rules();
+    telemetry::count(telemetry::Counter::pda_states_interned, _pda->state_count());
+    telemetry::count(telemetry::Counter::pda_rules_emitted, _pda->rule_count());
 }
 
 pda::StateId Translation::control_state(LinkId link, std::uint32_t nfa_state,
@@ -393,6 +398,7 @@ pda::PAutomaton Translation::make_final_automaton(const pda::Pda& backend,
 }
 
 pda::ReductionStats Translation::reduce(int level) {
+    AALWINES_SPAN("reduce");
     // Seed the analysis with the stack languages of the initial configs.
     SymbolSet top_set, second_set, deep_set;
     for (const auto q0 : _nfa_a.initial()) {
@@ -418,6 +424,7 @@ std::optional<Trace> Translation::witness_to_trace(const pda::PdaWitness& witnes
 
 std::optional<Trace> Translation::witness_to_trace(const pda::PdaWitness& witness,
                                                    const pda::Pda& backend) const {
+    AALWINES_SPAN("witness_to_trace");
     const auto replay = pda::replay_witness(backend, witness);
     if (!replay) return std::nullopt;
     const auto& configs = *replay;
@@ -447,6 +454,7 @@ std::optional<Trace> Translation::witness_to_trace(const pda::PdaWitness& witnes
             i + 1 < forwards.size() ? forwards[i + 1].first : witness.rules.size();
         trace.entries.push_back({forwards[i].second->out_link, header_of(configs[end].second)});
     }
+    telemetry::count(telemetry::Counter::traces_reconstructed);
     return trace;
 }
 

@@ -1,0 +1,164 @@
+// Telemetry subsystem: span nesting, counter aggregation across
+// verify_batch worker threads, and the trace-JSON schema round trip.
+
+#include <gtest/gtest.h>
+
+#include "json/json.hpp"
+#include "synthesis/networks.hpp"
+#include "telemetry/telemetry.hpp"
+#include "verify/batch.hpp"
+
+namespace {
+
+using namespace aalwines;
+
+const std::vector<std::string> k_queries = {
+    "<ip> [.#v0] .* [v3#.] <ip> 0",
+    "<s40 ip> [.#v0] .* [v3#.] <mpls+ smpls ip> 1",
+    "<smpls? ip> [.#v0] . . . .* [v3#.] <smpls? ip> 1",
+    "<ip> .* <ip> 0",
+};
+
+TEST(Telemetry, SpanNestingAndOrdering) {
+#if !AALWINES_TELEMETRY_ENABLED
+    GTEST_SKIP() << "telemetry compiled out";
+#else
+    telemetry::reset();
+    {
+        AALWINES_SPAN("outer");
+        { AALWINES_SPAN("inner_first"); }
+        { AALWINES_SPAN("inner_second"); }
+    }
+    const auto snap = telemetry::snapshot();
+
+    const telemetry::SpanNode* outer = nullptr;
+    for (const auto& thread : snap.threads)
+        for (const auto& root : thread.roots)
+            if (root.name == "outer") outer = &root;
+    ASSERT_NE(outer, nullptr);
+    EXPECT_FALSE(outer->open);
+    ASSERT_EQ(outer->children.size(), 2u);
+    EXPECT_EQ(outer->children[0].name, "inner_first");
+    EXPECT_EQ(outer->children[1].name, "inner_second");
+    // Children opened in order, and nested inside the parent's interval.
+    EXPECT_LE(outer->children[0].start_us, outer->children[1].start_us);
+    for (const auto& child : outer->children) {
+        EXPECT_GE(child.start_us, outer->start_us);
+        EXPECT_LE(child.start_us + child.duration_us,
+                  outer->start_us + outer->duration_us + 1.0 /* µs rounding */);
+    }
+#endif
+}
+
+TEST(Telemetry, OpenSpanSurvivesResetAndIsMarkedOpen) {
+#if !AALWINES_TELEMETRY_ENABLED
+    GTEST_SKIP() << "telemetry compiled out";
+#else
+    telemetry::reset();
+    AALWINES_SPAN("held_open");
+    telemetry::reset(); // must keep the open chain, re-rooted
+    const auto snap = telemetry::snapshot();
+    bool found = false;
+    for (const auto& thread : snap.threads)
+        for (const auto& root : thread.roots)
+            if (root.name == "held_open") {
+                found = true;
+                EXPECT_TRUE(root.open);
+            }
+    EXPECT_TRUE(found);
+#endif
+}
+
+TEST(Telemetry, PipelineCountersFire) {
+    telemetry::reset();
+    const auto network = synthesis::make_figure1_network();
+    const auto batch = verify::verify_batch(network, k_queries, {}, 1);
+    for (const auto& item : batch) EXPECT_TRUE(item.error.empty()) << item.error;
+
+    const auto snap = telemetry::snapshot();
+#if AALWINES_TELEMETRY_ENABLED
+    using C = telemetry::Counter;
+    EXPECT_EQ(snap.counter(C::queries_parsed), k_queries.size());
+    EXPECT_GT(snap.counter(C::nfa_states_built), 0u);
+    EXPECT_GT(snap.counter(C::pda_rules_emitted), 0u);
+    EXPECT_GT(snap.counter(C::reduction_rules_pruned), 0u);
+    EXPECT_GT(snap.counter(C::post_star_pops), 0u);
+    EXPECT_GT(snap.counter(C::edge_relaxations), 0u);
+    EXPECT_GT(snap.counter(C::accept_decrease_keys), 0u);
+    EXPECT_GT(snap.counter(C::traces_reconstructed), 0u);
+    EXPECT_GT(snap.gauge(telemetry::Gauge::transition_high_water), 0u);
+    EXPECT_GT(snap.gauge(telemetry::Gauge::worklist_high_water), 0u);
+#else
+    for (const auto value : snap.counters) EXPECT_EQ(value, 0u);
+    EXPECT_TRUE(snap.threads.empty());
+#endif
+}
+
+TEST(Telemetry, CounterTotalsAreThreadCountInvariant) {
+#if !AALWINES_TELEMETRY_ENABLED
+    GTEST_SKIP() << "telemetry compiled out";
+#else
+    const auto network = synthesis::make_figure1_network();
+
+    telemetry::reset();
+    (void)verify::verify_batch(network, k_queries, {}, 1);
+    const auto serial = telemetry::snapshot();
+
+    telemetry::reset();
+    (void)verify::verify_batch(network, k_queries, {}, 4);
+    const auto parallel = telemetry::snapshot();
+
+    // Queries are verified independently and probes batch per run, so the
+    // totals must not depend on how queries were spread over workers.
+    for (std::size_t i = 0; i < telemetry::k_counter_count; ++i)
+        EXPECT_EQ(serial.counters[i], parallel.counters[i])
+            << telemetry::name_of(static_cast<telemetry::Counter>(i));
+    for (std::size_t i = 0; i < telemetry::k_gauge_count; ++i)
+        EXPECT_EQ(serial.gauges[i], parallel.gauges[i])
+            << telemetry::name_of(static_cast<telemetry::Gauge>(i));
+#endif
+}
+
+TEST(Telemetry, TraceJsonRoundTrip) {
+    telemetry::reset();
+    const auto network = synthesis::make_figure1_network();
+    (void)verify::verify_batch(network, {k_queries.front()}, {}, 1);
+
+    const auto snap = telemetry::snapshot();
+    const auto document = json::parse(telemetry::to_json(snap, 2));
+
+    EXPECT_EQ(document.at("schema").as_string(), "aalwines-trace-1");
+    const auto& counters = document.at("counters").as_object();
+    ASSERT_EQ(counters.size(), telemetry::k_counter_count);
+    for (std::size_t i = 0; i < telemetry::k_counter_count; ++i) {
+        const auto name =
+            std::string(telemetry::name_of(static_cast<telemetry::Counter>(i)));
+        ASSERT_TRUE(counters.contains(name)) << name;
+        EXPECT_EQ(static_cast<std::uint64_t>(counters.at(name).as_int()),
+                  snap.counters[i])
+            << name;
+    }
+    const auto& gauges = document.at("gauges").as_object();
+    ASSERT_EQ(gauges.size(), telemetry::k_gauge_count);
+    ASSERT_TRUE(document.at("threads").is_array());
+#if AALWINES_TELEMETRY_ENABLED
+    ASSERT_FALSE(document.at("threads").as_array().empty());
+    const auto& first_thread = document.at("threads").as_array().front().as_object();
+    ASSERT_TRUE(first_thread.contains("spans"));
+    const auto& spans = first_thread.at("spans").as_array();
+    ASSERT_FALSE(spans.empty());
+    const auto& span = spans.front().as_object();
+    EXPECT_TRUE(span.contains("name"));
+    EXPECT_TRUE(span.contains("start_us"));
+    EXPECT_TRUE(span.contains("duration_us"));
+    EXPECT_TRUE(span.contains("children"));
+#endif
+}
+
+TEST(Telemetry, PeakRssIsReported) {
+    // /proc is available on every platform the test suite targets; if the
+    // file is missing the helper degrades to 0 rather than failing.
+    EXPECT_GT(telemetry::peak_rss_kb(), 0u);
+}
+
+} // namespace
