@@ -1,0 +1,24 @@
+// Fuzz harness for the XML routing loader (io/routing_xml.cpp), parsed
+// against a fixed topology so interface references can actually resolve.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "io/formats.hpp"
+#include "synthesis/networks.hpp"
+#include "util/errors.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+    static const aalwines::Network base = aalwines::synthesis::make_figure1_network();
+    const std::string_view document(reinterpret_cast<const char*>(data), size);
+    try {
+        aalwines::LabelTable labels;
+        (void)aalwines::io::read_routing_xml(document, base.topology, labels);
+    } catch (const aalwines::parse_error&) {
+        // not XML
+    } catch (const aalwines::model_error&) {
+        // XML, but not a routing table for this topology
+    }
+    return 0;
+}

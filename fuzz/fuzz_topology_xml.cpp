@@ -1,0 +1,21 @@
+// Fuzz harness for the XML topology loader (io/topology_xml.cpp).
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "io/formats.hpp"
+#include "util/errors.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+    const std::string_view document(reinterpret_cast<const char*>(data), size);
+    try {
+        std::string name;
+        (void)aalwines::io::read_topology_xml(document, &name);
+    } catch (const aalwines::parse_error&) {
+        // not XML
+    } catch (const aalwines::model_error&) {
+        // XML, but not a topology
+    }
+    return 0;
+}

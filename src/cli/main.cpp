@@ -20,6 +20,7 @@
 #include "synthesis/networks.hpp"
 #include "synthesis/queries.hpp"
 #include "telemetry/telemetry.hpp"
+#include "validate/cross_check.hpp"
 #include "verify/batch.hpp"
 #include "verify/engine.hpp"
 
@@ -51,6 +52,11 @@ using namespace aalwines;
         "  --jobs N             verify queries on N worker threads (default 1)\n"
         "  --no-trace           do not reconstruct witness traces\n"
         "  --witnesses N        enumerate up to N distinct witness traces\n"
+        "  --validate           check network well-formedness and replay every\n"
+        "                       witness trace through the dataplane semantics\n"
+        "  --validate=deep      additionally cross-check answers against the\n"
+        "                       Moped baseline and (when tractable) the exact\n"
+        "                       engine (see docs/CORRECTNESS.md)\n"
         "  --json               machine-readable output\n"
         "  --html FILE          write an HTML report with topology + witness paths\n"
         "  --stats              print engine statistics\n"
@@ -85,6 +91,8 @@ struct Cli {
     std::string queries_file;
     bool interactive = false;
     bool want_trace = true;
+    bool validate = false;
+    bool validate_deep = false;
     bool as_json = false;
     std::string html_file;
     std::string trace_json_file;
@@ -116,6 +124,8 @@ Cli parse_cli(int argc, char** argv) {
         else if (arg == "--interactive") cli.interactive = true;
         else if (arg == "--witnesses") cli.witnesses = static_cast<std::size_t>(std::stoul(value(i)));
         else if (arg == "--no-trace") cli.want_trace = false;
+        else if (arg == "--validate") cli.validate = true;
+        else if (arg == "--validate=deep") cli.validate = cli.validate_deep = true;
         else if (arg == "--json") cli.as_json = true;
         else if (arg == "--html") cli.html_file = value(i);
         else if (arg == "--trace-json") cli.trace_json_file = value(i);
@@ -184,6 +194,37 @@ Network load_network(const Cli& cli) {
     std::exit(2);
 }
 
+void print_issues(const validate::Report& report, const std::string& subject) {
+    for (const auto& issue : report.issues())
+        std::cerr << "aalwines: validate: " << subject << ": "
+                  << validate::to_string(issue.severity) << "(" << issue.component
+                  << "): " << issue.message << "\n";
+}
+
+/// Witness replay (and, deep, cross-engine) validation of one query result.
+/// Returns false when an error-severity issue was found.
+bool validate_result(const Network& network, const std::string& query_text,
+                     const verify::VerifyResult& result, const verify::VerifyOptions& options,
+                     bool deep) {
+    validate::Report report;
+    try {
+        const auto query = query::parse_query(query_text, network);
+        report = validate::check_result(network, query, result, options.weights);
+        if (deep) {
+            validate::CrossCheckOptions cross;
+            cross.weights = options.weights;
+            cross.deep = true;
+            cross.max_iterations = options.max_iterations;
+            report.merge(validate::cross_check(network, query, cross).report);
+        }
+    } catch (const std::exception& error) {
+        std::cerr << "aalwines: validate: " << query_text << ": " << error.what() << "\n";
+        return false;
+    }
+    print_issues(report, query_text);
+    return report.ok();
+}
+
 void write_trace_json(const std::string& path) {
     if (path.empty()) return;
     std::ofstream out(path);
@@ -203,6 +244,17 @@ int main(int argc, char** argv) {
         Network network = load_network(cli);
         if (!cli.locations_file.empty())
             io::apply_locations_json(read_file(cli.locations_file), network.topology);
+
+        bool validation_ok = true;
+        if (cli.validate) {
+            const auto report = validate::check_network(network);
+            print_issues(report, "network");
+            if (!report.ok()) {
+                std::cerr << "aalwines: validate: network is malformed ("
+                          << report.error_count() << " errors)\n";
+                return 4;
+            }
+        }
 
         if (!cli.write_topology.empty()) {
             std::ofstream(cli.write_topology)
@@ -345,6 +397,9 @@ int main(int argc, char** argv) {
                 }
             }
             if (result.answer == verify::Answer::Inconclusive) all_ok = false;
+            if (cli.validate &&
+                !validate_result(network, query_text, result, options, cli.validate_deep))
+                validation_ok = false;
             if (!cli.html_file.empty()) report.push_back({query_text, result});
         }
         if (!cli.html_file.empty()) {
@@ -365,6 +420,9 @@ int main(int argc, char** argv) {
                 try {
                     const auto query = query::parse_query(line, network);
                     const auto result = verify::verify(network, query, options);
+                    if (cli.validate &&
+                        !validate_result(network, line, result, options, cli.validate_deep))
+                        validation_ok = false;
                     if (cli.as_json) {
                         std::cout << io::result_to_json(network, line, result, cli.stats)
                                   << "\n";
@@ -386,9 +444,12 @@ int main(int argc, char** argv) {
                 std::cout.flush();
             }
             write_trace_json(cli.trace_json_file);
-            return 0;
+            return validation_ok ? 0 : 4;
         }
         write_trace_json(cli.trace_json_file);
+        if (!validation_ok) return 4;
+        if (cli.validate)
+            std::cerr << "aalwines: validate: all checks passed\n";
         return all_ok ? 0 : 3;
     } catch (const std::exception& error) {
         std::cerr << "aalwines: " << error.what() << "\n";

@@ -16,11 +16,21 @@ LabelType parse_label_type(std::string_view text) {
 
 std::string_view label_type_attr(LabelType type) { return to_string(type); }
 
+// Failover chains in real routing tables are a handful of groups deep; an
+// adversarial priority like 4000000000 would otherwise make the routing
+// table allocate that many empty groups per entry (a loader DoS, found by
+// the fuzz harness).
+inline constexpr std::uint32_t k_max_te_priority = 1024;
+
 std::uint32_t parse_priority(std::string_view text) {
     std::uint32_t value = 0;
     auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
     if (ec != std::errc{} || ptr != text.data() + text.size() || value == 0)
         throw model_error("invalid te-group priority '" + std::string(text) + "'");
+    if (value > k_max_te_priority)
+        throw model_error("te-group priority " + std::to_string(value) +
+                          " exceeds the supported maximum of " +
+                          std::to_string(k_max_te_priority));
     return value;
 }
 

@@ -12,6 +12,18 @@ std::uint64_t parse_u64_attr(std::string_view text, std::uint64_t fallback) {
     if (ec != std::errc{} || ptr != text.data() + text.size()) return fallback;
     return value;
 }
+
+double parse_coordinate_attr(std::string_view text, const char* attribute) {
+    // std::stod would throw std::invalid_argument/out_of_range on malformed
+    // input; coordinates come straight from user files, so report through
+    // model_error instead.
+    double value = 0.0;
+    auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || ptr != text.data() + text.size())
+        throw model_error("invalid " + std::string(attribute) + " coordinate '" +
+                          std::string(text) + "'");
+    return value;
+}
 } // namespace
 
 Topology read_topology_xml(std::string_view document, std::string* name) {
@@ -34,8 +46,8 @@ Topology read_topology_xml(std::string_view document, std::string* name) {
             const auto lng = router_el->attr("lng");
             if (lat && lng) {
                 Coordinate coord;
-                coord.latitude = std::stod(std::string(*lat));
-                coord.longitude = std::stod(std::string(*lng));
+                coord.latitude = parse_coordinate_attr(*lat, "lat");
+                coord.longitude = parse_coordinate_attr(*lng, "lng");
                 topology.set_coordinate(router, coord);
             }
         }

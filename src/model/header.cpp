@@ -1,6 +1,6 @@
 #include "model/header.hpp"
 
-#include <cassert>
+#include "util/check.hpp"
 
 namespace aalwines {
 
@@ -35,7 +35,7 @@ bool op_applicable(const LabelTable& labels, Label top, const Op& op) {
 }
 
 void apply_op_unchecked(Header& header, const Op& op) {
-    assert(!header.empty());
+    AALWINES_ASSERT(!header.empty(), "operation applied to an empty header");
     switch (op.kind) {
         case Op::Kind::Pop: header.pop_back(); break;
         case Op::Kind::Swap: header.back() = op.label; break;

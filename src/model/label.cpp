@@ -1,6 +1,6 @@
 #include "model/label.hpp"
 
-#include <cassert>
+#include "util/check.hpp"
 
 namespace aalwines {
 
@@ -46,12 +46,12 @@ std::vector<Label> LabelTable::find_by_name(std::string_view name) const {
 }
 
 LabelType LabelTable::type_of(Label label) const {
-    assert(label < _types.size());
+    AALWINES_CHECK(label < _types.size(), "unknown label id " + std::to_string(label));
     return _types[label];
 }
 
 const std::string& LabelTable::name_of(Label label) const {
-    assert(label < _name_ids.size());
+    AALWINES_CHECK(label < _name_ids.size(), "unknown label id " + std::to_string(label));
     return _names.at(_name_ids[label]);
 }
 

@@ -1,6 +1,6 @@
 #include "model/topology.hpp"
 
-#include <cassert>
+#include "util/check.hpp"
 #include <cmath>
 #include <numbers>
 
@@ -33,7 +33,8 @@ RouterId Topology::add_router(std::string_view name) {
 }
 
 InterfaceId Topology::add_interface(RouterId router, std::string_view name) {
-    assert(router < _router_names.size());
+    AALWINES_CHECK(router < _router_names.size(),
+                   "unknown router id " + std::to_string(router));
     auto& table = _router_interfaces[router];
     std::string key(name);
     if (auto it = table.find(key); it != table.end()) return it->second;
@@ -70,12 +71,14 @@ std::pair<LinkId, LinkId> Topology::add_duplex(RouterId a, std::string_view inte
 }
 
 void Topology::set_coordinate(RouterId router, Coordinate coordinate) {
-    assert(router < _coordinates.size());
+    AALWINES_CHECK(router < _coordinates.size(),
+                   "unknown router id " + std::to_string(router));
     _coordinates[router] = coordinate;
 }
 
 std::optional<Coordinate> Topology::coordinate(RouterId router) const {
-    assert(router < _coordinates.size());
+    AALWINES_CHECK(router < _coordinates.size(),
+                   "unknown router id " + std::to_string(router));
     return _coordinates[router];
 }
 
@@ -100,7 +103,8 @@ std::optional<RouterId> Topology::find_router(std::string_view name) const {
 
 std::optional<InterfaceId> Topology::find_interface(RouterId router,
                                                     std::string_view name) const {
-    assert(router < _router_interfaces.size());
+    AALWINES_CHECK(router < _router_interfaces.size(),
+                   "unknown router id " + std::to_string(router));
     const auto& table = _router_interfaces[router];
     if (auto it = table.find(std::string(name)); it != table.end()) return it->second;
     return std::nullopt;
@@ -125,27 +129,30 @@ std::optional<LinkId> Topology::in_link_through(RouterId router,
 }
 
 const std::string& Topology::router_name(RouterId router) const {
-    assert(router < _router_names.size());
+    AALWINES_CHECK(router < _router_names.size(),
+                   "unknown router id " + std::to_string(router));
     return _router_names[router];
 }
 
 const Interface& Topology::interface(InterfaceId id) const {
-    assert(id < _interfaces.size());
+    AALWINES_CHECK(id < _interfaces.size(), "unknown interface id " + std::to_string(id));
     return _interfaces[id];
 }
 
 const Link& Topology::link(LinkId id) const {
-    assert(id < _links.size());
+    AALWINES_CHECK(id < _links.size(), "unknown link id " + std::to_string(id));
     return _links[id];
 }
 
 const std::vector<LinkId>& Topology::out_links(RouterId router) const {
-    assert(router < _out_links.size());
+    AALWINES_CHECK(router < _out_links.size(),
+                   "unknown router id " + std::to_string(router));
     return _out_links[router];
 }
 
 const std::vector<LinkId>& Topology::in_links(RouterId router) const {
-    assert(router < _in_links.size());
+    AALWINES_CHECK(router < _in_links.size(),
+                   "unknown router id " + std::to_string(router));
     return _in_links[router];
 }
 

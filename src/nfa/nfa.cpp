@@ -1,12 +1,12 @@
 #include "nfa/nfa.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <deque>
 #include <map>
 #include <set>
 
 #include "telemetry/telemetry.hpp"
+#include "util/check.hpp"
 #include "util/hash.hpp"
 
 namespace aalwines::nfa {
@@ -98,7 +98,7 @@ struct ThompsonBuilder {
                 return {start, accept};
             }
         }
-        assert(false && "unreachable regex kind");
+        AALWINES_ASSERT(false, "unreachable regex kind");
         return {0, 0};
     }
 

@@ -1,6 +1,6 @@
 #include "pda/pautomaton.hpp"
 
-#include <cassert>
+#include "util/check.hpp"
 
 namespace aalwines::pda {
 
@@ -20,14 +20,15 @@ StateId PAutomaton::add_state() {
 }
 
 void PAutomaton::set_final(StateId state, bool final) {
-    assert(state < _final.size());
+    AALWINES_ASSERT(state < _final.size(), "set_final on an unknown state");
     _final[state] = final;
 }
 
 std::pair<TransId, bool> PAutomaton::add_transition(StateId from, EdgeLabel label,
                                                     StateId to, Weight weight,
                                                     Provenance prov) {
-    assert(from < _trans_from.size() && to < _trans_from.size());
+    AALWINES_ASSERT(from < _trans_from.size() && to < _trans_from.size(),
+                    "transition endpoint is not an automaton state");
     if (label.is_concrete()) {
         const ConcreteKey key{from, label.concrete, to};
         if (auto it = _concrete_index.find(key); it != _concrete_index.end()) {
@@ -35,7 +36,7 @@ std::pair<TransId, bool> PAutomaton::add_transition(StateId from, EdgeLabel labe
             if (weight < existing.weight) {
                 // Monotone (Dijkstra) processing never improves a finalized
                 // transition; a relaxation can only hit pending ones.
-                assert(!existing.finalized);
+                AALWINES_ASSERT(!existing.finalized, "relaxation of a finalized transition");
                 existing.weight = std::move(weight);
                 existing.prov = prov;
                 return {it->second, true};
@@ -54,7 +55,7 @@ std::pair<TransId, bool> PAutomaton::add_transition(StateId from, EdgeLabel labe
         if (existing.to != to || existing.label.is_concrete()) continue;
         if (!(existing.label == label)) continue;
         if (weight < existing.weight) {
-            assert(!existing.finalized);
+            AALWINES_ASSERT(!existing.finalized, "relaxation of a finalized transition");
             existing.weight = std::move(weight);
             existing.prov = prov;
             return {id, true};
@@ -73,7 +74,7 @@ std::pair<std::uint32_t, bool> PAutomaton::add_epsilon(StateId from, StateId to,
     if (auto it = _eps_index.find(key); it != _eps_index.end()) {
         auto& existing = _epsilons[it->second];
         if (weight < existing.weight) {
-            assert(!existing.finalized);
+            AALWINES_ASSERT(!existing.finalized, "relaxation of a finalized epsilon");
             existing.weight = std::move(weight);
             existing.prov = prov;
             return {it->second, true};

@@ -1,29 +1,32 @@
 #include "pda/pda.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include "util/check.hpp"
 
 namespace aalwines::pda {
 
 void Pda::set_symbol_class(Symbol symbol, SymbolClass cls) {
-    assert(symbol < _alphabet_size);
+    AALWINES_ASSERT(symbol < _alphabet_size, "symbol outside the stack alphabet");
     if (_symbol_classes.size() <= symbol) _symbol_classes.resize(symbol + 1, k_no_class);
     _symbol_classes[symbol] = cls;
     _class_sets.clear(); // invalidate cache
 }
 
 RuleId Pda::add_rule(Rule rule) {
-    assert(rule.from < _rules_by_state.size());
-    assert(rule.to < _rules_by_state.size());
-    assert(rule.op != Rule::OpKind::Swap || rule.label1 < _alphabet_size);
-    assert(rule.op != Rule::OpKind::Push ||
-           (rule.label1 < _alphabet_size &&
-            (rule.label2 < _alphabet_size || rule.label2 == k_same_symbol)));
+    AALWINES_ASSERT(rule.from < _rules_by_state.size(), "rule.from is not a PDA state");
+    AALWINES_ASSERT(rule.to < _rules_by_state.size(), "rule.to is not a PDA state");
+    AALWINES_ASSERT(rule.op != Rule::OpKind::Swap || rule.label1 < _alphabet_size,
+                    "swap rule writes a symbol outside the stack alphabet");
+    AALWINES_ASSERT(rule.op != Rule::OpKind::Push ||
+                        (rule.label1 < _alphabet_size &&
+                         (rule.label2 < _alphabet_size || rule.label2 == k_same_symbol)),
+                    "push rule operand outside the stack alphabet");
     const RuleId id = static_cast<RuleId>(_rules.size());
     auto& index = _rules_by_state[rule.from];
     switch (rule.pre.kind) {
         case PreSpec::Kind::Concrete:
-            assert(rule.pre.symbol < _alphabet_size);
+            AALWINES_ASSERT(rule.pre.symbol < _alphabet_size,
+                            "rule precondition symbol outside the stack alphabet");
             index.concrete[rule.pre.symbol].push_back(id);
             break;
         case PreSpec::Kind::Class: index.by_class[rule.pre.cls].push_back(id); break;
@@ -63,7 +66,7 @@ void Pda::remove_rules(const std::vector<RuleId>& discard) {
         }
         kept.push_back(std::move(_rules[id]));
     }
-    assert(di == discard.size() && "discard list must be sorted and unique");
+    AALWINES_ASSERT(di == discard.size(), "discard list must be sorted and unique");
     _rules = std::move(kept);
     // Rebuild the per-state indexes with the new rule ids.
     for (auto& index : _rules_by_state) index = StateIndex{};

@@ -1,0 +1,52 @@
+#pragma once
+// AALWINES_CHECK / AALWINES_ASSERT — the library's contract-checking macros.
+//
+// Policy (docs/CORRECTNESS.md): library code never raw-`assert`s on anything
+// derived from user input.
+//
+//   AALWINES_CHECK(cond, message)   always compiled in; guards conditions
+//     reachable from malformed input or API misuse (index accessors fed by
+//     loader-produced ids, boundary lookups).  Failure throws `model_error`
+//     through errors.hpp — malformed input is an error, never UB.
+//
+//   AALWINES_ASSERT(cond, message)  internal invariant; enabled in builds
+//     without NDEBUG and in any build configured with -DAALWINES_ASSERTS=ON.
+//     Failure throws `invariant_error` instead of aborting, so harnesses
+//     (tests, fuzzers, `aalwines --validate`) observe the violation as a
+//     reportable error.  Compiles to nothing when disabled.
+//
+// The message expression is evaluated only on failure, so string
+// concatenation in call sites costs nothing on the happy path.
+
+#include <string>
+
+#include "util/errors.hpp"
+
+namespace aalwines::detail {
+
+[[noreturn]] void check_failed(const char* expression, const char* file, int line,
+                               const std::string& message);
+[[noreturn]] void invariant_failed(const char* expression, const char* file, int line,
+                                   const std::string& message);
+
+} // namespace aalwines::detail
+
+#define AALWINES_CHECK(condition, message)                                       \
+    do {                                                                         \
+        if (!(condition)) [[unlikely]]                                           \
+            ::aalwines::detail::check_failed(#condition, __FILE__, __LINE__,     \
+                                             (message));                         \
+    } while (false)
+
+#if !defined(NDEBUG) || (defined(AALWINES_KEEP_ASSERTS) && AALWINES_KEEP_ASSERTS)
+#define AALWINES_ASSERTS_ENABLED 1
+#define AALWINES_ASSERT(condition, message)                                      \
+    do {                                                                         \
+        if (!(condition)) [[unlikely]]                                           \
+            ::aalwines::detail::invariant_failed(#condition, __FILE__, __LINE__, \
+                                                 (message));                     \
+    } while (false)
+#else
+#define AALWINES_ASSERTS_ENABLED 0
+#define AALWINES_ASSERT(condition, message) ((void)0)
+#endif

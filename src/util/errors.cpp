@@ -1,5 +1,7 @@
 #include "util/errors.hpp"
 
+#include "util/check.hpp"
+
 namespace aalwines {
 
 namespace {
@@ -19,6 +21,27 @@ parse_error::parse_error(std::string message)
 namespace detail {
 void fail_parse(const std::string& message, SourcePos pos) {
     throw parse_error(message, pos);
+}
+
+namespace {
+std::string format_contract(const char* expression, const char* file, int line,
+                            const std::string& message) {
+    std::string where(file);
+    // Keep the path readable: trim everything before the src/ component.
+    if (const auto at = where.rfind("src/"); at != std::string::npos)
+        where.erase(0, at);
+    return message + " [" + expression + " at " + where + ":" + std::to_string(line) + "]";
+}
+} // namespace
+
+void check_failed(const char* expression, const char* file, int line,
+                  const std::string& message) {
+    throw model_error(format_contract(expression, file, line, message));
+}
+
+void invariant_failed(const char* expression, const char* file, int line,
+                      const std::string& message) {
+    throw invariant_error(format_contract(expression, file, line, message));
 }
 } // namespace detail
 

@@ -37,6 +37,15 @@ public:
     using std::runtime_error::runtime_error;
 };
 
+/// Thrown by AALWINES_ASSERT (util/check.hpp) when an internal invariant is
+/// violated: a bug in the library or a corrupted data structure, never bad
+/// user input.  Derives from logic_error; the what() string carries the
+/// failed expression and its source location.
+class invariant_error : public std::logic_error {
+public:
+    using std::logic_error::logic_error;
+};
+
 namespace detail {
 [[noreturn]] void fail_parse(const std::string& message, SourcePos pos);
 } // namespace detail

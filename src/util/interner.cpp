@@ -1,6 +1,6 @@
 #include "util/interner.hpp"
 
-#include <cassert>
+#include "util/check.hpp"
 
 namespace aalwines {
 
@@ -20,7 +20,7 @@ std::optional<StringInterner::Id> StringInterner::find(std::string_view text) co
 }
 
 const std::string& StringInterner::at(Id id) const {
-    assert(id < _strings.size());
+    AALWINES_CHECK(id < _strings.size(), "unknown interned string id " + std::to_string(id));
     return _strings[id];
 }
 

@@ -1,0 +1,93 @@
+#pragma once
+// Deep well-formedness checkers for the core data structures — the runtime
+// prong of the correctness harness (docs/CORRECTNESS.md).
+//
+// Every checker *reports* violations into a Report instead of throwing, so a
+// single pass over a corrupted structure surfaces every problem at once and
+// callers (tests, `aalwines --validate`, CI) decide how to react.  The
+// checkers deliberately re-derive each invariant from first principles
+// rather than calling the structure's own consistency helpers: an invariant
+// and its checker failing together is exactly the regression this module
+// exists to catch.
+//
+// Component-level overloads (taking raw rule vectors and counts) exist so
+// mutation tests can corrupt copies of valid structures and prove each
+// checker actually fires.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/routing.hpp"
+#include "nfa/nfa.hpp"
+#include "pda/pautomaton.hpp"
+#include "pda/pda.hpp"
+
+namespace aalwines::validate {
+
+enum class Severity : std::uint8_t { Warning, Error };
+
+[[nodiscard]] std::string_view to_string(Severity severity);
+
+/// One violation: which component of which structure broke, and how.
+struct Issue {
+    Severity severity = Severity::Error;
+    std::string component; ///< "topology", "labels", "routing", "pda", ...
+    std::string message;
+};
+
+class Report {
+public:
+    void error(std::string_view component, std::string message);
+    void warning(std::string_view component, std::string message);
+    void merge(const Report& other);
+
+    /// True when no *error*-severity issue was recorded (warnings are fine).
+    [[nodiscard]] bool ok() const noexcept { return _errors == 0; }
+    [[nodiscard]] std::size_t error_count() const noexcept { return _errors; }
+    [[nodiscard]] const std::vector<Issue>& issues() const noexcept { return _issues; }
+
+    /// One line per issue: "error(component): message".
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    std::vector<Issue> _issues;
+    std::size_t _errors = 0;
+};
+
+/// Topology (paper, Definition 1): interface/link referential integrity and
+/// the out/in adjacency indexes listing every link exactly once.
+void check_topology(const Topology& topology, Report& report);
+
+/// Label alphabet: the L_M / L_M⊥ / L_IP partition tags are valid and the
+/// (type, name) interning round-trips to the same dense id.
+void check_labels(const LabelTable& labels, Report& report);
+
+/// Routing table τ (paper, Definition 2) against topology and labels: every
+/// entry's links exist, each rule's out-link leaves the router its in-link
+/// enters, operation labels are interned and stratum-applicable.  Vestigial
+/// structure (entries with no rules, trailing empty TE groups) is a warning.
+void check_routing(const Network& network, Report& report);
+
+/// All of the above on one network.
+[[nodiscard]] Report check_network(const Network& network);
+
+/// PDA rules (paper §4.1 normal form): state ids in range, precondition and
+/// operand symbols inside the stack alphabet, per-op operand shape.
+/// Component-level so tests can corrupt a copied rule vector.
+void check_pda_rules(const std::vector<pda::Rule>& rules, std::size_t state_count,
+                     pda::Symbol alphabet_size, Report& report);
+[[nodiscard]] Report check_pda(const pda::Pda& pda);
+
+/// P-automaton: transition endpoints in range, no definitely-empty edge
+/// labels, ε-transitions go control → non-control, provenance references
+/// resolve, and the per-state transition index is a partition of the
+/// transition set.
+[[nodiscard]] Report check_pautomaton(const pda::PAutomaton& automaton);
+
+/// ε-free NFA (post ε-elimination): edge targets in range, no
+/// definitely-empty edge sets, at least one initial state.
+void check_nfa(const nfa::Nfa& nfa, std::string_view component, Report& report);
+
+} // namespace aalwines::validate

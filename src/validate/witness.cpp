@@ -1,0 +1,222 @@
+#include "validate/witness.hpp"
+
+#include <algorithm>
+
+#include "model/header.hpp"
+
+namespace aalwines::validate {
+
+namespace {
+
+std::string format_weight(const std::vector<std::uint64_t>& weight) {
+    std::string out = "(";
+    for (std::size_t i = 0; i < weight.size(); ++i) {
+        if (i) out += ", ";
+        out += std::to_string(weight[i]);
+    }
+    return out + ")";
+}
+
+/// Header word as the query regexes read it: top of stack first.
+std::vector<nfa::Symbol> top_first_word(const Header& header) {
+    return {header.rbegin(), header.rend()};
+}
+
+} // namespace
+
+std::uint64_t ReplayAccumulation::of(Quantity quantity) const {
+    switch (quantity) {
+        case Quantity::Links: return links;
+        case Quantity::Hops: return hops;
+        case Quantity::Distance: return distance;
+        case Quantity::Failures: return failures;
+        case Quantity::Tunnels: return tunnels;
+    }
+    return 0;
+}
+
+std::optional<ReplayAccumulation> replay_trace(const Network& network, const Trace& trace,
+                                               Report& report) {
+    const auto& topology = network.topology;
+    const auto& labels = network.labels;
+
+    if (trace.empty()) {
+        report.error("witness", "empty trace");
+        return std::nullopt;
+    }
+    for (std::size_t i = 0; i < trace.entries.size(); ++i) {
+        const auto& entry = trace.entries[i];
+        if (entry.link >= topology.link_count()) {
+            report.error("witness", "entry " + std::to_string(i) +
+                                        " traverses unknown link id " +
+                                        std::to_string(entry.link));
+            return std::nullopt;
+        }
+        if (!is_valid_header(labels, entry.header)) {
+            report.error("witness", "entry " + std::to_string(i) +
+                                        " carries invalid header " +
+                                        display_header(labels, entry.header));
+            return std::nullopt;
+        }
+    }
+
+    // Re-derive the greedy failure set of Definition 4: per step, the first
+    // TE group containing a rule that reproduces the observed rewrite is the
+    // one the router used; every out-link of the groups above it must have
+    // failed for that group to be consulted.
+    ReplayAccumulation acc;
+    for (std::size_t i = 0; i + 1 < trace.entries.size(); ++i) {
+        const auto& current = trace.entries[i];
+        const auto& next = trace.entries[i + 1];
+        const auto* groups = network.routing.entry(current.link, current.header.back());
+        if (groups == nullptr) {
+            report.error("witness", "step " + std::to_string(i) +
+                                        ": no routing entry for (" +
+                                        topology.describe_link(current.link) + ", " +
+                                        labels.display(current.header.back()) + ")");
+            return std::nullopt;
+        }
+        bool matched = false;
+        FailureSet failed_here;
+        for (const auto& group : *groups) {
+            for (const auto& rule : group) {
+                if (rule.out_link != next.link) continue;
+                const auto rewritten = apply_ops(labels, current.header, rule.ops);
+                if (rewritten && *rewritten == next.header) {
+                    matched = true;
+                    break;
+                }
+            }
+            if (matched) break;
+            for (const auto& rule : group) failed_here.insert(rule.out_link);
+        }
+        if (!matched) {
+            report.error("witness", "step " + std::to_string(i) +
+                                        ": no forwarding rule rewrites " +
+                                        display_header(labels, current.header) + " to " +
+                                        display_header(labels, next.header) + " towards " +
+                                        topology.describe_link(next.link));
+            return std::nullopt;
+        }
+        acc.failures += failed_here.size();
+        acc.required_failures.insert(failed_here.begin(), failed_here.end());
+    }
+
+    for (const auto& entry : trace.entries) {
+        if (acc.required_failures.contains(entry.link)) {
+            report.error("witness", "link " + topology.describe_link(entry.link) +
+                                        " is both traversed and required to fail");
+            return std::nullopt;
+        }
+    }
+
+    // Independent dataplane replay: with exactly F failed, the Simulator's
+    // first-active-group semantics must offer a choice reproducing each step.
+    const Simulator simulator(network, acc.required_failures);
+    for (std::size_t i = 0; i + 1 < trace.entries.size(); ++i) {
+        const auto& current = trace.entries[i];
+        const auto& next = trace.entries[i + 1];
+        bool reproduced = false;
+        for (const auto& rule : simulator.active_choices(current.link, current.header)) {
+            const auto stepped = simulator.step(current, rule);
+            if (stepped && *stepped == next) {
+                reproduced = true;
+                break;
+            }
+        }
+        if (!reproduced) {
+            report.error("witness",
+                         "step " + std::to_string(i) +
+                             ": the dataplane simulator cannot reproduce the step under " +
+                             std::to_string(acc.required_failures.size()) +
+                             " required failures");
+            return std::nullopt;
+        }
+    }
+
+    acc.links = trace.size();
+    for (const auto& entry : trace.entries) {
+        const auto& link = topology.link(entry.link);
+        if (link.source != link.target) ++acc.hops;
+        acc.distance += link.distance;
+    }
+    for (std::size_t i = 0; i + 1 < trace.entries.size(); ++i) {
+        const auto current = trace.entries[i].header.size();
+        const auto next = trace.entries[i + 1].header.size();
+        if (next > current) acc.tunnels += next - current;
+    }
+    return acc;
+}
+
+void check_witness(const Network& network, const query::Query& query, const Trace& trace,
+                   Report& report) {
+    const auto replay = replay_trace(network, trace, report);
+    if (!replay) return;
+
+    if (replay->required_failures.size() > query.max_failures)
+        report.error("witness", "trace needs " +
+                                    std::to_string(replay->required_failures.size()) +
+                                    " failed links, query budget is " +
+                                    std::to_string(query.max_failures));
+
+    const auto initial = nfa::Nfa::compile(query.initial_header);
+    const auto path = nfa::Nfa::compile(query.path);
+    const auto final_header = nfa::Nfa::compile(query.final_header);
+    check_nfa(initial, "query.initial", report);
+    check_nfa(path, "query.path", report);
+    check_nfa(final_header, "query.final", report);
+
+    if (!initial.accepts(top_first_word(trace.entries.front().header)))
+        report.error("witness", "initial header " +
+                                    display_header(network.labels,
+                                                   trace.entries.front().header) +
+                                    " is not in the language of <a>");
+    std::vector<nfa::Symbol> link_word;
+    link_word.reserve(trace.size());
+    for (const auto& entry : trace.entries) link_word.push_back(entry.link);
+    if (!path.accepts(link_word))
+        report.error("witness", "link sequence is not in the language of the path regex");
+    if (!final_header.accepts(top_first_word(trace.entries.back().header)))
+        report.error("witness", "final header " +
+                                    display_header(network.labels,
+                                                   trace.entries.back().header) +
+                                    " is not in the language of <c>");
+}
+
+Report check_result(const Network& network, const query::Query& query,
+                    const verify::VerifyResult& result, const WeightExpr* weights) {
+    Report report;
+    if (result.answer != verify::Answer::Yes) {
+        if (result.trace)
+            report.error("result", "answer is " +
+                                       std::string(verify::to_string(result.answer)) +
+                                       " but a witness trace was attached");
+        return report;
+    }
+    if (!result.trace) return report; // witness reconstruction not requested
+
+    check_witness(network, query, *result.trace, report);
+    for (std::size_t i = 0; i < result.witnesses.size(); ++i) {
+        if (result.witnesses[i] == *result.trace) continue; // already checked
+        Report witness_report;
+        check_witness(network, query, result.witnesses[i], witness_report);
+        if (!witness_report.ok())
+            report.error("result", "witness " + std::to_string(i) + " fails replay");
+        report.merge(witness_report);
+    }
+    if (!result.witnesses.empty() &&
+        std::find(result.witnesses.begin(), result.witnesses.end(), *result.trace) ==
+            result.witnesses.end())
+        report.error("result", "canonical trace is missing from the witness list");
+
+    if (weights != nullptr && !weights->empty() && !result.weight.empty()) {
+        const auto expected = evaluate(network, *result.trace, *weights);
+        if (expected != result.weight)
+            report.error("result", "reported weight " + format_weight(result.weight) +
+                                       " does not match the trace re-evaluation " +
+                                       format_weight(expected));
+    }
+    return report;
+}
+
+} // namespace aalwines::validate

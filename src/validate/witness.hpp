@@ -1,0 +1,58 @@
+#pragma once
+// Witness-trace validation: replay every reconstructed trace through the
+// concrete MPLS dataplane semantics (model/simulator.hpp) and re-accumulate
+// the atomic quantities independently of the engine's weighted-PDA pipeline.
+//
+// The engine derives traces from P-automaton provenance; the replayer
+// re-derives the greedy failure set of Definition 4 from the routing table,
+// then asks the Simulator — a completely separate implementation of the
+// forwarding semantics — to reproduce each step under that failure set.  A
+// trace that the engine reports but the dataplane cannot execute is a
+// reconstruction bug, whichever side is wrong.
+
+#include <cstdint>
+#include <optional>
+
+#include "model/quantity.hpp"
+#include "model/simulator.hpp"
+#include "query/query.hpp"
+#include "validate/validate.hpp"
+#include "verify/engine.hpp"
+
+namespace aalwines::validate {
+
+/// Quantities re-accumulated while replaying a witness, plus the minimal
+/// failure set F enabling it (paper §3 / Definition 4).
+struct ReplayAccumulation {
+    std::uint64_t links = 0;    ///< trace length n
+    std::uint64_t hops = 0;     ///< steps over non-self-loop links
+    std::uint64_t distance = 0; ///< Σ d(e_i)
+    std::uint64_t failures = 0; ///< Σ_i |failed(i)|
+    std::uint64_t tunnels = 0;  ///< Σ max(0, |h_{i+1}| - |h_i|)
+    FailureSet required_failures;
+
+    [[nodiscard]] std::uint64_t of(Quantity quantity) const;
+};
+
+/// Replay `trace` through the Simulator under the re-derived failure set.
+/// Reports every violation (invalid header, no matching rule, dataplane
+/// cannot reproduce a step, ...) and returns nullopt when replay failed.
+[[nodiscard]] std::optional<ReplayAccumulation> replay_trace(const Network& network,
+                                                             const Trace& trace,
+                                                             Report& report);
+
+/// Full witness check against a query: the trace replays, its failure set
+/// fits the budget k, and the initial header, link sequence and final header
+/// are in the languages of the query's three regular expressions.
+void check_witness(const Network& network, const query::Query& query, const Trace& trace,
+                   Report& report);
+
+/// Validate a complete engine result: every collected witness passes
+/// check_witness, the canonical trace is among the witnesses, and — when the
+/// query was weighted — the reported weight vector equals the re-evaluation
+/// of the canonical trace (model/quantity.hpp).
+[[nodiscard]] Report check_result(const Network& network, const query::Query& query,
+                                  const verify::VerifyResult& result,
+                                  const WeightExpr* weights = nullptr);
+
+} // namespace aalwines::validate

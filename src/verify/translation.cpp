@@ -1,9 +1,9 @@
 #include "verify/translation.hpp"
 
-#include <cassert>
 #include <set>
 
 #include "telemetry/telemetry.hpp"
+#include "util/check.hpp"
 
 namespace aalwines::verify {
 
@@ -82,7 +82,8 @@ pda::StateId Translation::control_state(LinkId link, std::uint32_t nfa_state,
                                         std::uint32_t failures) const {
     const auto n_links = static_cast<std::uint32_t>(_network->topology.link_count());
     const auto n_q = static_cast<std::uint32_t>(_nfa_b.size());
-    assert(link < n_links && nfa_state < n_q && failures < _failure_slots);
+    AALWINES_ASSERT(link < n_links && nfa_state < n_q && failures < _failure_slots,
+                    "control state components out of range");
     return (failures * n_q + nfa_state) * n_links + link;
 }
 
@@ -92,7 +93,8 @@ void Translation::build_control_states() {
         for (std::uint32_t q = 0; q < _nfa_b.size(); ++q) {
             for (std::uint32_t e = 0; e < n_links; ++e) {
                 const auto state = _pda->add_state();
-                assert(state == control_state(e, q, f));
+                AALWINES_ASSERT(state == control_state(e, q, f),
+                                "control state numbering out of sync");
                 (void)state;
                 _control_info.push_back({static_cast<LinkId>(e), q, f, false});
                 if (_nfa_b.states()[q].accepting)

@@ -1,0 +1,239 @@
+// Mutation tests for the structural checkers (src/validate/validate.hpp):
+// every checker must accept the real structures the pipeline builds and must
+// fire on each seeded corruption — a checker that never fires is dead code.
+
+#include <gtest/gtest.h>
+
+#include "nfa/nfa.hpp"
+#include "pda/pautomaton.hpp"
+#include "query/query.hpp"
+#include "synthesis/dataplane.hpp"
+#include "validate/validate.hpp"
+
+namespace aalwines::validate {
+namespace {
+
+// ---- network-level checkers -------------------------------------------------
+
+TEST(ValidateNetwork, Figure1IsWellFormed) {
+    const auto net = synthesis::make_figure1_network();
+    const auto report = check_network(net);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(ValidateNetwork, ReportCountsOnlyErrors) {
+    Report report;
+    report.warning("x", "just a warning");
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.error_count(), 0u);
+    report.error("x", "a real problem");
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.error_count(), 1u);
+    EXPECT_EQ(report.issues().size(), 2u);
+
+    Report other;
+    other.error("y", "another");
+    report.merge(other);
+    EXPECT_EQ(report.error_count(), 2u);
+    EXPECT_NE(report.to_string().find("error(y): another"), std::string::npos);
+}
+
+TEST(ValidateRouting, FlagsOutLinkLeavingTheWrongRouter) {
+    auto net = synthesis::make_figure1_network();
+    ASSERT_TRUE(check_network(net).ok());
+
+    // Rules for link 0 apply at its target router; pick an out-link that
+    // leaves some *other* router and append it as a bogus alternative.
+    const auto& topology = net.topology;
+    const auto at_router = topology.link(0).target;
+    LinkId foreign = k_invalid_id;
+    for (const auto& link : topology.links())
+        if (link.source != at_router) {
+            foreign = link.id;
+            break;
+        }
+    ASSERT_NE(foreign, k_invalid_id);
+    const auto ip = net.labels.find(LabelType::Ip, "ip1");
+    ASSERT_TRUE(ip.has_value());
+    net.routing.add_rule(0, *ip, 1, foreign, {});
+
+    Report report;
+    check_routing(net, report);
+    EXPECT_FALSE(report.ok()) << "foreign out-link not flagged";
+    EXPECT_NE(report.to_string().find("does not leave router"), std::string::npos)
+        << report.to_string();
+}
+
+TEST(ValidateRouting, FlagsPushOfIpLabel) {
+    auto net = synthesis::make_figure1_network();
+    const auto& topology = net.topology;
+    const auto at_router = topology.link(0).target;
+    const auto out = topology.out_links(at_router).front();
+    const auto ip = net.labels.find(LabelType::Ip, "ip1");
+    ASSERT_TRUE(ip.has_value());
+    net.routing.add_rule(0, *ip, 1, out, {Op::push(*ip)});
+
+    Report report;
+    check_routing(net, report);
+    EXPECT_FALSE(report.ok());
+    EXPECT_NE(report.to_string().find("pushes IP label"), std::string::npos)
+        << report.to_string();
+}
+
+// ---- PDA rule checker -------------------------------------------------------
+
+pda::Pda small_pda() {
+    pda::Pda pda(4);
+    const auto s0 = pda.add_state();
+    const auto s1 = pda.add_state();
+
+    pda::Rule swap;
+    swap.from = s0;
+    swap.to = s1;
+    swap.pre = pda::PreSpec::concrete(0);
+    swap.op = pda::Rule::OpKind::Swap;
+    swap.label1 = 1;
+    pda.add_rule(swap);
+
+    pda::Rule push;
+    push.from = s1;
+    push.to = s0;
+    push.pre = pda::PreSpec::any();
+    push.op = pda::Rule::OpKind::Push;
+    push.label1 = 2;
+    push.label2 = pda::k_same_symbol;
+    pda.add_rule(push);
+
+    pda::Rule pop;
+    pop.from = s0;
+    pop.to = s0;
+    pop.pre = pda::PreSpec::concrete(3);
+    pop.op = pda::Rule::OpKind::Pop;
+    pda.add_rule(pop);
+    return pda;
+}
+
+TEST(ValidatePda, AcceptsWellFormedRules) {
+    const auto pda = small_pda();
+    const auto report = check_pda(pda);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(ValidatePda, FlagsEachRuleCorruption) {
+    const auto pda = small_pda();
+    // Corrupt a *copy* of the rule vector; the checker works component-level
+    // precisely so mutation tests never have to break the Pda invariants.
+    const auto flags = [&](const char* what, auto&& mutate) {
+        auto rules = pda.rules();
+        mutate(rules);
+        Report report;
+        check_pda_rules(rules, pda.state_count(), pda.alphabet_size(), report);
+        EXPECT_FALSE(report.ok()) << what << " not flagged";
+    };
+    flags("dangling from-state", [](auto& r) { r[0].from = 99; });
+    flags("dangling to-state", [](auto& r) { r[0].to = 99; });
+    flags("precondition outside alphabet", [](auto& r) { r[0].pre.symbol = 99; });
+    flags("class precondition without class",
+          [](auto& r) { r[0].pre = pda::PreSpec::of_class(pda::k_no_class); });
+    flags("swap symbol outside alphabet", [](auto& r) { r[0].label1 = 99; });
+    flags("push top outside alphabet", [](auto& r) { r[1].label1 = 99; });
+    flags("push below-top outside alphabet", [](auto& r) { r[1].label2 = 99; });
+}
+
+// ---- P-automaton checker ----------------------------------------------------
+
+struct SmallAutomaton {
+    pda::Pda pda = small_pda();
+    pda::PAutomaton automaton{pda};
+    pda::StateId final_state;
+    pda::TransId trans;
+    std::uint32_t eps;
+
+    SmallAutomaton() {
+        final_state = automaton.add_state();
+        automaton.set_final(final_state);
+        trans = automaton
+                    .add_transition(0, pda::EdgeLabel::of(0), final_state,
+                                    pda::Weight::one(), {})
+                    .first;
+        eps = automaton.add_epsilon(1, final_state, pda::Weight::one(), {}).first;
+    }
+};
+
+TEST(ValidatePAutomaton, AcceptsWellFormedAutomaton) {
+    SmallAutomaton s;
+    const auto report = check_pautomaton(s.automaton);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(ValidatePAutomaton, FlagsDanglingTransitionTarget) {
+    SmallAutomaton s;
+    s.automaton.transition(s.trans).to = 99;
+    EXPECT_FALSE(check_pautomaton(s.automaton).ok());
+}
+
+TEST(ValidatePAutomaton, FlagsTransitionIndexMismatch) {
+    SmallAutomaton s;
+    // Changing `from` behind the index's back both dangles and breaks the
+    // per-state partition; either way the checker must fire.
+    s.automaton.transition(s.trans).from = 1;
+    const auto report = check_pautomaton(s.automaton);
+    EXPECT_FALSE(report.ok());
+    EXPECT_NE(report.to_string().find("indexed under state"), std::string::npos)
+        << report.to_string();
+}
+
+TEST(ValidatePAutomaton, FlagsEmptyEdgeLabel) {
+    SmallAutomaton s;
+    s.automaton.transition(s.trans).label = pda::EdgeLabel::of_set(nfa::SymbolSet::none());
+    const auto report = check_pautomaton(s.automaton);
+    EXPECT_FALSE(report.ok());
+    EXPECT_NE(report.to_string().find("definitely-empty edge label"), std::string::npos);
+}
+
+TEST(ValidatePAutomaton, FlagsInfiniteWeight) {
+    SmallAutomaton s;
+    s.automaton.transition(s.trans).weight = pda::Weight::infinity();
+    EXPECT_FALSE(check_pautomaton(s.automaton).ok());
+}
+
+TEST(ValidatePAutomaton, FlagsUnresolvableProvenance) {
+    SmallAutomaton s;
+    auto& prov = s.automaton.transition(s.trans).prov;
+    prov.kind = pda::Provenance::Kind::PostSwap;
+    prov.rule = 99; // small_pda has 3 rules
+    const auto report = check_pautomaton(s.automaton);
+    EXPECT_FALSE(report.ok());
+    EXPECT_NE(report.to_string().find("unknown rule"), std::string::npos);
+}
+
+TEST(ValidatePAutomaton, FlagsEpsilonIntoControlState) {
+    SmallAutomaton s;
+    s.automaton.epsilon(s.eps).to = 0; // control states mirror the PDA's
+    const auto report = check_pautomaton(s.automaton);
+    EXPECT_FALSE(report.ok());
+    EXPECT_NE(report.to_string().find("enters a control state"), std::string::npos);
+}
+
+TEST(ValidatePAutomaton, FlagsEpsilonFromNonControlState) {
+    SmallAutomaton s;
+    s.automaton.epsilon(s.eps).from = s.final_state;
+    const auto report = check_pautomaton(s.automaton);
+    EXPECT_FALSE(report.ok());
+    EXPECT_NE(report.to_string().find("leaves a non-control state"), std::string::npos);
+}
+
+// ---- NFA checker ------------------------------------------------------------
+
+TEST(ValidateNfa, AcceptsCompiledQueryAutomata) {
+    const auto net = synthesis::make_figure1_network();
+    const auto query = query::parse_query("<smpls? ip> [.#v0] .* [v3#.] <smpls? ip> 1", net);
+    Report report;
+    check_nfa(nfa::Nfa::compile(query.initial_header), "query.initial", report);
+    check_nfa(nfa::Nfa::compile(query.path), "query.path", report);
+    check_nfa(nfa::Nfa::compile(query.final_header), "query.final", report);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+} // namespace
+} // namespace aalwines::validate
