@@ -1,0 +1,160 @@
+// Serve-mode benchmark: HTTP request latency and throughput against an
+// in-process `aalwines serve` daemon on a loopback socket.  Axes:
+//   - cold verification (result cache disabled) vs cache hits
+//   - 1 / 4 / 16 concurrent clients hammering the cached daemon
+// Each benchmark reports queries/s (items_per_second); the --json report
+// adds p50/p90/p99 latency per label (schema: docs/OBSERVABILITY.md).
+
+#include <benchmark/benchmark.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "bench_common.hpp"
+#include "server/server.hpp"
+#include "server/service.hpp"
+
+namespace {
+
+using namespace aalwines;
+
+constexpr const char* k_query = "<ip> [.#v0] .* [v3#.] <ip> 0";
+
+/// One blocking HTTP exchange against 127.0.0.1:port; returns the raw
+/// response (or "" when the connection fails).
+std::string http_roundtrip(std::uint16_t port, const std::string& method,
+                           const std::string& target, const std::string& body) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return "";
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+        ::close(fd);
+        return "";
+    }
+    std::string request = method + " " + target + " HTTP/1.1\r\n" +
+                          "Host: bench\r\nContent-Length: " +
+                          std::to_string(body.size()) + "\r\n\r\n" + body;
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+        const auto n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+        if (n <= 0) {
+            ::close(fd);
+            return "";
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    std::string reply;
+    char buffer[4096];
+    for (;;) {
+        const auto n = ::recv(fd, buffer, sizeof(buffer), 0);
+        if (n <= 0) break;
+        reply.append(buffer, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return reply;
+}
+
+/// In-process daemon with figure1 preloaded as workspace n1.
+struct Daemon {
+    server::Service service;
+    server::Server daemon;
+
+    explicit Daemon(std::size_t cache_capacity)
+        : service([&] {
+              server::ServiceConfig config;
+              config.cache_capacity = cache_capacity;
+              return config;
+          }()),
+          daemon(service, [] {
+              server::ServerConfig config;
+              config.workers = 16;
+              config.queue_capacity = 1024;
+              return config;
+          }()) {
+        daemon.start();
+        const auto reply =
+            http_roundtrip(daemon.port(), "POST", "/networks", R"({"demo":"figure1"})");
+        if (reply.find(" 201 ") == std::string::npos)
+            throw std::runtime_error("bench_server: preload failed:\n" + reply);
+    }
+    ~Daemon() { daemon.stop(); }
+};
+
+Daemon& cold_daemon() {
+    static Daemon instance(0); // cache off: every request verifies
+    return instance;
+}
+
+Daemon& cached_daemon() {
+    static Daemon instance(256);
+    return instance;
+}
+
+/// POST the figure1 query once, timing the exchange, and record a sample.
+double timed_query(Daemon& daemon, const std::string& label) {
+    static const std::string body = std::string(R"({"query":")") + k_query + R"("})";
+    const auto start = std::chrono::steady_clock::now();
+    const auto reply = http_roundtrip(daemon.daemon.port(), "POST",
+                                      "/networks/n1/query", body);
+    const auto seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (reply.find("\"answer\"") == std::string::npos)
+        throw std::runtime_error("bench_server: query failed:\n" + reply);
+    bench::record_sample(label, seconds,
+                         reply.find("\"answer\": \"yes\"") != std::string::npos
+                             ? verify::Answer::Yes
+                             : verify::Answer::Inconclusive);
+    return seconds;
+}
+
+void bm_serve_cold(benchmark::State& state) {
+    auto& daemon = cold_daemon();
+    for (auto _ : state) benchmark::DoNotOptimize(timed_query(daemon, "serve:cold"));
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void bm_serve_cache_hit(benchmark::State& state) {
+    auto& daemon = cached_daemon();
+    timed_query(daemon, "serve:warmup"); // populate the cache
+    for (auto _ : state) benchmark::DoNotOptimize(timed_query(daemon, "serve:hit"));
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void bm_serve_concurrent(benchmark::State& state) {
+    auto& daemon = cached_daemon();
+    const auto label = "serve:hit:clients=" + std::to_string(state.threads());
+    if (state.thread_index() == 0) timed_query(daemon, "serve:warmup");
+    for (auto _ : state) benchmark::DoNotOptimize(timed_query(daemon, label));
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+BENCHMARK(bm_serve_cold)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_serve_cache_hit)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_serve_concurrent)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(16)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const auto json_path = bench::take_json_flag(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    if (json_path && !bench::write_json_report(*json_path, "bench_server")) return 1;
+    return 0;
+}

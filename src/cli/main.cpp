@@ -1,24 +1,27 @@
 // aalwines — command-line front end for the AalWiNes what-if analysis
 // engine.  Loads a network (vendor-agnostic XML, a bundled demo network, or
 // a Topology Zoo GML), verifies queries with the selected engine, and
-// prints results as text or JSON.
+// prints results as text or JSON.  `aalwines serve` runs the same pipeline
+// as a long-lived HTTP daemon (docs/SERVER.md).
+//
+// Exit codes: 0 ok · 1 load/runtime error · 2 usage error ·
+// 3 inconclusive or failed query · 4 validation violation.
 
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
-#include <filesystem>
-
+#include "cli/options.hpp"
 #include "io/formats.hpp"
-#include "io/isis.hpp"
 #include "io/html_report.hpp"
 #include "io/results_json.hpp"
 #include "json/json.hpp"
 #include "model/quantity.hpp"
-#include "synthesis/networks.hpp"
-#include "synthesis/queries.hpp"
+#include "server/server.hpp"
 #include "telemetry/telemetry.hpp"
 #include "validate/cross_check.hpp"
 #include "verify/batch.hpp"
@@ -28,9 +31,10 @@ namespace {
 
 using namespace aalwines;
 
-[[noreturn]] void usage(int code) {
-    std::cerr <<
+void usage(std::ostream& out) {
+    out <<
         "usage: aalwines [options] --query '<a> b <c> k'\n"
+        "       aalwines serve [options]   (run the HTTP daemon, see below)\n"
         "\n"
         "network sources (choose one):\n"
         "  --topology FILE --routing FILE   vendor-agnostic XML (Appendix A)\n"
@@ -48,8 +52,10 @@ using namespace aalwines;
         "  --locations FILE     apply router coordinates (JSON)\n"
         "  --queries-file F     read one query per line from F ('#' comments)\n"
         "  --interactive        read queries from stdin, one per line (the\n"
-        "                       network stays loaded; quit with EOF or 'quit')\n"
+        "                       network stays loaded; ';' separates queries on\n"
+        "                       a line; quit with EOF or 'quit')\n"
         "  --jobs N             verify queries on N worker threads (default 1)\n"
+        "  --max-iterations N   per-saturation iteration cap (0 = unlimited)\n"
         "  --no-trace           do not reconstruct witness traces\n"
         "  --witnesses N        enumerate up to N distinct witness traces\n"
         "  --validate           check network well-formedness and replay every\n"
@@ -65,134 +71,21 @@ using namespace aalwines;
         "  --write-topology F   write the loaded topology as XML and exit\n"
         "  --write-routing F    write the loaded routing as XML and exit\n"
         "  --write-gml F        write the loaded topology as GML and exit\n"
-        "  --info               print network statistics and exit\n";
-    std::exit(code);
+        "  --info               print network statistics and exit\n"
+        "\n"
+        "serve options (see docs/SERVER.md for the HTTP API):\n"
+        "  --port N             listen port (default 0 = ephemeral, printed)\n"
+        "  --bind ADDR          bind address (default 127.0.0.1)\n"
+        "  --workers N          worker threads (default: hardware concurrency)\n"
+        "  --queue N            pending-request bound; overflow answers 503\n"
+        "                       with Retry-After (default 64)\n"
+        "  --cache N            compiled-query LRU capacity, 0 = off (default 256)\n"
+        "  --deadline-ms N      expire requests that waited longer (504; 0 = off)\n"
+        "  --max-body-mb N      request body limit (default 64)\n"
+        "  plus any network source flags above to preload a workspace\n";
 }
 
-std::string read_file(const std::string& path) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-        std::cerr << "aalwines: cannot open '" << path << "'\n";
-        std::exit(1);
-    }
-    std::ostringstream out;
-    out << in.rdbuf();
-    return out.str();
-}
-
-struct Cli {
-    std::string topology_file, routing_file, gml_file, demo, locations_file, isis_file;
-    std::vector<std::string> queries;
-    std::string engine = "dual";
-    std::string weight;
-    int reduction = 2;
-    std::size_t jobs = 1;
-    std::size_t witnesses = 1;
-    std::string queries_file;
-    bool interactive = false;
-    bool want_trace = true;
-    bool validate = false;
-    bool validate_deep = false;
-    bool as_json = false;
-    std::string html_file;
-    std::string trace_json_file;
-    bool stats = false;
-    std::string write_topology, write_routing, write_gml;
-    bool info = false;
-};
-
-Cli parse_cli(int argc, char** argv) {
-    Cli cli;
-    auto value = [&](int& i) -> std::string {
-        if (i + 1 >= argc) usage(2);
-        return argv[++i];
-    };
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--topology") cli.topology_file = value(i);
-        else if (arg == "--routing") cli.routing_file = value(i);
-        else if (arg == "--gml") cli.gml_file = value(i);
-        else if (arg == "--isis") cli.isis_file = value(i);
-        else if (arg == "--demo") cli.demo = value(i);
-        else if (arg == "--locations") cli.locations_file = value(i);
-        else if (arg == "--query" || arg == "-q") cli.queries.push_back(value(i));
-        else if (arg == "--engine") cli.engine = value(i);
-        else if (arg == "--weight") cli.weight = value(i);
-        else if (arg == "--reduction") cli.reduction = std::stoi(value(i));
-        else if (arg == "--jobs") cli.jobs = static_cast<std::size_t>(std::stoul(value(i)));
-        else if (arg == "--queries-file") cli.queries_file = value(i);
-        else if (arg == "--interactive") cli.interactive = true;
-        else if (arg == "--witnesses") cli.witnesses = static_cast<std::size_t>(std::stoul(value(i)));
-        else if (arg == "--no-trace") cli.want_trace = false;
-        else if (arg == "--validate") cli.validate = true;
-        else if (arg == "--validate=deep") cli.validate = cli.validate_deep = true;
-        else if (arg == "--json") cli.as_json = true;
-        else if (arg == "--html") cli.html_file = value(i);
-        else if (arg == "--trace-json") cli.trace_json_file = value(i);
-        else if (arg == "--stats") cli.stats = true;
-        else if (arg == "--write-topology") cli.write_topology = value(i);
-        else if (arg == "--write-routing") cli.write_routing = value(i);
-        else if (arg == "--write-gml") cli.write_gml = value(i);
-        else if (arg == "--info") cli.info = true;
-        else if (arg == "--help" || arg == "-h") usage(0);
-        else {
-            std::cerr << "aalwines: unknown option '" << arg << "'\n";
-            usage(2);
-        }
-    }
-    return cli;
-}
-
-Network load_network(const Cli& cli) {
-    if (!cli.demo.empty()) {
-        if (cli.demo == "figure1") return synthesis::make_figure1_network();
-        if (cli.demo == "nordunet") return std::move(synthesis::make_nordunet_like().network);
-        if (cli.demo.rfind("zoo:", 0) == 0) {
-            const auto index = static_cast<std::size_t>(std::stoul(cli.demo.substr(4)));
-            return std::move(synthesis::make_zoo_like(index).net.network);
-        }
-        std::cerr << "aalwines: unknown demo '" << cli.demo << "'\n";
-        std::exit(2);
-    }
-    if (!cli.isis_file.empty()) {
-        const auto base = std::filesystem::path(cli.isis_file).parent_path();
-        const auto entries = io::parse_isis_mapping(read_file(cli.isis_file));
-        std::vector<io::IsisRouterDocuments> documents;
-        for (const auto& entry : entries) {
-            io::IsisRouterDocuments doc;
-            doc.entry = entry;
-            if (!entry.is_edge()) {
-                doc.adjacency_xml = read_file((base / entry.adjacency_file).string());
-                doc.route_xml = read_file((base / entry.route_file).string());
-                doc.pfe_xml = read_file((base / entry.pfe_file).string());
-            }
-            documents.push_back(std::move(doc));
-        }
-        return io::read_isis(documents);
-    }
-    if (!cli.gml_file.empty()) {
-        synthesis::SyntheticTopology topo;
-        std::string name;
-        topo.topology = io::read_gml(read_file(cli.gml_file), &name);
-        // Low-degree routers act as edges, as in the zoo pipeline.
-        for (RouterId r = 0; r < topo.topology.router_count(); ++r)
-            if (topo.topology.out_links(r).size() <= 2) topo.edge_routers.push_back(r);
-        if (topo.edge_routers.size() < 2)
-            for (RouterId r = 0; r < std::min<std::size_t>(4, topo.topology.router_count());
-                 ++r)
-                topo.edge_routers.push_back(r);
-        synthesis::DataplaneOptions options;
-        options.max_lsp_pairs = topo.topology.router_count() * 4;
-        auto net = synthesis::build_dataplane(std::move(topo), options);
-        net.network.name = name.empty() ? cli.gml_file : name;
-        return std::move(net.network);
-    }
-    if (!cli.topology_file.empty() && !cli.routing_file.empty())
-        return io::read_network_xml(read_file(cli.topology_file),
-                                    read_file(cli.routing_file));
-    std::cerr << "aalwines: no network given (use --topology/--routing, --gml or --demo)\n";
-    std::exit(2);
-}
+std::string read_file(const std::string& path) { return cli::read_file(path); }
 
 void print_issues(const validate::Report& report, const std::string& subject) {
     for (const auto& issue : report.issues())
@@ -236,221 +129,277 @@ void write_trace_json(const std::string& path) {
     std::cerr << "wrote " << path << "\n";
 }
 
+void print_result_text(const Network& network, const verify::VerifyResult& result,
+                       bool stats) {
+    std::cout << "  answer: " << to_string(result.answer);
+    if (!result.weight.empty()) {
+        std::cout << "  weight: (";
+        for (std::size_t i = 0; i < result.weight.size(); ++i)
+            std::cout << (i ? ", " : "") << result.weight[i];
+        std::cout << ")";
+    }
+    std::cout << "\n";
+    if (result.witnesses.size() > 1) {
+        for (std::size_t w = 0; w < result.witnesses.size(); ++w) {
+            std::cout << "  witness " << (w + 1) << ":\n"
+                      << display_trace(network, result.witnesses[w]);
+        }
+    } else if (result.trace) {
+        std::cout << "  witness trace:\n" << display_trace(network, *result.trace);
+    }
+    if (!result.note.empty()) std::cout << "  note: " << result.note << "\n";
+    if (stats) {
+        std::cout << "  time: " << result.stats.total_seconds << "s"
+                  << "  pda-rules: " << result.stats.over.pda_rules << " (of "
+                  << result.stats.over.pda_rules_before_reduction
+                  << " before reduction)"
+                  << "  saturation-iterations: "
+                  << result.stats.over.saturation_iterations
+                  << "  relaxations: " << result.stats.over.worklist_relaxations
+                  << "  peak-worklist: " << result.stats.over.peak_worklist << "\n";
+        if (result.stats.over.pda_rules_expanded != 0)
+            std::cout << "  expanded-pda-rules: " << result.stats.over.pda_rules_expanded
+                      << "  expanded-pda-states: " << result.stats.over.pda_states_expanded
+                      << "\n";
+        if (result.stats.under.ran)
+            std::cout << "  under-phase: " << result.stats.under.saturation_iterations
+                      << " iterations, " << result.stats.under.worklist_relaxations
+                      << " relaxations, " << result.stats.under.seconds << "s\n";
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `aalwines serve`
+
+server::Server* g_server = nullptr; ///< signal handler target
+
+extern "C" void handle_stop_signal(int) {
+    if (g_server != nullptr) g_server->request_stop();
+}
+
+int serve_main(const cli::ServeCli& serve) {
+    server::ServiceConfig service_config;
+    service_config.cache_capacity = serve.cache_capacity;
+    server::Service service(service_config);
+
+    if (!serve.preload.empty()) {
+        Network network = cli::load_network(serve.preload);
+        if (!serve.preload.locations_file.empty())
+            io::apply_locations_json(read_file(serve.preload.locations_file),
+                                     network.topology);
+        const auto workspace = service.workspaces().add(std::move(network));
+        std::cerr << "aalwines: preloaded network '" << workspace.network->name
+                  << "' as " << workspace.id << "\n";
+    }
+
+    server::ServerConfig config;
+    config.bind_address = serve.bind_address;
+    config.port = static_cast<std::uint16_t>(serve.port);
+    config.workers = serve.workers;
+    config.queue_capacity = serve.queue_capacity;
+    config.deadline_ms = serve.deadline_ms;
+    config.max_body_bytes = serve.max_body_bytes;
+    server::Server daemon(service, config);
+    daemon.start();
+
+    g_server = &daemon;
+    struct sigaction action{};
+    action.sa_handler = handle_stop_signal;
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
+
+    const auto workers = serve.workers != 0
+                             ? serve.workers
+                             : std::max(1u, std::thread::hardware_concurrency());
+    std::cerr << "aalwines: serving on " << serve.bind_address << ":" << daemon.port()
+              << " (workers=" << workers << ", queue=" << serve.queue_capacity
+              << ", cache=" << serve.cache_capacity << ")\n";
+    daemon.wait();
+    g_server = nullptr;
+    std::cerr << "aalwines: drained, shutting down\n";
+    return 0;
+}
+
+// ---------------------------------------------------------------------------
+// One-shot CLI
+
+int run_cli(const cli::Cli& cli) {
+    Network network = cli::load_network(cli.source);
+    if (!cli.source.locations_file.empty())
+        io::apply_locations_json(read_file(cli.source.locations_file), network.topology);
+
+    bool validation_ok = true;
+    if (cli.validate) {
+        const auto report = validate::check_network(network);
+        print_issues(report, "network");
+        if (!report.ok()) {
+            std::cerr << "aalwines: validate: network is malformed ("
+                      << report.error_count() << " errors)\n";
+            return 4;
+        }
+    }
+
+    if (!cli.write_topology.empty()) {
+        std::ofstream(cli.write_topology)
+            << io::write_topology_xml(network.topology, network.name);
+        std::cout << "wrote " << cli.write_topology << "\n";
+    }
+    if (!cli.write_routing.empty()) {
+        std::ofstream(cli.write_routing) << io::write_routing_xml(network);
+        std::cout << "wrote " << cli.write_routing << "\n";
+    }
+    if (!cli.write_gml.empty()) {
+        std::ofstream(cli.write_gml) << io::write_gml(network.topology, network.name);
+        std::cout << "wrote " << cli.write_gml << "\n";
+    }
+    if (cli.info) {
+        const auto& topology = network.topology;
+        std::size_t entries = network.routing.entry_count();
+        std::size_t backup_rules = 0;
+        network.routing.for_each([&](LinkId, Label, const RoutingEntry& groups) {
+            for (std::size_t p = 1; p < groups.size(); ++p)
+                backup_rules += groups[p].size();
+        });
+        std::size_t max_degree = 0;
+        for (RouterId r = 0; r < topology.router_count(); ++r)
+            max_degree = std::max(max_degree, topology.out_links(r).size());
+        std::cout << "network:         " << network.name << "\n"
+                  << "routers:         " << topology.router_count() << "\n"
+                  << "directed links:  " << topology.link_count() << "\n"
+                  << "interfaces:      " << topology.interface_count() << "\n"
+                  << "max out-degree:  " << max_degree << "\n"
+                  << "labels:          " << network.labels.size() << " (ip "
+                  << network.labels.of_type(LabelType::Ip).size() << ", smpls "
+                  << network.labels.of_type(LabelType::MplsBos).size() << ", mpls "
+                  << network.labels.of_type(LabelType::Mpls).size() << ")\n"
+                  << "table entries:   " << entries << "\n"
+                  << "forwarding rules:" << network.routing.rule_count()
+                  << " (backup: " << backup_rules << ")\n";
+    }
+    if (!cli.write_topology.empty() || !cli.write_routing.empty() ||
+        !cli.write_gml.empty() || cli.info) {
+        write_trace_json(cli.trace_json_file);
+        return 0;
+    }
+
+    std::vector<std::string> queries = cli.queries;
+    if (!cli.queries_file.empty())
+        for (auto& query : cli::split_queries(read_file(cli.queries_file)))
+            queries.push_back(std::move(query));
+    if (queries.empty() && !cli.interactive) {
+        std::cerr << "aalwines: no --query given\n";
+        return 2;
+    }
+
+    WeightExpr weights;
+    const auto options = cli::make_verify_options(cli.spec, weights);
+
+    json::Array results;
+    std::vector<io::ReportEntry> report;
+    bool all_ok = true;
+    const auto batch = verify::verify_batch(network, queries, options, cli.jobs);
+    for (const auto& item : batch) {
+        const auto& query_text = item.query_text;
+        if (!item.error.empty()) {
+            std::cerr << "aalwines: " << query_text << ": " << item.error << "\n";
+            all_ok = false;
+            continue;
+        }
+        const auto& result = item.result;
+        if (cli.as_json) {
+            results.push_back(
+                io::result_to_json_value(network, query_text, result, cli.stats));
+        } else {
+            std::cout << query_text << "\n";
+            print_result_text(network, result, cli.stats);
+        }
+        if (result.answer == verify::Answer::Inconclusive) all_ok = false;
+        if (cli.validate &&
+            !validate_result(network, query_text, result, options, cli.validate_deep))
+            validation_ok = false;
+        if (!cli.html_file.empty()) report.push_back({query_text, result});
+    }
+    if (!cli.html_file.empty()) {
+        std::ofstream(cli.html_file) << io::write_html_report(network, report);
+        std::cerr << "wrote " << cli.html_file << "\n";
+    }
+    if (cli.as_json && !cli.interactive)
+        std::cout << json::write(json::Value(std::move(results)), 2) << "\n";
+
+    if (cli.interactive) {
+        // The network (and nothing else) stays resident: every line is
+        // parsed and verified on demand — the interactivity the paper
+        // demonstrates through its GUI.  Lines run through verify_batch,
+        // so ';'-separated queries on one line spread over --jobs workers
+        // and a bad query never tears the loaded network down.
+        std::string line;
+        while (std::getline(std::cin, line)) {
+            if (line == "quit" || line == "exit") break;
+            const auto line_queries = cli::split_queries(line);
+            if (line_queries.empty()) continue;
+            const auto interactive_batch =
+                verify::verify_batch(network, line_queries, options, cli.jobs);
+            for (const auto& item : interactive_batch) {
+                if (!item.error.empty()) {
+                    std::cout << "error: " << item.error << "\n";
+                    continue;
+                }
+                const auto& result = item.result;
+                if (cli.validate &&
+                    !validate_result(network, item.query_text, result, options,
+                                     cli.validate_deep))
+                    validation_ok = false;
+                if (cli.as_json) {
+                    std::cout << io::result_to_json(network, item.query_text, result,
+                                                    cli.stats)
+                              << "\n";
+                } else {
+                    if (interactive_batch.size() > 1)
+                        std::cout << item.query_text << "\n";
+                    std::cout << "answer: " << to_string(result.answer);
+                    if (!result.weight.empty()) {
+                        std::cout << "  weight: (";
+                        for (std::size_t i = 0; i < result.weight.size(); ++i)
+                            std::cout << (i ? ", " : "") << result.weight[i];
+                        std::cout << ")";
+                    }
+                    std::cout << "  (" << result.stats.total_seconds << "s)\n";
+                    if (result.trace) std::cout << display_trace(network, *result.trace);
+                }
+            }
+            std::cout.flush();
+        }
+        write_trace_json(cli.trace_json_file);
+        return validation_ok ? 0 : 4;
+    }
+    write_trace_json(cli.trace_json_file);
+    if (!validation_ok) return 4;
+    if (cli.validate) std::cerr << "aalwines: validate: all checks passed\n";
+    return all_ok ? 0 : 3;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
-    const auto cli = parse_cli(argc, argv);
     try {
-        Network network = load_network(cli);
-        if (!cli.locations_file.empty())
-            io::apply_locations_json(read_file(cli.locations_file), network.topology);
-
-        bool validation_ok = true;
-        if (cli.validate) {
-            const auto report = validate::check_network(network);
-            print_issues(report, "network");
-            if (!report.ok()) {
-                std::cerr << "aalwines: validate: network is malformed ("
-                          << report.error_count() << " errors)\n";
-                return 4;
+        if (argc > 1 && std::string(argv[1]) == "serve") {
+            const auto serve = cli::parse_serve_cli(argc, argv, 2);
+            if (serve.help) {
+                usage(std::cout);
+                return 0;
             }
+            return serve_main(serve);
         }
-
-        if (!cli.write_topology.empty()) {
-            std::ofstream(cli.write_topology)
-                << io::write_topology_xml(network.topology, network.name);
-            std::cout << "wrote " << cli.write_topology << "\n";
-        }
-        if (!cli.write_routing.empty()) {
-            std::ofstream(cli.write_routing) << io::write_routing_xml(network);
-            std::cout << "wrote " << cli.write_routing << "\n";
-        }
-        if (!cli.write_gml.empty()) {
-            std::ofstream(cli.write_gml) << io::write_gml(network.topology, network.name);
-            std::cout << "wrote " << cli.write_gml << "\n";
-        }
-        if (cli.info) {
-            const auto& topology = network.topology;
-            std::size_t entries = network.routing.entry_count();
-            std::size_t backup_rules = 0;
-            network.routing.for_each([&](LinkId, Label, const RoutingEntry& groups) {
-                for (std::size_t p = 1; p < groups.size(); ++p)
-                    backup_rules += groups[p].size();
-            });
-            std::size_t max_degree = 0;
-            for (RouterId r = 0; r < topology.router_count(); ++r)
-                max_degree = std::max(max_degree, topology.out_links(r).size());
-            std::cout << "network:         " << network.name << "\n"
-                      << "routers:         " << topology.router_count() << "\n"
-                      << "directed links:  " << topology.link_count() << "\n"
-                      << "interfaces:      " << topology.interface_count() << "\n"
-                      << "max out-degree:  " << max_degree << "\n"
-                      << "labels:          " << network.labels.size() << " (ip "
-                      << network.labels.of_type(LabelType::Ip).size() << ", smpls "
-                      << network.labels.of_type(LabelType::MplsBos).size() << ", mpls "
-                      << network.labels.of_type(LabelType::Mpls).size() << ")\n"
-                      << "table entries:   " << entries << "\n"
-                      << "forwarding rules:" << network.routing.rule_count()
-                      << " (backup: " << backup_rules << ")\n";
-        }
-        if (!cli.write_topology.empty() || !cli.write_routing.empty() ||
-            !cli.write_gml.empty() || cli.info) {
-            write_trace_json(cli.trace_json_file);
+        const auto cli = cli::parse_cli(argc, argv);
+        if (cli.help) {
+            usage(std::cout);
             return 0;
         }
-
-        std::vector<std::string> queries = cli.queries;
-        if (!cli.queries_file.empty()) {
-            std::istringstream lines(read_file(cli.queries_file));
-            std::string line;
-            while (std::getline(lines, line)) {
-                const auto first = line.find_first_not_of(" \t\r");
-                if (first == std::string::npos || line[first] == '#') continue;
-                queries.push_back(line);
-            }
-        }
-        if (queries.empty() && !cli.interactive) {
-            std::cerr << "aalwines: no --query given\n";
-            return 2;
-        }
-
-        verify::VerifyOptions options;
-        options.reduction_level = cli.reduction;
-        options.build_trace = cli.want_trace;
-        options.max_witnesses = cli.witnesses;
-        WeightExpr weights;
-        if (!cli.weight.empty()) {
-            weights = parse_weight_expression(cli.weight);
-            options.weights = &weights;
-            options.engine = verify::EngineKind::Weighted;
-        }
-        if (cli.engine == "moped") options.engine = verify::EngineKind::Moped;
-        else if (cli.engine == "exact") options.engine = verify::EngineKind::Exact;
-        else if (cli.engine == "weighted") {
-            options.engine = verify::EngineKind::Weighted;
-            if (options.weights == nullptr) {
-                std::cerr << "aalwines: --engine weighted requires --weight\n";
-                return 2;
-            }
-        } else if (cli.engine != "dual") {
-            std::cerr << "aalwines: unknown engine '" << cli.engine << "'\n";
-            return 2;
-        }
-
-        json::Array results;
-        std::vector<io::ReportEntry> report;
-        bool all_ok = true;
-        const auto batch = verify::verify_batch(network, queries, options, cli.jobs);
-        for (const auto& item : batch) {
-            const auto& query_text = item.query_text;
-            if (!item.error.empty()) {
-                std::cerr << "aalwines: " << query_text << ": " << item.error << "\n";
-                all_ok = false;
-                continue;
-            }
-            const auto& result = item.result;
-            if (cli.as_json) {
-                results.push_back(
-                    io::result_to_json_value(network, query_text, result, cli.stats));
-            } else {
-                std::cout << query_text << "\n  answer: " << to_string(result.answer);
-                if (!result.weight.empty()) {
-                    std::cout << "  weight: (";
-                    for (std::size_t i = 0; i < result.weight.size(); ++i)
-                        std::cout << (i ? ", " : "") << result.weight[i];
-                    std::cout << ")";
-                }
-                std::cout << "\n";
-                if (result.witnesses.size() > 1) {
-                    for (std::size_t w = 0; w < result.witnesses.size(); ++w) {
-                        std::cout << "  witness " << (w + 1) << ":\n"
-                                  << display_trace(network, result.witnesses[w]);
-                    }
-                } else if (result.trace) {
-                    std::cout << "  witness trace:\n"
-                              << display_trace(network, *result.trace);
-                }
-                if (!result.note.empty()) std::cout << "  note: " << result.note << "\n";
-                if (cli.stats) {
-                    std::cout << "  time: " << result.stats.total_seconds << "s"
-                              << "  pda-rules: " << result.stats.over.pda_rules << " (of "
-                              << result.stats.over.pda_rules_before_reduction
-                              << " before reduction)"
-                              << "  saturation-iterations: "
-                              << result.stats.over.saturation_iterations
-                              << "  relaxations: "
-                              << result.stats.over.worklist_relaxations
-                              << "  peak-worklist: " << result.stats.over.peak_worklist
-                              << "\n";
-                    if (result.stats.over.pda_rules_expanded != 0)
-                        std::cout << "  expanded-pda-rules: "
-                                  << result.stats.over.pda_rules_expanded
-                                  << "  expanded-pda-states: "
-                                  << result.stats.over.pda_states_expanded << "\n";
-                    if (result.stats.under.ran)
-                        std::cout << "  under-phase: "
-                                  << result.stats.under.saturation_iterations
-                                  << " iterations, "
-                                  << result.stats.under.worklist_relaxations
-                                  << " relaxations, " << result.stats.under.seconds
-                                  << "s\n";
-                }
-            }
-            if (result.answer == verify::Answer::Inconclusive) all_ok = false;
-            if (cli.validate &&
-                !validate_result(network, query_text, result, options, cli.validate_deep))
-                validation_ok = false;
-            if (!cli.html_file.empty()) report.push_back({query_text, result});
-        }
-        if (!cli.html_file.empty()) {
-            std::ofstream(cli.html_file) << io::write_html_report(network, report);
-            std::cerr << "wrote " << cli.html_file << "\n";
-        }
-        if (cli.as_json) std::cout << json::write(json::Value(std::move(results)), 2) << "\n";
-
-        if (cli.interactive) {
-            // The network (and nothing else) stays resident: every query is
-            // parsed and verified on demand — the interactivity the paper
-            // demonstrates through its GUI.
-            std::string line;
-            while (std::getline(std::cin, line)) {
-                const auto first = line.find_first_not_of(" \t\r");
-                if (first == std::string::npos || line[first] == '#') continue;
-                if (line == "quit" || line == "exit") break;
-                try {
-                    const auto query = query::parse_query(line, network);
-                    const auto result = verify::verify(network, query, options);
-                    if (cli.validate &&
-                        !validate_result(network, line, result, options, cli.validate_deep))
-                        validation_ok = false;
-                    if (cli.as_json) {
-                        std::cout << io::result_to_json(network, line, result, cli.stats)
-                                  << "\n";
-                    } else {
-                        std::cout << "answer: " << to_string(result.answer);
-                        if (!result.weight.empty()) {
-                            std::cout << "  weight: (";
-                            for (std::size_t i = 0; i < result.weight.size(); ++i)
-                                std::cout << (i ? ", " : "") << result.weight[i];
-                            std::cout << ")";
-                        }
-                        std::cout << "  (" << result.stats.total_seconds << "s)\n";
-                        if (result.trace)
-                            std::cout << display_trace(network, *result.trace);
-                    }
-                } catch (const std::exception& error) {
-                    std::cout << "error: " << error.what() << "\n";
-                }
-                std::cout.flush();
-            }
-            write_trace_json(cli.trace_json_file);
-            return validation_ok ? 0 : 4;
-        }
-        write_trace_json(cli.trace_json_file);
-        if (!validation_ok) return 4;
-        if (cli.validate)
-            std::cerr << "aalwines: validate: all checks passed\n";
-        return all_ok ? 0 : 3;
+        return run_cli(cli);
+    } catch (const cli::usage_error& error) {
+        std::cerr << "aalwines: " << error.what() << "\n";
+        usage(std::cerr);
+        return 2;
     } catch (const std::exception& error) {
         std::cerr << "aalwines: " << error.what() << "\n";
         return 1;

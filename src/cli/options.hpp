@@ -1,0 +1,130 @@
+#pragma once
+// Reusable command-line / request option handling for the aalwines front
+// ends.  The one-shot CLI, the `aalwines serve` daemon, and the tests all
+// share the same network-loading and verify-option resolution logic, so
+// nothing in here terminates the process: bad usage raises `usage_error`,
+// unreadable files raise `io_error`, and malformed documents propagate the
+// library's own parse/model errors.  Only `main()` maps those to exit codes
+// (see docs/SERVER.md for the exit-code contract).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/quantity.hpp"
+#include "model/routing.hpp"
+#include "verify/engine.hpp"
+
+namespace aalwines::cli {
+
+/// Bad command-line or request usage (unknown option/engine, missing value,
+/// invalid combination).  The CLI prints the message plus usage and exits 2.
+class usage_error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// A file could not be opened or read.  The CLI exits 1.
+class io_error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Read a whole file; throws io_error when it cannot be opened.
+[[nodiscard]] std::string read_file(const std::string& path);
+
+/// Where a network comes from, as file paths (the one-shot CLI and the
+/// daemon's preload flags).  Exactly one source must be set.
+struct NetworkSource {
+    std::string topology_file, routing_file; ///< vendor-agnostic XML pair
+    std::string gml_file;                    ///< Topology Zoo GML
+    std::string isis_file;                   ///< IS-IS export mapping
+    std::string demo;                        ///< figure1 | nordunet | zoo:N
+    std::string locations_file;              ///< optional coordinates JSON
+
+    [[nodiscard]] bool empty() const {
+        return topology_file.empty() && routing_file.empty() && gml_file.empty() &&
+               isis_file.empty() && demo.empty();
+    }
+};
+
+/// The same sources as in-memory documents (the daemon's `POST /networks`
+/// body).  IS-IS imports reference sibling files on disk and are therefore
+/// file-only.
+struct NetworkDocuments {
+    std::string demo;                       ///< figure1 | nordunet | zoo:N
+    std::string gml;                        ///< GML document text
+    std::string topology_xml, routing_xml;  ///< XML pair document text
+    std::string locations_json;             ///< optional coordinates JSON text
+};
+
+/// Load/synthesize a network.  Throws usage_error when no (or an unknown)
+/// source is given, io_error for unreadable files, and parse_error /
+/// model_error for malformed documents.
+[[nodiscard]] Network load_network(const NetworkSource& source);
+[[nodiscard]] Network load_network(const NetworkDocuments& documents);
+
+/// Engine/option selection shared by the CLI flags and the daemon's
+/// per-request JSON options.  Strings are kept unresolved so the struct is
+/// trivially serialisable; resolve with `make_verify_options`.
+struct VerifySpec {
+    std::string engine = "dual"; ///< moped | dual | weighted | exact
+    std::string weight;          ///< weight expression (implies weighted)
+    int reduction = 2;           ///< PDA reduction level 0|1|2
+    bool trace = true;           ///< reconstruct witness traces
+    std::size_t witnesses = 1;   ///< max distinct witness traces
+    std::size_t max_iterations = 0; ///< saturation cap, 0 = unlimited
+};
+
+/// Resolve a VerifySpec.  `weights` receives the parsed weight expression
+/// (the returned options point into it, so it must outlive them).  Throws
+/// usage_error on an unknown engine or a weighted engine without weights,
+/// parse_error on a malformed weight expression.
+[[nodiscard]] verify::VerifyOptions make_verify_options(const VerifySpec& spec,
+                                                        WeightExpr& weights);
+
+/// Split query text into one query per line, dropping blank lines and
+/// '#'-comments (the --queries-file format).  Each line may also hold
+/// several ';'-separated queries, as in the interactive REPL.
+[[nodiscard]] std::vector<std::string> split_queries(const std::string& text);
+
+/// Parsed one-shot CLI (see usage() in main.cpp for the flag reference).
+struct Cli {
+    NetworkSource source;
+    std::vector<std::string> queries;
+    VerifySpec spec;
+    std::size_t jobs = 1;
+    std::string queries_file;
+    bool interactive = false;
+    bool validate = false;
+    bool validate_deep = false;
+    bool as_json = false;
+    bool stats = false;
+    bool info = false;
+    bool help = false;
+    std::string html_file;
+    std::string trace_json_file;
+    std::string write_topology, write_routing, write_gml;
+};
+
+/// Parse the one-shot CLI argument vector.  Throws usage_error on unknown
+/// options or missing values; --help/-h sets `help` instead of exiting.
+[[nodiscard]] Cli parse_cli(int argc, char** argv);
+
+/// Parsed `aalwines serve` command line.
+struct ServeCli {
+    std::string bind_address = "127.0.0.1";
+    int port = 0;                  ///< 0 = ephemeral (printed on startup)
+    std::size_t workers = 0;       ///< 0 = hardware concurrency
+    std::size_t queue_capacity = 64;
+    std::size_t cache_capacity = 256;
+    long deadline_ms = 0;          ///< per-request wall budget, 0 = none
+    std::size_t max_body_bytes = 64ull << 20;
+    NetworkSource preload;         ///< optional network loaded at startup
+    bool help = false;
+};
+
+/// Parse `aalwines serve ...` (argv past the subcommand). Throws usage_error.
+[[nodiscard]] ServeCli parse_serve_cli(int argc, char** argv, int first);
+
+} // namespace aalwines::cli

@@ -1,0 +1,65 @@
+#include "server/cache.hpp"
+
+#include "telemetry/telemetry.hpp"
+
+namespace aalwines::server {
+
+std::string cache_key(std::uint64_t sequence, const std::string& query_text,
+                      const std::string& engine, const std::string& weight,
+                      int reduction, std::size_t witnesses, std::size_t max_iterations,
+                      bool trace) {
+    // '\x1f' (ASCII unit separator) cannot appear in query or weight text.
+    std::string key = std::to_string(sequence);
+    key += '\x1f';
+    key += engine;
+    key += '\x1f';
+    key += weight;
+    key += '\x1f';
+    key += std::to_string(reduction);
+    key += '\x1f';
+    key += std::to_string(witnesses);
+    key += '\x1f';
+    key += std::to_string(max_iterations);
+    key += '\x1f';
+    key += trace ? '1' : '0';
+    key += '\x1f';
+    key += query_text;
+    return key;
+}
+
+std::shared_ptr<const verify::VerifyResult> ResultCache::find(const std::string& key) {
+    if (_capacity == 0) return nullptr;
+    const std::lock_guard lock(_mutex);
+    const auto it = _index.find(key);
+    if (it == _index.end()) {
+        telemetry::count(telemetry::Counter::server_cache_misses);
+        return nullptr;
+    }
+    _order.splice(_order.begin(), _order, it->second);
+    telemetry::count(telemetry::Counter::server_cache_hits);
+    return it->second->result;
+}
+
+void ResultCache::insert(const std::string& key,
+                         std::shared_ptr<const verify::VerifyResult> result) {
+    if (_capacity == 0) return;
+    const std::lock_guard lock(_mutex);
+    if (const auto it = _index.find(key); it != _index.end()) {
+        it->second->result = std::move(result);
+        _order.splice(_order.begin(), _order, it->second);
+        return;
+    }
+    _order.push_front({key, std::move(result)});
+    _index.emplace(key, _order.begin());
+    while (_order.size() > _capacity) {
+        _index.erase(_order.back().key);
+        _order.pop_back();
+    }
+}
+
+std::size_t ResultCache::size() const {
+    const std::lock_guard lock(_mutex);
+    return _order.size();
+}
+
+} // namespace aalwines::server

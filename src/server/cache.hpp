@@ -1,0 +1,56 @@
+#pragma once
+// Compiled-query LRU cache: memoizes VerifyResults keyed by everything that
+// determines them — network workspace, query text, engine, weight
+// expression, reduction level, witness count, iteration cap.  Repeat
+// queries (the dominant interactive pattern: re-checking the same
+// invariants after each what-if edit) skip parse, translation and
+// saturation entirely.  Hit/miss totals land in the telemetry registry
+// (server_cache_hits / server_cache_misses) and in /metrics.
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "verify/engine.hpp"
+
+namespace aalwines::server {
+
+/// Build the canonical cache key.  `sequence` is the workspace's load
+/// sequence number, so re-loading a network never resurrects stale results.
+[[nodiscard]] std::string cache_key(std::uint64_t sequence, const std::string& query_text,
+                                    const std::string& engine, const std::string& weight,
+                                    int reduction, std::size_t witnesses,
+                                    std::size_t max_iterations, bool trace);
+
+class ResultCache {
+public:
+    /// `capacity` = max cached results; 0 disables caching entirely.
+    explicit ResultCache(std::size_t capacity) : _capacity(capacity) {}
+
+    /// Look up a result; null on miss.  Hits refresh LRU order and count
+    /// telemetry::Counter::server_cache_hits (misses the sibling counter).
+    [[nodiscard]] std::shared_ptr<const verify::VerifyResult> find(const std::string& key);
+
+    /// Insert (or refresh) a result, evicting the least recently used
+    /// entries beyond capacity.
+    void insert(const std::string& key, std::shared_ptr<const verify::VerifyResult> result);
+
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] std::size_t capacity() const { return _capacity; }
+
+private:
+    struct Entry {
+        std::string key;
+        std::shared_ptr<const verify::VerifyResult> result;
+    };
+
+    mutable std::mutex _mutex;
+    std::size_t _capacity;
+    std::list<Entry> _order; ///< front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> _index;
+};
+
+} // namespace aalwines::server

@@ -1,0 +1,175 @@
+#include "server/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace aalwines::server::http {
+
+namespace {
+
+constexpr std::size_t k_max_header_bytes = 64 * 1024;
+
+std::string lower(std::string text) {
+    std::transform(text.begin(), text.end(), text.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return text;
+}
+
+std::string trim(std::string_view text) {
+    const auto first = text.find_first_not_of(" \t\r");
+    if (first == std::string_view::npos) return {};
+    const auto last = text.find_last_not_of(" \t\r");
+    return std::string(text.substr(first, last - first + 1));
+}
+
+/// Receive more bytes into `buffer`; distinguishes timeout from close/error.
+enum class RecvStatus { Data, Closed, TimedOut, Error };
+
+RecvStatus recv_some(int fd, std::string& buffer) {
+    char chunk[4096];
+    for (;;) {
+        const auto n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n > 0) {
+            buffer.append(chunk, static_cast<std::size_t>(n));
+            return RecvStatus::Data;
+        }
+        if (n == 0) return RecvStatus::Closed;
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return RecvStatus::TimedOut;
+        return RecvStatus::Error;
+    }
+}
+
+/// Parse request line + headers from `head` (everything before the blank
+/// line).  Returns false on malformed input.
+bool parse_head(std::string_view head, Request& request) {
+    const auto line_end = head.find("\r\n");
+    const auto request_line = head.substr(0, line_end);
+    const auto method_end = request_line.find(' ');
+    if (method_end == std::string_view::npos) return false;
+    const auto target_end = request_line.find(' ', method_end + 1);
+    if (target_end == std::string_view::npos) return false;
+    const auto version = request_line.substr(target_end + 1);
+    if (version.rfind("HTTP/1.", 0) != 0) return false;
+    request.method = std::string(request_line.substr(0, method_end));
+    std::transform(request.method.begin(), request.method.end(), request.method.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+    auto target =
+        std::string(request_line.substr(method_end + 1, target_end - method_end - 1));
+    if (const auto query = target.find('?'); query != std::string::npos)
+        target.erase(query);
+    if (target.empty() || target[0] != '/') return false;
+    request.target = std::move(target);
+
+    std::size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+    while (pos < head.size()) {
+        auto end = head.find("\r\n", pos);
+        if (end == std::string_view::npos) end = head.size();
+        const auto line = head.substr(pos, end - pos);
+        pos = end + 2;
+        if (line.empty()) continue;
+        const auto colon = line.find(':');
+        if (colon == std::string_view::npos) return false;
+        request.headers[lower(trim(line.substr(0, colon)))] = trim(line.substr(colon + 1));
+    }
+    return true;
+}
+
+} // namespace
+
+std::string_view status_text(int status) {
+    switch (status) {
+        case 100: return "Continue";
+        case 200: return "OK";
+        case 201: return "Created";
+        case 204: return "No Content";
+        case 400: return "Bad Request";
+        case 404: return "Not Found";
+        case 405: return "Method Not Allowed";
+        case 408: return "Request Timeout";
+        case 413: return "Content Too Large";
+        case 422: return "Unprocessable Content";
+        case 500: return "Internal Server Error";
+        case 503: return "Service Unavailable";
+        case 504: return "Gateway Timeout";
+        default: return "Unknown";
+    }
+}
+
+ReadStatus read_request(int fd, Request& request, std::size_t max_body) {
+    std::string buffer;
+    std::size_t head_end = std::string::npos;
+    while (head_end == std::string::npos) {
+        if (buffer.size() > k_max_header_bytes) return ReadStatus::TooLarge;
+        switch (recv_some(fd, buffer)) {
+            case RecvStatus::Data: break;
+            case RecvStatus::Closed:
+                return buffer.empty() ? ReadStatus::Closed : ReadStatus::Malformed;
+            case RecvStatus::TimedOut: return ReadStatus::TimedOut;
+            case RecvStatus::Error: return ReadStatus::Closed;
+        }
+        head_end = buffer.find("\r\n\r\n");
+    }
+    if (!parse_head(std::string_view(buffer).substr(0, head_end + 2), request))
+        return ReadStatus::Malformed;
+
+    std::size_t content_length = 0;
+    if (const auto* length = request.header("content-length")) {
+        const auto* end = length->data() + length->size();
+        const auto [ptr, ec] = std::from_chars(length->data(), end, content_length);
+        if (ec != std::errc() || ptr != end) return ReadStatus::Malformed;
+    } else if (request.header("transfer-encoding") != nullptr) {
+        return ReadStatus::Malformed; // chunked bodies are not supported
+    }
+    if (content_length > max_body) return ReadStatus::TooLarge;
+
+    // curl sends Expect: 100-continue for larger bodies and stalls ~1s
+    // waiting for the interim response; oblige before reading the body.
+    if (const auto* expect = request.header("expect");
+        expect != nullptr && lower(*expect) == "100-continue")
+        write_all(fd, "HTTP/1.1 100 Continue\r\n\r\n");
+
+    std::string body = buffer.substr(head_end + 4);
+    while (body.size() < content_length) {
+        switch (recv_some(fd, body)) {
+            case RecvStatus::Data: break;
+            case RecvStatus::Closed: return ReadStatus::Malformed;
+            case RecvStatus::TimedOut: return ReadStatus::TimedOut;
+            case RecvStatus::Error: return ReadStatus::Closed;
+        }
+    }
+    body.resize(content_length); // ignore pipelined extra bytes
+    request.body = std::move(body);
+    return ReadStatus::Ok;
+}
+
+std::string to_wire(const Response& response) {
+    std::string wire = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                       std::string(status_text(response.status)) + "\r\n";
+    wire += "Content-Type: " + response.content_type + "\r\n";
+    wire += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+    for (const auto& [key, value] : response.headers)
+        wire += key + ": " + value + "\r\n";
+    wire += "Connection: close\r\n\r\n";
+    wire += response.body;
+    return wire;
+}
+
+bool write_all(int fd, std::string_view data) {
+    while (!data.empty()) {
+        const auto n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        data.remove_prefix(static_cast<std::size_t>(n));
+    }
+    return true;
+}
+
+} // namespace aalwines::server::http

@@ -1,0 +1,56 @@
+#pragma once
+// Minimal HTTP/1.1 message layer for the verification daemon: enough of
+// RFC 9112 to serve JSON to curl and the bundled client — request-line +
+// headers + Content-Length bodies, `Expect: 100-continue`, and exactly one
+// request per connection (every response carries `Connection: close`).
+// Self-contained over POSIX sockets; no external dependencies.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace aalwines::server::http {
+
+struct Request {
+    std::string method;  ///< upper-case, e.g. "GET"
+    std::string target;  ///< path only; the query string is stripped
+    std::map<std::string, std::string> headers; ///< keys lower-cased
+    std::string body;
+
+    [[nodiscard]] const std::string* header(const std::string& lower_key) const {
+        const auto it = headers.find(lower_key);
+        return it == headers.end() ? nullptr : &it->second;
+    }
+};
+
+struct Response {
+    int status = 200;
+    std::string content_type = "application/json";
+    std::map<std::string, std::string> headers; ///< extra headers, as-is
+    std::string body;
+};
+
+/// Reason phrase for the status codes the daemon emits.
+[[nodiscard]] std::string_view status_text(int status);
+
+enum class ReadStatus {
+    Ok,        ///< request fully parsed
+    Closed,    ///< peer closed before sending a (complete) request
+    Malformed, ///< unparsable request line / headers / length
+    TooLarge,  ///< headers or body exceed the configured limits
+    TimedOut,  ///< socket receive timeout expired mid-request
+};
+
+/// Read one request from a connected socket.  Sends `100 Continue` itself
+/// when the client expects it.  `max_body` bounds the declared
+/// Content-Length; headers are capped at 64 KiB.
+[[nodiscard]] ReadStatus read_request(int fd, Request& request, std::size_t max_body);
+
+/// Serialise a response (status line, headers, body) ready for write().
+[[nodiscard]] std::string to_wire(const Response& response);
+
+/// Write all of `data` to the socket; false on error/short write.
+bool write_all(int fd, std::string_view data);
+
+} // namespace aalwines::server::http

@@ -1,0 +1,325 @@
+#include "server/service.hpp"
+
+#include <thread>
+
+#include "cli/options.hpp"
+#include "io/results_json.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/errors.hpp"
+#include "verify/batch.hpp"
+
+namespace aalwines::server {
+
+namespace {
+
+http::Response json_response(int status, json::Value body) {
+    http::Response response;
+    response.status = status;
+    response.body = json::write(body, 2) + "\n";
+    return response;
+}
+
+json::Value network_info(const Workspace& workspace) {
+    const auto& network = *workspace.network;
+    const auto& topology = network.topology;
+    std::size_t backup_rules = 0;
+    network.routing.for_each([&](LinkId, Label, const RoutingEntry& groups) {
+        for (std::size_t p = 1; p < groups.size(); ++p) backup_rules += groups[p].size();
+    });
+    json::Object info;
+    info.emplace("id", workspace.id);
+    info.emplace("name", network.name);
+    info.emplace("routers", topology.router_count());
+    info.emplace("links", topology.link_count());
+    info.emplace("interfaces", topology.interface_count());
+    info.emplace("labels", network.labels.size());
+    info.emplace("tableEntries", network.routing.entry_count());
+    info.emplace("forwardingRules", network.routing.rule_count());
+    info.emplace("backupRules", backup_rules);
+    return json::Value(std::move(info));
+}
+
+/// Pull an optional typed field out of a request body object.
+const json::Value* field(const json::Object& object, const std::string& key) {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+std::string string_field(const json::Object& object, const std::string& key) {
+    const auto* value = field(object, key);
+    if (value == nullptr) return {};
+    if (!value->is_string())
+        throw cli::usage_error("field '" + key + "' must be a string");
+    return value->as_string();
+}
+
+std::size_t size_field(const json::Object& object, const std::string& key,
+                       std::size_t fallback) {
+    const auto* value = field(object, key);
+    if (value == nullptr) return fallback;
+    if (!value->is_int() || value->as_int() < 0)
+        throw cli::usage_error("field '" + key + "' must be a non-negative integer");
+    return static_cast<std::size_t>(value->as_int());
+}
+
+bool bool_field(const json::Object& object, const std::string& key, bool fallback) {
+    const auto* value = field(object, key);
+    if (value == nullptr) return fallback;
+    if (!value->is_bool()) throw cli::usage_error("field '" + key + "' must be a boolean");
+    return value->as_bool();
+}
+
+} // namespace
+
+http::Response error_response(int status, const std::string& message) {
+    json::Object body;
+    body.emplace("error", message);
+    return json_response(status, json::Value(std::move(body)));
+}
+
+Service::Service(ServiceConfig config)
+    : _config(config), _cache(config.cache_capacity) {}
+
+void Service::set_runtime_info(std::function<json::Object()> provider) {
+    _runtime_info = std::move(provider);
+}
+
+http::Response Service::handle(const http::Request& request) {
+    telemetry::count(telemetry::Counter::server_requests);
+    try {
+        return route(request);
+    } catch (const cli::usage_error& error) {
+        return error_response(400, error.what());
+    } catch (const parse_error& error) {
+        return error_response(400, error.what());
+    } catch (const model_error& error) {
+        return error_response(422, error.what());
+    } catch (const std::exception& error) {
+        return error_response(500, error.what());
+    }
+}
+
+http::Response Service::route(const http::Request& request) {
+    const auto& target = request.target;
+    if (target == "/healthz") {
+        if (request.method != "GET" && request.method != "HEAD")
+            return error_response(405, "use GET /healthz");
+        json::Object body;
+        body.emplace("status", "ok");
+        body.emplace("workspaces", _workspaces.size());
+        return json_response(200, json::Value(std::move(body)));
+    }
+    if (target == "/metrics") {
+        if (request.method != "GET")
+            return error_response(405, "use GET /metrics");
+        return handle_metrics();
+    }
+    if (target == "/networks" || target == "/networks/")
+        return handle_networks(request);
+    if (target.rfind("/networks/", 0) == 0) {
+        auto rest = target.substr(10);
+        bool query_endpoint = false;
+        if (const auto slash = rest.find('/'); slash != std::string::npos) {
+            const auto action = rest.substr(slash + 1);
+            rest.erase(slash);
+            if (action != "query") return error_response(404, "unknown endpoint");
+            query_endpoint = true;
+        }
+        return handle_network_item(request, rest, query_endpoint);
+    }
+    return error_response(404, "unknown endpoint");
+}
+
+http::Response Service::handle_networks(const http::Request& request) {
+    if (request.method == "GET") {
+        json::Array list;
+        for (const auto& workspace : _workspaces.list())
+            list.push_back(network_info(workspace));
+        json::Object body;
+        body.emplace("networks", json::Value(std::move(list)));
+        return json_response(200, json::Value(std::move(body)));
+    }
+    if (request.method != "POST")
+        return error_response(405, "use GET or POST /networks");
+
+    const auto parsed = json::parse(request.body);
+    if (!parsed.is_object())
+        throw cli::usage_error("request body must be a JSON object");
+    const auto& object = parsed.as_object();
+    cli::NetworkDocuments documents;
+    documents.demo = string_field(object, "demo");
+    documents.gml = string_field(object, "gml");
+    documents.topology_xml = string_field(object, "topologyXml");
+    documents.routing_xml = string_field(object, "routingXml");
+    documents.locations_json = string_field(object, "locations");
+
+    auto network = cli::load_network(documents);
+    if (const auto name = string_field(object, "name"); !name.empty())
+        network.name = name;
+    const auto workspace = _workspaces.add(std::move(network));
+    return json_response(201, network_info(workspace));
+}
+
+http::Response Service::handle_network_item(const http::Request& request,
+                                            const std::string& id, bool query_endpoint) {
+    const auto workspace = _workspaces.find(id);
+    if (workspace.network == nullptr)
+        return error_response(404, "unknown network '" + id + "'");
+    if (query_endpoint) {
+        if (request.method != "POST")
+            return error_response(405, "use POST /networks/{id}/query");
+        return handle_query(request, workspace);
+    }
+    if (request.method == "GET") return json_response(200, network_info(workspace));
+    if (request.method == "DELETE") {
+        _workspaces.erase(id);
+        http::Response response;
+        response.status = 204;
+        return response;
+    }
+    return error_response(405, "use GET or DELETE /networks/{id}");
+}
+
+http::Response Service::handle_query(const http::Request& request,
+                                     const Workspace& workspace) {
+    const auto parsed = json::parse(request.body);
+    if (!parsed.is_object())
+        throw cli::usage_error("request body must be a JSON object");
+    const auto& object = parsed.as_object();
+
+    const bool batch = field(object, "queries") != nullptr;
+    std::vector<std::string> texts;
+    if (batch) {
+        const auto* queries = field(object, "queries");
+        if (!queries->is_array())
+            throw cli::usage_error("field 'queries' must be an array of strings");
+        for (const auto& entry : queries->as_array()) {
+            if (!entry.is_string())
+                throw cli::usage_error("field 'queries' must be an array of strings");
+            texts.push_back(entry.as_string());
+        }
+    } else {
+        const auto text = string_field(object, "query");
+        if (text.empty()) throw cli::usage_error("missing field 'query'");
+        texts.push_back(text);
+    }
+
+    cli::VerifySpec spec;
+    spec.engine = string_field(object, "engine");
+    if (spec.engine.empty()) spec.engine = "dual";
+    spec.weight = string_field(object, "weight");
+    spec.reduction =
+        static_cast<int>(size_field(object, "reduction", static_cast<std::size_t>(2)));
+    spec.trace = bool_field(object, "trace", true);
+    spec.witnesses = size_field(object, "witnesses", 1);
+    spec.max_iterations = size_field(object, "maxIterations", 0);
+    const bool stats = bool_field(object, "stats", false);
+    auto jobs = size_field(object, "jobs", 1);
+    const auto max_jobs = _config.max_jobs != 0
+                              ? _config.max_jobs
+                              : std::max(1u, std::thread::hardware_concurrency());
+    jobs = std::min(std::max<std::size_t>(jobs, 1), max_jobs);
+
+    WeightExpr weights;
+    const auto options = cli::make_verify_options(spec, weights); // validates
+
+    // Serve what the cache already has; verify only the misses, as a batch.
+    struct Slot {
+        std::string key;
+        std::shared_ptr<const verify::VerifyResult> result;
+        std::string error;
+        bool cached = false;
+    };
+    std::vector<Slot> slots(texts.size());
+    std::vector<std::string> missing;
+    std::vector<std::size_t> missing_index;
+    for (std::size_t i = 0; i < texts.size(); ++i) {
+        slots[i].key = cache_key(workspace.sequence, texts[i], spec.engine, spec.weight,
+                                 spec.reduction, spec.witnesses, spec.max_iterations,
+                                 spec.trace);
+        slots[i].result = _cache.find(slots[i].key);
+        slots[i].cached = slots[i].result != nullptr;
+        if (!slots[i].cached) {
+            missing.push_back(texts[i]);
+            missing_index.push_back(i);
+        }
+    }
+    if (!missing.empty()) {
+        auto items = verify::verify_batch(*workspace.network, missing, options, jobs);
+        for (std::size_t m = 0; m < items.size(); ++m) {
+            auto& slot = slots[missing_index[m]];
+            if (!items[m].error.empty()) {
+                slot.error = std::move(items[m].error);
+                continue;
+            }
+            slot.result = std::make_shared<const verify::VerifyResult>(
+                std::move(items[m].result));
+            _cache.insert(slot.key, slot.result);
+        }
+    }
+
+    auto to_entry = [&](std::size_t i) {
+        if (!slots[i].error.empty()) {
+            json::Object entry;
+            entry.emplace("query", texts[i]);
+            entry.emplace("error", slots[i].error);
+            return json::Value(std::move(entry));
+        }
+        auto entry = io::result_to_json_value(*workspace.network, texts[i],
+                                              *slots[i].result, stats);
+        entry.as_object().emplace("cached", slots[i].cached);
+        return entry;
+    };
+
+    if (!batch) {
+        if (!slots[0].error.empty()) {
+            json::Object body;
+            body.emplace("query", texts[0]);
+            body.emplace("error", slots[0].error);
+            return json_response(400, json::Value(std::move(body)));
+        }
+        return json_response(200, to_entry(0));
+    }
+    json::Array results;
+    for (std::size_t i = 0; i < texts.size(); ++i) results.push_back(to_entry(i));
+    json::Object body;
+    body.emplace("network", workspace.id);
+    body.emplace("results", json::Value(std::move(results)));
+    return json_response(200, json::Value(std::move(body)));
+}
+
+http::Response Service::handle_metrics() {
+    const auto snap = telemetry::snapshot();
+    json::Object counters;
+    for (std::size_t i = 0; i < telemetry::k_counter_count; ++i)
+        counters.emplace(std::string(telemetry::name_of(static_cast<telemetry::Counter>(i))),
+                         snap.counters[i]);
+    json::Object gauges;
+    for (std::size_t i = 0; i < telemetry::k_gauge_count; ++i)
+        gauges.emplace(std::string(telemetry::name_of(static_cast<telemetry::Gauge>(i))),
+                       snap.gauges[i]);
+
+    json::Object cache;
+    cache.emplace("entries", _cache.size());
+    cache.emplace("capacity", _cache.capacity());
+    cache.emplace("hits", snap.counter(telemetry::Counter::server_cache_hits));
+    cache.emplace("misses", snap.counter(telemetry::Counter::server_cache_misses));
+
+    json::Object server;
+    server.emplace("workspaces", _workspaces.size());
+    server.emplace("cache", json::Value(std::move(cache)));
+    server.emplace("requests", snap.counter(telemetry::Counter::server_requests));
+    server.emplace("rejected", snap.counter(telemetry::Counter::server_rejected));
+    if (_runtime_info)
+        for (auto& [key, value] : _runtime_info()) server.emplace(key, std::move(value));
+
+    json::Object body;
+    body.emplace("schema", "aalwines-metrics-1");
+    body.emplace("server", json::Value(std::move(server)));
+    body.emplace("counters", json::Value(std::move(counters)));
+    body.emplace("gauges", json::Value(std::move(gauges)));
+    body.emplace("peakRssKb", telemetry::peak_rss_kb());
+    return json_response(200, json::Value(std::move(body)));
+}
+
+} // namespace aalwines::server

@@ -1,0 +1,66 @@
+#pragma once
+// The daemon's REST surface, independent of any socket: maps one HTTP
+// request to one JSON response.  Exercised directly by unit tests and
+// through src/server/server.hpp in production.
+//
+//   GET    /healthz              liveness probe
+//   GET    /metrics              telemetry snapshot + server/cache gauges
+//   GET    /networks             list loaded workspaces
+//   POST   /networks             load a network (demo | gml | XML pair)
+//   GET    /networks/{id}        workspace statistics
+//   DELETE /networks/{id}        unload a workspace
+//   POST   /networks/{id}/query  verify one query or a batch
+//
+// See docs/SERVER.md for the request/response schemas.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "json/json.hpp"
+#include "server/cache.hpp"
+#include "server/http.hpp"
+#include "server/workspace.hpp"
+
+namespace aalwines::server {
+
+struct ServiceConfig {
+    std::size_t cache_capacity = 256; ///< compiled-result LRU entries, 0 = off
+    std::size_t max_jobs = 0;         ///< per-request --jobs cap, 0 = hardware
+};
+
+class Service {
+public:
+    explicit Service(ServiceConfig config = {});
+
+    /// Handle one request.  Thread-safe; never throws (internal errors
+    /// become 500 responses).
+    [[nodiscard]] http::Response handle(const http::Request& request);
+
+    /// Extra key/values merged into the /metrics "server" object (queue
+    /// depth, worker count, ... — installed by the socket front end).
+    void set_runtime_info(std::function<json::Object()> provider);
+
+    [[nodiscard]] WorkspaceRegistry& workspaces() { return _workspaces; }
+    [[nodiscard]] ResultCache& cache() { return _cache; }
+
+private:
+    [[nodiscard]] http::Response route(const http::Request& request);
+    [[nodiscard]] http::Response handle_networks(const http::Request& request);
+    [[nodiscard]] http::Response handle_network_item(const http::Request& request,
+                                                     const std::string& id,
+                                                     bool query_endpoint);
+    [[nodiscard]] http::Response handle_query(const http::Request& request,
+                                              const Workspace& workspace);
+    [[nodiscard]] http::Response handle_metrics();
+
+    ServiceConfig _config;
+    WorkspaceRegistry _workspaces;
+    ResultCache _cache;
+    std::function<json::Object()> _runtime_info;
+};
+
+/// JSON error body + status, shared with the socket layer's early replies.
+[[nodiscard]] http::Response error_response(int status, const std::string& message);
+
+} // namespace aalwines::server

@@ -1,0 +1,43 @@
+#include "server/workspace.hpp"
+
+#include <algorithm>
+
+namespace aalwines::server {
+
+Workspace WorkspaceRegistry::add(Network&& network) {
+    const std::lock_guard lock(_mutex);
+    Workspace workspace;
+    workspace.sequence = _next_sequence++;
+    workspace.id = "n" + std::to_string(workspace.sequence);
+    workspace.network = std::make_shared<const Network>(std::move(network));
+    _workspaces.push_back(workspace);
+    return workspace;
+}
+
+Workspace WorkspaceRegistry::find(const std::string& id) const {
+    const std::lock_guard lock(_mutex);
+    for (const auto& workspace : _workspaces)
+        if (workspace.id == id) return workspace;
+    return {};
+}
+
+bool WorkspaceRegistry::erase(const std::string& id) {
+    const std::lock_guard lock(_mutex);
+    const auto it = std::find_if(_workspaces.begin(), _workspaces.end(),
+                                 [&](const Workspace& w) { return w.id == id; });
+    if (it == _workspaces.end()) return false;
+    _workspaces.erase(it);
+    return true;
+}
+
+std::vector<Workspace> WorkspaceRegistry::list() const {
+    const std::lock_guard lock(_mutex);
+    return _workspaces;
+}
+
+std::size_t WorkspaceRegistry::size() const {
+    const std::lock_guard lock(_mutex);
+    return _workspaces.size();
+}
+
+} // namespace aalwines::server

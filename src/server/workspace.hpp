@@ -1,0 +1,47 @@
+#pragma once
+// Session workspaces for the verification daemon: each loaded network is
+// registered once (the expensive load/synthesis/translation amortizes over
+// every later query, as the paper's online tool and Tiramisu's shared graph
+// construction both exploit) and handed out as shared, immutable state to
+// concurrently running query handlers.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "model/routing.hpp"
+
+namespace aalwines::server {
+
+struct Workspace {
+    std::string id;                         ///< registry handle, "n1", "n2", ...
+    std::uint64_t sequence = 0;             ///< monotonic load sequence number
+    std::shared_ptr<const Network> network; ///< immutable once registered
+};
+
+/// Thread-safe id → network map.  Networks are immutable after
+/// registration; erase only unlinks — in-flight queries keep their
+/// shared_ptr alive until they finish.
+class WorkspaceRegistry {
+public:
+    /// Register a loaded network and mint its id.
+    Workspace add(Network&& network);
+
+    /// Look up by id; empty network pointer when unknown.
+    [[nodiscard]] Workspace find(const std::string& id) const;
+
+    /// Unlink a workspace; false when the id is unknown.
+    bool erase(const std::string& id);
+
+    [[nodiscard]] std::vector<Workspace> list() const;
+    [[nodiscard]] std::size_t size() const;
+
+private:
+    mutable std::mutex _mutex;
+    std::vector<Workspace> _workspaces;
+    std::uint64_t _next_sequence = 1;
+};
+
+} // namespace aalwines::server

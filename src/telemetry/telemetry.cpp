@@ -24,6 +24,10 @@ std::string_view name_of(Counter counter) {
         case Counter::accept_decrease_keys: return "accept_decrease_keys";
         case Counter::witness_unroll_steps: return "witness_unroll_steps";
         case Counter::traces_reconstructed: return "traces_reconstructed";
+        case Counter::server_requests: return "server_requests";
+        case Counter::server_rejected: return "server_rejected";
+        case Counter::server_cache_hits: return "server_cache_hits";
+        case Counter::server_cache_misses: return "server_cache_misses";
         case Counter::count_: break;
     }
     return "?";
@@ -34,6 +38,7 @@ std::string_view name_of(Gauge gauge) {
         case Gauge::transition_high_water: return "transition_high_water";
         case Gauge::epsilon_high_water: return "epsilon_high_water";
         case Gauge::worklist_high_water: return "worklist_high_water";
+        case Gauge::server_queue_high_water: return "server_queue_high_water";
         case Gauge::count_: break;
     }
     return "?";

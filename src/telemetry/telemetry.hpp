@@ -46,6 +46,10 @@ enum class Counter : std::uint32_t {
     accept_decrease_keys,   ///< Dijkstra decrease-keys in find_accepted[_n]
     witness_unroll_steps,   ///< provenance-walk steps during unrolling
     traces_reconstructed,   ///< witnesses successfully mapped to traces
+    server_requests,        ///< HTTP requests handled by the verification daemon
+    server_rejected,        ///< requests refused by admission control (503)
+    server_cache_hits,      ///< compiled-query cache hits (src/server/cache.hpp)
+    server_cache_misses,    ///< compiled-query cache misses
     count_,
 };
 inline constexpr std::size_t k_counter_count = static_cast<std::size_t>(Counter::count_);
@@ -55,6 +59,7 @@ enum class Gauge : std::uint32_t {
     transition_high_water, ///< P-automaton transition table size after saturation
     epsilon_high_water,    ///< ε-transition table size after saturation
     worklist_high_water,   ///< peak saturation worklist length
+    server_queue_high_water, ///< peak pending-connection queue depth (daemon)
     count_,
 };
 inline constexpr std::size_t k_gauge_count = static_cast<std::size_t>(Gauge::count_);

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# End-to-end serve test driven through scripts/aalwines-client: start the
+# daemon with a preloaded demo network, query it (cold, then cached), and
+# check that SIGTERM drains to exit 0.  Exits 127 (ctest SKIP) without curl.
+set -eu
+
+bin="$1"
+client="$2"
+port="${AALWINES_SERVE_TEST_PORT:-18923}"
+
+command -v curl >/dev/null 2>&1 || exit 127
+
+"$bin" serve --port "$port" --demo figure1 --workers 2 &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT
+
+for _ in $(seq 100); do
+    if "$client" -s "127.0.0.1:$port" health >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+
+out=$("$client" -s "127.0.0.1:$port" query n1 '<ip> [.#v0] .* [v3#.] <ip> 0')
+echo "$out" | grep -q '"answer": "yes"'
+echo "$out" | grep -q '"cached": false'
+
+out=$("$client" -s "127.0.0.1:$port" query n1 '<ip> [.#v0] .* [v3#.] <ip> 0')
+echo "$out" | grep -q '"answer": "yes"'
+echo "$out" | grep -q '"cached": true'
+
+"$client" -s "127.0.0.1:$port" metrics | grep -q '"aalwines-metrics-1"'
+
+kill -TERM "$pid"
+wait "$pid" # graceful drain must exit 0
+trap - EXIT
+echo ok

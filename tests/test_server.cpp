@@ -1,0 +1,457 @@
+// Loopback integration tests for the verification daemon (src/server/):
+// real sockets against an in-process Server, covering the REST surface,
+// the compiled-query cache, admission control, deadline handling and
+// graceful drain.  The concurrent-client tests also run under the tsan CI
+// job (ctest -R Server).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "cli/options.hpp"
+#include "json/json.hpp"
+#include "server/server.hpp"
+#include "server/service.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace aalwines::server {
+namespace {
+
+constexpr const char* k_yes_query = "<ip> [.#v0] .* [v3#.] <ip> 0";
+constexpr const char* k_no_query = "<s40 ip> [.#v0] .* [v3#.] <mpls+ smpls ip> 1";
+
+struct Reply {
+    int status = 0; ///< 0 = connect/read failure
+    std::string body;
+    std::string raw;
+};
+
+/// One raw HTTP exchange over a fresh loopback connection.
+Reply roundtrip(std::uint16_t port, const std::string& method, const std::string& target,
+                const std::string& body = {}) {
+    Reply reply;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return reply;
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &address.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof address) != 0) {
+        ::close(fd);
+        return reply;
+    }
+    std::string request = method + " " + target + " HTTP/1.1\r\nHost: localhost\r\n";
+    if (!body.empty()) request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    request += "\r\n" + body;
+    if (!http::write_all(fd, request)) {
+        ::close(fd);
+        return reply;
+    }
+    char chunk[4096];
+    for (;;) {
+        const auto n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n <= 0) break;
+        reply.raw.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    if (reply.raw.rfind("HTTP/1.1 ", 0) == 0)
+        reply.status = std::atoi(reply.raw.c_str() + 9);
+    if (const auto split = reply.raw.find("\r\n\r\n"); split != std::string::npos)
+        reply.body = reply.raw.substr(split + 4);
+    return reply;
+}
+
+json::Value parse_body(const Reply& reply) { return json::parse(reply.body); }
+
+/// Service + Server on an ephemeral port, stopped on destruction.
+struct Daemon {
+    explicit Daemon(ServerConfig config = {}, ServiceConfig service_config = {})
+        : service(service_config), server(service, std::move(config)) {
+        server.start();
+    }
+    ~Daemon() { server.stop(); }
+
+    [[nodiscard]] std::string load_figure1() {
+        const auto reply =
+            roundtrip(server.port(), "POST", "/networks", R"({"demo":"figure1"})");
+        EXPECT_EQ(reply.status, 201) << reply.raw;
+        return parse_body(reply).at("id").as_string();
+    }
+
+    Service service;
+    Server server;
+};
+
+TEST(Server, HealthzAndUnknownEndpoints) {
+    Daemon daemon;
+    const auto health = roundtrip(daemon.server.port(), "GET", "/healthz");
+    EXPECT_EQ(health.status, 200);
+    EXPECT_EQ(parse_body(health).at("status").as_string(), "ok");
+
+    EXPECT_EQ(roundtrip(daemon.server.port(), "GET", "/nope").status, 404);
+    EXPECT_EQ(roundtrip(daemon.server.port(), "GET", "/networks/n1/other").status, 404);
+    EXPECT_EQ(roundtrip(daemon.server.port(), "PUT", "/networks").status, 405);
+    EXPECT_EQ(roundtrip(daemon.server.port(), "POST", "/healthz").status, 405);
+}
+
+TEST(Server, LoadQueryAndCacheHit) {
+    Daemon daemon;
+    const auto before = telemetry::snapshot();
+    const auto id = daemon.load_figure1();
+
+    const auto body = std::string(R"({"query":")") + k_yes_query + R"("})";
+    const auto first =
+        roundtrip(daemon.server.port(), "POST", "/networks/" + id + "/query", body);
+    ASSERT_EQ(first.status, 200) << first.raw;
+    auto first_json = parse_body(first);
+    EXPECT_EQ(first_json.at("answer").as_string(), "yes");
+    EXPECT_FALSE(first_json.at("cached").as_bool());
+
+    const auto second =
+        roundtrip(daemon.server.port(), "POST", "/networks/" + id + "/query", body);
+    ASSERT_EQ(second.status, 200);
+    auto second_json = parse_body(second);
+    EXPECT_EQ(second_json.at("answer").as_string(), "yes");
+    EXPECT_TRUE(second_json.at("cached").as_bool());
+
+    // Identical modulo the timing field and the cache marker.
+    first_json.as_object().erase("seconds");
+    first_json.as_object().erase("cached");
+    second_json.as_object().erase("seconds");
+    second_json.as_object().erase("cached");
+    EXPECT_EQ(first_json, second_json);
+
+    // The hit/miss totals surface through telemetry and /metrics.
+    const auto metrics =
+        roundtrip(daemon.server.port(), "GET", "/metrics");
+    ASSERT_EQ(metrics.status, 200);
+    const auto document = parse_body(metrics);
+    const auto& cache = document.at("server").at("cache");
+#if AALWINES_TELEMETRY_ENABLED
+    const auto after = telemetry::snapshot();
+    EXPECT_GE(after.counter(telemetry::Counter::server_cache_hits),
+              before.counter(telemetry::Counter::server_cache_hits) + 1);
+    EXPECT_GE(after.counter(telemetry::Counter::server_cache_misses),
+              before.counter(telemetry::Counter::server_cache_misses) + 1);
+    EXPECT_GE(cache.at("hits").as_int(), 1);
+#else
+    (void)before;
+#endif
+    EXPECT_EQ(cache.at("entries").as_int(), 1);
+    EXPECT_EQ(document.at("server").at("workspaces").as_int(), 1);
+}
+
+TEST(Server, BatchQueriesWithPerItemErrors) {
+    Daemon daemon;
+    const auto id = daemon.load_figure1();
+    const auto body = std::string(R"({"jobs": 2, "queries": [")") + k_yes_query +
+                      R"(", "garbage", ")" + k_no_query + R"("]})";
+    const auto reply =
+        roundtrip(daemon.server.port(), "POST", "/networks/" + id + "/query", body);
+    ASSERT_EQ(reply.status, 200) << reply.raw;
+    const auto document = parse_body(reply);
+    const auto& results = document.at("results").as_array();
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].at("answer").as_string(), "yes");
+    EXPECT_NE(results[1].find("error"), nullptr);
+    EXPECT_EQ(results[2].at("answer").as_string(), "no");
+}
+
+TEST(Server, QueryOptionsSelectEngineAndWeights) {
+    Daemon daemon;
+    const auto id = daemon.load_figure1();
+    const auto weighted = roundtrip(
+        daemon.server.port(), "POST", "/networks/" + id + "/query",
+        R"({"query":"<smpls? ip> [.#v0] . . . .* [v3#.] <smpls? ip> 1",)"
+        R"("weight":"hops, failures + 3*tunnels"})");
+    ASSERT_EQ(weighted.status, 200) << weighted.raw;
+    const auto weighted_json = parse_body(weighted);
+    const auto& weight = weighted_json.at("weight").as_array();
+    ASSERT_EQ(weight.size(), 2u);
+    EXPECT_EQ(weight[0].as_int(), 5);
+    EXPECT_EQ(weight[1].as_int(), 0);
+
+    const auto moped = roundtrip(daemon.server.port(), "POST",
+                                 "/networks/" + id + "/query",
+                                 std::string(R"({"engine":"moped","query":")") +
+                                     k_yes_query + R"("})");
+    ASSERT_EQ(moped.status, 200);
+    EXPECT_EQ(parse_body(moped).at("answer").as_string(), "yes");
+
+    const auto bad_engine = roundtrip(
+        daemon.server.port(), "POST", "/networks/" + id + "/query",
+        std::string(R"({"engine":"quantum","query":")") + k_yes_query + R"("})");
+    EXPECT_EQ(bad_engine.status, 400);
+}
+
+TEST(Server, ErrorStatusCodes) {
+    Daemon daemon;
+    // Unknown network id.
+    EXPECT_EQ(roundtrip(daemon.server.port(), "POST", "/networks/n999/query",
+                        R"({"query":"x"})")
+                  .status,
+              404);
+    // Malformed JSON body.
+    const auto id = daemon.load_figure1();
+    EXPECT_EQ(roundtrip(daemon.server.port(), "POST", "/networks/" + id + "/query",
+                        "{not json")
+                  .status,
+              400);
+    // Parse error in the (single) query text.
+    EXPECT_EQ(roundtrip(daemon.server.port(), "POST", "/networks/" + id + "/query",
+                        R"({"query":"not a query"})")
+                  .status,
+              400);
+    // Missing network source.
+    EXPECT_EQ(roundtrip(daemon.server.port(), "POST", "/networks", R"({})").status, 400);
+    // Malformed network documents.
+    EXPECT_EQ(roundtrip(daemon.server.port(), "POST", "/networks",
+                        R"({"topologyXml":"<broken", "routingXml":"<routes/>"})")
+                  .status,
+              400);
+    // Malformed HTTP framing.
+    EXPECT_EQ(roundtrip(daemon.server.port(), "BROKEN_NO_TARGET", "/x\r\nbad").status,
+              400);
+}
+
+TEST(Server, WorkspaceLifecycle) {
+    Daemon daemon;
+    const auto id = daemon.load_figure1();
+    const auto list = roundtrip(daemon.server.port(), "GET", "/networks");
+    ASSERT_EQ(list.status, 200);
+    EXPECT_EQ(parse_body(list).at("networks").as_array().size(), 1u);
+
+    const auto info = roundtrip(daemon.server.port(), "GET", "/networks/" + id);
+    ASSERT_EQ(info.status, 200);
+    EXPECT_EQ(parse_body(info).at("routers").as_int(), 7);
+
+    EXPECT_EQ(roundtrip(daemon.server.port(), "DELETE", "/networks/" + id).status, 204);
+    EXPECT_EQ(roundtrip(daemon.server.port(), "GET", "/networks/" + id).status, 404);
+    EXPECT_EQ(roundtrip(daemon.server.port(), "POST", "/networks/" + id + "/query",
+                        std::string(R"({"query":")") + k_yes_query + R"("})")
+                  .status,
+              404);
+}
+
+TEST(Server, LoadsGmlDocuments) {
+    Daemon daemon;
+    const std::string gml =
+        "graph [\n"
+        "  node [ id 0 label \"a\" ]\n  node [ id 1 label \"b\" ]\n"
+        "  node [ id 2 label \"c\" ]\n  node [ id 3 label \"d\" ]\n"
+        "  edge [ source 0 target 1 ]\n  edge [ source 1 target 2 ]\n"
+        "  edge [ source 2 target 3 ]\n  edge [ source 3 target 0 ]\n"
+        "]\n";
+    json::Object body;
+    body.emplace("gml", gml);
+    body.emplace("name", "ring4");
+    const auto reply = roundtrip(daemon.server.port(), "POST", "/networks",
+                                 json::write(json::Value(std::move(body))));
+    ASSERT_EQ(reply.status, 201) << reply.raw;
+    const auto info = parse_body(reply);
+    EXPECT_EQ(info.at("name").as_string(), "ring4");
+    // 4 ring nodes plus one synthesized external stub per edge router.
+    EXPECT_EQ(info.at("routers").as_int(), 8);
+}
+
+/// Gate test instrumentation: lets the test hold worker threads mid-request.
+struct Gate {
+    void open() {
+        {
+            const std::lock_guard lock(mutex);
+            released = true;
+        }
+        cv.notify_all();
+    }
+    void wait_entered() {
+        std::unique_lock lock(mutex);
+        cv.wait(lock, [this] { return entered > 0; });
+    }
+    void block(const http::Request& request) {
+        if (request.target.find("/query") == std::string::npos) return;
+        std::unique_lock lock(mutex);
+        ++entered;
+        cv.notify_all();
+        cv.wait(lock, [this] { return released; });
+    }
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    int entered = 0;
+    bool released = false;
+};
+
+TEST(Server, AdmissionControlRejectsWithRetryAfter) {
+    Gate gate;
+    ServerConfig config;
+    config.workers = 1;
+    config.queue_capacity = 1;
+    config.on_request = [&gate](const http::Request& request) { gate.block(request); };
+    Daemon daemon(config);
+    const auto id = daemon.load_figure1();
+    const auto port = daemon.server.port();
+    const auto body = std::string(R"({"query":")") + k_yes_query + R"("})";
+    const auto before = telemetry::snapshot();
+
+    // A occupies the single worker; B fills the queue; C must bounce.
+    std::thread a([&] {
+        const auto reply = roundtrip(port, "POST", "/networks/" + id + "/query", body);
+        EXPECT_EQ(reply.status, 200) << reply.raw;
+    });
+    gate.wait_entered();
+    std::thread b([&] {
+        const auto reply = roundtrip(port, "POST", "/networks/" + id + "/query", body);
+        EXPECT_EQ(reply.status, 200) << reply.raw;
+    });
+    for (int i = 0; i < 2000 && daemon.server.queue_depth() < 1; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_EQ(daemon.server.queue_depth(), 1u);
+
+    const auto rejected = roundtrip(port, "GET", "/healthz");
+    EXPECT_EQ(rejected.status, 503) << rejected.raw;
+    EXPECT_NE(rejected.raw.find("Retry-After:"), std::string::npos);
+
+    gate.open();
+    a.join();
+    b.join();
+#if AALWINES_TELEMETRY_ENABLED
+    const auto after = telemetry::snapshot();
+    EXPECT_GE(after.counter(telemetry::Counter::server_rejected),
+              before.counter(telemetry::Counter::server_rejected) + 1);
+#else
+    (void)before;
+#endif
+}
+
+TEST(Server, GracefulShutdownDrainsInFlightRequests) {
+    Gate gate;
+    ServerConfig config;
+    config.workers = 2;
+    config.on_request = [&gate](const http::Request& request) { gate.block(request); };
+    Daemon daemon(config);
+    const auto id = daemon.load_figure1();
+    const auto port = daemon.server.port();
+
+    std::thread client([&] {
+        const auto reply =
+            roundtrip(port, "POST", "/networks/" + id + "/query",
+                      std::string(R"({"query":")") + k_yes_query + R"("})");
+        EXPECT_EQ(reply.status, 200) << reply.raw;
+        EXPECT_EQ(parse_body(reply).at("answer").as_string(), "yes");
+    });
+    gate.wait_entered();
+    daemon.server.request_stop(); // the in-flight request must still answer
+    gate.open();
+    daemon.server.wait();
+    client.join();
+
+    // Fully drained: new connections are refused.
+    EXPECT_EQ(roundtrip(port, "GET", "/healthz").status, 0);
+}
+
+TEST(Server, DeadlineExpiresQueuedRequests) {
+    Gate gate;
+    ServerConfig config;
+    config.workers = 1;
+    config.queue_capacity = 8;
+    config.deadline_ms = 50;
+    config.on_request = [&gate](const http::Request& request) { gate.block(request); };
+    Daemon daemon(config);
+    const auto id = daemon.load_figure1();
+    const auto port = daemon.server.port();
+    const auto body = std::string(R"({"query":")") + k_yes_query + R"("})";
+
+    std::thread a([&] { (void)roundtrip(port, "POST", "/networks/" + id + "/query", body); });
+    gate.wait_entered();
+    std::thread b([&] {
+        // Queued behind the gated request for > deadline_ms: expired, 504.
+        const auto reply = roundtrip(port, "GET", "/healthz");
+        EXPECT_EQ(reply.status, 504) << reply.raw;
+    });
+    for (int i = 0; i < 2000 && daemon.server.queue_depth() < 1; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    gate.open();
+    a.join();
+    b.join();
+}
+
+// Also exercised by the tsan CI job: many clients, mixed cached/uncached
+// queries and metrics scrapes, all against one shared workspace.
+TEST(Server, ConcurrentClients) {
+    Daemon daemon;
+    const auto id = daemon.load_figure1();
+    const auto port = daemon.server.port();
+    const std::vector<std::string> queries = {
+        k_yes_query, k_no_query, "<ip> .* <ip> 0", "<smpls ip> .* <smpls ip> 1"};
+    std::atomic<int> failures{0};
+    std::vector<std::thread> clients;
+    clients.reserve(8);
+    for (int c = 0; c < 8; ++c) {
+        clients.emplace_back([&, c] {
+            for (int i = 0; i < 6; ++i) {
+                if (i == 3 && c % 2 == 0) {
+                    if (roundtrip(port, "GET", "/metrics").status != 200) ++failures;
+                    continue;
+                }
+                const auto& query = queries[static_cast<std::size_t>(c + i) % queries.size()];
+                const auto reply = roundtrip(port, "POST", "/networks/" + id + "/query",
+                                             R"({"query":")" + query + R"("})");
+                if (reply.status != 200) ++failures;
+            }
+        });
+    }
+    for (auto& client : clients) client.join();
+    EXPECT_EQ(failures.load(), 0);
+}
+
+// --- option-layer units shared with the daemon (src/cli/options) ---------
+
+TEST(ServerOptions, SplitQueriesHandlesCommentsAndSemicolons) {
+    const auto queries = cli::split_queries(
+        "# comment line\n<ip> .* <ip> 0 ; <ip> [.#v0] .* <ip> 1\n\n  \t\n<ip> .* <ip> 2\n");
+    ASSERT_EQ(queries.size(), 3u);
+    EXPECT_EQ(queries[0], "<ip> .* <ip> 0");
+    EXPECT_EQ(queries[1], "<ip> [.#v0] .* <ip> 1"); // '#' kept inside link atoms
+    EXPECT_EQ(queries[2], "<ip> .* <ip> 2");
+}
+
+TEST(ServerOptions, LoadersThrowInsteadOfExiting) {
+    EXPECT_THROW((void)cli::read_file("/nonexistent/file"), cli::io_error);
+    EXPECT_THROW((void)cli::load_network(cli::NetworkSource{}), cli::usage_error);
+    cli::NetworkSource bad_demo;
+    bad_demo.demo = "bogus";
+    EXPECT_THROW((void)cli::load_network(bad_demo), cli::usage_error);
+    cli::NetworkDocuments docs;
+    docs.topology_xml = "<broken";
+    docs.routing_xml = "<routes/>";
+    EXPECT_THROW((void)cli::load_network(docs), std::exception);
+}
+
+TEST(ServerOptions, VerifySpecValidation) {
+    WeightExpr weights;
+    cli::VerifySpec spec;
+    spec.engine = "weighted";
+    EXPECT_THROW((void)cli::make_verify_options(spec, weights), cli::usage_error);
+    spec.engine = "nope";
+    EXPECT_THROW((void)cli::make_verify_options(spec, weights), cli::usage_error);
+    spec.engine = "dual";
+    spec.reduction = 7;
+    EXPECT_THROW((void)cli::make_verify_options(spec, weights), cli::usage_error);
+    spec.reduction = 1;
+    spec.weight = "hops";
+    const auto options = cli::make_verify_options(spec, weights);
+    EXPECT_EQ(options.engine, verify::EngineKind::Weighted);
+    EXPECT_EQ(options.reduction_level, 1);
+}
+
+} // namespace
+} // namespace aalwines::server
