@@ -51,6 +51,8 @@ void usage(std::ostream& out) {
         "  --reduction N        PDA reduction level 0|1|2  (default 2)\n"
         "  --locations FILE     apply router coordinates (JSON)\n"
         "  --queries-file F     read one query per line from F ('#' comments)\n"
+        "  --battery N          also verify N generated battery queries (the\n"
+        "                       paper-suite shapes; needs --demo nordunet|zoo:N)\n"
         "  --interactive        read queries from stdin, one per line (the\n"
         "                       network stays loaded; ';' separates queries on\n"
         "                       a line; quit with EOF or 'quit')\n"
@@ -285,6 +287,9 @@ int run_cli(const cli::Cli& cli) {
     std::vector<std::string> queries = cli.queries;
     if (!cli.queries_file.empty())
         for (auto& query : cli::split_queries(read_file(cli.queries_file)))
+            queries.push_back(std::move(query));
+    if (cli.battery > 0)
+        for (auto& query : cli::demo_query_battery(cli.source.demo, cli.battery))
             queries.push_back(std::move(query));
     if (queries.empty() && !cli.interactive) {
         std::cerr << "aalwines: no --query given\n";

@@ -8,6 +8,7 @@
 #include "io/formats.hpp"
 #include "io/isis.hpp"
 #include "synthesis/networks.hpp"
+#include "synthesis/queries.hpp"
 
 namespace aalwines::cli {
 
@@ -41,6 +42,26 @@ Network load_demo(const std::string& demo) {
     }
     throw usage_error("unknown demo '" + demo + "' (figure1, nordunet or zoo:N)");
 }
+
+} // namespace
+
+std::vector<std::string> demo_query_battery(const std::string& demo, std::size_t count) {
+    synthesis::QueryBatteryOptions options;
+    if (count > 0) options.count = count;
+    // Re-synthesize the demo: the battery needs the SyntheticNetwork's edge
+    // metadata, which load_demo discards.  Deterministic, so the queries
+    // target the same network the caller loaded.
+    if (demo == "nordunet")
+        return synthesis::make_query_battery(synthesis::make_nordunet_like(), options);
+    if (demo.rfind("zoo:", 0) == 0) {
+        const auto index = parse_size("--demo zoo:", demo.substr(4));
+        return synthesis::make_query_battery(synthesis::make_zoo_like(index).net, options);
+    }
+    throw usage_error("--battery needs --demo nordunet or --demo zoo:N "
+                      "(query batteries are generated from synthesis metadata)");
+}
+
+namespace {
 
 Network load_gml_text(const std::string& text, const std::string& fallback_name) {
     synthesis::SyntheticTopology topo;
@@ -179,6 +200,7 @@ Cli parse_cli(int argc, char** argv) {
         else if (arg == "--reduction") cli.spec.reduction = parse_int(arg, value(i));
         else if (arg == "--jobs") cli.jobs = parse_size(arg, value(i));
         else if (arg == "--queries-file") cli.queries_file = value(i);
+        else if (arg == "--battery") cli.battery = parse_size(arg, value(i));
         else if (arg == "--interactive") cli.interactive = true;
         else if (arg == "--witnesses") cli.spec.witnesses = parse_size(arg, value(i));
         else if (arg == "--max-iterations")

@@ -83,6 +83,13 @@ struct VerifySpec {
 [[nodiscard]] verify::VerifyOptions make_verify_options(const VerifySpec& spec,
                                                         WeightExpr& weights);
 
+/// The paper-suite query battery instantiated over a synthesized --demo
+/// network (nordunet | zoo:N); `count` = 0 keeps the battery default.  The
+/// nightly CI job feeds these through --validate=deep.  Throws usage_error
+/// for sources without synthesis metadata (files, figure1).
+[[nodiscard]] std::vector<std::string> demo_query_battery(const std::string& demo,
+                                                          std::size_t count);
+
 /// Split query text into one query per line, dropping blank lines and
 /// '#'-comments (the --queries-file format).  Each line may also hold
 /// several ';'-separated queries, as in the interactive REPL.
@@ -95,6 +102,7 @@ struct Cli {
     VerifySpec spec;
     std::size_t jobs = 1;
     std::string queries_file;
+    std::size_t battery = 0; ///< append N battery queries (--demo nordunet/zoo:N)
     bool interactive = false;
     bool validate = false;
     bool validate_deep = false;

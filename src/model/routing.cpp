@@ -49,15 +49,17 @@ const RoutingEntry* RoutingTable::entry(LinkId in_link, Label label) const {
 
 void RoutingTable::for_each(
     const std::function<void(LinkId, Label, const RoutingEntry&)>& fn) const {
-    // Deterministic order: iterate over sorted keys.
-    std::vector<std::uint64_t> keys;
-    keys.reserve(_entries.size());
-    for (const auto& [key, entry_groups] : _entries) keys.push_back(key);
-    std::sort(keys.begin(), keys.end());
-    for (const auto key : keys) {
+    // Deterministic order: iterate over sorted keys (entry pointers ride
+    // along so the loop needs no second hash lookup per entry).
+    std::vector<std::pair<std::uint64_t, const RoutingEntry*>> items;
+    items.reserve(_entries.size());
+    for (const auto& [key, entry_groups] : _entries) items.emplace_back(key, &entry_groups);
+    std::sort(items.begin(), items.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [key, entry_groups] : items) {
         const auto in_link = static_cast<LinkId>(key >> 32);
         const auto label = static_cast<Label>(key & 0xFFFFFFFFu);
-        fn(in_link, label, _entries.at(key));
+        fn(in_link, label, *entry_groups);
     }
 }
 

@@ -75,6 +75,12 @@ public:
     /// Number of (link, label) entries.
     [[nodiscard]] std::size_t entry_count() const noexcept { return _entries.size(); }
 
+    /// Unordered view of every entry (hash order — NOT deterministic across
+    /// processes; use for_each wherever order can leak into results).
+    [[nodiscard]] const std::unordered_map<std::uint64_t, RoutingEntry>& entries() const noexcept {
+        return _entries;
+    }
+
     /// Check referential integrity against `topology` and header-validity of
     /// every operation sequence: each rule's out-link must leave the router
     /// the in-link enters.  Throws model_error on violation.

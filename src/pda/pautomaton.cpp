@@ -30,23 +30,32 @@ std::pair<TransId, bool> PAutomaton::add_transition(StateId from, EdgeLabel labe
     AALWINES_ASSERT(from < _trans_from.size() && to < _trans_from.size(),
                     "transition endpoint is not an automaton state");
     if (label.is_concrete()) {
-        const ConcreteKey key{from, label.concrete, to};
-        if (auto it = _concrete_index.find(key); it != _concrete_index.end()) {
-            auto& existing = _transitions[it->second];
-            if (weight < existing.weight) {
-                // Monotone (Dijkstra) processing never improves a finalized
-                // transition; a relaxation can only hit pending ones.
-                AALWINES_ASSERT(!existing.finalized, "relaxation of a finalized transition");
-                existing.weight = std::move(weight);
-                existing.prov = prov;
-                return {it->second, true};
-            }
-            return {it->second, false};
-        }
+        note_weight(weight);
+        const std::uint64_t key = pack(from, label.concrete);
         const TransId id = static_cast<TransId>(_transitions.size());
-        _transitions.push_back({from, to, label, std::move(weight), prov, false});
+        const auto [head, inserted] = _concrete_heads.try_emplace(key, id);
+        if (!inserted) {
+            // Walk the (short) chain of transitions sharing (from, symbol).
+            TransId last = head;
+            for (TransId cur = head; cur != k_no_trans;
+                 last = cur, cur = _transitions[cur].next_same_key) {
+                if (_transitions[cur].to != to) continue;
+                auto& existing = _transitions[cur];
+                if (weight < existing.weight) {
+                    // Monotone (Dijkstra) processing never improves a finalized
+                    // transition; a relaxation can only hit pending ones.
+                    AALWINES_ASSERT(!existing.finalized,
+                                    "relaxation of a finalized transition");
+                    existing.weight = std::move(weight);
+                    existing.prov = prov;
+                    return {cur, true};
+                }
+                return {cur, false};
+            }
+            _transitions[last].next_same_key = id;
+        }
+        _transitions.push_back({from, to, label, std::move(weight), prov, k_no_trans, false});
         _trans_from[from].push_back(id);
-        _concrete_index.emplace(key, id);
         return {id, true};
     }
     // Set-labelled: linear scan over the (few) set edges out of `from`.
@@ -62,38 +71,39 @@ std::pair<TransId, bool> PAutomaton::add_transition(StateId from, EdgeLabel labe
         }
         return {id, false};
     }
+    note_weight(weight);
     const TransId id = static_cast<TransId>(_transitions.size());
-    _transitions.push_back({from, to, std::move(label), std::move(weight), prov, false});
+    _transitions.push_back({from, to, std::move(label), std::move(weight), prov, k_no_trans, false});
     _trans_from[from].push_back(id);
     return {id, true};
 }
 
 std::pair<std::uint32_t, bool> PAutomaton::add_epsilon(StateId from, StateId to,
                                                        Weight weight, Provenance prov) {
-    const std::uint64_t key = (static_cast<std::uint64_t>(from) << 32) | to;
-    if (auto it = _eps_index.find(key); it != _eps_index.end()) {
-        auto& existing = _epsilons[it->second];
+    const auto id = static_cast<std::uint32_t>(_epsilons.size());
+    const auto [existing_id, inserted] = _eps_index.try_emplace(pack(from, to), id);
+    if (!inserted) {
+        auto& existing = _epsilons[existing_id];
         if (weight < existing.weight) {
             AALWINES_ASSERT(!existing.finalized, "relaxation of a finalized epsilon");
             existing.weight = std::move(weight);
             existing.prov = prov;
-            return {it->second, true};
+            return {existing_id, true};
         }
-        return {it->second, false};
+        return {existing_id, false};
     }
-    const auto id = static_cast<std::uint32_t>(_epsilons.size());
+    note_weight(weight);
     _epsilons.push_back({from, to, std::move(weight), prov, false});
     _eps_by_target[to].push_back(id);
     _eps_from[from].push_back(id);
-    _eps_index.emplace(key, id);
     return {id, true};
 }
 
 StateId PAutomaton::mid_state(StateId to, Symbol top) {
-    const std::uint64_t key = (static_cast<std::uint64_t>(to) << 32) | top;
-    if (auto it = _mid_states.find(key); it != _mid_states.end()) return it->second;
+    if (const auto found = _mid_states.find(pack(to, top)); found != util::FlatMap64::k_npos)
+        return found;
     const auto state = add_state();
-    _mid_states.emplace(key, state);
+    _mid_states.try_emplace(pack(to, top), state);
     return state;
 }
 

@@ -13,13 +13,12 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "nfa/symbol_set.hpp"
 #include "pda/pda.hpp"
 #include "pda/weight.hpp"
-#include "util/hash.hpp"
+#include "util/flat_map.hpp"
 
 namespace aalwines::pda {
 
@@ -97,6 +96,10 @@ struct Transition {
     EdgeLabel label;
     Weight weight;
     Provenance prov;
+    /// Next transition sharing this one's interned (from, symbol) key —
+    /// intrusive chain headed by PAutomaton::_concrete_heads; k_no_trans ends
+    /// it.  Chains stay short (distinct `to` states per (from, symbol)).
+    TransId next_same_key = k_no_trans;
     bool finalized = false;
 };
 
@@ -153,18 +156,25 @@ public:
     /// The shared mid-state q_{p,γ} for post* push rules targeting (to, top).
     StateId mid_state(StateId to, Symbol top);
 
+    /// True while every transition and ε weight is scalar; together with
+    /// Pda::all_weights_scalar() this gates the bucketed worklist.
+    [[nodiscard]] bool all_scalar_weights() const noexcept { return _all_weights_scalar; }
+    /// Largest scalar transition/ε weight seen (sizes the bucket array).
+    [[nodiscard]] std::uint64_t max_scalar_weight() const noexcept {
+        return _max_scalar_weight;
+    }
+
 private:
-    struct ConcreteKey {
-        StateId from;
-        Symbol symbol;
-        StateId to;
-        bool operator==(const ConcreteKey&) const = default;
-    };
-    struct ConcreteKeyHash {
-        std::size_t operator()(const ConcreteKey& k) const {
-            return hash_all(k.from, k.symbol, k.to);
+    [[nodiscard]] static std::uint64_t pack(StateId hi, std::uint32_t lo) noexcept {
+        return (static_cast<std::uint64_t>(hi) << 32) | lo;
+    }
+    void note_weight(const Weight& weight) noexcept {
+        if (const auto scalar = weight.as_scalar()) {
+            if (*scalar > _max_scalar_weight) _max_scalar_weight = *scalar;
+        } else {
+            _all_weights_scalar = false;
         }
-    };
+    }
 
     const Pda* _pda;
     std::size_t _control_count;
@@ -174,9 +184,11 @@ private:
     std::vector<std::vector<TransId>> _trans_from;
     std::vector<std::vector<std::uint32_t>> _eps_by_target;
     std::vector<std::vector<std::uint32_t>> _eps_from;
-    std::unordered_map<ConcreteKey, TransId, ConcreteKeyHash> _concrete_index;
-    std::unordered_map<std::uint64_t, std::uint32_t> _eps_index; // (from,to) -> id
-    std::unordered_map<std::uint64_t, StateId> _mid_states;      // (to,top) -> state
+    util::FlatMap64 _concrete_heads; ///< (from,symbol) → head of next_same_key chain
+    util::FlatMap64 _eps_index;      ///< (from,to) → ε id
+    util::FlatMap64 _mid_states;     ///< (to,top) → state
+    bool _all_weights_scalar = true;
+    std::uint64_t _max_scalar_weight = 0;
 };
 
 } // namespace aalwines::pda

@@ -8,41 +8,82 @@ namespace aalwines::pda {
 void Pda::set_symbol_class(Symbol symbol, SymbolClass cls) {
     AALWINES_ASSERT(symbol < _alphabet_size, "symbol outside the stack alphabet");
     if (_symbol_classes.size() <= symbol) _symbol_classes.resize(symbol + 1, k_no_class);
+    const auto previous = _symbol_classes[symbol];
+    if (previous == cls) return;
     _symbol_classes[symbol] = cls;
-    _class_sets.clear(); // invalidate cache
+    // Only the two affected class sets change membership.
+    _class_sets[previous].reset();
+    _class_sets[cls].reset();
+}
+
+void Pda::index_rule(RuleId id) {
+    const auto& rule = _rules[id];
+    auto& match = _match_by_state[rule.from];
+    switch (rule.pre.kind) {
+        case PreSpec::Kind::Concrete: {
+            const auto key = concrete_key(rule.from, rule.pre.symbol);
+            const auto next = static_cast<std::uint32_t>(_rule_lists.size());
+            const auto [list, inserted] = _concrete_lists.try_emplace(key, next);
+            if (inserted) {
+                _rule_lists.emplace_back();
+                match.concrete.emplace_back(rule.pre.symbol, list);
+            }
+            _rule_lists[list].push_back(id);
+            break;
+        }
+        case PreSpec::Kind::Class: {
+            for (auto& [cls, list] : match.classes) {
+                if (cls != rule.pre.cls) continue;
+                _rule_lists[list].push_back(id);
+                return;
+            }
+            const auto list = static_cast<std::uint32_t>(_rule_lists.size());
+            _rule_lists.emplace_back().push_back(id);
+            match.classes.emplace_back(rule.pre.cls, list);
+            break;
+        }
+        case PreSpec::Kind::Any: {
+            if (match.any_list == UINT32_MAX) {
+                match.any_list = static_cast<std::uint32_t>(_rule_lists.size());
+                _rule_lists.emplace_back();
+            }
+            _rule_lists[match.any_list].push_back(id);
+            break;
+        }
+    }
 }
 
 RuleId Pda::add_rule(Rule rule) {
-    AALWINES_ASSERT(rule.from < _rules_by_state.size(), "rule.from is not a PDA state");
-    AALWINES_ASSERT(rule.to < _rules_by_state.size(), "rule.to is not a PDA state");
+    AALWINES_ASSERT(rule.from < _match_by_state.size(), "rule.from is not a PDA state");
+    AALWINES_ASSERT(rule.to < _match_by_state.size(), "rule.to is not a PDA state");
     AALWINES_ASSERT(rule.op != Rule::OpKind::Swap || rule.label1 < _alphabet_size,
                     "swap rule writes a symbol outside the stack alphabet");
     AALWINES_ASSERT(rule.op != Rule::OpKind::Push ||
                         (rule.label1 < _alphabet_size &&
                          (rule.label2 < _alphabet_size || rule.label2 == k_same_symbol)),
                     "push rule operand outside the stack alphabet");
+    AALWINES_ASSERT(rule.pre.kind != PreSpec::Kind::Concrete ||
+                        rule.pre.symbol < _alphabet_size,
+                    "rule precondition symbol outside the stack alphabet");
     const RuleId id = static_cast<RuleId>(_rules.size());
-    auto& index = _rules_by_state[rule.from];
-    switch (rule.pre.kind) {
-        case PreSpec::Kind::Concrete:
-            AALWINES_ASSERT(rule.pre.symbol < _alphabet_size,
-                            "rule precondition symbol outside the stack alphabet");
-            index.concrete[rule.pre.symbol].push_back(id);
-            break;
-        case PreSpec::Kind::Class: index.by_class[rule.pre.cls].push_back(id); break;
-        case PreSpec::Kind::Any: index.any.push_back(id); break;
-    }
+    if (const auto scalar = rule.weight.as_scalar())
+        _max_scalar_weight = std::max(_max_scalar_weight, *scalar);
+    else
+        _all_weights_scalar = false;
     _rules.push_back(std::move(rule));
+    index_rule(id);
+    _target_index_ready = false;
     return id;
 }
 
 const nfa::SymbolSet& Pda::class_set(SymbolClass cls) const {
-    if (auto it = _class_sets.find(cls); it != _class_sets.end()) return it->second;
+    auto& cached = _class_sets[cls];
+    if (cached) return *cached;
     std::vector<Symbol> members;
     for (Symbol s = 0; s < _symbol_classes.size(); ++s)
         if (_symbol_classes[s] == cls) members.push_back(s);
-    auto [it, inserted] = _class_sets.emplace(cls, nfa::SymbolSet::of(std::move(members)));
-    return it->second;
+    cached = nfa::SymbolSet::of(std::move(members));
+    return *cached;
 }
 
 nfa::SymbolSet Pda::pre_set(const PreSpec& pre) const {
@@ -52,6 +93,21 @@ nfa::SymbolSet Pda::pre_set(const PreSpec& pre) const {
         case PreSpec::Kind::Any: return nfa::SymbolSet::any();
     }
     return nfa::SymbolSet::none();
+}
+
+void Pda::build_target_index() const {
+    if (_target_index_ready) return;
+    _swaps_into.assign(state_count(), {});
+    _pushes_into.assign(state_count(), {});
+    for (RuleId id = 0; id < _rules.size(); ++id) {
+        const auto& rule = _rules[id];
+        switch (rule.op) {
+            case Rule::OpKind::Swap: _swaps_into[rule.to].push_back(id); break;
+            case Rule::OpKind::Push: _pushes_into[rule.to].push_back(id); break;
+            case Rule::OpKind::Pop: break; // pre* handles pops at initialization
+        }
+    }
+    _target_index_ready = true;
 }
 
 void Pda::remove_rules(const std::vector<RuleId>& discard) {
@@ -68,17 +124,20 @@ void Pda::remove_rules(const std::vector<RuleId>& discard) {
     }
     AALWINES_ASSERT(di == discard.size(), "discard list must be sorted and unique");
     _rules = std::move(kept);
-    // Rebuild the per-state indexes with the new rule ids.
-    for (auto& index : _rules_by_state) index = StateIndex{};
+    // Rebuild the match indexes with the new rule ids.
+    for (auto& match : _match_by_state) match = StateMatch{};
+    _concrete_lists.clear();
+    _rule_lists.clear();
+    _all_weights_scalar = true;
+    _max_scalar_weight = 0;
     for (RuleId id = 0; id < _rules.size(); ++id) {
-        const auto& rule = _rules[id];
-        auto& index = _rules_by_state[rule.from];
-        switch (rule.pre.kind) {
-            case PreSpec::Kind::Concrete: index.concrete[rule.pre.symbol].push_back(id); break;
-            case PreSpec::Kind::Class: index.by_class[rule.pre.cls].push_back(id); break;
-            case PreSpec::Kind::Any: index.any.push_back(id); break;
-        }
+        index_rule(id);
+        if (const auto scalar = _rules[id].weight.as_scalar())
+            _max_scalar_weight = std::max(_max_scalar_weight, *scalar);
+        else
+            _all_weights_scalar = false;
     }
+    _target_index_ready = false;
 }
 
 Pda Pda::expand_concrete() const {

@@ -15,12 +15,14 @@
 // verification layer uses to map witness rule sequences back to forwarding
 // decisions.
 
+#include <array>
 #include <cstdint>
-#include <unordered_map>
+#include <optional>
 #include <vector>
 
 #include "nfa/symbol_set.hpp"
 #include "pda/weight.hpp"
+#include "util/flat_map.hpp"
 
 namespace aalwines::pda {
 
@@ -70,8 +72,18 @@ public:
     explicit Pda(Symbol alphabet_size) : _alphabet_size(alphabet_size) {}
 
     StateId add_state() {
-        _rules_by_state.emplace_back();
-        return static_cast<StateId>(_rules_by_state.size() - 1);
+        _match_by_state.emplace_back();
+        return static_cast<StateId>(_match_by_state.size() - 1);
+    }
+
+    /// Capacity hints for bulk construction (the translation knows its
+    /// control-state count exactly and its rule count approximately);
+    /// purely an allocation-churn optimization.
+    void reserve_states(std::size_t count) { _match_by_state.reserve(count); }
+    void reserve_rules(std::size_t count) {
+        _rules.reserve(count);
+        _rule_lists.reserve(count);
+        _concrete_lists.reserve(count);
     }
 
     /// Declare that `symbol` belongs to `cls` (default: no class).
@@ -79,7 +91,7 @@ public:
 
     RuleId add_rule(Rule rule);
 
-    [[nodiscard]] std::size_t state_count() const noexcept { return _rules_by_state.size(); }
+    [[nodiscard]] std::size_t state_count() const noexcept { return _match_by_state.size(); }
     [[nodiscard]] std::size_t rule_count() const noexcept { return _rules.size(); }
     [[nodiscard]] Symbol alphabet_size() const noexcept { return _alphabet_size; }
     [[nodiscard]] const Rule& rule(RuleId id) const { return _rules[id]; }
@@ -109,6 +121,29 @@ public:
     /// reduction pass; rebuilds the match indexes.  Tags are preserved.
     void remove_rules(const std::vector<RuleId>& discard);
 
+    /// Swap rules p γ → q γ' with q == `target`; built once per PDA (lazily,
+    /// invalidated by add_rule/remove_rules) instead of per pre* call.  Not
+    /// thread-safe on first use: saturate a shared PDA from one thread, or
+    /// call `build_target_index()` up front.
+    [[nodiscard]] const std::vector<RuleId>& swaps_into(StateId target) const {
+        if (!_target_index_ready) build_target_index();
+        return _swaps_into[target];
+    }
+    /// Push rules p γ → q γ₁γ₂ with q == `target` (same caching contract).
+    [[nodiscard]] const std::vector<RuleId>& pushes_into(StateId target) const {
+        if (!_target_index_ready) build_target_index();
+        return _pushes_into[target];
+    }
+    void build_target_index() const;
+
+    /// True while every rule weight is scalar (≤ 1 component, finite); the
+    /// solver switches to the bucketed worklist only then.
+    [[nodiscard]] bool all_weights_scalar() const noexcept { return _all_weights_scalar; }
+    /// Largest scalar rule weight seen (0 when none/all 1̄).
+    [[nodiscard]] std::uint64_t max_scalar_weight() const noexcept {
+        return _max_scalar_weight;
+    }
+
     /// The fully concrete ("direct") encoding of this PDA: every class/any
     /// rule is instantiated per matching symbol and "same as matched" push
     /// operands are resolved.  Tags are preserved on every instance.  This
@@ -117,55 +152,84 @@ public:
     [[nodiscard]] Pda expand_concrete() const;
 
 private:
-    struct StateIndex {
-        std::unordered_map<Symbol, std::vector<RuleId>> concrete;
-        std::unordered_map<SymbolClass, std::vector<RuleId>> by_class;
-        std::vector<RuleId> any;
+    /// Per-state view of the match index.  Point lookups go through the flat
+    /// interned-key table `_concrete_lists` (one probe for (state, symbol));
+    /// the vectors here only exist so set-labelled matching can enumerate a
+    /// state's distinct symbols/classes without hash-map iteration.
+    struct StateMatch {
+        std::vector<std::pair<Symbol, std::uint32_t>> concrete; ///< (symbol, list id)
+        std::vector<std::pair<SymbolClass, std::uint32_t>> classes;
+        std::uint32_t any_list = UINT32_MAX;
     };
+
+    [[nodiscard]] static std::uint64_t concrete_key(StateId state, Symbol symbol) noexcept {
+        return (static_cast<std::uint64_t>(state) << 32) | symbol;
+    }
+    void index_rule(RuleId id);
 
     Symbol _alphabet_size;
     std::vector<Rule> _rules;
-    std::vector<StateIndex> _rules_by_state;
+    std::vector<StateMatch> _match_by_state;
+    util::FlatMap64 _concrete_lists; ///< (state, symbol) → id into _rule_lists
+    std::vector<std::vector<RuleId>> _rule_lists;
     std::vector<SymbolClass> _symbol_classes;
-    mutable std::unordered_map<SymbolClass, nfa::SymbolSet> _class_sets;
+    bool _all_weights_scalar = true;
+    std::uint64_t _max_scalar_weight = 0;
+    mutable std::array<std::optional<nfa::SymbolSet>, 256> _class_sets;
+    mutable bool _target_index_ready = false;
+    mutable std::vector<std::vector<RuleId>> _swaps_into;
+    mutable std::vector<std::vector<RuleId>> _pushes_into;
 };
 
 template <typename Fn>
 void Pda::for_each_applicable(StateId state, Symbol symbol, Fn&& fn) const {
-    const auto& index = _rules_by_state[state];
-    if (auto it = index.concrete.find(symbol); it != index.concrete.end())
-        for (const auto id : it->second) fn(id, nfa::SymbolSet::single(symbol));
-    const auto cls = class_of(symbol);
-    if (cls != k_no_class) {
-        if (auto it = index.by_class.find(cls); it != index.by_class.end())
-            for (const auto id : it->second) fn(id, nfa::SymbolSet::single(symbol));
+    const auto& match = _match_by_state[state];
+    const bool has_class_rules = !match.classes.empty() && class_of(symbol) != k_no_class;
+    const auto concrete_list = _concrete_lists.find(concrete_key(state, symbol));
+    if (concrete_list == util::FlatMap64::k_npos && !has_class_rules &&
+        match.any_list == UINT32_MAX)
+        return; // common miss: no singleton set built
+    const auto single = nfa::SymbolSet::single(symbol);
+    if (concrete_list != util::FlatMap64::k_npos)
+        for (const auto id : _rule_lists[concrete_list]) fn(id, single);
+    if (has_class_rules) {
+        const auto cls = class_of(symbol);
+        for (const auto& [c, list] : match.classes)
+            if (c == cls)
+                for (const auto id : _rule_lists[list]) fn(id, single);
     }
-    for (const auto id : index.any) fn(id, nfa::SymbolSet::single(symbol));
+    if (match.any_list != UINT32_MAX)
+        for (const auto id : _rule_lists[match.any_list]) fn(id, single);
 }
 
 template <typename Fn>
 void Pda::for_each_applicable(StateId state, const nfa::SymbolSet& label, Fn&& fn) const {
-    const auto& index = _rules_by_state[state];
+    const auto& match = _match_by_state[state];
     using Mode = nfa::SymbolSet::Mode;
     // Concrete-pre rules.
-    if (label.mode() == Mode::Include && label.symbols().size() <= index.concrete.size()) {
+    if (label.mode() == Mode::Include && label.symbols().size() <= match.concrete.size()) {
         for (const auto symbol : label.symbols())
-            if (auto it = index.concrete.find(symbol); it != index.concrete.end())
-                for (const auto id : it->second) fn(id, nfa::SymbolSet::single(symbol));
+            if (const auto list = _concrete_lists.find(concrete_key(state, symbol));
+                list != util::FlatMap64::k_npos) {
+                const auto single = nfa::SymbolSet::single(symbol);
+                for (const auto id : _rule_lists[list]) fn(id, single);
+            }
     } else {
-        for (const auto& [symbol, ids] : index.concrete)
-            if (label.contains(symbol))
-                for (const auto id : ids) fn(id, nfa::SymbolSet::single(symbol));
+        for (const auto& [symbol, list] : match.concrete)
+            if (label.contains(symbol)) {
+                const auto single = nfa::SymbolSet::single(symbol);
+                for (const auto id : _rule_lists[list]) fn(id, single);
+            }
     }
     // Class rules.
-    for (const auto& [cls, ids] : index.by_class) {
+    for (const auto& [cls, list] : match.classes) {
         auto matched = nfa::SymbolSet::intersection(label, class_set(cls));
         if (matched.is_empty_set()) continue;
-        for (const auto id : ids) fn(id, matched);
+        for (const auto id : _rule_lists[list]) fn(id, matched);
     }
     // Any rules.
-    if (!label.is_empty_set())
-        for (const auto id : index.any) fn(id, label);
+    if (!label.is_empty_set() && match.any_list != UINT32_MAX)
+        for (const auto id : _rule_lists[match.any_list]) fn(id, label);
 }
 
 } // namespace aalwines::pda

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <deque>
-#include <map>
+#include <iterator>
 #include <vector>
 
 #include "telemetry/telemetry.hpp"
@@ -17,6 +17,12 @@ namespace {
 /// alphabet-size independent, which keeps the fixpoint cheap even on
 /// operator networks with 10⁵ labels.  Widening only loses precision (keeps
 /// more rules), never soundness.
+///
+/// Parts live in a small flat vector (the MPLS translation uses a handful
+/// of strata) and merges union whole sorted vectors at once, with a
+/// no-allocation subset fast path — in a fixpoint most merges add nothing,
+/// and this makes those O(|src|) comparisons instead of per-symbol
+/// map-lookup-and-insert.
 class StrataSet {
 public:
     static constexpr std::size_t k_widen_threshold = 64;
@@ -37,24 +43,18 @@ public:
 
     /// Insert one symbol; returns true on growth.
     bool add(Symbol symbol, SymbolClass cls) {
-        auto& part = _parts[cls];
+        auto& part = part_of(cls);
         if (part.all) return false;
         auto it = std::lower_bound(part.some.begin(), part.some.end(), symbol);
         if (it != part.some.end() && *it == symbol) return false;
         part.some.insert(it, symbol);
-        // Classless symbols cannot be summarized by a class set, so they
-        // never widen; in the MPLS translation every label has a stratum.
-        if (cls != k_no_class && part.some.size() > k_widen_threshold) {
-            part.all = true;
-            part.some.clear();
-            part.some.shrink_to_fit();
-        }
+        widen(cls, part);
         return true;
     }
 
     /// Make the whole class present; returns true on growth.
     bool add_class(SymbolClass cls) {
-        auto& part = _parts[cls];
+        auto& part = part_of(cls);
         if (part.all) return false;
         part.all = true;
         part.some.clear();
@@ -64,13 +64,8 @@ public:
     /// this ∪= other; returns true on growth.
     bool merge(const StrataSet& other) {
         bool changed = false;
-        for (const auto& [cls, part] : other._parts) {
-            if (part.all) {
-                changed = add_class(cls) || changed;
-            } else {
-                for (const auto symbol : part.some) changed = add(symbol, cls) || changed;
-            }
-        }
+        for (const auto& entry : other._parts)
+            if (merge_part(entry.cls, entry.part)) changed = true;
         return changed;
     }
 
@@ -78,10 +73,7 @@ public:
     bool merge_class(const StrataSet& other, SymbolClass cls) {
         const auto* part = other.find(cls);
         if (part == nullptr) return false;
-        if (part->all) return add_class(cls);
-        bool changed = false;
-        for (const auto symbol : part->some) changed = add(symbol, cls) || changed;
-        return changed;
+        return merge_part(cls, *part);
     }
 
 private:
@@ -89,13 +81,65 @@ private:
         bool all = false;
         std::vector<Symbol> some; // sorted
     };
+    struct Entry {
+        SymbolClass cls;
+        Part part;
+    };
 
-    [[nodiscard]] const Part* find(SymbolClass cls) const {
-        auto it = _parts.find(cls);
-        return it == _parts.end() ? nullptr : &it->second;
+    bool merge_part(SymbolClass cls, const Part& src) {
+        if (!src.all && src.some.empty()) return false;
+        auto& dst = part_of(cls);
+        if (dst.all) return false;
+        if (src.all) {
+            dst.all = true;
+            dst.some.clear();
+            dst.some.shrink_to_fit();
+            return true;
+        }
+        if (is_subset(src.some, dst.some)) return false;
+        std::vector<Symbol> merged;
+        merged.reserve(dst.some.size() + src.some.size());
+        std::set_union(dst.some.begin(), dst.some.end(), src.some.begin(),
+                       src.some.end(), std::back_inserter(merged));
+        dst.some = std::move(merged);
+        widen(cls, dst);
+        return true;
     }
 
-    std::map<SymbolClass, Part> _parts;
+    static bool is_subset(const std::vector<Symbol>& sub,
+                          const std::vector<Symbol>& super) {
+        if (sub.size() > super.size()) return false;
+        auto it = super.begin();
+        for (const auto symbol : sub) {
+            it = std::lower_bound(it, super.end(), symbol);
+            if (it == super.end() || *it != symbol) return false;
+            ++it;
+        }
+        return true;
+    }
+
+    static void widen(SymbolClass cls, Part& part) {
+        // Classless symbols cannot be summarized by a class set, so they
+        // never widen; in the MPLS translation every label has a stratum.
+        if (cls != k_no_class && part.some.size() > k_widen_threshold) {
+            part.all = true;
+            part.some.clear();
+            part.some.shrink_to_fit();
+        }
+    }
+
+    [[nodiscard]] const Part* find(SymbolClass cls) const {
+        for (const auto& entry : _parts)
+            if (entry.cls == cls) return &entry.part;
+        return nullptr;
+    }
+    [[nodiscard]] Part& part_of(SymbolClass cls) {
+        for (auto& entry : _parts)
+            if (entry.cls == cls) return entry.part;
+        return _parts.emplace_back(Entry{cls, {}}).part;
+    }
+
+    std::vector<Entry> _parts;
 };
 
 /// Does `pre` match anything in `top`?

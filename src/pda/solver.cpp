@@ -1,36 +1,162 @@
 #include "pda/solver.hpp"
 
-#include <cassert>
+#include <cstring>
 #include <deque>
 #include <queue>
-#include <unordered_map>
 
 #include "telemetry/telemetry.hpp"
-#include "util/hash.hpp"
+#include "util/check.hpp"
 
 namespace aalwines::pda {
 
 namespace {
 
-/// Worklist entry; min-ordered by (weight, insertion sequence).  The
+/// Heap worklist entry; min-ordered by (weight, insertion sequence).  The
 /// sequence tie-break makes the unweighted case behave like BFS, which
 /// keeps witnesses short.
-struct QueueItem {
+struct HeapItem {
     Weight weight;
     std::uint64_t seq = 0;
     bool is_eps = false;
     std::uint32_t id = 0;
 };
 
-struct QueueCompare {
-    bool operator()(const QueueItem& a, const QueueItem& b) const {
+struct HeapCompare {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
         const auto cmp = a.weight <=> b.weight;
         if (cmp != std::strong_ordering::equal) return cmp == std::strong_ordering::greater;
         return a.seq > b.seq;
     }
 };
 
-using Queue = std::priority_queue<QueueItem, std::vector<QueueItem>, QueueCompare>;
+using Heap = std::priority_queue<HeapItem, std::vector<HeapItem>, HeapCompare>;
+
+/// Binary-heap worklist: the general discipline, any weight domain.
+class HeapWorklist {
+public:
+    using Item = HeapItem;
+
+    void push(const Weight& weight, bool is_eps, std::uint32_t id) {
+        _heap.push({weight, _seq++, is_eps, id});
+    }
+    [[nodiscard]] bool empty() const { return _heap.empty(); }
+    [[nodiscard]] std::size_t size() const { return _heap.size(); }
+    Item pop() {
+        Item item = _heap.top();
+        _heap.pop();
+        return item;
+    }
+
+private:
+    Heap _heap;
+    std::uint64_t _seq = 0;
+};
+
+[[nodiscard]] bool weight_is_current(const HeapItem& item, const Weight& weight) {
+    return item.weight == weight;
+}
+[[nodiscard]] bool best_stops(const Weight& best, const HeapItem& item) {
+    return best <= item.weight;
+}
+
+/// Dial's bucket queue, usable when every weight is a scalar (≤ 1 component).
+/// Bucket index = scalar weight; FIFO within a bucket reproduces the heap's
+/// (weight, insertion-seq) order exactly, so both disciplines finalize items
+/// identically.  Saturation pushes are mostly monotone (extend only adds),
+/// but post* inserts the first leg of a push rule at weight 1̄ (key 0) at any
+/// point, so a push below the cursor rewinds it — the heap would pop that
+/// minimal item next too.  Keys at or above the cap spill into a binary heap
+/// drained only when no bucket entry is live (bucket keys < cap ≤ overflow
+/// keys, so buckets always go first).  Nodes are bump-allocated.
+class BucketWorklist {
+public:
+    struct Item {
+        std::uint64_t key = 0;
+        bool is_eps = false;
+        std::uint32_t id = 0;
+    };
+    static constexpr std::uint64_t k_bucket_cap = 1u << 20;
+
+    explicit BucketWorklist(util::Arena& arena) : _arena(&arena) {}
+
+    void push(const Weight& weight, bool is_eps, std::uint32_t id) {
+        const auto scalar = weight.as_scalar();
+        AALWINES_ASSERT(scalar.has_value(), "bucket worklist requires scalar weights");
+        const std::uint64_t key = *scalar;
+        if (key >= k_bucket_cap) {
+            _overflow.push({weight, _seq++, is_eps, id});
+            ++_size;
+            return;
+        }
+        if (key < _cursor) _cursor = key;
+        auto* node = _arena->create<Node>(Node{id, is_eps, nullptr});
+        if (key >= _buckets.size()) _buckets.resize(key + 1);
+        auto& bucket = _buckets[key];
+        if (bucket.tail != nullptr)
+            bucket.tail->next = node;
+        else
+            bucket.head = node;
+        bucket.tail = node;
+        ++_size;
+    }
+
+    [[nodiscard]] bool empty() const { return _size == 0; }
+    [[nodiscard]] std::size_t size() const { return _size; }
+
+    Item pop() {
+        while (_cursor < _buckets.size() && _buckets[_cursor].head == nullptr) ++_cursor;
+        --_size;
+        if (_cursor < _buckets.size()) {
+            auto& bucket = _buckets[_cursor];
+            Node* node = bucket.head;
+            bucket.head = node->next;
+            if (bucket.head == nullptr) bucket.tail = nullptr;
+            return {_cursor, node->is_eps, node->id};
+        }
+        const HeapItem top = _overflow.top();
+        _overflow.pop();
+        return {*top.weight.as_scalar(), top.is_eps, top.id};
+    }
+
+private:
+    struct Node {
+        std::uint32_t id;
+        bool is_eps;
+        Node* next;
+    };
+    struct Bucket {
+        Node* head = nullptr;
+        Node* tail = nullptr;
+    };
+
+    util::Arena* _arena;
+    std::vector<Bucket> _buckets;
+    std::uint64_t _cursor = 0;
+    std::size_t _size = 0;
+    Heap _overflow;
+    std::uint64_t _seq = 0;
+};
+
+[[nodiscard]] bool weight_is_current(const BucketWorklist::Item& item, const Weight& weight) {
+    const auto scalar = weight.as_scalar();
+    return scalar.has_value() && *scalar == item.key;
+}
+[[nodiscard]] bool best_stops(const Weight& best, const BucketWorklist::Item& item) {
+    if (const auto scalar = best.as_scalar()) return *scalar <= item.key;
+    return best <= Weight::scalar(item.key);
+}
+
+[[nodiscard]] bool bucket_eligible(const PAutomaton& aut, const SolverOptions& options) {
+    switch (options.worklist) {
+        case Worklist::Heap: return false;
+        case Worklist::Auto:
+        case Worklist::Bucket:
+            // Bucket forced on non-scalar weights still falls back: there is
+            // no scalar key to index buckets with.
+            return aut.all_scalar_weights() && aut.pda().all_weights_scalar();
+    }
+    return false;
+}
 
 EdgeLabel label_of_pre(const Pda& pda, const PreSpec& pre) {
     switch (pre.kind) {
@@ -41,41 +167,35 @@ EdgeLabel label_of_pre(const Pda& pda, const PreSpec& pre) {
     return EdgeLabel::of_set(nfa::SymbolSet::none());
 }
 
-} // namespace
-
-SolverStats post_star(PAutomaton& aut, const SolverOptions& options) {
-    AALWINES_SPAN("post_star");
+template <typename WL>
+void post_star_loop(PAutomaton& aut, const SolverOptions& options, SolverStats& stats,
+                    std::size_t& eps_relaxations, WL& worklist) {
     const Pda& pda = aut.pda();
-    SolverStats stats;
-    Queue queue;
-    std::uint64_t seq = 0;
 
-    std::size_t eps_relaxations = 0;
     auto enqueue_trans = [&](TransId id) {
         ++stats.relaxations;
-        queue.push({aut.transition(id).weight, seq++, false, id});
+        worklist.push(aut.transition(id).weight, false, id);
     };
     auto enqueue_eps = [&](std::uint32_t id) {
         ++stats.relaxations;
         ++eps_relaxations;
-        queue.push({aut.epsilon(id).weight, seq++, true, id});
+        worklist.push(aut.epsilon(id).weight, true, id);
     };
 
     for (TransId id = 0; id < aut.transition_count(); ++id) enqueue_trans(id);
 
     std::size_t next_check = 512; // demand-driven acceptance checks, doubling
 
-    while (!queue.empty()) {
-        stats.peak_queue = std::max(stats.peak_queue, queue.size());
-        const QueueItem item = queue.top();
-        queue.pop();
+    while (!worklist.empty()) {
+        stats.peak_queue = std::max(stats.peak_queue, worklist.size());
+        const auto item = worklist.pop();
 
         if (options.check_accepted && stats.iterations >= next_check) {
             next_check *= 2;
             const auto best = options.check_accepted();
             // Items finalize in non-decreasing weight order: once the best
             // accepted weight is <= the frontier, it is globally minimal.
-            if (!best.is_infinite() && best <= item.weight) {
+            if (!best.is_infinite() && best_stops(best, item)) {
                 stats.early_terminated = true;
                 break;
             }
@@ -83,7 +203,7 @@ SolverStats post_star(PAutomaton& aut, const SolverOptions& options) {
 
         if (item.is_eps) {
             auto& eps = aut.epsilon(item.id);
-            if (eps.finalized || !(item.weight == eps.weight)) continue; // stale
+            if (eps.finalized || !weight_is_current(item, eps.weight)) continue; // stale
             eps.finalized = true;
             ++stats.iterations;
             // Combination: ε(x→q) ∘ (q, L, q')  ⇒  (x, L, q').
@@ -101,7 +221,7 @@ SolverStats post_star(PAutomaton& aut, const SolverOptions& options) {
             }
         } else {
             auto& trans_ref = aut.transition(item.id);
-            if (trans_ref.finalized || !(item.weight == trans_ref.weight)) continue;
+            if (trans_ref.finalized || !weight_is_current(item, trans_ref.weight)) continue;
             trans_ref.finalized = true;
             ++stats.iterations;
             const Transition trans = trans_ref; // copy: the vector may grow below
@@ -167,42 +287,19 @@ SolverStats post_star(PAutomaton& aut, const SolverOptions& options) {
             break;
         }
     }
-
-    stats.transitions = aut.transition_count();
-    stats.epsilons = aut.epsilon_count();
-    telemetry::count(telemetry::Counter::post_star_pops, stats.iterations);
-    telemetry::count(telemetry::Counter::edge_relaxations,
-                     stats.relaxations - eps_relaxations);
-    telemetry::count(telemetry::Counter::epsilon_relaxations, eps_relaxations);
-    telemetry::gauge_max(telemetry::Gauge::transition_high_water, stats.transitions);
-    telemetry::gauge_max(telemetry::Gauge::epsilon_high_water, stats.epsilons);
-    telemetry::gauge_max(telemetry::Gauge::worklist_high_water, stats.peak_queue);
-    return stats;
 }
 
-SolverStats pre_star(PAutomaton& aut, const SolverOptions& options) {
-    AALWINES_SPAN("pre_star");
+template <typename WL>
+void pre_star_loop(PAutomaton& aut, const SolverOptions& options, SolverStats& stats,
+                   WL& worklist) {
     const Pda& pda = aut.pda();
-    SolverStats stats;
-    Queue queue;
-    std::uint64_t seq = 0;
+    pda.build_target_index(); // cached across calls on the same PDA
 
     auto enqueue_trans = [&](TransId id) {
         ++stats.relaxations;
-        queue.push({aut.transition(id).weight, seq++, false, id});
+        worklist.push(aut.transition(id).weight, false, id);
     };
 
-    // Rule indexes by target state.
-    std::vector<std::vector<RuleId>> swaps_by_target(pda.state_count());
-    std::vector<std::vector<RuleId>> pushes_by_target(pda.state_count());
-    for (RuleId id = 0; id < pda.rule_count(); ++id) {
-        const auto& rule = pda.rule(id);
-        switch (rule.op) {
-            case Rule::OpKind::Swap: swaps_by_target[rule.to].push_back(id); break;
-            case Rule::OpKind::Push: pushes_by_target[rule.to].push_back(id); break;
-            case Rule::OpKind::Pop: break; // handled at initialization
-        }
-    }
     // Push rules whose first written symbol matched a transition into state
     // `m` wait there for a matching second transition out of `m`.
     std::vector<std::vector<std::pair<RuleId, TransId>>> partials(aut.state_count());
@@ -237,12 +334,11 @@ SolverStats pre_star(PAutomaton& aut, const SolverOptions& options) {
         if (improved) enqueue_trans(nid);
     };
 
-    while (!queue.empty()) {
-        stats.peak_queue = std::max(stats.peak_queue, queue.size());
-        const QueueItem item = queue.top();
-        queue.pop();
+    while (!worklist.empty()) {
+        stats.peak_queue = std::max(stats.peak_queue, worklist.size());
+        const auto item = worklist.pop();
         auto& trans_ref = aut.transition(item.id);
-        if (trans_ref.finalized || !(item.weight == trans_ref.weight)) continue;
+        if (trans_ref.finalized || !weight_is_current(item, trans_ref.weight)) continue;
         trans_ref.finalized = true;
         ++stats.iterations;
         const Transition trans = trans_ref; // copy
@@ -251,7 +347,7 @@ SolverStats pre_star(PAutomaton& aut, const SolverOptions& options) {
         // automaton-only helper states never match a rule's right-hand side.
         if (trans.from < pda.state_count()) {
             // Swap rules p γ → q γ' with q == trans.from and γ' in the label.
-            for (const auto rule_id : swaps_by_target[trans.from]) {
+            for (const auto rule_id : pda.swaps_into(trans.from)) {
                 const auto& rule = pda.rule(rule_id);
                 if (!trans.label.contains(rule.label1)) continue;
                 auto [nid, improved] = aut.add_transition(
@@ -261,7 +357,7 @@ SolverStats pre_star(PAutomaton& aut, const SolverOptions& options) {
                 if (improved) enqueue_trans(nid);
             }
             // Push rules where this transition reads the first written symbol.
-            for (const auto rule_id : pushes_by_target[trans.from]) {
+            for (const auto rule_id : pda.pushes_into(trans.from)) {
                 const auto& rule = pda.rule(rule_id);
                 if (!trans.label.contains(rule.label1)) continue;
                 partials[trans.to].push_back({rule_id, item.id});
@@ -280,6 +376,54 @@ SolverStats pre_star(PAutomaton& aut, const SolverOptions& options) {
             stats.truncated = true;
             break;
         }
+    }
+}
+
+} // namespace
+
+SolverStats post_star(PAutomaton& aut, const SolverOptions& options) {
+    AALWINES_SPAN("post_star");
+    SolverStats stats;
+    std::size_t eps_relaxations = 0;
+
+    if (bucket_eligible(aut, options)) {
+        util::Arena local_arena;
+        util::Arena& arena = options.workspace ? options.workspace->worklist : local_arena;
+        arena.reset();
+        BucketWorklist worklist(arena);
+        post_star_loop(aut, options, stats, eps_relaxations, worklist);
+        stats.bucket_worklist = true;
+    } else {
+        HeapWorklist worklist;
+        post_star_loop(aut, options, stats, eps_relaxations, worklist);
+    }
+
+    stats.transitions = aut.transition_count();
+    stats.epsilons = aut.epsilon_count();
+    telemetry::count(telemetry::Counter::post_star_pops, stats.iterations);
+    telemetry::count(telemetry::Counter::edge_relaxations,
+                     stats.relaxations - eps_relaxations);
+    telemetry::count(telemetry::Counter::epsilon_relaxations, eps_relaxations);
+    telemetry::gauge_max(telemetry::Gauge::transition_high_water, stats.transitions);
+    telemetry::gauge_max(telemetry::Gauge::epsilon_high_water, stats.epsilons);
+    telemetry::gauge_max(telemetry::Gauge::worklist_high_water, stats.peak_queue);
+    return stats;
+}
+
+SolverStats pre_star(PAutomaton& aut, const SolverOptions& options) {
+    AALWINES_SPAN("pre_star");
+    SolverStats stats;
+
+    if (bucket_eligible(aut, options)) {
+        util::Arena local_arena;
+        util::Arena& arena = options.workspace ? options.workspace->worklist : local_arena;
+        arena.reset();
+        BucketWorklist worklist(arena);
+        pre_star_loop(aut, options, stats, worklist);
+        stats.bucket_worklist = true;
+    } else {
+        HeapWorklist worklist;
+        pre_star_loop(aut, options, stats, worklist);
     }
 
     stats.transitions = aut.transition_count();
@@ -312,23 +456,23 @@ std::vector<AcceptedConfig> find_accepted_n(const PAutomaton& aut,
         return (static_cast<std::uint64_t>(a) << 32) | n;
     };
 
-    struct HeapItem {
+    struct HeapEntry {
         Weight dist;
         std::uint64_t seq;
         Visit visit;
     };
-    struct HeapCompare {
-        bool operator()(const HeapItem& a, const HeapItem& b) const {
+    struct EntryCompare {
+        bool operator()(const HeapEntry& a, const HeapEntry& b) const {
             const auto cmp = a.dist <=> b.dist;
             if (cmp != std::strong_ordering::equal)
                 return cmp == std::strong_ordering::greater;
             return a.seq > b.seq;
         }
     };
-    std::priority_queue<HeapItem, std::vector<HeapItem>, HeapCompare> heap;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, EntryCompare> heap;
     std::uint64_t seq = 0;
     std::vector<Visit> settled;
-    std::unordered_map<std::uint64_t, std::size_t> settle_counts;
+    util::FlatMap64 settle_counts;
     std::vector<AcceptedConfig> results;
     std::size_t decrease_keys = 0;
 
@@ -341,9 +485,10 @@ std::vector<AcceptedConfig> find_accepted_n(const PAutomaton& aut,
     while (!heap.empty() && results.size() < count) {
         const auto item = heap.top();
         heap.pop();
-        auto& settles = settle_counts[item.visit.key];
+        const auto found = settle_counts.find(item.visit.key);
+        const std::uint32_t settles = found == util::FlatMap64::k_npos ? 0 : found;
         if (settles >= count) continue;
-        ++settles;
+        settle_counts.insert_or_assign(item.visit.key, settles + 1);
         const auto visit_index = static_cast<std::uint32_t>(settled.size());
         settled.push_back(item.visit);
         const auto a_state = static_cast<StateId>(item.visit.key >> 32);
@@ -400,28 +545,193 @@ std::vector<AcceptedConfig> find_accepted_n(const PAutomaton& aut,
     return results;
 }
 
-std::optional<AcceptedConfig> find_accepted(const PAutomaton& aut,
-                                            std::span<const StateId> starts,
-                                            const nfa::Nfa& stack_nfa, Symbol domain) {
-    AALWINES_SPAN("find_accepted");
-    // Dijkstra over the product of the P-automaton with the stack NFA.
+namespace {
+
+/// Scalar product-search cap: the flat node table is product-indexed, so
+/// bound its footprint (nodes are 24 bytes; 2²¹ entries ≈ 48 MiB).
+constexpr std::size_t k_flat_search_cap = std::size_t{1} << 21;
+
+/// Product-graph node of the scalar fast path.  Trivially destructible and
+/// all-ones initializable: dist UINT64_MAX = unreached, parent/via fields
+/// UINT32_MAX = the matching "none" sentinels — so the arena-backed table is
+/// initialized with one memset.  No `finalized` flag: pushes happen only on
+/// strict improvement, so at most one live heap entry matches `dist`, and
+/// monotone weights make relaxing a settled node impossible.
+struct ScalarNode {
+    std::uint64_t dist;
+    std::uint32_t parent;    ///< product index, UINT32_MAX = search root
+    TransId via_trans;       ///< k_no_trans => ε-move or root
+    std::uint32_t via_epsilon;
+    Symbol via_symbol;
+};
+static_assert(std::is_trivially_destructible_v<ScalarNode>);
+
+struct ScalarItem {
+    std::uint64_t dist;
+    std::uint64_t seq;
+    std::uint32_t node;
+};
+struct ScalarCompare {
+    bool operator()(const ScalarItem& a, const ScalarItem& b) const {
+        if (a.dist != b.dist) return a.dist > b.dist;
+        return a.seq > b.seq;
+    }
+};
+
+[[nodiscard]] std::uint64_t saturating_add(std::uint64_t a, std::uint64_t b) {
+    return a > UINT64_MAX - b ? UINT64_MAX : a + b;
+}
+
+/// find_accepted over a flat, arena-backed node table: sound when every
+/// automaton weight is scalar.  Mirrors the general path's push order (ε
+/// first, then transitions) and (dist, seq) tie-break, so both paths settle
+/// nodes — and pick witnesses — identically.  The returned weight is
+/// *recomputed* by extending the actual edge weights along the found path:
+/// Weight::one() and Weight::scalar(0) compare equal but serialize
+/// differently, and callers round-trip weights into reports byte-for-byte.
+/// (Sole divergence: a path whose scalar distance saturates to exactly
+/// 2⁶⁴−1 collides with the unreached sentinel and is not found.)
+std::optional<AcceptedConfig> find_accepted_scalar(const PAutomaton& aut,
+                                                   std::span<const StateId> starts,
+                                                   const nfa::Nfa& stack_nfa,
+                                                   Symbol domain, util::Arena& arena) {
+    const std::size_t n_nfa = stack_nfa.states().size();
+    const std::size_t n_product = aut.state_count() * n_nfa;
+    auto* nodes = arena.create_array<ScalarNode>(n_product);
+    std::memset(static_cast<void*>(nodes), 0xFF, n_product * sizeof(ScalarNode));
+
+    std::priority_queue<ScalarItem, std::vector<ScalarItem>, ScalarCompare> queue;
+    std::uint64_t seq = 0;
+    std::size_t decrease_keys = 0;
+
+    for (const auto start : starts) {
+        for (const auto n0 : stack_nfa.initial()) {
+            const auto index = static_cast<std::uint32_t>(start * n_nfa + n0);
+            if (nodes[index].dist > 0) {
+                nodes[index].dist = 0;
+                queue.push({0, seq++, index});
+            }
+        }
+    }
+
+    while (!queue.empty()) {
+        const auto item = queue.top();
+        queue.pop();
+        if (item.dist != nodes[item.node].dist) continue; // stale
+        const auto dist = item.dist;
+        const auto a_state = static_cast<StateId>(item.node / n_nfa);
+        const auto n_state = static_cast<std::uint32_t>(item.node % n_nfa);
+
+        if (aut.is_final(a_state) && stack_nfa.states()[n_state].accepting) {
+            AcceptedConfig config;
+            std::uint32_t cursor = item.node;
+            while (nodes[cursor].parent != UINT32_MAX) {
+                const auto& info = nodes[cursor];
+                if (info.via_trans == k_no_trans) {
+                    // ε-move: only possible as the very first step.
+                    config.leading_epsilon = info.via_epsilon;
+                } else {
+                    config.path.emplace_back(info.via_trans, info.via_symbol);
+                }
+                cursor = info.parent;
+            }
+            std::reverse(config.path.begin(), config.path.end());
+            config.control_state = static_cast<StateId>(cursor / n_nfa);
+            Weight weight = Weight::one();
+            if (config.leading_epsilon)
+                weight = extend(weight, aut.epsilon(*config.leading_epsilon).weight);
+            for (const auto& [tid, symbol] : config.path)
+                weight = extend(weight, aut.transition(tid).weight);
+            config.weight = std::move(weight);
+            telemetry::count(telemetry::Counter::accept_decrease_keys, decrease_keys);
+            return config;
+        }
+
+        // ε-moves (post* only; they leave control states and read nothing).
+        if (aut.is_control_state(a_state)) {
+            for (const auto eps_id : aut.epsilons_from(a_state)) {
+                const auto& eps = aut.epsilon(eps_id);
+                if (!eps.finalized) continue;
+                const auto next_index =
+                    static_cast<std::uint32_t>(eps.to * n_nfa + n_state);
+                const auto next_dist = saturating_add(dist, *eps.weight.as_scalar());
+                auto& next = nodes[next_index];
+                if (next_dist < next.dist) {
+                    next.dist = next_dist;
+                    next.parent = item.node;
+                    next.via_trans = k_no_trans;
+                    next.via_epsilon = eps_id;
+                    next.via_symbol = k_no_symbol;
+                    ++decrease_keys;
+                    queue.push({next_dist, seq++, next_index});
+                }
+            }
+        }
+
+        for (const auto tid : aut.transitions_from(a_state)) {
+            const auto& trans = aut.transition(tid);
+            if (!trans.finalized) continue;
+            const auto trans_weight = *trans.weight.as_scalar();
+            for (const auto& edge : stack_nfa.states()[n_state].edges) {
+                auto inter = trans.label.intersect(edge.symbols);
+                if (!inter) continue;
+                const auto symbol = inter->pick(domain);
+                if (!symbol) continue;
+                const auto next_index =
+                    static_cast<std::uint32_t>(trans.to * n_nfa + edge.target);
+                const auto next_dist = saturating_add(dist, trans_weight);
+                auto& next = nodes[next_index];
+                if (next_dist < next.dist) {
+                    next.dist = next_dist;
+                    next.parent = item.node;
+                    next.via_trans = tid;
+                    next.via_epsilon = UINT32_MAX;
+                    next.via_symbol = *symbol;
+                    ++decrease_keys;
+                    queue.push({next_dist, seq++, next_index});
+                }
+            }
+        }
+    }
+    telemetry::count(telemetry::Counter::accept_decrease_keys, decrease_keys);
+    return std::nullopt;
+}
+
+/// General-weight find_accepted: product nodes interned on demand through a
+/// flat key→id table (sparse product graphs stay sparse).
+std::optional<AcceptedConfig> find_accepted_general(const PAutomaton& aut,
+                                                    std::span<const StateId> starts,
+                                                    const nfa::Nfa& stack_nfa,
+                                                    Symbol domain) {
     struct NodeInfo {
         Weight dist = Weight::infinity();
-        bool finalized = false;
-        std::uint64_t parent = UINT64_MAX;
+        std::uint64_t key = 0;
+        std::uint32_t parent = UINT32_MAX;   // index into `nodes`
         TransId via_trans = k_no_trans;      // k_no_trans => via ε-transition
         std::uint32_t via_epsilon = UINT32_MAX;
         Symbol via_symbol = k_no_symbol;
+        bool finalized = false;
     };
     auto key_of = [](StateId a, std::uint32_t n) {
         return (static_cast<std::uint64_t>(a) << 32) | n;
     };
-    std::unordered_map<std::uint64_t, NodeInfo> nodes;
+    util::FlatMap64 index;
+    std::vector<NodeInfo> nodes;
+    auto intern = [&](std::uint64_t key) -> std::uint32_t {
+        const auto next = static_cast<std::uint32_t>(nodes.size());
+        const auto [id, inserted] = index.try_emplace(key, next);
+        if (inserted) {
+            NodeInfo node;
+            node.key = key;
+            nodes.push_back(std::move(node));
+        }
+        return id;
+    };
 
     struct ProductItem {
         Weight weight;
         std::uint64_t seq;
-        std::uint64_t key;
+        std::uint32_t node;
     };
     struct ProductCompare {
         bool operator()(const ProductItem& a, const ProductItem& b) const {
@@ -437,11 +747,10 @@ std::optional<AcceptedConfig> find_accepted(const PAutomaton& aut,
 
     for (const auto start : starts) {
         for (const auto n0 : stack_nfa.initial()) {
-            const auto key = key_of(start, n0);
-            auto& node = nodes[key];
-            if (Weight::one() < node.dist) {
-                node.dist = Weight::one();
-                queue.push({Weight::one(), seq++, key});
+            const auto id = intern(key_of(start, n0));
+            if (Weight::one() < nodes[id].dist) {
+                nodes[id].dist = Weight::one();
+                queue.push({Weight::one(), seq++, id});
             }
         }
     }
@@ -449,20 +758,20 @@ std::optional<AcceptedConfig> find_accepted(const PAutomaton& aut,
     while (!queue.empty()) {
         const auto item = queue.top();
         queue.pop();
-        auto& node = nodes[item.key];
+        auto& node = nodes[item.node];
         if (node.finalized || !(item.weight == node.dist)) continue;
         node.finalized = true;
-        const Weight dist = node.dist; // copy: `nodes` may rehash below
-        const auto a_state = static_cast<StateId>(item.key >> 32);
-        const auto n_state = static_cast<std::uint32_t>(item.key & 0xFFFFFFFFu);
+        const Weight dist = node.dist; // copy: `nodes` may relocate below
+        const auto a_state = static_cast<StateId>(node.key >> 32);
+        const auto n_state = static_cast<std::uint32_t>(node.key & 0xFFFFFFFFu);
 
         if (aut.is_final(a_state) && stack_nfa.states()[n_state].accepting) {
             // Reconstruct the accepting path.
             AcceptedConfig config;
             config.weight = dist;
-            std::uint64_t cursor = item.key;
-            while (nodes.at(cursor).parent != UINT64_MAX) {
-                const auto& info = nodes.at(cursor);
+            std::uint32_t cursor = item.node;
+            while (nodes[cursor].parent != UINT32_MAX) {
+                const auto& info = nodes[cursor];
                 if (info.via_trans == k_no_trans) {
                     // ε-move: only possible as the very first step.
                     config.leading_epsilon = info.via_epsilon;
@@ -472,7 +781,7 @@ std::optional<AcceptedConfig> find_accepted(const PAutomaton& aut,
                 cursor = info.parent;
             }
             std::reverse(config.path.begin(), config.path.end());
-            config.control_state = static_cast<StateId>(cursor >> 32);
+            config.control_state = static_cast<StateId>(nodes[cursor].key >> 32);
             telemetry::count(telemetry::Counter::accept_decrease_keys, decrease_keys);
             return config;
         }
@@ -482,17 +791,17 @@ std::optional<AcceptedConfig> find_accepted(const PAutomaton& aut,
             for (const auto eps_id : aut.epsilons_from(a_state)) {
                 const auto& eps = aut.epsilon(eps_id);
                 if (!eps.finalized) continue;
-                const auto next_key = key_of(eps.to, n_state);
+                const auto next_id = intern(key_of(eps.to, n_state));
                 auto next_dist = extend(dist, eps.weight);
-                auto& next = nodes[next_key];
+                auto& next = nodes[next_id];
                 if (next_dist < next.dist && !next.finalized) {
                     next.dist = next_dist;
-                    next.parent = item.key;
+                    next.parent = item.node;
                     next.via_trans = k_no_trans;
                     next.via_epsilon = eps_id;
                     next.via_symbol = k_no_symbol;
                     ++decrease_keys;
-                    queue.push({std::move(next_dist), seq++, next_key});
+                    queue.push({std::move(next_dist), seq++, next_id});
                 }
             }
         }
@@ -505,22 +814,42 @@ std::optional<AcceptedConfig> find_accepted(const PAutomaton& aut,
                 if (!inter) continue;
                 const auto symbol = inter->pick(domain);
                 if (!symbol) continue;
-                const auto next_key = key_of(trans.to, edge.target);
+                const auto next_id = intern(key_of(trans.to, edge.target));
                 auto next_dist = extend(dist, trans.weight);
-                auto& next = nodes[next_key];
+                auto& next = nodes[next_id];
                 if (next_dist < next.dist && !next.finalized) {
                     next.dist = next_dist;
-                    next.parent = item.key;
+                    next.parent = item.node;
                     next.via_trans = tid;
+                    next.via_epsilon = UINT32_MAX;
                     next.via_symbol = *symbol;
                     ++decrease_keys;
-                    queue.push({std::move(next_dist), seq++, next_key});
+                    queue.push({std::move(next_dist), seq++, next_id});
                 }
             }
         }
     }
     telemetry::count(telemetry::Counter::accept_decrease_keys, decrease_keys);
     return std::nullopt;
+}
+
+} // namespace
+
+std::optional<AcceptedConfig> find_accepted(const PAutomaton& aut,
+                                            std::span<const StateId> starts,
+                                            const nfa::Nfa& stack_nfa, Symbol domain,
+                                            SolverWorkspace* workspace) {
+    AALWINES_SPAN("find_accepted");
+    const std::size_t n_product = aut.state_count() * stack_nfa.states().size();
+    if (aut.all_scalar_weights() && n_product > 0 && n_product <= k_flat_search_cap) {
+        if (workspace != nullptr) {
+            workspace->search.reset();
+            return find_accepted_scalar(aut, starts, stack_nfa, domain, workspace->search);
+        }
+        util::Arena local_arena;
+        return find_accepted_scalar(aut, starts, stack_nfa, domain, local_arena);
+    }
+    return find_accepted_general(aut, starts, stack_nfa, domain);
 }
 
 namespace {

@@ -14,10 +14,39 @@
 
 #include "nfa/nfa.hpp"
 #include "pda/pautomaton.hpp"
+#include "util/arena.hpp"
 
 namespace aalwines::pda {
 
+/// Reusable scratch memory for the solver entry points.  Saturation and the
+/// accepting-configuration search each reset their own arena on entry, so a
+/// workspace shared across calls reuses the high-water footprint instead of
+/// re-allocating.  Two arenas because the searches run *re-entrantly* inside
+/// saturation (SolverOptions::check_accepted → find_accepted): one arena
+/// would be reset under the worklist's live bucket nodes.  Not thread-safe:
+/// one workspace per thread.
+struct SolverWorkspace {
+    util::Arena worklist; ///< post*/pre* bucket-queue nodes
+    util::Arena search;   ///< find_accepted product-graph nodes
+};
+
+/// Worklist discipline for the saturation Dijkstra loop.
+enum class Worklist : std::uint8_t {
+    Auto,   ///< Bucket when every weight is a small scalar, else Heap
+    Heap,   ///< binary heap ordered by (weight, insertion seq)
+    Bucket, ///< Dial's bucket queue keyed on scalar weights, FIFO per bucket
+            ///< (falls back to Heap when weights are not scalar)
+};
+
 struct SolverOptions {
+    /// Worklist selection; Auto picks the bucket queue whenever sound.  The
+    /// two disciplines finalize items in the identical (weight, insertion)
+    /// order, so results do not depend on this knob (tested).
+    Worklist worklist = Worklist::Auto;
+
+    /// Optional scratch-memory workspace reused across calls.
+    SolverWorkspace* workspace = nullptr;
+
     /// Stop after this many finalized items (0 = unlimited).  A safety valve
     /// for benchmark timeouts; saturation is still sound when hit (the
     /// automaton under-approximates post*/pre*), the caller must treat a
@@ -43,6 +72,7 @@ struct SolverStats {
     std::size_t peak_queue = 0;  ///< worklist length high-water mark
     bool truncated = false;
     bool early_terminated = false;
+    bool bucket_worklist = false; ///< the bucket queue was used for this run
 };
 
 /// Saturate `aut` (which initially accepts the source configurations C)
@@ -69,11 +99,14 @@ struct AcceptedConfig {
 
 /// Find the minimum-weight accepted configuration whose control state is in
 /// `starts` and whose stack is in L(stack_nfa) (ε-free NFA over symbols
-/// < domain).  Dijkstra over the product automaton.
+/// < domain).  Dijkstra over the product automaton; when every automaton
+/// weight is scalar and the product is small enough, the node table is a
+/// flat array in `workspace->search` (or a call-local arena).
 [[nodiscard]] std::optional<AcceptedConfig> find_accepted(const PAutomaton& aut,
                                                           std::span<const StateId> starts,
                                                           const nfa::Nfa& stack_nfa,
-                                                          Symbol domain);
+                                                          Symbol domain,
+                                                          SolverWorkspace* workspace = nullptr);
 
 /// Up to `count` accepted configurations in non-decreasing weight order
 /// (k-shortest accepting walks of the product automaton: each product node

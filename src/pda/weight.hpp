@@ -12,6 +12,7 @@
 
 #include <compare>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,14 @@ public:
 
     [[nodiscard]] bool is_infinite() const noexcept { return _infinite; }
     [[nodiscard]] bool is_one() const noexcept { return !_infinite && _components.empty(); }
+
+    /// The value of a zero- or one-component weight (1̄ ≡ 0), nullopt for
+    /// multi-component or infinite weights.  Scalar weights order like their
+    /// values, which is what lets the solver key a bucketed worklist on them.
+    [[nodiscard]] std::optional<std::uint64_t> as_scalar() const noexcept {
+        if (_infinite || _components.size() > 1) return std::nullopt;
+        return _components.empty() ? 0 : _components.front();
+    }
     [[nodiscard]] const std::vector<std::uint64_t>& components() const noexcept {
         return _components;
     }

@@ -1,0 +1,107 @@
+#pragma once
+// Bump-pointer arena for hot-path scratch allocations.
+//
+// The saturation solvers and the accepting-configuration searches allocate
+// many short-lived nodes (product-graph visits, witness-provenance records,
+// worklist buckets) whose lifetimes all end together.  A bump arena turns
+// those into pointer increments; `reset()` recycles every chunk without
+// returning memory to the allocator, so repeated post*/pre* calls on the
+// same PDA reuse the high-water footprint of the first call.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace aalwines::util {
+
+class Arena {
+public:
+    static constexpr std::size_t k_default_chunk = 64 * 1024;
+
+    explicit Arena(std::size_t chunk_bytes = k_default_chunk)
+        : _chunk_bytes(chunk_bytes) {}
+
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
+    Arena(Arena&&) = default;
+    Arena& operator=(Arena&&) = default;
+
+    /// Raw allocation; `align` must be a power of two.
+    void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+        std::size_t offset = (_offset + align - 1) & ~(align - 1);
+        if (_current >= _chunks.size() || offset + bytes > _chunks[_current].size) {
+            next_chunk(bytes + align);
+            offset = (_offset + align - 1) & ~(align - 1);
+        }
+        void* out = _chunks[_current].data.get() + offset;
+        _offset = offset + bytes;
+        _allocated += bytes;
+        return out;
+    }
+
+    /// Construct a `T` in the arena.  Destructors are never run: only use
+    /// trivially destructible types (enforced at compile time).
+    template <typename T, typename... Args>
+    T* create(Args&&... args) {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena-allocated types must be trivially destructible");
+        return ::new (allocate(sizeof(T), alignof(T))) T{std::forward<Args>(args)...};
+    }
+
+    /// Uninitialized array of `n` `T`s.
+    template <typename T>
+    T* create_array(std::size_t n) {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena-allocated types must be trivially destructible");
+        return static_cast<T*>(allocate(sizeof(T) * n, alignof(T)));
+    }
+
+    /// Recycle every chunk; previously returned pointers become invalid but
+    /// the memory stays owned by the arena for the next round.
+    void reset() noexcept {
+        _current = 0;
+        _offset = 0;
+        _allocated = 0;
+    }
+
+    /// Bytes handed out since the last reset().
+    [[nodiscard]] std::size_t allocated() const noexcept { return _allocated; }
+    /// Bytes held in chunks (high-water footprint; survives reset()).
+    [[nodiscard]] std::size_t capacity() const noexcept {
+        std::size_t total = 0;
+        for (const auto& chunk : _chunks) total += chunk.size;
+        return total;
+    }
+    [[nodiscard]] std::size_t chunk_count() const noexcept { return _chunks.size(); }
+
+private:
+    struct Chunk {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t size = 0;
+    };
+
+    void next_chunk(std::size_t at_least) {
+        // Advance into recycled chunks (available again after reset()) until
+        // one is large enough; otherwise append a fresh chunk.
+        while (_current + 1 < _chunks.size()) {
+            ++_current;
+            _offset = 0;
+            if (_chunks[_current].size >= at_least) return;
+        }
+        const std::size_t size = std::max(_chunk_bytes, at_least);
+        _chunks.push_back({std::make_unique<std::byte[]>(size), size});
+        _current = _chunks.size() - 1;
+        _offset = 0;
+    }
+
+    std::size_t _chunk_bytes;
+    std::vector<Chunk> _chunks;
+    std::size_t _current = 0;
+    std::size_t _offset = 0;
+    std::size_t _allocated = 0;
+};
+
+} // namespace aalwines::util

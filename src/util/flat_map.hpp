@@ -1,0 +1,121 @@
+#pragma once
+// Open-addressing hash table from packed 64-bit keys to dense 32-bit ids.
+//
+// The saturation hot paths key everything by small integer pairs — a
+// P-automaton transition is (from, symbol, to), a PDA match index entry is
+// (state, symbol) — which pack into one uint64.  Interning those keys
+// through a flat, power-of-two, linear-probing table replaces the
+// node-allocating std::unordered_map lookups with a single mixed probe into
+// one contiguous array, and the returned dense ids index plain vectors.
+//
+// Values are uint32; UINT32_MAX is reserved as the empty-slot marker, which
+// matches the library-wide "no id" sentinels (k_no_trans, k_invalid_id).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aalwines::util {
+
+class FlatMap64 {
+public:
+    static constexpr std::uint32_t k_npos = UINT32_MAX;
+
+    FlatMap64() = default;
+
+    [[nodiscard]] std::size_t size() const noexcept { return _size; }
+    [[nodiscard]] bool empty() const noexcept { return _size == 0; }
+
+    void clear() noexcept {
+        _slots.clear();
+        _mask = 0;
+        _size = 0;
+    }
+
+    /// Value stored under `key`, or k_npos.
+    [[nodiscard]] std::uint32_t find(std::uint64_t key) const noexcept {
+        if (_slots.empty()) return k_npos;
+        for (std::size_t i = mix(key) & _mask;; i = (i + 1) & _mask) {
+            const Slot& slot = _slots[i];
+            if (slot.value == k_npos) return k_npos;
+            if (slot.key == key) return slot.value;
+        }
+    }
+
+    /// Insert `value` under `key` unless present.  Returns {stored value,
+    /// inserted}: the pre-existing value and false when the key was taken.
+    std::pair<std::uint32_t, bool> try_emplace(std::uint64_t key, std::uint32_t value) {
+        if (_size + 1 > capacity() - capacity() / 4) grow(); // ≤ 0.75 load
+        for (std::size_t i = mix(key) & _mask;; i = (i + 1) & _mask) {
+            Slot& slot = _slots[i];
+            if (slot.value == k_npos) {
+                slot = {key, value};
+                ++_size;
+                return {value, true};
+            }
+            if (slot.key == key) return {slot.value, false};
+        }
+    }
+
+    /// Overwrite-or-insert.
+    void insert_or_assign(std::uint64_t key, std::uint32_t value) {
+        if (_size + 1 > capacity() - capacity() / 4) grow();
+        for (std::size_t i = mix(key) & _mask;; i = (i + 1) & _mask) {
+            Slot& slot = _slots[i];
+            if (slot.value == k_npos) {
+                slot = {key, value};
+                ++_size;
+                return;
+            }
+            if (slot.key == key) {
+                slot.value = value;
+                return;
+            }
+        }
+    }
+
+    void reserve(std::size_t count) {
+        std::size_t want = 16;
+        while (want - want / 4 < count) want <<= 1;
+        if (want > capacity()) rehash(want);
+    }
+
+private:
+    struct Slot {
+        std::uint64_t key = 0;
+        std::uint32_t value = k_npos;
+    };
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return _slots.size(); }
+
+    /// splitmix64 finalizer: full-avalanche mix of the packed key.
+    [[nodiscard]] static std::uint64_t mix(std::uint64_t x) noexcept {
+        x += 0x9e3779b97f4a7c15ULL;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+        return x ^ (x >> 31);
+    }
+
+    void grow() { rehash(_slots.empty() ? 16 : _slots.size() * 2); }
+
+    void rehash(std::size_t new_capacity) {
+        std::vector<Slot> old = std::move(_slots);
+        _slots.assign(new_capacity, Slot{});
+        _mask = new_capacity - 1;
+        for (const Slot& slot : old) {
+            if (slot.value == k_npos) continue;
+            for (std::size_t i = mix(slot.key) & _mask;; i = (i + 1) & _mask) {
+                if (_slots[i].value == k_npos) {
+                    _slots[i] = slot;
+                    break;
+                }
+            }
+        }
+    }
+
+    std::vector<Slot> _slots;
+    std::size_t _mask = 0;
+    std::size_t _size = 0;
+};
+
+} // namespace aalwines::util

@@ -58,18 +58,19 @@ struct PhaseOutcome {
 
 PhaseOutcome run_post_star_phase(const Network& network, const query::Query& query,
                                  Approximation approximation,
-                                 const VerifyOptions& options) {
+                                 const VerifyOptions& options, TranslationCache& cache,
+                                 pda::SolverWorkspace& workspace) {
     AALWINES_SPAN(approximation == Approximation::Under ? "post_star_phase(under)"
                                                         : "post_star_phase(over)");
     PhaseOutcome outcome;
     const auto start = Clock::now();
     outcome.stats.ran = true;
 
-    TranslationOptions topts;
-    topts.approximation = approximation;
-    if (options.engine == EngineKind::Weighted) topts.weights = options.weights;
-    Translation translation(network, query, topts);
-    outcome.stats.pda_rules_before_reduction = translation.pda().rule_count();
+    // Memoized across the over/under dual passes: the cache shares the
+    // compiled query NFAs, and the whole translation when the failure budget
+    // makes the two approximations coincide.  reduce() is idempotent.
+    Translation& translation = cache.translation(approximation);
+    outcome.stats.pda_rules_before_reduction = translation.rules_before_reduction();
     translation.reduce(options.reduction_level);
     outcome.stats.pda_rules = translation.pda().rule_count();
     outcome.stats.pda_states = translation.pda().state_count();
@@ -78,13 +79,14 @@ PhaseOutcome run_post_star_phase(const Network& network, const query::Query& que
     const auto domain = static_cast<pda::Symbol>(network.labels.size());
     pda::SolverOptions sopts;
     sopts.max_iterations = options.max_iterations;
+    sopts.workspace = &workspace;
     if (options.max_witnesses <= 1) {
         // Demand-driven: stop saturating once a (minimal) witness is certain.
         // (Alternative-witness collection needs the fully saturated automaton.)
         sopts.check_accepted = [&]() {
             const auto found =
                 pda::find_accepted(automaton, translation.accepting_states(),
-                                   translation.final_header_nfa(), domain);
+                                   translation.final_header_nfa(), domain, &workspace);
             return found ? found->weight : pda::Weight::infinity();
         };
     }
@@ -94,7 +96,7 @@ PhaseOutcome run_post_star_phase(const Network& network, const query::Query& que
 
     const auto accepted =
         pda::find_accepted(automaton, translation.accepting_states(),
-                           translation.final_header_nfa(), domain);
+                           translation.final_header_nfa(), domain, &workspace);
     if (!accepted) {
         outcome.stats.seconds = seconds_since(start);
         return outcome;
@@ -165,11 +167,20 @@ VerifyResult verify(const Network& network, const query::Query& query,
     const auto start = std::chrono::steady_clock::now();
     VerifyResult result;
 
+    // Shared across both phases: compiled query NFAs (and, when the
+    // approximations coincide, the translation itself) plus solver scratch
+    // memory, so the under pass reuses the over pass's high-water footprint.
+    TranslationCache cache(network, query,
+                           options.engine == EngineKind::Weighted ? options.weights
+                                                                  : nullptr);
+    pda::SolverWorkspace workspace;
+
     if (query.mode == query::Mode::Under) {
         // Under-approximation only: YES answers are trustworthy, everything
         // else is inconclusive (the under-approximation misses traces whose
         // loops double-count failed links).
-        auto under = run_post_star_phase(network, query, Approximation::Under, options);
+        auto under = run_post_star_phase(network, query, Approximation::Under, options,
+                                         cache, workspace);
         result.stats.under = under.stats;
         if (under.satisfied && under.trace && under.feasibility.feasible) {
             result.answer = Answer::Yes;
@@ -185,7 +196,8 @@ VerifyResult verify(const Network& network, const query::Query& query,
         return result;
     }
 
-    auto over = run_post_star_phase(network, query, Approximation::Over, options);
+    auto over = run_post_star_phase(network, query, Approximation::Over, options,
+                                    cache, workspace);
     result.stats.over = over.stats;
 
     if (!over.satisfied) {
@@ -221,7 +233,8 @@ VerifyResult verify(const Network& network, const query::Query& query,
 
     // Over-approximation produced an infeasible candidate; decide with the
     // under-approximation (global failure counter in the control state).
-    auto under = run_post_star_phase(network, query, Approximation::Under, options);
+    auto under = run_post_star_phase(network, query, Approximation::Under, options,
+                                     cache, workspace);
     result.stats.under = under.stats;
     if (under.satisfied && under.trace && under.feasibility.feasible) {
         result.answer = Answer::Yes;

@@ -60,12 +60,18 @@ VerifyResult exact_verify(const Network& network, const query::Query& query,
     std::optional<pda::Weight> best;
     std::optional<Trace> best_trace;
 
+    // Shared across all C(|E|, <=k) scenarios: the query NFAs compile once,
+    // and one solver workspace amortizes the scratch allocations.
+    const auto nfas = compile_query_nfas(network, query);
+    pda::SolverWorkspace workspace;
+
     for_each_failure_set(links, query.max_failures, [&](const std::set<LinkId>& failed) {
         ++scenarios;
         TranslationOptions topts;
         topts.approximation = Approximation::Exact;
         topts.failed_links = &failed;
         topts.weights = options.weights;
+        topts.nfas = &nfas;
         Translation translation(network, query, topts);
         result.stats.over.pda_rules_before_reduction += translation.pda().rule_count();
         translation.reduce(options.reduction_level);
@@ -74,10 +80,11 @@ VerifyResult exact_verify(const Network& network, const query::Query& query,
         auto automaton = translation.make_initial_automaton();
         pda::SolverOptions sopts;
         sopts.max_iterations = options.max_iterations;
+        sopts.workspace = &workspace;
         sopts.check_accepted = [&]() {
             const auto found =
                 pda::find_accepted(automaton, translation.accepting_states(),
-                                   translation.final_header_nfa(), domain);
+                                   translation.final_header_nfa(), domain, &workspace);
             return found ? found->weight : pda::Weight::infinity();
         };
         const auto sat_stats = pda::post_star(automaton, sopts);
@@ -93,7 +100,7 @@ VerifyResult exact_verify(const Network& network, const query::Query& query,
         }
         const auto accepted =
             pda::find_accepted(automaton, translation.accepting_states(),
-                               translation.final_header_nfa(), domain);
+                               translation.final_header_nfa(), domain, &workspace);
         if (!accepted) return true; // next scenario
         if (best && !(accepted->weight < *best)) return true;
 

@@ -28,17 +28,16 @@ struct MopedPhaseOutcome {
 /// + reductions + demand-driven post*) is measured against.
 MopedPhaseOutcome run_pre_star_phase(const Network& network, const query::Query& query,
                                      Approximation approximation,
-                                     const VerifyOptions& options) {
+                                     const VerifyOptions& options, TranslationCache& cache,
+                                     pda::SolverWorkspace& workspace) {
     AALWINES_SPAN(approximation == Approximation::Under ? "pre_star_phase(under)"
                                                         : "pre_star_phase(over)");
     MopedPhaseOutcome outcome;
     const auto start = Clock::now();
     outcome.stats.ran = true;
 
-    TranslationOptions topts;
-    topts.approximation = approximation;
-    Translation translation(network, query, topts);
-    outcome.stats.pda_rules_before_reduction = translation.pda().rule_count();
+    Translation& translation = cache.translation(approximation);
+    outcome.stats.pda_rules_before_reduction = translation.rules_before_reduction();
     if (options.moped_reduction) translation.reduce(options.reduction_level);
     // Same semantics as the dual engine: the (optionally reduced) symbolic
     // translation PDA.  The concrete backend's size goes in `_expanded`.
@@ -60,13 +59,14 @@ MopedPhaseOutcome run_pre_star_phase(const Network& network, const query::Query&
         translation.make_final_automaton(backend, /*concrete_edges=*/true);
     pda::SolverOptions solver_options;
     solver_options.max_iterations = options.max_iterations;
+    solver_options.workspace = &workspace;
     const auto sat_stats = pda::pre_star(automaton, solver_options);
     absorb_solver_stats(outcome.stats, sat_stats);
     outcome.truncated = sat_stats.truncated;
 
     const auto accepted = pda::find_accepted(
         automaton, translation.initial_states(), translation.initial_header_nfa(),
-        static_cast<pda::Symbol>(network.labels.size()));
+        static_cast<pda::Symbol>(network.labels.size()), &workspace);
     if (!accepted) {
         outcome.stats.seconds = std::chrono::duration<double>(Clock::now() - start).count();
         return outcome;
@@ -94,7 +94,11 @@ VerifyResult moped_verify(const Network& network, const query::Query& query,
     const auto start = Clock::now();
     VerifyResult result;
 
-    auto over = run_pre_star_phase(network, query, Approximation::Over, options);
+    TranslationCache cache(network, query, /*weights=*/nullptr);
+    pda::SolverWorkspace workspace;
+
+    auto over = run_pre_star_phase(network, query, Approximation::Over, options, cache,
+                                   workspace);
     result.stats.over = over.stats;
     if (!over.satisfied) {
         result.answer = over.truncated ? Answer::Inconclusive : Answer::No;
@@ -111,7 +115,8 @@ VerifyResult moped_verify(const Network& network, const query::Query& query,
         return result;
     }
 
-    auto under = run_pre_star_phase(network, query, Approximation::Under, options);
+    auto under = run_pre_star_phase(network, query, Approximation::Under, options, cache,
+                                    workspace);
     result.stats.under = under.stats;
     if (under.satisfied && under.trace && under.feasibility.feasible) {
         result.answer = Answer::Yes;

@@ -54,14 +54,32 @@ TopDescriptor below_of(LabelType type) {
 pda::SymbolClass class_id(LabelType type) { return static_cast<pda::SymbolClass>(type); }
 } // namespace
 
+CompiledNfas compile_query_nfas(const Network& network, const query::Query& query) {
+    AALWINES_SPAN("compile_query_nfas");
+    CompiledNfas nfas;
+    nfas.path = nfa::Nfa::compile(query.path);
+    const auto header_nfa = nfa::Nfa::compile(valid_header_regex(network.labels));
+    nfas.initial_header =
+        nfa::Nfa::intersection(nfa::Nfa::compile(query.initial_header), header_nfa);
+    nfas.final_header =
+        nfa::Nfa::intersection(nfa::Nfa::compile(query.final_header), header_nfa);
+    return nfas;
+}
+
 Translation::Translation(const Network& network, const query::Query& query,
                          const TranslationOptions& options)
     : _network(&network), _query(&query), _options(options) {
     AALWINES_SPAN("translate");
-    _nfa_b = nfa::Nfa::compile(query.path);
-    const auto header_nfa = nfa::Nfa::compile(valid_header_regex(network.labels));
-    _nfa_a = nfa::Nfa::intersection(nfa::Nfa::compile(query.initial_header), header_nfa);
-    _nfa_c = nfa::Nfa::intersection(nfa::Nfa::compile(query.final_header), header_nfa);
+    if (options.nfas != nullptr) {
+        _nfa_b = options.nfas->path;
+        _nfa_a = options.nfas->initial_header;
+        _nfa_c = options.nfas->final_header;
+    } else {
+        auto nfas = compile_query_nfas(network, query);
+        _nfa_b = std::move(nfas.path);
+        _nfa_a = std::move(nfas.initial_header);
+        _nfa_c = std::move(nfas.final_header);
+    }
     _failure_slots = _options.approximation == Approximation::Under
                          ? static_cast<std::uint32_t>(query.max_failures) + 1
                          : 1;
@@ -89,6 +107,9 @@ pda::StateId Translation::control_state(LinkId link, std::uint32_t nfa_state,
 
 void Translation::build_control_states() {
     const auto n_links = _network->topology.link_count();
+    const auto n_control = _failure_slots * _nfa_b.size() * n_links;
+    _pda->reserve_states(n_control);
+    _control_info.reserve(n_control);
     for (std::uint32_t f = 0; f < _failure_slots; ++f) {
         for (std::uint32_t q = 0; q < _nfa_b.size(); ++q) {
             for (std::uint32_t e = 0; e < n_links; ++e) {
@@ -140,6 +161,28 @@ pda::Weight Translation::make_initial_weight(LinkId first_link) const {
 }
 
 void Translation::build_rules() {
+    // Invert the path NFA once: the (q --link--> q') moves grouped by link,
+    // in the same (q, edge) order the per-rule scan used to visit them.
+    const auto n_links = _network->topology.link_count();
+    _moves_by_link.assign(n_links, {});
+    const auto domain = static_cast<nfa::Symbol>(n_links);
+    for (std::uint32_t q = 0; q < _nfa_b.size(); ++q)
+        for (const auto& edge : _nfa_b.states()[q].edges)
+            for (const auto link : edge.symbols.materialize(domain))
+                _moves_by_link[link].emplace_back(q, edge.target);
+
+    // Upper-bound the rule count (ignores failure-budget pruning and dead
+    // chains) so the rule vector and its match indexes allocate once.
+    std::size_t estimated_rules = 0;
+    for (const auto& [key, groups] : _network->routing.entries()) {
+        (void)key;
+        for (const auto& group : groups)
+            for (const auto& rule : group)
+                estimated_rules += _moves_by_link[rule.out_link].size() *
+                                   std::max<std::size_t>(rule.ops.size(), 1);
+    }
+    _pda->reserve_rules(estimated_rules * _failure_slots);
+
     _network->routing.for_each([this](LinkId in_link, Label label, const RoutingEntry& groups) {
         add_entry_rules(in_link, label, groups);
     });
@@ -165,17 +208,14 @@ void Translation::add_entry_rules(LinkId in_link, Label label, const RoutingEntr
             const auto local_failures =
                 static_cast<std::uint64_t>(higher_priority_links.size());
             for (const auto* rule : active) {
-                for (std::uint32_t q = 0; q < _nfa_b.size(); ++q) {
-                    for (const auto& edge : _nfa_b.states()[q].edges) {
-                        if (!edge.symbols.contains(rule->out_link)) continue;
-                        const auto from = control_state(in_link, q, 0);
-                        const auto to = control_state(rule->out_link, edge.target, 0);
-                        const auto tag = static_cast<std::uint32_t>(_steps.size());
-                        _steps.push_back(
-                            {rule->out_link, static_cast<std::uint32_t>(local_failures)});
-                        add_chain(from, label, *rule, to,
-                                  make_step_weight(*rule, local_failures), tag);
-                    }
+                for (const auto& [q, q_next] : _moves_by_link[rule->out_link]) {
+                    const auto from = control_state(in_link, q, 0);
+                    const auto to = control_state(rule->out_link, q_next, 0);
+                    const auto tag = static_cast<std::uint32_t>(_steps.size());
+                    _steps.push_back(
+                        {rule->out_link, static_cast<std::uint32_t>(local_failures)});
+                    add_chain(from, label, *rule, to,
+                              make_step_weight(*rule, local_failures), tag);
                 }
             }
             return; // only the first active group forwards
@@ -189,23 +229,20 @@ void Translation::add_entry_rules(LinkId in_link, Label label, const RoutingEntr
             for (const auto& rule : group) {
                 // A rule fires for every path-NFA move that consumes its
                 // out-link, from every (in_link, q [, f]) control state.
-                for (std::uint32_t q = 0; q < _nfa_b.size(); ++q) {
-                    for (const auto& edge : _nfa_b.states()[q].edges) {
-                        if (!edge.symbols.contains(rule.out_link)) continue;
-                        for (std::uint32_t f = 0; f < _failure_slots; ++f) {
-                            std::uint32_t f_next = f;
-                            if (_options.approximation == Approximation::Under) {
-                                if (f + local_failures > k) continue;
-                                f_next = f + static_cast<std::uint32_t>(local_failures);
-                            }
-                            const auto from = control_state(in_link, q, f);
-                            const auto to = control_state(rule.out_link, edge.target, f_next);
-                            const auto tag = static_cast<std::uint32_t>(_steps.size());
-                            _steps.push_back(
-                                {rule.out_link, static_cast<std::uint32_t>(local_failures)});
-                            add_chain(from, label, rule, to,
-                                      make_step_weight(rule, local_failures), tag);
+                for (const auto& [q, q_next] : _moves_by_link[rule.out_link]) {
+                    for (std::uint32_t f = 0; f < _failure_slots; ++f) {
+                        std::uint32_t f_next = f;
+                        if (_options.approximation == Approximation::Under) {
+                            if (f + local_failures > k) continue;
+                            f_next = f + static_cast<std::uint32_t>(local_failures);
                         }
+                        const auto from = control_state(in_link, q, f);
+                        const auto to = control_state(rule.out_link, q_next, f_next);
+                        const auto tag = static_cast<std::uint32_t>(_steps.size());
+                        _steps.push_back(
+                            {rule.out_link, static_cast<std::uint32_t>(local_failures)});
+                        add_chain(from, label, rule, to,
+                                  make_step_weight(rule, local_failures), tag);
                     }
                 }
             }
@@ -400,6 +437,7 @@ pda::PAutomaton Translation::make_final_automaton(const pda::Pda& backend,
 }
 
 pda::ReductionStats Translation::reduce(int level) {
+    if (_reduced) return _reduce_stats; // shared translations reduce once
     AALWINES_SPAN("reduce");
     // Seed the analysis with the stack languages of the initial configs.
     SymbolSet top_set, second_set, deep_set;
@@ -417,7 +455,33 @@ pda::ReductionStats Translation::reduce(int level) {
     std::vector<pda::TosSeed> seeds;
     seeds.reserve(_initial_states.size());
     for (const auto state : _initial_states) seeds.push_back({state, top_set, second_set});
-    return pda::reduce(*_pda, seeds, deep_set, level);
+    _reduce_stats = pda::reduce(*_pda, seeds, deep_set, level);
+    _reduced = true;
+    return _reduce_stats;
+}
+
+TranslationCache::TranslationCache(const Network& network, const query::Query& query,
+                                   const WeightExpr* weights)
+    : _network(&network), _query(&query), _weights(weights),
+      _nfas(compile_query_nfas(network, query)) {}
+
+Translation& TranslationCache::translation(Approximation approximation) {
+    AALWINES_ASSERT(approximation != Approximation::Exact,
+                    "exact scenarios are not cacheable (each failure set differs)");
+    // With a zero failure budget both approximations have a single failure
+    // slot and every entry's local-failure guard behaves identically, so the
+    // emitted PDAs coincide rule for rule: reuse the Over translation.
+    if (approximation == Approximation::Under && _query->max_failures == 0)
+        approximation = Approximation::Over;
+    auto& slot = approximation == Approximation::Under ? _under : _over;
+    if (!slot) {
+        TranslationOptions topts;
+        topts.approximation = approximation;
+        topts.weights = _weights;
+        topts.nfas = &_nfas;
+        slot = std::make_unique<Translation>(*_network, *_query, topts);
+    }
+    return *slot;
 }
 
 std::optional<Trace> Translation::witness_to_trace(const pda::PdaWitness& witness) const {

@@ -29,6 +29,20 @@ namespace aalwines::verify {
 
 enum class Approximation : std::uint8_t { Over, Under, Exact };
 
+/// The three query NFAs every translation needs: compiling them (regex →
+/// Thompson → ε-elimination, plus two intersections with the valid-header
+/// language H) is independent of the approximation, so one verify() call
+/// compiles them once and shares them across the over/under dual passes —
+/// and across every scenario of the exact engine.
+struct CompiledNfas {
+    nfa::Nfa path;           ///< B, over links
+    nfa::Nfa initial_header; ///< L(a) ∩ H, over labels
+    nfa::Nfa final_header;   ///< L(c) ∩ H, over labels
+};
+
+[[nodiscard]] CompiledNfas compile_query_nfas(const Network& network,
+                                              const query::Query& query);
+
 struct TranslationOptions {
     Approximation approximation = Approximation::Over;
     /// Weight vector for the minimum-witness problem; nullptr = unweighted.
@@ -39,6 +53,8 @@ struct TranslationOptions {
     /// enumerating every such scenario, which is exponential in k; this is
     /// what the over/under pair avoids).
     const std::set<LinkId>* failed_links = nullptr;
+    /// Pre-compiled query NFAs (see CompiledNfas); nullptr = compile here.
+    const CompiledNfas* nfas = nullptr;
 };
 
 class Translation {
@@ -49,8 +65,15 @@ public:
     [[nodiscard]] pda::Pda& pda() noexcept { return *_pda; }
     [[nodiscard]] const pda::Pda& pda() const noexcept { return *_pda; }
 
-    /// Run the top-of-stack reduction at `level` (0 = off).
+    /// Run the top-of-stack reduction at `level` (0 = off).  Idempotent: a
+    /// second call returns the first call's stats without touching the PDA,
+    /// so a translation shared across phases reduces exactly once.
     pda::ReductionStats reduce(int level);
+
+    /// Rule count before the first reduce() ran (== rule_count() until then).
+    [[nodiscard]] std::size_t rules_before_reduction() const {
+        return _reduced ? _reduce_stats.rules_before : _pda->rule_count();
+    }
 
     /// P-automaton accepting the initial configurations
     /// {((e₁,q₁,0), h) : h ∈ L(a) ∩ H} — the post* source.
@@ -128,6 +151,10 @@ private:
     nfa::Nfa _nfa_b;            // path NFA over links
     nfa::Nfa _nfa_a;            // L(a) ∩ H over labels
     nfa::Nfa _nfa_c;            // L(c) ∩ H over labels
+    /// The path NFA inverted by consumed link: (q, q') per move on `link`.
+    /// Built once per translation so rule emission does not re-scan every
+    /// NFA edge for every forwarding rule.
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> _moves_by_link;
     std::uint32_t _failure_slots = 1; // k+1 for Under, 1 for Over
 
     std::unique_ptr<pda::Pda> _pda;
@@ -135,6 +162,34 @@ private:
     std::vector<StepInfo> _steps;           // indexed by rule tag
     std::vector<pda::StateId> _accepting_states;
     std::vector<pda::StateId> _initial_states;
+    bool _reduced = false;
+    pda::ReductionStats _reduce_stats;
+};
+
+/// Memoizes the network→PDA translation across the over/under dual passes
+/// of one verify() call.  The query NFAs are compiled once and shared, and
+/// when the query's failure budget is zero the two approximations emit
+/// rule-for-rule identical PDAs (both have a single failure slot), so they
+/// share a single Translation — the second phase then skips translation and
+/// reduction entirely.
+class TranslationCache {
+public:
+    TranslationCache(const Network& network, const query::Query& query,
+                     const WeightExpr* weights);
+
+    /// The memoized translation for `approximation` (Over or Under only;
+    /// exact scenarios each need their own Translation — share nfas()).
+    [[nodiscard]] Translation& translation(Approximation approximation);
+
+    [[nodiscard]] const CompiledNfas& nfas() const { return _nfas; }
+
+private:
+    const Network* _network;
+    const query::Query* _query;
+    const WeightExpr* _weights;
+    CompiledNfas _nfas;
+    std::unique_ptr<Translation> _over;
+    std::unique_ptr<Translation> _under;
 };
 
 /// The valid-header language H = mpls* smpls ip | ip as a regex (top-first).

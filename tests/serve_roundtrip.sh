@@ -14,10 +14,27 @@ command -v curl >/dev/null 2>&1 || exit 127
 pid=$!
 trap 'kill "$pid" 2>/dev/null || true' EXIT
 
-for _ in $(seq 100); do
-    if "$client" -s "127.0.0.1:$port" health >/dev/null 2>&1; then break; fi
+# Bounded retry on the health endpoint: succeed as soon as the daemon
+# answers, bail out early if it died, and fail loudly (instead of letting a
+# later query produce a confusing connection error) when the budget runs
+# out on a slow runner.
+ready=
+for _ in $(seq 150); do
+    if "$client" -s "127.0.0.1:$port" health >/dev/null 2>&1; then
+        ready=1
+        break
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "serve_roundtrip: daemon exited before answering health checks" >&2
+        wait "$pid" || true
+        exit 1
+    fi
     sleep 0.1
 done
+if [ -z "$ready" ]; then
+    echo "serve_roundtrip: daemon not healthy within 15s" >&2
+    exit 1
+fi
 
 out=$("$client" -s "127.0.0.1:$port" query n1 '<ip> [.#v0] .* [v3#.] <ip> 0')
 echo "$out" | grep -q '"answer": "yes"'

@@ -206,6 +206,82 @@ TEST(FindAcceptedN, EnumeratesAlternativesInWeightOrder) {
     EXPECT_EQ(one[0].weight, Weight::scalar(1));
 }
 
+TEST(FindAcceptedN, EqualWeightTieBreakIsDeterministic) {
+    // Three equal-weight alternatives from (p0, A).  The k-shortest search
+    // settles ties by insertion sequence, so the enumeration order must be
+    // the rule-addition order — and identical across repeated calls and
+    // across independently saturated automata.
+    const Symbol D = 3;
+    const auto build = [&] {
+        Pda pda(4);
+        const auto p0 = pda.add_state();
+        const auto p1 = pda.add_state();
+        for (const Symbol target : {B, C, D})
+            pda.add_rule({p0, p1, PreSpec::concrete(A), Rule::OpKind::Swap, target,
+                          k_no_symbol, Weight::scalar(2), target});
+        return pda;
+    };
+    const auto enumerate = [&](const Pda& pda) {
+        auto aut = automaton_for_configs(pda, {{0, {A}}});
+        post_star(aut);
+        const StateId starts[] = {1};
+        std::vector<Symbol> tops;
+        for (const auto& config : find_accepted_n(aut, starts, any_stack(), 4, 8)) {
+            EXPECT_EQ(config.weight, Weight::scalar(2));
+            EXPECT_EQ(config.path.size(), 1u);
+            tops.push_back(config.path.empty() ? k_no_symbol : config.path[0].second);
+        }
+        return tops;
+    };
+    const auto pda = build();
+    const auto first = enumerate(pda);
+    ASSERT_EQ(first, (std::vector<Symbol>{B, C, D}));
+    EXPECT_EQ(enumerate(pda), first);   // same PDA, fresh saturation
+    EXPECT_EQ(enumerate(build()), first); // independently built PDA
+}
+
+TEST(PostStar, WorkspaceArenasAreReusedAcrossCalls) {
+    // Repeated saturations through one SolverWorkspace must recycle the
+    // high-water arena footprint: after the first call no further chunks
+    // are acquired, and the answers stay identical.
+    Pda pda(3);
+    const auto p0 = pda.add_state();
+    const auto p1 = pda.add_state();
+    pda.add_rule({p0, p0, PreSpec::any(), Rule::OpKind::Push, B, k_same_symbol,
+                  Weight::scalar(1), 0});
+    pda.add_rule({p0, p1, PreSpec::concrete(B), Rule::OpKind::Swap, C, k_no_symbol,
+                  Weight::scalar(1), 1});
+
+    SolverWorkspace workspace;
+    SolverOptions options;
+    options.workspace = &workspace;
+    options.max_iterations = 64;
+
+    std::optional<Weight> first_weight;
+    std::size_t worklist_capacity = 0, search_capacity = 0;
+    for (int round = 0; round < 4; ++round) {
+        auto aut = automaton_for_configs(pda, {{p0, {A}}});
+        post_star(aut, options);
+        const StateId starts[] = {p1};
+        const auto accepted =
+            find_accepted(aut, starts, exact_word({C, A}), 3, &workspace);
+        ASSERT_TRUE(accepted.has_value()) << "round " << round;
+        if (!first_weight) {
+            first_weight = accepted->weight;
+            worklist_capacity = workspace.worklist.capacity();
+            search_capacity = workspace.search.capacity();
+            EXPECT_GT(worklist_capacity, 0u);
+        } else {
+            EXPECT_EQ(accepted->weight, *first_weight) << "round " << round;
+            // The footprint of round 0 satisfies every later round.
+            EXPECT_EQ(workspace.worklist.capacity(), worklist_capacity)
+                << "round " << round;
+            EXPECT_EQ(workspace.search.capacity(), search_capacity)
+                << "round " << round;
+        }
+    }
+}
+
 TEST(FindAcceptedN, FindsLongerConfigsThroughAcceptingNodes) {
     // (p0, B^n A) for every n: the accepting product node is revisited, so
     // enumeration must continue past earlier acceptances.

@@ -10,6 +10,7 @@
 namespace aalwines::pda {
 namespace {
 
+using testutil::any_stack;
 using testutil::automaton_for_configs;
 using testutil::brute_force_reachable;
 using testutil::Config;
@@ -191,6 +192,57 @@ TEST_P(PdaRandom, ConcreteExpansionPreservesReachability) {
             find_accepted(concrete_aut, starts, exact_word(target.second), alphabet)
                 .has_value())
             << "seed " << GetParam() << " target " << target.first;
+    }
+}
+
+/// The bucket queue and the binary heap finalize items in the identical
+/// (weight, insertion) order, so saturating with either worklist must yield
+/// the same automaton shape, the same minimal weights, and the same
+/// equal-weight enumeration order — for post* and pre* alike.
+TEST_P(PdaRandom, BucketAndHeapWorklistsAgree) {
+    std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 48611 + 3);
+    const Symbol alphabet = 3;
+    const auto pda = random_pda(rng, 4, alphabet, 9, true);
+    ASSERT_TRUE(pda.all_weights_scalar());
+    const std::vector<Config> initial{{0, {0, 1}}};
+
+    const auto saturate = [&](Worklist worklist, bool pre) {
+        auto aut = automaton_for_configs(pda, initial);
+        SolverOptions options;
+        options.worklist = worklist;
+        const auto stats = pre ? pre_star(aut, options) : post_star(aut, options);
+        return std::make_pair(std::move(aut), stats);
+    };
+
+    for (const bool pre : {false, true}) {
+        auto [heap_aut, heap_stats] = saturate(Worklist::Heap, pre);
+        auto [bucket_aut, bucket_stats] = saturate(Worklist::Bucket, pre);
+        EXPECT_FALSE(heap_stats.bucket_worklist);
+        EXPECT_TRUE(bucket_stats.bucket_worklist) << "seed " << GetParam();
+        EXPECT_EQ(heap_stats.iterations, bucket_stats.iterations)
+            << "seed " << GetParam() << (pre ? " pre*" : " post*");
+        EXPECT_EQ(heap_stats.transitions, bucket_stats.transitions);
+        EXPECT_EQ(heap_stats.epsilons, bucket_stats.epsilons);
+
+        for (StateId state = 0; state < 4; ++state) {
+            const StateId starts[] = {state};
+            const auto from_heap =
+                find_accepted_n(heap_aut, starts, any_stack(), alphabet, 6);
+            const auto from_bucket =
+                find_accepted_n(bucket_aut, starts, any_stack(), alphabet, 6);
+            ASSERT_EQ(from_heap.size(), from_bucket.size())
+                << "seed " << GetParam() << " state " << state;
+            for (std::size_t i = 0; i < from_heap.size(); ++i) {
+                EXPECT_EQ(from_heap[i].weight, from_bucket[i].weight);
+                EXPECT_EQ(from_heap[i].control_state, from_bucket[i].control_state);
+                // Same spelled stack, symbol by symbol (transition ids may
+                // differ between runs; the spelled configuration may not).
+                ASSERT_EQ(from_heap[i].path.size(), from_bucket[i].path.size());
+                for (std::size_t j = 0; j < from_heap[i].path.size(); ++j)
+                    EXPECT_EQ(from_heap[i].path[j].second, from_bucket[i].path[j].second)
+                        << "seed " << GetParam() << " state " << state;
+            }
+        }
     }
 }
 
