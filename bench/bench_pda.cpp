@@ -75,6 +75,27 @@ void weighted_post_star(benchmark::State& state) {
     }
 }
 
+/// Demand-driven counterpart of post_star_saturation: no reduction pass
+/// (the per-state demand filter subsumes it); rules materialize as the
+/// worklist reaches their states.
+void post_star_saturation_lazy(benchmark::State& state) {
+    const auto instance = make_instance(static_cast<std::size_t>(state.range(0)));
+    const auto query =
+        query::parse_query(instance.query_text, instance.net.network);
+    for (auto _ : state) {
+        verify::TranslationOptions topts;
+        topts.lazy = true;
+        verify::Translation translation(instance.net.network, query, topts);
+        auto aut = translation.make_initial_automaton();
+        const auto stats = pda::post_star(aut);
+        benchmark::DoNotOptimize(stats.transitions);
+        state.counters["transitions"] = static_cast<double>(stats.transitions);
+        state.counters["rules_materialized"] =
+            static_cast<double>(translation.pda().rule_count());
+        state.counters["rules_total"] = static_cast<double>(translation.total_rules());
+    }
+}
+
 void translation_only(benchmark::State& state) {
     const auto instance = make_instance(static_cast<std::size_t>(state.range(0)));
     const auto query =
@@ -82,6 +103,20 @@ void translation_only(benchmark::State& state) {
     for (auto _ : state) {
         verify::Translation translation(instance.net.network, query, {});
         benchmark::DoNotOptimize(translation.pda().rule_count());
+    }
+}
+
+/// Lazy setup cost alone: control states, move index, and the rule-free
+/// counting pass that sizes the interior pool — no rule is emitted.
+void translation_only_lazy(benchmark::State& state) {
+    const auto instance = make_instance(static_cast<std::size_t>(state.range(0)));
+    const auto query =
+        query::parse_query(instance.query_text, instance.net.network);
+    for (auto _ : state) {
+        verify::TranslationOptions topts;
+        topts.lazy = true;
+        verify::Translation translation(instance.net.network, query, topts);
+        benchmark::DoNotOptimize(translation.total_rules());
     }
 }
 
@@ -93,11 +128,19 @@ void nordunet_scaling(benchmark::State& state) {
     const auto net = synthesis::make_nordunet_like(chains, 1);
     const auto queries = synthesis::make_table1_queries(net);
     const auto query = query::parse_query(queries[0], net.network);
+    verify::VerifyOptions options;
+    options.translation = bench::env_translation_mode();
+    verify::VerifyResult last;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(verify::verify(net.network, query, {}));
+        last = verify::verify(net.network, query, options);
+        benchmark::DoNotOptimize(last);
     }
     state.counters["rules"] = static_cast<double>(net.network.routing.rule_count());
     state.counters["labels"] = static_cast<double>(net.network.labels.size());
+    state.counters["pda_rules_materialized"] =
+        static_cast<double>(last.stats.over.pda_rules_materialized);
+    state.counters["pda_rules_total"] =
+        static_cast<double>(last.stats.over.pda_rules_total);
 }
 
 void nordunet_scaling_moped(benchmark::State& state) {
@@ -107,6 +150,7 @@ void nordunet_scaling_moped(benchmark::State& state) {
     const auto query = query::parse_query(queries[0], net.network);
     verify::VerifyOptions options;
     options.engine = verify::EngineKind::Moped;
+    options.translation = bench::env_translation_mode();
     for (auto _ : state) {
         benchmark::DoNotOptimize(verify::verify(net.network, query, options));
     }
@@ -116,9 +160,19 @@ void nordunet_scaling_moped(benchmark::State& state) {
 } // namespace
 
 BENCHMARK(post_star_saturation)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK(post_star_saturation_lazy)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(pre_star_saturation)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
 BENCHMARK(weighted_post_star)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
 BENCHMARK(translation_only)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK(translation_only_lazy)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(nordunet_scaling)->Arg(100)->Arg(400)->Arg(1600)->Unit(benchmark::kMillisecond);
 BENCHMARK(nordunet_scaling_moped)
     ->Arg(100)

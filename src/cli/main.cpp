@@ -49,6 +49,9 @@ void usage(std::ostream& out) {
         "  --weight W           weight vector, e.g. 'hops, failures + 3*tunnels'\n"
         "                       (implies --engine weighted)\n"
         "  --reduction N        PDA reduction level 0|1|2  (default 2)\n"
+        "  --translation M      PDA rule materialization: auto | lazy | eager\n"
+        "                       (auto: demand-driven for dual/weighted, eager\n"
+        "                       for moped/exact)\n"
         "  --locations FILE     apply router coordinates (JSON)\n"
         "  --queries-file F     read one query per line from F ('#' comments)\n"
         "  --battery N          also verify N generated battery queries (the\n"
@@ -159,6 +162,13 @@ void print_result_text(const Network& network, const verify::VerifyResult& resul
                   << result.stats.over.saturation_iterations
                   << "  relaxations: " << result.stats.over.worklist_relaxations
                   << "  peak-worklist: " << result.stats.over.peak_worklist << "\n";
+        if (result.stats.over.lazy_translation)
+            std::cout << "  materialized-rules: "
+                      << result.stats.over.pda_rules_materialized << " of "
+                      << result.stats.over.pda_rules_total
+                      << "  materialized-states: "
+                      << result.stats.over.pda_states_materialized << " of "
+                      << result.stats.over.pda_states << "\n";
         if (result.stats.over.pda_rules_expanded != 0)
             std::cout << "  expanded-pda-rules: " << result.stats.over.pda_rules_expanded
                       << "  expanded-pda-states: " << result.stats.over.pda_states_expanded

@@ -155,6 +155,12 @@ verify::VerifyOptions make_verify_options(const VerifySpec& spec, WeightExpr& we
         throw usage_error("unknown engine '" + spec.engine +
                           "' (moped, dual, weighted or exact)");
     }
+    if (spec.translation == "lazy") options.translation = verify::TranslationMode::Lazy;
+    else if (spec.translation == "eager")
+        options.translation = verify::TranslationMode::Eager;
+    else if (spec.translation != "auto")
+        throw usage_error("unknown translation mode '" + spec.translation +
+                          "' (auto, lazy or eager)");
     return options;
 }
 
@@ -196,6 +202,7 @@ Cli parse_cli(int argc, char** argv) {
         else if (arg == "--locations") cli.source.locations_file = value(i);
         else if (arg == "--query" || arg == "-q") cli.queries.push_back(value(i));
         else if (arg == "--engine") cli.spec.engine = value(i);
+        else if (arg == "--translation") cli.spec.translation = value(i);
         else if (arg == "--weight") cli.spec.weight = value(i);
         else if (arg == "--reduction") cli.spec.reduction = parse_int(arg, value(i));
         else if (arg == "--jobs") cli.jobs = parse_size(arg, value(i));

@@ -74,6 +74,9 @@ struct VerifySpec {
     bool trace = true;           ///< reconstruct witness traces
     std::size_t witnesses = 1;   ///< max distinct witness traces
     std::size_t max_iterations = 0; ///< saturation cap, 0 = unlimited
+    /// PDA rule materialization: auto | lazy | eager (auto picks lazy for
+    /// dual/weighted, eager for moped/exact).
+    std::string translation = "auto";
 };
 
 /// Resolve a VerifySpec.  `weights` receives the parsed weight expression

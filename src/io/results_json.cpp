@@ -30,6 +30,12 @@ json::Value phase_to_json(const verify::PhaseStats& phase) {
         object.emplace("pdaRulesExpanded", phase.pda_rules_expanded);
         object.emplace("pdaStatesExpanded", phase.pda_states_expanded);
     }
+    if (phase.lazy_translation) {
+        object.emplace("lazyTranslation", true);
+        object.emplace("pdaRulesTotal", phase.pda_rules_total);
+        object.emplace("pdaRulesMaterialized", phase.pda_rules_materialized);
+        object.emplace("pdaStatesMaterialized", phase.pda_states_materialized);
+    }
     object.emplace("saturationIterations", phase.saturation_iterations);
     object.emplace("automatonTransitions", phase.automaton_transitions);
     object.emplace("worklistRelaxations", phase.worklist_relaxations);

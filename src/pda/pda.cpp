@@ -1,6 +1,7 @@
 #include "pda/pda.hpp"
 
 #include <algorithm>
+#include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace aalwines::pda {
@@ -66,13 +67,26 @@ RuleId Pda::add_rule(Rule rule) {
                         rule.pre.symbol < _alphabet_size,
                     "rule precondition symbol outside the stack alphabet");
     const RuleId id = static_cast<RuleId>(_rules.size());
-    if (const auto scalar = rule.weight.as_scalar())
+    if (const auto scalar = rule.weight.as_scalar()) {
         _max_scalar_weight = std::max(_max_scalar_weight, *scalar);
-    else
+    } else {
+        AALWINES_ASSERT(_provider == nullptr || !_all_weights_scalar,
+                        "lazy provider declared scalar weights but emitted a vector one");
         _all_weights_scalar = false;
+    }
+    if (_provider != nullptr) {
+        // Lazy mode: the per-target index is live from the start and filled
+        // on demand, rule by rule, instead of by a whole-PDA rebuild.
+        switch (rule.op) {
+            case Rule::OpKind::Swap: _swaps_into[rule.to].push_back(id); break;
+            case Rule::OpKind::Push: _pushes_into[rule.to].push_back(id); break;
+            case Rule::OpKind::Pop: break;
+        }
+    } else {
+        _target_index_ready = false;
+    }
     _rules.push_back(std::move(rule));
     index_rule(id);
-    _target_index_ready = false;
     return id;
 }
 
@@ -95,7 +109,54 @@ nfa::SymbolSet Pda::pre_set(const PreSpec& pre) const {
     return nfa::SymbolSet::none();
 }
 
+void Pda::set_rule_provider(RuleProvider* provider, bool weights_scalar_hint) {
+    AALWINES_ASSERT(provider != nullptr, "null rule provider");
+    AALWINES_ASSERT(_provider == nullptr, "rule provider already attached");
+    AALWINES_ASSERT(_rules.empty(), "the provider must be attached before any rule");
+    _provider = provider;
+    _materialized.assign(state_count(), false);
+    _materialized_count = 0;
+    _all_weights_scalar = weights_scalar_hint;
+    // The per-target index is filled incrementally by add_rule from now on.
+    _swaps_into.assign(state_count(), {});
+    _pushes_into.assign(state_count(), {});
+    _target_index_ready = true;
+}
+
+void Pda::mark_materialized(StateId state) {
+    AALWINES_ASSERT(_provider != nullptr, "mark_materialized needs a rule provider");
+    if (_materialized[state]) return;
+    _materialized[state] = true;
+    ++_materialized_count;
+    telemetry::count(telemetry::Counter::pda_states_materialized);
+}
+
+void Pda::materialize_state(StateId state) const {
+    // Logically const: filling the memoized rule cache for one state.
+    auto* self = const_cast<Pda*>(this); // NOLINT(cppcoreguidelines-pro-type-const-cast)
+    self->_materialized[state] = true;
+    ++self->_materialized_count;
+    const auto before = _rules.size();
+    self->_provider->materialize_state(*self, state);
+    telemetry::count(telemetry::Counter::pda_states_materialized);
+    telemetry::count(telemetry::Counter::pda_rules_materialized, _rules.size() - before);
+}
+
+void Pda::materialize_all() const {
+    if (_provider == nullptr) return;
+    // Chain interiors are filled (and marked) together with the control
+    // state that owns their chain, so iterating every state in id order
+    // leaves exactly the never-demanded pool states as no-ops.
+    for (StateId s = 0; s < state_count(); ++s) ensure_materialized(s);
+}
+
 void Pda::build_target_index() const {
+    if (_provider != nullptr) {
+        // Lazy mode keeps the index live incrementally; a caller that wants
+        // the *complete* index (pre*) needs the whole rule set.
+        materialize_all();
+        return;
+    }
     if (_target_index_ready) return;
     _swaps_into.assign(state_count(), {});
     _pushes_into.assign(state_count(), {});
@@ -111,6 +172,8 @@ void Pda::build_target_index() const {
 }
 
 void Pda::remove_rules(const std::vector<RuleId>& discard) {
+    AALWINES_ASSERT(_provider == nullptr,
+                    "cannot remove rules from a lazy PDA (reduction runs eagerly)");
     if (discard.empty()) return;
     std::vector<Rule> kept;
     kept.reserve(_rules.size() - discard.size());
@@ -141,6 +204,7 @@ void Pda::remove_rules(const std::vector<RuleId>& discard) {
 }
 
 Pda Pda::expand_concrete() const {
+    materialize_all(); // the concrete copy is a whole-PDA pass
     Pda out(_alphabet_size);
     for (StateId s = 0; s < state_count(); ++s) out.add_state();
     for (Symbol s = 0; s < _symbol_classes.size(); ++s)

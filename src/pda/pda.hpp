@@ -66,6 +66,26 @@ struct Rule {
     std::uint32_t tag = UINT32_MAX; ///< caller-defined; UINT32_MAX = internal
 };
 
+class Pda;
+
+/// Demand-driven rule source (the lazy network→PDA translation).  A PDA with
+/// a provider attached starts rule-less; the first time saturation asks for a
+/// state's outgoing rules (`for_each_applicable`) the provider is invoked to
+/// emit exactly that state's rules via `Pda::add_rule`.  Contract:
+///   - every state is materialized at most once (the PDA tracks a bitmap);
+///   - the provider may fill *other* states as a side effect (an op chain's
+///     interior states are emitted together with the chain) and must mark
+///     them with `Pda::mark_materialized` so they are not asked again;
+///   - all states must exist before the provider is attached — materializing
+///     never adds states (saturation shares the state id space with the
+///     P-automaton's helper states, so the PDA cannot grow mid-run).
+class RuleProvider {
+public:
+    virtual ~RuleProvider() = default;
+    /// Emit every rule whose from-state is `state` (pda.add_rule).
+    virtual void materialize_state(Pda& pda, StateId state) = 0;
+};
+
 class Pda {
 public:
     /// `alphabet_size` is the stack-symbol universe [0, alphabet_size).
@@ -73,6 +93,13 @@ public:
 
     StateId add_state() {
         _match_by_state.emplace_back();
+        if (_provider != nullptr) {
+            // Keep the lazy bookkeeping in step (only legal while no rule
+            // references the new state yet — see RuleProvider contract).
+            _materialized.push_back(false);
+            _swaps_into.emplace_back();
+            _pushes_into.emplace_back();
+        }
         return static_cast<StateId>(_match_by_state.size() - 1);
     }
 
@@ -148,8 +175,40 @@ public:
     /// rule is instantiated per matching symbol and "same as matched" push
     /// operands are resolved.  Tags are preserved on every instance.  This
     /// is the encoding a checker without symbolic wildcards (such as Moped)
-    /// consumes; its size grows with the label alphabet.
+    /// consumes; its size grows with the label alphabet.  A lazy PDA is
+    /// fully materialized first.
     [[nodiscard]] Pda expand_concrete() const;
+
+    /// Attach a demand-driven rule source and switch the PDA to lazy mode:
+    /// `for_each_applicable` materializes a state's rules on first use, and
+    /// the per-target swap/push index is filled incrementally as rules
+    /// arrive (so it is never rebuilt by a whole-PDA scan).  Must be called
+    /// after every state exists and before any rule.  `weights_scalar_hint`
+    /// pre-seeds `all_weights_scalar()` — the bucketed-worklist decision is
+    /// made before any rule has materialized, so the provider must declare
+    /// whether every rule it will ever emit carries a scalar weight.
+    void set_rule_provider(RuleProvider* provider, bool weights_scalar_hint = true);
+
+    [[nodiscard]] bool lazy() const noexcept { return _provider != nullptr; }
+
+    /// Mark `state` materialized without invoking the provider — for states
+    /// a provider fills as a side effect of another state's materialization
+    /// (chain interiors).
+    void mark_materialized(StateId state);
+
+    /// Demand every remaining state's rules (no-op without a provider).
+    /// Logically const: materialization is memoized evaluation of the fixed
+    /// rule set the provider denotes.  pre* and whole-PDA passes
+    /// (expand_concrete, reduction, serialization) need this eager fallback.
+    void materialize_all() const;
+
+    /// States whose outgoing rules exist (== state_count() when eager).
+    [[nodiscard]] std::size_t materialized_state_count() const noexcept {
+        return _provider != nullptr ? _materialized_count : state_count();
+    }
+    [[nodiscard]] bool fully_materialized() const noexcept {
+        return materialized_state_count() == state_count();
+    }
 
 private:
     /// Per-state view of the match index.  Point lookups go through the flat
@@ -167,6 +226,13 @@ private:
     }
     void index_rule(RuleId id);
 
+    /// Lazy-mode fast path: materialize `state`'s rules on first demand.
+    /// Must run before any read of the state's match index.
+    void ensure_materialized(StateId state) const {
+        if (_provider != nullptr && !_materialized[state]) materialize_state(state);
+    }
+    void materialize_state(StateId state) const; ///< slow path of the above
+
     Symbol _alphabet_size;
     std::vector<Rule> _rules;
     std::vector<StateMatch> _match_by_state;
@@ -179,10 +245,14 @@ private:
     mutable bool _target_index_ready = false;
     mutable std::vector<std::vector<RuleId>> _swaps_into;
     mutable std::vector<std::vector<RuleId>> _pushes_into;
+    RuleProvider* _provider = nullptr;
+    mutable std::vector<bool> _materialized; ///< per state, lazy mode only
+    mutable std::size_t _materialized_count = 0;
 };
 
 template <typename Fn>
 void Pda::for_each_applicable(StateId state, Symbol symbol, Fn&& fn) const {
+    ensure_materialized(state);
     const auto& match = _match_by_state[state];
     const bool has_class_rules = !match.classes.empty() && class_of(symbol) != k_no_class;
     const auto concrete_list = _concrete_lists.find(concrete_key(state, symbol));
@@ -204,6 +274,7 @@ void Pda::for_each_applicable(StateId state, Symbol symbol, Fn&& fn) const {
 
 template <typename Fn>
 void Pda::for_each_applicable(StateId state, const nfa::SymbolSet& label, Fn&& fn) const {
+    ensure_materialized(state);
     const auto& match = _match_by_state[state];
     using Mode = nfa::SymbolSet::Mode;
     // Concrete-pre rules.

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "telemetry/telemetry.hpp"
+#include "util/check.hpp"
 
 namespace aalwines::pda {
 
@@ -196,6 +197,14 @@ bool grow_from_symbol_set(const Pda& pda, StrataSet& target, const nfa::SymbolSe
 
 ReductionStats reduce(Pda& pda, std::span<const TosSeed> seeds,
                       const nfa::SymbolSet& deep_symbols, int level) {
+    // The reduction is a whole-PDA fixpoint followed by rule removal, so a
+    // lazy PDA would have to materialize everything first — which defeats
+    // demand-driven construction.  The lazy translation therefore skips this
+    // pass entirely: saturation's match index filters on the *exact*
+    // reachable top-of-stack labels per state, subsuming the abstract
+    // StrataSet filter rule-application-wise (pruned rules can never match a
+    // reachable top, so removal never changes post*/pre* results).
+    AALWINES_CHECK(!pda.lazy(), "reduce() requires an eagerly built PDA");
     ReductionStats stats;
     stats.rules_before = pda.rule_count();
     stats.rules_after = pda.rule_count();

@@ -265,6 +265,9 @@ void post_star_loop(PAutomaton& aut, const SolverOptions& options, SolverStats& 
                         }
                     }
                 };
+                // On a lazy PDA this pop is what demands trans.from's rules:
+                // the first finalized transition out of a control state
+                // materializes its outgoing rules (and only then).
                 if (trans.label.is_concrete())
                     pda.for_each_applicable(trans.from, trans.label.concrete, apply);
                 else
@@ -293,7 +296,12 @@ template <typename WL>
 void pre_star_loop(PAutomaton& aut, const SolverOptions& options, SolverStats& stats,
                    WL& worklist) {
     const Pda& pda = aut.pda();
-    pda.build_target_index(); // cached across calls on the same PDA
+    // Cached across calls on the same PDA.  pre* consumes rules by *target*
+    // state and seeds every pop rule unconditionally below, so demand-driven
+    // construction cannot skip work here: a lazy PDA falls back to full
+    // materialization (build_target_index materializes, and its per-target
+    // index was already filled incrementally by add_rule).
+    pda.build_target_index();
 
     auto enqueue_trans = [&](TransId id) {
         ++stats.relaxations;

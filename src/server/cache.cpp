@@ -7,7 +7,7 @@ namespace aalwines::server {
 std::string cache_key(std::uint64_t sequence, const std::string& query_text,
                       const std::string& engine, const std::string& weight,
                       int reduction, std::size_t witnesses, std::size_t max_iterations,
-                      bool trace) {
+                      bool trace, const std::string& translation) {
     // '\x1f' (ASCII unit separator) cannot appear in query or weight text.
     std::string key = std::to_string(sequence);
     key += '\x1f';
@@ -22,6 +22,8 @@ std::string cache_key(std::uint64_t sequence, const std::string& query_text,
     key += std::to_string(max_iterations);
     key += '\x1f';
     key += trace ? '1' : '0';
+    key += '\x1f';
+    key += translation;
     key += '\x1f';
     key += query_text;
     return key;

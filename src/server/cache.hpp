@@ -1,7 +1,8 @@
 #pragma once
 // Compiled-query LRU cache: memoizes VerifyResults keyed by everything that
 // determines them — network workspace, query text, engine, weight
-// expression, reduction level, witness count, iteration cap.  Repeat
+// expression, reduction level, witness count, iteration cap, translation
+// mode (lazy answers match eager ones, but their stats differ).  Repeat
 // queries (the dominant interactive pattern: re-checking the same
 // invariants after each what-if edit) skip parse, translation and
 // saturation entirely.  Hit/miss totals land in the telemetry registry
@@ -23,7 +24,8 @@ namespace aalwines::server {
 [[nodiscard]] std::string cache_key(std::uint64_t sequence, const std::string& query_text,
                                     const std::string& engine, const std::string& weight,
                                     int reduction, std::size_t witnesses,
-                                    std::size_t max_iterations, bool trace);
+                                    std::size_t max_iterations, bool trace,
+                                    const std::string& translation);
 
 class ResultCache {
 public:

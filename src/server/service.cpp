@@ -213,6 +213,8 @@ http::Response Service::handle_query(const http::Request& request,
     spec.trace = bool_field(object, "trace", true);
     spec.witnesses = size_field(object, "witnesses", 1);
     spec.max_iterations = size_field(object, "maxIterations", 0);
+    spec.translation = string_field(object, "translation");
+    if (spec.translation.empty()) spec.translation = "auto";
     const bool stats = bool_field(object, "stats", false);
     auto jobs = size_field(object, "jobs", 1);
     const auto max_jobs = _config.max_jobs != 0
@@ -236,7 +238,7 @@ http::Response Service::handle_query(const http::Request& request,
     for (std::size_t i = 0; i < texts.size(); ++i) {
         slots[i].key = cache_key(workspace.sequence, texts[i], spec.engine, spec.weight,
                                  spec.reduction, spec.witnesses, spec.max_iterations,
-                                 spec.trace);
+                                 spec.trace, spec.translation);
         slots[i].result = _cache.find(slots[i].key);
         slots[i].cached = slots[i].result != nullptr;
         if (!slots[i].cached) {

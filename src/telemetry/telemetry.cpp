@@ -16,6 +16,9 @@ std::string_view name_of(Counter counter) {
         case Counter::nfa_edges_built: return "nfa_edges_built";
         case Counter::pda_states_interned: return "pda_states_interned";
         case Counter::pda_rules_emitted: return "pda_rules_emitted";
+        case Counter::pda_rules_total: return "pda_rules_total";
+        case Counter::pda_rules_materialized: return "pda_rules_materialized";
+        case Counter::pda_states_materialized: return "pda_states_materialized";
         case Counter::reduction_rules_pruned: return "reduction_rules_pruned";
         case Counter::post_star_pops: return "post_star_pops";
         case Counter::pre_star_pops: return "pre_star_pops";

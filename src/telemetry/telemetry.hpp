@@ -38,6 +38,9 @@ enum class Counter : std::uint32_t {
     nfa_edges_built,        ///< NFA edges constructed
     pda_states_interned,    ///< PDA control + chain states (translation)
     pda_rules_emitted,      ///< PDA rules emitted by the translation
+    pda_rules_total,        ///< rules an eager translation would emit (pre-reduction)
+    pda_rules_materialized, ///< rules demand-materialized during lazy saturation
+    pda_states_materialized,///< states whose outgoing rules were demanded (lazy)
     reduction_rules_pruned, ///< rules removed by the top-of-stack reduction
     post_star_pops,         ///< post* worklist items finalized
     pre_star_pops,          ///< pre* worklist items finalized

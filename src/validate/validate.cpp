@@ -277,6 +277,7 @@ void check_pda_rules(const std::vector<pda::Rule>& rules, std::size_t state_coun
 
 Report check_pda(const pda::Pda& pda) {
     Report report;
+    pda.materialize_all(); // a lazy PDA's structural checks must cover every rule
     check_pda_rules(pda.rules(), pda.state_count(), pda.alphabet_size(), report);
     return report;
 }

@@ -37,6 +37,24 @@ std::string_view to_string(EngineKind engine) {
     return "?";
 }
 
+std::string_view to_string(TranslationMode mode) {
+    switch (mode) {
+        case TranslationMode::Auto: return "auto";
+        case TranslationMode::Lazy: return "lazy";
+        case TranslationMode::Eager: return "eager";
+    }
+    return "?";
+}
+
+bool use_lazy_translation(TranslationMode mode, EngineKind engine) {
+    switch (mode) {
+        case TranslationMode::Lazy: return true;
+        case TranslationMode::Eager: return false;
+        case TranslationMode::Auto: break;
+    }
+    return engine == EngineKind::Dual || engine == EngineKind::Weighted;
+}
+
 namespace {
 
 using Clock = std::chrono::steady_clock;
@@ -72,8 +90,6 @@ PhaseOutcome run_post_star_phase(const Network& network, const query::Query& que
     Translation& translation = cache.translation(approximation);
     outcome.stats.pda_rules_before_reduction = translation.rules_before_reduction();
     translation.reduce(options.reduction_level);
-    outcome.stats.pda_rules = translation.pda().rule_count();
-    outcome.stats.pda_states = translation.pda().state_count();
 
     auto automaton = translation.make_initial_automaton();
     const auto domain = static_cast<pda::Symbol>(network.labels.size());
@@ -93,6 +109,16 @@ PhaseOutcome run_post_star_phase(const Network& network, const query::Query& que
     const auto sat_stats = pda::post_star(automaton, sopts);
     absorb_solver_stats(outcome.stats, sat_stats);
     outcome.truncated = sat_stats.truncated;
+
+    // Snapshot the PDA size after saturation: a lazy translation grows its
+    // rule set on demand, so the materialized counts are only meaningful
+    // once the worklist has drained (or early-terminated).
+    outcome.stats.pda_rules = translation.pda().rule_count();
+    outcome.stats.pda_states = translation.pda().state_count();
+    outcome.stats.lazy_translation = translation.lazy();
+    outcome.stats.pda_rules_total = translation.total_rules();
+    outcome.stats.pda_rules_materialized = translation.pda().rule_count();
+    outcome.stats.pda_states_materialized = translation.pda().materialized_state_count();
 
     const auto accepted =
         pda::find_accepted(automaton, translation.accepting_states(),
@@ -172,7 +198,8 @@ VerifyResult verify(const Network& network, const query::Query& query,
     // memory, so the under pass reuses the over pass's high-water footprint.
     TranslationCache cache(network, query,
                            options.engine == EngineKind::Weighted ? options.weights
-                                                                  : nullptr);
+                                                                  : nullptr,
+                           use_lazy_translation(options.translation, options.engine));
     pda::SolverWorkspace workspace;
 
     if (query.mode == query::Mode::Under) {

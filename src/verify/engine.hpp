@@ -37,6 +37,18 @@ enum class EngineKind : std::uint8_t { Moped, Dual, Weighted, Exact };
 
 [[nodiscard]] std::string_view to_string(EngineKind engine);
 
+/// Network→PDA rule materialization strategy (TranslationOptions::lazy).
+enum class TranslationMode : std::uint8_t { Auto, Lazy, Eager };
+
+[[nodiscard]] std::string_view to_string(TranslationMode mode);
+
+/// Resolve Auto per engine: demand-driven for the native post* engines
+/// (Dual, Weighted), where saturation demands only the reachable control
+/// states; eager for engines that consume the whole rule set up front
+/// (Moped's serialization round-trip, Exact's per-scenario enumeration and
+/// pre* seeding).  Explicit Lazy/Eager is honored for every engine.
+[[nodiscard]] bool use_lazy_translation(TranslationMode mode, EngineKind engine);
+
 struct VerifyOptions {
     EngineKind engine = EngineKind::Dual;
     /// PDA reduction level: 0 = off, 1 = top-of-stack, 2 = + second symbol.
@@ -57,6 +69,9 @@ struct VerifyOptions {
     /// weight for the weighted engine).  Values > 1 disable demand-driven
     /// early termination so the saturated automaton covers alternatives.
     std::size_t max_witnesses = 1;
+    /// When (and whether) network→PDA rules materialize — see
+    /// use_lazy_translation for the Auto resolution.
+    TranslationMode translation = TranslationMode::Auto;
 };
 
 /// Timing and size figures for one saturation phase.  Every engine reports
@@ -75,6 +90,15 @@ struct PhaseStats {
     std::size_t automaton_transitions = 0; ///< incl. ε-transitions
     std::size_t worklist_relaxations = 0;  ///< inserts + weight decreases
     std::size_t peak_worklist = 0;         ///< worklist length high-water mark
+    /// Demand-driven materialization figures, snapshotted when the phase
+    /// ends.  `pda_rules_total` is the eager-equivalent rule count (before
+    /// reduction); with a lazy translation `pda_rules_materialized` /
+    /// `pda_states_materialized` are the subset saturation actually
+    /// demanded, and equal the full counts when eager.
+    std::size_t pda_rules_total = 0;
+    std::size_t pda_rules_materialized = 0;
+    std::size_t pda_states_materialized = 0;
+    bool lazy_translation = false;
     double seconds = 0.0;
     bool ran = false;
     bool truncated = false;

@@ -91,9 +91,24 @@ Translation::Translation(const Network& network, const query::Query& query,
         _pda->set_symbol_class(label, class_id(network.labels.type_of(label)));
 
     build_control_states();
-    build_rules();
+    build_move_index();
+    if (_options.lazy) {
+        _lazy = true;
+        build_lazy_index();
+        // The bucketed-worklist decision is made before any rule exists, so
+        // declare up front whether every step weight will be scalar: the
+        // weight vector's arity is fixed by the expression (≤ 1 component ⇒
+        // scalar, matching what the eager translation would report).
+        const bool scalar_weights =
+            _options.weights == nullptr || _options.weights->size() <= 1;
+        _pda->set_rule_provider(this, scalar_weights);
+    } else {
+        build_rules();
+        _total_rules = _pda->rule_count();
+        telemetry::count(telemetry::Counter::pda_rules_emitted, _pda->rule_count());
+    }
     telemetry::count(telemetry::Counter::pda_states_interned, _pda->state_count());
-    telemetry::count(telemetry::Counter::pda_rules_emitted, _pda->rule_count());
+    telemetry::count(telemetry::Counter::pda_rules_total, _total_rules);
 }
 
 pda::StateId Translation::control_state(LinkId link, std::uint32_t nfa_state,
@@ -160,7 +175,7 @@ pda::Weight Translation::make_initial_weight(LinkId first_link) const {
     return pda::Weight::of(std::move(components));
 }
 
-void Translation::build_rules() {
+void Translation::build_move_index() {
     // Invert the path NFA once: the (q --link--> q') moves grouped by link,
     // in the same (q, edge) order the per-rule scan used to visit them.
     const auto n_links = _network->topology.link_count();
@@ -170,91 +185,50 @@ void Translation::build_rules() {
         for (const auto& edge : _nfa_b.states()[q].edges)
             for (const auto link : edge.symbols.materialize(domain))
                 _moves_by_link[link].emplace_back(q, edge.target);
-
-    // Upper-bound the rule count (ignores failure-budget pruning and dead
-    // chains) so the rule vector and its match indexes allocate once.
-    std::size_t estimated_rules = 0;
-    for (const auto& [key, groups] : _network->routing.entries()) {
-        (void)key;
-        for (const auto& group : groups)
-            for (const auto& rule : group)
-                estimated_rules += _moves_by_link[rule.out_link].size() *
-                                   std::max<std::size_t>(rule.ops.size(), 1);
-    }
-    _pda->reserve_rules(estimated_rules * _failure_slots);
-
-    _network->routing.for_each([this](LinkId in_link, Label label, const RoutingEntry& groups) {
-        add_entry_rules(in_link, label, groups);
-    });
 }
 
-void Translation::add_entry_rules(LinkId in_link, Label label, const RoutingEntry& groups) {
-    const auto k = _query->max_failures;
-    if (_options.approximation == Approximation::Exact) {
-        const auto& failed = *_options.failed_links;
-        if (failed.contains(in_link)) return; // packets never arrive here
-        // Definition 4, exactly: the first TE group with an active link
-        // forwards; higher-priority groups are fully failed.
-        std::set<LinkId> higher_priority_links;
-        for (const auto& group : groups) {
-            std::vector<const ForwardingRule*> active;
-            for (const auto& rule : group)
-                if (!failed.contains(rule.out_link)) active.push_back(&rule);
-            if (active.empty()) {
-                for (const auto& rule : group)
-                    higher_priority_links.insert(rule.out_link);
-                continue;
-            }
-            const auto local_failures =
-                static_cast<std::uint64_t>(higher_priority_links.size());
-            for (const auto* rule : active) {
-                for (const auto& [q, q_next] : _moves_by_link[rule->out_link]) {
-                    const auto from = control_state(in_link, q, 0);
-                    const auto to = control_state(rule->out_link, q_next, 0);
-                    const auto tag = static_cast<std::uint32_t>(_steps.size());
-                    _steps.push_back(
-                        {rule->out_link, static_cast<std::uint32_t>(local_failures)});
-                    add_chain(from, label, *rule, to,
-                              make_step_weight(*rule, local_failures), tag);
-                }
-            }
-            return; // only the first active group forwards
-        }
-        return;
+/// Counting sink for walk_chain: tallies the rules and interior states a
+/// chain would create without touching the PDA.  Must mirror EmitSink's
+/// control flow exactly — the lazy interior pool is sized from these counts.
+struct Translation::CountSink {
+    std::size_t rules = 0;
+    std::size_t interiors = 0;
+    void step(std::size_t /*index*/, bool last) {
+        if (!last) ++interiors;
     }
-    std::set<LinkId> higher_priority_links;
-    for (const auto& group : groups) {
-        const auto local_failures = static_cast<std::uint64_t>(higher_priority_links.size());
-        if (local_failures <= k) {
-            for (const auto& rule : group) {
-                // A rule fires for every path-NFA move that consumes its
-                // out-link, from every (in_link, q [, f]) control state.
-                for (const auto& [q, q_next] : _moves_by_link[rule.out_link]) {
-                    for (std::uint32_t f = 0; f < _failure_slots; ++f) {
-                        std::uint32_t f_next = f;
-                        if (_options.approximation == Approximation::Under) {
-                            if (f + local_failures > k) continue;
-                            f_next = f + static_cast<std::uint32_t>(local_failures);
-                        }
-                        const auto from = control_state(in_link, q, f);
-                        const auto to = control_state(rule.out_link, q_next, f_next);
-                        const auto tag = static_cast<std::uint32_t>(_steps.size());
-                        _steps.push_back(
-                            {rule.out_link, static_cast<std::uint32_t>(local_failures)});
-                        add_chain(from, label, rule, to,
-                                  make_step_weight(rule, local_failures), tag);
-                    }
-                }
-            }
-        }
-        for (const auto& rule : group) higher_priority_links.insert(rule.out_link);
+    void rule(pda::PreSpec /*pre*/, pda::Rule::OpKind /*op*/, pda::Symbol /*l1*/,
+              pda::Symbol /*l2*/) {
+        ++rules;
     }
-}
+};
 
-void Translation::add_chain(pda::StateId from, Label top, const ForwardingRule& rule,
-                            pda::StateId target, pda::Weight weight, std::uint32_t tag) {
+/// Emitting sink for walk_chain: allocates interior states (from the lazy
+/// pool or by growing the PDA) and adds the rules.  The step weight and
+/// trace tag ride on the first rule of the chain only.
+struct Translation::EmitSink {
+    Translation& t;
+    pda::StateId from;
+    pda::StateId target;
+    pda::Weight weight;
+    std::uint32_t tag;
+    pda::StateId to = 0;
+    std::size_t index = 0;
+
+    void step(std::size_t i, bool last) {
+        index = i;
+        if (i > 0) from = to;
+        to = last ? target : t.new_chain_state();
+    }
+    void rule(pda::PreSpec pre, pda::Rule::OpKind op, pda::Symbol l1, pda::Symbol l2) {
+        t._pda->add_rule({from, to, pre, op, l1, l2,
+                          index == 0 ? weight : pda::Weight::one(),
+                          index == 0 ? tag : UINT32_MAX});
+    }
+};
+
+template <typename Sink>
+void Translation::walk_chain(Label top, const std::vector<Op>& ops, Sink& sink) const {
     const auto& labels = _network->labels;
-    const auto& ops = rule.ops;
 
     // Pre-check the statically-known prefix so we do not emit half a chain.
     {
@@ -270,50 +244,40 @@ void Translation::add_chain(pda::StateId from, Label top, const ForwardingRule& 
         }
     }
 
-    pda::StateId current = from;
-    TopDescriptor desc = TopDescriptor::of(top);
-
-    auto next_state = [&](std::size_t index) -> pda::StateId {
-        if (index + 1 == std::max<std::size_t>(ops.size(), 1)) return target;
-        const auto state = _pda->add_state();
-        _control_info.push_back({k_invalid_id, 0, 0, true});
-        return state;
-    };
-
     if (ops.empty()) {
         // Plain forwarding: keep the top label, move to the target state.
-        _pda->add_rule({current, target, pda::PreSpec::concrete(top),
-                        pda::Rule::OpKind::Swap, top, pda::k_no_symbol, std::move(weight),
-                        tag});
+        sink.step(0, /*last=*/true);
+        sink.rule(pda::PreSpec::concrete(top), pda::Rule::OpKind::Swap, top,
+                  pda::k_no_symbol);
         return;
     }
 
+    TopDescriptor desc = TopDescriptor::of(top);
     for (std::size_t i = 0; i < ops.size(); ++i) {
         const auto& op = ops[i];
-        const auto to = next_state(i);
-        const auto rule_weight = i == 0 ? std::move(weight) : pda::Weight::one();
-        const auto rule_tag = i == 0 ? tag : UINT32_MAX;
+        // The interior state (when not last) is allocated before the
+        // applicability check, matching the historical emission order —
+        // chains that die mid-walk still consume their interiors, and the
+        // counting pass must agree on that.
+        sink.step(i, i + 1 == ops.size());
 
         if (desc.is_known()) {
             const Label s = desc.known;
             if (!op_applicable(labels, s, op)) return; // dead chain (unknown-path)
             switch (op.kind) {
                 case Op::Kind::Swap:
-                    _pda->add_rule({current, to, pda::PreSpec::concrete(s),
-                                    pda::Rule::OpKind::Swap, op.label, pda::k_no_symbol,
-                                    rule_weight, rule_tag});
+                    sink.rule(pda::PreSpec::concrete(s), pda::Rule::OpKind::Swap, op.label,
+                              pda::k_no_symbol);
                     desc = TopDescriptor::of(op.label);
                     break;
                 case Op::Kind::Push:
-                    _pda->add_rule({current, to, pda::PreSpec::concrete(s),
-                                    pda::Rule::OpKind::Push, op.label, s, rule_weight,
-                                    rule_tag});
+                    sink.rule(pda::PreSpec::concrete(s), pda::Rule::OpKind::Push, op.label,
+                              s);
                     desc = TopDescriptor::of(op.label);
                     break;
                 case Op::Kind::Pop:
-                    _pda->add_rule({current, to, pda::PreSpec::concrete(s),
-                                    pda::Rule::OpKind::Pop, pda::k_no_symbol,
-                                    pda::k_no_symbol, rule_weight, rule_tag});
+                    sink.rule(pda::PreSpec::concrete(s), pda::Rule::OpKind::Pop,
+                              pda::k_no_symbol, pda::k_no_symbol);
                     desc = below_of(labels.type_of(s));
                     break;
             }
@@ -351,19 +315,17 @@ void Translation::add_chain(pda::StateId from, Label top, const ForwardingRule& 
                 const auto pre = pda::PreSpec::of_class(class_id(stratum));
                 switch (op.kind) {
                     case Op::Kind::Swap:
-                        _pda->add_rule({current, to, pre, pda::Rule::OpKind::Swap, op.label,
-                                        pda::k_no_symbol, rule_weight, rule_tag});
+                        sink.rule(pre, pda::Rule::OpKind::Swap, op.label, pda::k_no_symbol);
                         next_desc = TopDescriptor::of(op.label);
                         break;
                     case Op::Kind::Push:
-                        _pda->add_rule({current, to, pre, pda::Rule::OpKind::Push, op.label,
-                                        pda::k_same_symbol, rule_weight, rule_tag});
+                        sink.rule(pre, pda::Rule::OpKind::Push, op.label,
+                                  pda::k_same_symbol);
                         next_desc = TopDescriptor::of(op.label);
                         break;
                     case Op::Kind::Pop: {
-                        _pda->add_rule({current, to, pre, pda::Rule::OpKind::Pop,
-                                        pda::k_no_symbol, pda::k_no_symbol, rule_weight,
-                                        rule_tag});
+                        sink.rule(pre, pda::Rule::OpKind::Pop, pda::k_no_symbol,
+                                  pda::k_no_symbol);
                         const auto branch_below = below_of(stratum);
                         next_desc.mpls = next_desc.mpls || branch_below.mpls;
                         next_desc.bos = next_desc.bos || branch_below.bos;
@@ -376,8 +338,158 @@ void Translation::add_chain(pda::StateId from, Label top, const ForwardingRule& 
             if (!emitted) return; // no stratum admits this op: dead chain
             desc = next_desc;
         }
-        current = to;
     }
+}
+
+pda::StateId Translation::new_chain_state() {
+    if (_lazy) {
+        // Saturation has already handed out P-automaton helper ids above
+        // state_count(), so interiors must come from the pre-allocated pool.
+        AALWINES_ASSERT(_pool_next < _pool_end, "chain-interior pool exhausted");
+        const auto state = _pool_next++;
+        _pda->mark_materialized(state); // interiors have no rules of their own
+        return state;
+    }
+    const auto state = _pda->add_state();
+    _control_info.push_back({k_invalid_id, 0, 0, true});
+    return state;
+}
+
+void Translation::build_rules() {
+    // Upper-bound the rule count (ignores failure-budget pruning and dead
+    // chains) so the rule vector and its match indexes allocate once.
+    std::size_t estimated_rules = 0;
+    for (const auto& [key, groups] : _network->routing.entries()) {
+        (void)key;
+        for (const auto& group : groups)
+            for (const auto& rule : group)
+                estimated_rules += _moves_by_link[rule.out_link].size() *
+                                   std::max<std::size_t>(rule.ops.size(), 1);
+    }
+    _pda->reserve_rules(estimated_rules * _failure_slots);
+
+    _network->routing.for_each([this](LinkId in_link, Label label, const RoutingEntry& groups) {
+        add_entry_rules(in_link, label, groups);
+    });
+}
+
+void Translation::build_lazy_index() {
+    AALWINES_SPAN("build_lazy_index");
+    const auto n_links = _network->topology.link_count();
+    _entries_by_link.assign(n_links, {});
+    std::size_t total_rules = 0;
+    std::size_t total_interiors = 0;
+    const auto k = _query->max_failures;
+    _network->routing.for_each([&](LinkId in_link, Label label, const RoutingEntry& groups) {
+        _entries_by_link[in_link].emplace_back(label, &groups);
+        for_entry_rules(in_link, groups,
+                        [&](const ForwardingRule& rule, std::uint64_t local_failures) {
+            // One rule-free chain walk per (entry, forwarding rule): the
+            // chain's shape depends only on (top label, ops), so its counts
+            // multiply across the path-NFA moves and failure slots.
+            CountSink counts;
+            walk_chain(label, rule.ops, counts);
+            std::size_t slots = 1;
+            if (_options.approximation == Approximation::Under)
+                slots = static_cast<std::size_t>(k - local_failures) + 1;
+            const auto copies = _moves_by_link[rule.out_link].size() * slots;
+            total_rules += counts.rules * copies;
+            total_interiors += counts.interiors * copies;
+        });
+    });
+    _total_rules = total_rules;
+    // Pre-allocate the chain-interior pool: materialization must never add
+    // PDA states (the P-automaton's helper states share the id space), so
+    // every interior an eager build would create exists up front.  The
+    // counting pass is exact, which the equivalence tests pin down by
+    // asserting the pool is fully consumed after materialize_all().
+    _pool_next = static_cast<pda::StateId>(_pda->state_count());
+    _pda->reserve_states(_pda->state_count() + total_interiors);
+    _control_info.reserve(_control_info.size() + total_interiors);
+    for (std::size_t i = 0; i < total_interiors; ++i) {
+        _pda->add_state();
+        _control_info.push_back({k_invalid_id, 0, 0, true});
+    }
+    _pool_end = static_cast<pda::StateId>(_pda->state_count());
+}
+
+template <typename RuleFn>
+void Translation::for_entry_rules(LinkId in_link, const RoutingEntry& groups,
+                                  RuleFn&& fn) const {
+    if (_options.approximation == Approximation::Exact) {
+        const auto& failed = *_options.failed_links;
+        if (failed.contains(in_link)) return; // packets never arrive here
+        // Definition 4, exactly: the first TE group with an active link
+        // forwards; higher-priority groups are fully failed.
+        std::set<LinkId> higher_priority_links;
+        for (const auto& group : groups) {
+            std::vector<const ForwardingRule*> active;
+            for (const auto& rule : group)
+                if (!failed.contains(rule.out_link)) active.push_back(&rule);
+            if (active.empty()) {
+                for (const auto& rule : group)
+                    higher_priority_links.insert(rule.out_link);
+                continue;
+            }
+            const auto local_failures =
+                static_cast<std::uint64_t>(higher_priority_links.size());
+            for (const auto* rule : active) fn(*rule, local_failures);
+            return; // only the first active group forwards
+        }
+        return;
+    }
+    const auto k = _query->max_failures;
+    std::set<LinkId> higher_priority_links;
+    for (const auto& group : groups) {
+        const auto local_failures = static_cast<std::uint64_t>(higher_priority_links.size());
+        if (local_failures <= k)
+            for (const auto& rule : group) fn(rule, local_failures);
+        for (const auto& rule : group) higher_priority_links.insert(rule.out_link);
+    }
+}
+
+void Translation::add_entry_rules(LinkId in_link, Label label, const RoutingEntry& groups,
+                                  std::uint32_t only_q, std::uint32_t only_f) {
+    const auto k = _query->max_failures;
+    for_entry_rules(in_link, groups,
+                    [&](const ForwardingRule& rule, std::uint64_t local_failures) {
+        // A rule fires for every path-NFA move that consumes its out-link,
+        // from every (in_link, q [, f]) control state — or just the
+        // (only_q, only_f) slice when one state is materialized on demand.
+        for (const auto& [q, q_next] : _moves_by_link[rule.out_link]) {
+            if (only_q != k_any && q != only_q) continue;
+            for (std::uint32_t f = 0; f < _failure_slots; ++f) {
+                if (only_f != k_any && f != only_f) continue;
+                std::uint32_t f_next = f;
+                if (_options.approximation == Approximation::Under) {
+                    if (f + local_failures > k) continue;
+                    f_next = f + static_cast<std::uint32_t>(local_failures);
+                }
+                const auto from = control_state(in_link, q, f);
+                const auto to = control_state(rule.out_link, q_next, f_next);
+                const auto tag = static_cast<std::uint32_t>(_steps.size());
+                _steps.push_back(
+                    {rule.out_link, static_cast<std::uint32_t>(local_failures)});
+                add_chain(from, label, rule, to,
+                          make_step_weight(rule, local_failures), tag);
+            }
+        }
+    });
+}
+
+void Translation::materialize_state(pda::Pda& pda, pda::StateId state) {
+    AALWINES_ASSERT(&pda == _pda.get(), "provider bound to a different PDA");
+    (void)pda;
+    const auto& info = _control_info[state];
+    if (info.chain) return; // interiors were emitted with their owning chain
+    for (const auto& [label, entry] : _entries_by_link[info.link])
+        add_entry_rules(info.link, label, *entry, info.nfa_state, info.failures);
+}
+
+void Translation::add_chain(pda::StateId from, Label top, const ForwardingRule& rule,
+                            pda::StateId target, pda::Weight weight, std::uint32_t tag) {
+    EmitSink sink{*this, from, target, std::move(weight), tag};
+    walk_chain(top, rule.ops, sink);
 }
 
 void Translation::attach_header_nfa(pda::PAutomaton& aut, const nfa::Nfa& header_nfa,
@@ -438,6 +550,16 @@ pda::PAutomaton Translation::make_final_automaton(const pda::Pda& backend,
 
 pda::ReductionStats Translation::reduce(int level) {
     if (_reduced) return _reduce_stats; // shared translations reduce once
+    if (_lazy) {
+        // Demand-driven construction subsumes the reduction pass: the match
+        // index filters rule application on the exact reachable tops per
+        // state, so the rules the abstract pass would prune can never fire.
+        // Running it would force full materialization, defeating laziness.
+        _reduce_stats.rules_before = _total_rules;
+        _reduce_stats.rules_after = _total_rules;
+        _reduced = true;
+        return _reduce_stats;
+    }
     AALWINES_SPAN("reduce");
     // Seed the analysis with the stack languages of the initial configs.
     SymbolSet top_set, second_set, deep_set;
@@ -461,8 +583,8 @@ pda::ReductionStats Translation::reduce(int level) {
 }
 
 TranslationCache::TranslationCache(const Network& network, const query::Query& query,
-                                   const WeightExpr* weights)
-    : _network(&network), _query(&query), _weights(weights),
+                                   const WeightExpr* weights, bool lazy)
+    : _network(&network), _query(&query), _weights(weights), _lazy(lazy),
       _nfas(compile_query_nfas(network, query)) {}
 
 Translation& TranslationCache::translation(Approximation approximation) {
@@ -479,6 +601,7 @@ Translation& TranslationCache::translation(Approximation approximation) {
         topts.approximation = approximation;
         topts.weights = _weights;
         topts.nfas = &_nfas;
+        topts.lazy = _lazy;
         slot = std::make_unique<Translation>(*_network, *_query, topts);
     }
     return *slot;

@@ -55,25 +55,57 @@ struct TranslationOptions {
     const std::set<LinkId>* failed_links = nullptr;
     /// Pre-compiled query NFAs (see CompiledNfas); nullptr = compile here.
     const CompiledNfas* nfas = nullptr;
+    /// Demand-driven rule materialization: construction emits *no* rules and
+    /// registers the translation as the PDA's RuleProvider instead; a control
+    /// state's outgoing rules (TE-group expansion × path-NFA moves × failure
+    /// slots, including its op chains) are generated when post*/pre* first
+    /// pops a transition out of that state.  Chain-interior states are
+    /// pre-allocated from an exactly-sized pool (a rule-free counting pass
+    /// over the routing table), so the state space is fixed up front and the
+    /// P-automaton can share the id space safely.  reduce() becomes a no-op:
+    /// the demand filter subsumes the top-of-stack pass (see reduction.cpp).
+    bool lazy = false;
 };
 
-class Translation {
+class Translation : public pda::RuleProvider {
 public:
     Translation(const Network& network, const query::Query& query,
                 const TranslationOptions& options);
+    /// Lazy mode registers `this` as the PDA's rule provider, so the
+    /// translation must stay put for the PDA's lifetime.
+    Translation(const Translation&) = delete;
+    Translation& operator=(const Translation&) = delete;
 
     [[nodiscard]] pda::Pda& pda() noexcept { return *_pda; }
     [[nodiscard]] const pda::Pda& pda() const noexcept { return *_pda; }
 
     /// Run the top-of-stack reduction at `level` (0 = off).  Idempotent: a
     /// second call returns the first call's stats without touching the PDA,
-    /// so a translation shared across phases reduces exactly once.
+    /// so a translation shared across phases reduces exactly once.  A lazy
+    /// translation skips the pass (stats report zero rules removed): the
+    /// demand filter at materialization plays its role — see reduction.cpp.
     pda::ReductionStats reduce(int level);
 
-    /// Rule count before the first reduce() ran (== rule_count() until then).
+    /// Rule count before the first reduce() ran (== rule_count() until
+    /// then); for a lazy translation the eager-equivalent total.
     [[nodiscard]] std::size_t rules_before_reduction() const {
+        if (_lazy) return _total_rules;
         return _reduced ? _reduce_stats.rules_before : _pda->rule_count();
     }
+
+    /// Demand-driven construction active (TranslationOptions::lazy).
+    [[nodiscard]] bool lazy() const noexcept { return _lazy; }
+
+    /// Rules the eager pipeline would emit before reduction.  For a lazy
+    /// translation this is computed by a rule-free counting pass at
+    /// construction; compare with pda().rule_count() (the materialized
+    /// subset) for the demand savings.
+    [[nodiscard]] std::size_t total_rules() const noexcept { return _total_rules; }
+
+    /// RuleProvider: emit every outgoing rule of one control state (chain
+    /// interiors ride along with their owning chain).  Invoked by the PDA on
+    /// first demand; not for direct use.
+    void materialize_state(pda::Pda& pda, pda::StateId state) override;
 
     /// P-automaton accepting the initial configurations
     /// {((e₁,q₁,0), h) : h ∈ L(a) ∩ H} — the post* source.
@@ -128,11 +160,41 @@ private:
         std::uint32_t local_failures = 0;
     };
 
+    /// "No filter" sentinel for the per-state emission filters below.
+    static constexpr std::uint32_t k_any = UINT32_MAX;
+
     void build_control_states();
+    void build_move_index();
     void build_rules();
-    void add_entry_rules(LinkId in_link, Label label, const RoutingEntry& groups);
+    /// Lazy construction: per-link routing entry index + the counting pass
+    /// sizing the chain-state pool and the eager-equivalent rule total.
+    void build_lazy_index();
+    /// Emit the rules of one routing entry.  `only_q`/`only_f` restrict
+    /// emission to rules leaving control state (in_link, only_q, only_f) —
+    /// the per-state slice lazy materialization demands; `k_any` disables a
+    /// filter (the eager whole-entry pass).
+    void add_entry_rules(LinkId in_link, Label label, const RoutingEntry& groups,
+                         std::uint32_t only_q = k_any, std::uint32_t only_f = k_any);
+    /// Invoke `fn(rule, local_failures)` for every forwarding rule of the
+    /// entry that is eligible under the approximation (TE-priority and
+    /// failure-budget handling shared by emission and the counting pass).
+    template <typename RuleFn>
+    void for_entry_rules(LinkId in_link, const RoutingEntry& groups, RuleFn&& fn) const;
+    /// Walk one op chain, driving `sink.step(index, last)` before each op
+    /// and `sink.rule(pre, op, l1, l2)` per emitted rule — the single source
+    /// of truth for chain shape, shared by emission (EmitSink) and the
+    /// counting pass (CountSink), so lazy totals match eager emission
+    /// rule-for-rule.
+    template <typename Sink>
+    void walk_chain(Label top, const std::vector<Op>& ops, Sink& sink) const;
+    struct EmitSink;
+    struct CountSink;
     void add_chain(pda::StateId from, Label top, const ForwardingRule& rule,
                    pda::StateId target, pda::Weight weight, std::uint32_t tag);
+    /// A fresh chain-interior state: allocated eagerly, or drawn from the
+    /// pre-sized pool in lazy mode (and marked materialized — its rules are
+    /// emitted with the chain that owns it).
+    [[nodiscard]] pda::StateId new_chain_state();
     [[nodiscard]] pda::Weight make_step_weight(const ForwardingRule& rule,
                                                std::uint64_t local_failures) const;
     [[nodiscard]] pda::Weight make_initial_weight(LinkId first_link) const;
@@ -164,6 +226,16 @@ private:
     std::vector<pda::StateId> _initial_states;
     bool _reduced = false;
     pda::ReductionStats _reduce_stats;
+
+    bool _lazy = false;
+    std::size_t _total_rules = 0; ///< eager-equivalent rule count (pre-reduction)
+    /// Routing entries grouped by in-link (per-state materialization needs
+    /// "all entries of link e"; RoutingEntry pointers stay stable — the
+    /// routing table is const for the translation's lifetime).
+    std::vector<std::vector<std::pair<Label, const RoutingEntry*>>> _entries_by_link;
+    /// Chain-interior state pool [_pool_next, _pool_end), pre-allocated by
+    /// the counting pass so materialization never adds PDA states.
+    pda::StateId _pool_next = 0, _pool_end = 0;
 };
 
 /// Memoizes the network→PDA translation across the over/under dual passes
@@ -175,7 +247,7 @@ private:
 class TranslationCache {
 public:
     TranslationCache(const Network& network, const query::Query& query,
-                     const WeightExpr* weights);
+                     const WeightExpr* weights, bool lazy = false);
 
     /// The memoized translation for `approximation` (Over or Under only;
     /// exact scenarios each need their own Translation — share nfas()).
@@ -187,6 +259,7 @@ private:
     const Network* _network;
     const query::Query* _query;
     const WeightExpr* _weights;
+    bool _lazy;
     CompiledNfas _nfas;
     std::unique_ptr<Translation> _over;
     std::unique_ptr<Translation> _under;

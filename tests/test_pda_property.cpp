@@ -246,6 +246,93 @@ TEST_P(PdaRandom, BucketAndHeapWorklistsAgree) {
     }
 }
 
+/// Replays an eagerly built PDA's rules one source state at a time — the
+/// minimal honest RuleProvider.
+class ReplayProvider final : public RuleProvider {
+public:
+    explicit ReplayProvider(const Pda& source) : _source(&source) {}
+    void materialize_state(Pda& pda, StateId state) override {
+        for (const auto& rule : _source->rules())
+            if (rule.from == state) pda.add_rule(rule);
+    }
+
+private:
+    const Pda* _source;
+};
+
+/// A rule-less twin of `source` that materializes through `provider`.
+Pda lazy_twin(const Pda& source, ReplayProvider& provider) {
+    Pda twin(source.alphabet_size());
+    for (StateId s = 0; s < source.state_count(); ++s) twin.add_state();
+    for (Symbol s = 0; s < source.alphabet_size(); ++s)
+        if (source.class_of(s) != k_no_class) twin.set_symbol_class(s, source.class_of(s));
+    twin.set_rule_provider(&provider, source.all_weights_scalar());
+    return twin;
+}
+
+/// Demand-driven rule materialization is invisible to the solvers: a lazy
+/// PDA saturates identically to its eager twin.  Per-(state, symbol) match
+/// lists keep their relative order under lazy replay, so even the
+/// saturation statistics must match exactly, not just the language.  pre*
+/// exercises the materialize_all fallback (it consumes rules by target).
+TEST_P(PdaRandom, LazyProviderMatchesEagerSaturation) {
+    std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 75503 + 11);
+    const Symbol alphabet = 3;
+    for (const bool weighted : {false, true}) {
+        const auto eager = random_pda(rng, 4, alphabet, 9, weighted);
+        ReplayProvider provider(eager);
+        const auto lazy = lazy_twin(eager, provider);
+        ASSERT_TRUE(lazy.lazy());
+        ASSERT_EQ(lazy.rule_count(), 0u);
+        EXPECT_EQ(lazy.all_weights_scalar(), eager.all_weights_scalar());
+
+        const std::vector<Config> initial{{0, {0, 1}}};
+        EXPECT_EQ(brute_force_reachable(eager, initial, 40, 5),
+                  brute_force_reachable(lazy, initial, 40, 5))
+            << "seed " << GetParam();
+
+        auto eager_aut = automaton_for_configs(eager, initial);
+        const auto eager_stats = post_star(eager_aut);
+        auto lazy_aut = automaton_for_configs(lazy, initial);
+        const auto lazy_stats = post_star(lazy_aut);
+        EXPECT_EQ(eager_stats.iterations, lazy_stats.iterations) << "seed " << GetParam();
+        EXPECT_EQ(eager_stats.transitions, lazy_stats.transitions);
+        EXPECT_EQ(eager_stats.epsilons, lazy_stats.epsilons);
+        // post* only ever demanded rules; it must not have invented any.
+        EXPECT_LE(lazy.rule_count(), eager.rule_count());
+
+        const std::vector<Config> targets{
+            {1, {0}}, {2, {1, 0}}, {3, {2, 2, 0}}, {0, {2}}, {1, {2, 0}},
+        };
+        for (const auto& target : targets) {
+            const StateId starts[] = {target.first};
+            const auto from_eager =
+                find_accepted(eager_aut, starts, exact_word(target.second), alphabet);
+            const auto from_lazy =
+                find_accepted(lazy_aut, starts, exact_word(target.second), alphabet);
+            ASSERT_EQ(from_eager.has_value(), from_lazy.has_value())
+                << "seed " << GetParam() << " target state " << target.first;
+            if (from_eager && from_lazy)
+                EXPECT_EQ(from_eager->weight, from_lazy->weight) << "seed " << GetParam();
+
+            auto bwd_eager = automaton_for_configs(eager, {target});
+            pre_star(bwd_eager);
+            auto bwd_lazy = automaton_for_configs(lazy, {target});
+            pre_star(bwd_lazy); // forces materialize_all via the target index
+            const StateId bwd_starts[] = {initial[0].first};
+            EXPECT_EQ(find_accepted(bwd_eager, bwd_starts, exact_word(initial[0].second),
+                                    alphabet)
+                          .has_value(),
+                      find_accepted(bwd_lazy, bwd_starts, exact_word(initial[0].second),
+                                    alphabet)
+                          .has_value())
+                << "seed " << GetParam() << " target state " << target.first;
+        }
+        EXPECT_TRUE(lazy.fully_materialized());
+        EXPECT_EQ(lazy.rule_count(), eager.rule_count());
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, PdaRandom, ::testing::Range(0, 40));
 
 } // namespace

@@ -80,14 +80,30 @@ TEST(Telemetry, PipelineCountersFire) {
     using C = telemetry::Counter;
     EXPECT_EQ(snap.counter(C::queries_parsed), k_queries.size());
     EXPECT_GT(snap.counter(C::nfa_states_built), 0u);
-    EXPECT_GT(snap.counter(C::pda_rules_emitted), 0u);
-    EXPECT_GT(snap.counter(C::reduction_rules_pruned), 0u);
+    // The default (lazy) pipeline materializes rules on demand.
+    EXPECT_GT(snap.counter(C::pda_rules_total), 0u);
+    EXPECT_GT(snap.counter(C::pda_rules_materialized), 0u);
+    EXPECT_GT(snap.counter(C::pda_states_materialized), 0u);
+    EXPECT_LE(snap.counter(C::pda_rules_materialized), snap.counter(C::pda_rules_total));
+    EXPECT_EQ(snap.counter(C::pda_rules_emitted), 0u);
+    EXPECT_EQ(snap.counter(C::reduction_rules_pruned), 0u);
     EXPECT_GT(snap.counter(C::post_star_pops), 0u);
     EXPECT_GT(snap.counter(C::edge_relaxations), 0u);
     EXPECT_GT(snap.counter(C::accept_decrease_keys), 0u);
     EXPECT_GT(snap.counter(C::traces_reconstructed), 0u);
     EXPECT_GT(snap.gauge(telemetry::Gauge::transition_high_water), 0u);
     EXPECT_GT(snap.gauge(telemetry::Gauge::worklist_high_water), 0u);
+
+    // The eager pipeline still fires the emission and reduction counters.
+    telemetry::reset();
+    verify::VerifyOptions eager;
+    eager.translation = verify::TranslationMode::Eager;
+    const auto eager_batch = verify::verify_batch(network, k_queries, eager, 1);
+    for (const auto& item : eager_batch) EXPECT_TRUE(item.error.empty()) << item.error;
+    const auto eager_snap = telemetry::snapshot();
+    EXPECT_GT(eager_snap.counter(C::pda_rules_emitted), 0u);
+    EXPECT_GT(eager_snap.counter(C::reduction_rules_pruned), 0u);
+    EXPECT_EQ(eager_snap.counter(C::pda_rules_materialized), 0u);
 #else
     for (const auto value : snap.counters) EXPECT_EQ(value, 0u);
     EXPECT_TRUE(snap.threads.empty());

@@ -2,6 +2,8 @@
 
 #include "model/quantity.hpp"
 #include "synthesis/dataplane.hpp"
+#include "synthesis/networks.hpp"
+#include "synthesis/queries.hpp"
 #include "verify/engine.hpp"
 #include "verify/translation.hpp"
 
@@ -206,6 +208,126 @@ TEST(TranslationChains, MultiPopChainsVerifyEndToEnd) {
         ASSERT_TRUE(result.trace.has_value());
         EXPECT_EQ(result.trace->entries.back().header.size(), 4u);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Demand-driven (lazy) translation equivalence.
+
+/// The counting pass behind the lazy interior pool must be *exact*: after
+/// materialize_all the lazy PDA has rule-for-rule and state-for-state the
+/// same totals as an eager build (ids and order may differ), and the pool
+/// is fully consumed — no interior left over, none missing.
+TEST_F(TranslationFixture, LazyMaterializeAllMatchesEagerTotals) {
+    const std::vector<std::string> queries = {
+        "<ip> [.#v0] .* [v3#.] <ip> 0",
+        "<s40 ip> [.#v0] .* [v3#.] <smpls ip> 0",
+        "<smpls? ip> [.#v0] . . . .* [v3#.] <smpls? ip> 2",
+        "<ip> .* <ip> 1",
+    };
+    for (const auto& text : queries) {
+        const auto query = parse(text);
+        for (const auto approx : {Approximation::Over, Approximation::Under}) {
+            TranslationOptions eager_opts;
+            eager_opts.approximation = approx;
+            Translation eager(net, query, eager_opts);
+
+            TranslationOptions lazy_opts = eager_opts;
+            lazy_opts.lazy = true;
+            Translation lazy(net, query, lazy_opts);
+            EXPECT_TRUE(lazy.pda().lazy());
+            EXPECT_EQ(lazy.pda().rule_count(), 0u) << text;
+            EXPECT_EQ(lazy.total_rules(), eager.pda().rule_count()) << text;
+
+            lazy.pda().materialize_all();
+            EXPECT_TRUE(lazy.pda().fully_materialized());
+            EXPECT_EQ(lazy.pda().rule_count(), eager.pda().rule_count()) << text;
+            // State parity pins the interior pool: every chain interior the
+            // eager build created exists in the pool, and vice versa.
+            EXPECT_EQ(lazy.pda().state_count(), eager.pda().state_count()) << text;
+        }
+    }
+}
+
+/// Lazy and eager must give identical answers, witness traces and weights
+/// through the full verify() pipeline (reduction on for eager, skipped for
+/// lazy — the demand filter subsumes it).
+TEST_F(TranslationFixture, LazyVerifyMatchesEagerVerify) {
+    const std::vector<std::string> queries = {
+        "<ip> [.#v0] .* [v3#.] <ip> 0",
+        "<ip> [.#v0] [v0#v2] [v2#v4] [v4#v3] [v3#.] <ip> 0",
+        "<ip> [.#v0] [v0#v2] [v2#v4] [v4#v3] [v3#.] <ip> 1",
+        "<s40 ip> [.#v0] .* [v3#.] <mpls+ smpls ip> 1",
+        "<smpls? ip> [.#v0] . . . .* [v3#.] <smpls? ip> 2",
+        "<ip> .* <smpls ip> 0",
+    };
+    for (const auto& text : queries) {
+        const auto query = parse(text);
+        VerifyOptions lazy_opts;
+        lazy_opts.translation = TranslationMode::Lazy;
+        VerifyOptions eager_opts;
+        eager_opts.translation = TranslationMode::Eager;
+        const auto lazy = verify(net, query, lazy_opts);
+        const auto eager = verify(net, query, eager_opts);
+        EXPECT_EQ(lazy.answer, eager.answer) << text;
+        EXPECT_EQ(lazy.weight, eager.weight) << text;
+        ASSERT_EQ(lazy.trace.has_value(), eager.trace.has_value()) << text;
+        if (lazy.trace && eager.trace) EXPECT_EQ(*lazy.trace, *eager.trace) << text;
+        EXPECT_TRUE(lazy.stats.over.lazy_translation) << text;
+        EXPECT_FALSE(eager.stats.over.lazy_translation) << text;
+        EXPECT_LE(lazy.stats.over.pda_rules_materialized,
+                  lazy.stats.over.pda_rules_total)
+            << text;
+    }
+}
+
+/// Weighted equivalence: the minimum witness and its weight vector must not
+/// depend on when rules materialize.
+TEST_F(TranslationFixture, LazyWeightedVerifyMatchesEager) {
+    const auto query = parse("<smpls? ip> [.#v0] . . . .* [v3#.] <smpls? ip> 1");
+    const auto weights = parse_weight_expression("hops, failures + 3*tunnels");
+    for (const auto mode : {TranslationMode::Lazy, TranslationMode::Eager}) {
+        VerifyOptions options;
+        options.engine = EngineKind::Weighted;
+        options.weights = &weights;
+        options.translation = mode;
+        const auto result = verify(net, query, options);
+        EXPECT_EQ(result.answer, Answer::Yes);
+        EXPECT_EQ(result.weight, (std::vector<std::uint64_t>{5, 0}));
+        ASSERT_TRUE(result.trace.has_value());
+        EXPECT_EQ(evaluate(net, *result.trace, weights),
+                  (std::vector<std::uint64_t>{5, 0}));
+    }
+}
+
+/// Battery-level equivalence on a synthesized operator network, including a
+/// case where lazy materializes strictly less than the eager total.
+TEST(TranslationLazy, NordunetBatteryMatchesEagerAndSavesWork) {
+    auto synth = synthesis::make_nordunet_like();
+    const auto& net = synth.network;
+    synthesis::QueryBatteryOptions battery_options;
+    battery_options.count = 8;
+    const auto battery = synthesis::make_query_battery(synth, battery_options);
+    ASSERT_FALSE(battery.empty());
+
+    std::size_t partial = 0;
+    for (const auto& text : battery) {
+        const auto query = query::parse_query(text, net);
+        VerifyOptions lazy_opts;
+        lazy_opts.translation = TranslationMode::Lazy;
+        VerifyOptions eager_opts;
+        eager_opts.translation = TranslationMode::Eager;
+        const auto lazy = verify(net, query, lazy_opts);
+        const auto eager = verify(net, query, eager_opts);
+        EXPECT_EQ(lazy.answer, eager.answer) << text;
+        EXPECT_EQ(lazy.weight, eager.weight) << text;
+        ASSERT_EQ(lazy.trace.has_value(), eager.trace.has_value()) << text;
+        if (lazy.trace && eager.trace) EXPECT_EQ(*lazy.trace, *eager.trace) << text;
+        if (lazy.stats.over.pda_rules_materialized < lazy.stats.over.pda_rules_total)
+            ++partial;
+    }
+    // Early termination must leave at least some batteries partially
+    // materialized — otherwise the lazy path degenerated to eager-with-steps.
+    EXPECT_GT(partial, 0u);
 }
 
 } // namespace
