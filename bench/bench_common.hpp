@@ -173,6 +173,23 @@ inline bool write_json_report(const std::string& path, const std::string& bench_
     for (std::size_t i = 0; i < telemetry::k_gauge_count; ++i)
         gauges.emplace(std::string(telemetry::name_of(static_cast<telemetry::Gauge>(i))),
                        snap.gauges[i]);
+    // Histogram summaries in recorded units (durations: nanoseconds), so
+    // scripts/bench-ci can carry engine-side percentiles into its
+    // normalized report next to the bench-loop timings above.
+    json::Object histograms;
+    for (std::size_t i = 0; i < telemetry::k_histogram_count; ++i) {
+        const auto& data = snap.histograms[i];
+        if (data.count == 0) continue;
+        json::Object entry;
+        entry.emplace("count", data.count);
+        entry.emplace("sum", data.sum);
+        entry.emplace("p50", data.p50());
+        entry.emplace("p90", data.p90());
+        entry.emplace("p99", data.p99());
+        histograms.emplace(
+            std::string(telemetry::name_of(static_cast<telemetry::Histogram>(i))),
+            json::Value(std::move(entry)));
+    }
 
     json::Object document;
     document.emplace("schema", "aalwines-bench-1");
@@ -181,6 +198,7 @@ inline bool write_json_report(const std::string& path, const std::string& bench_
     document.emplace("totalSeconds", total_seconds);
     document.emplace("counters", json::Value(std::move(counters)));
     document.emplace("gauges", json::Value(std::move(gauges)));
+    document.emplace("histograms", json::Value(std::move(histograms)));
     document.emplace("peakRssKb", telemetry::peak_rss_kb());
 
     std::ofstream out(path);

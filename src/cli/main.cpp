@@ -22,6 +22,7 @@
 #include "json/json.hpp"
 #include "model/quantity.hpp"
 #include "server/server.hpp"
+#include "telemetry/exposition.hpp"
 #include "telemetry/telemetry.hpp"
 #include "validate/cross_check.hpp"
 #include "verify/batch.hpp"
@@ -71,8 +72,13 @@ void usage(std::ostream& out) {
         "  --json               machine-readable output\n"
         "  --html FILE          write an HTML report with topology + witness paths\n"
         "  --stats              print engine statistics\n"
+        "  --explain            print a per-query phase breakdown (translate /\n"
+        "                       reduce / saturate / accept / witness, per pass,\n"
+        "                       plus materialized vs total rules)\n"
         "  --trace-json FILE    write the telemetry trace (span tree + counters)\n"
         "                       as JSON on exit (see docs/OBSERVABILITY.md)\n"
+        "  --trace-chrome FILE  write the span tree as Chrome trace-event JSON\n"
+        "                       on exit (opens in ui.perfetto.dev)\n"
         "  --write-topology F   write the loaded topology as XML and exit\n"
         "  --write-routing F    write the loaded routing as XML and exit\n"
         "  --write-gml F        write the loaded topology as GML and exit\n"
@@ -87,6 +93,11 @@ void usage(std::ostream& out) {
         "  --cache N            compiled-query LRU capacity, 0 = off (default 256)\n"
         "  --deadline-ms N      expire requests that waited longer (504; 0 = off)\n"
         "  --max-body-mb N      request body limit (default 64)\n"
+        "  --access-log FILE    append one JSON line per request ('-' = stdout;\n"
+        "                       see docs/OBSERVABILITY.md for the record fields)\n"
+        "  --slow-query-ms N    flag requests slower than N ms in the access\n"
+        "                       log with full query detail (without\n"
+        "                       --access-log, slow requests go to stderr)\n"
         "  plus any network source flags above to preload a workspace\n";
 }
 
@@ -134,8 +145,54 @@ void write_trace_json(const std::string& path) {
     std::cerr << "wrote " << path << "\n";
 }
 
+void write_trace_chrome(const std::string& path) {
+    if (path.empty()) return;
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "aalwines: cannot write '" << path << "'\n";
+        return;
+    }
+    out << telemetry::to_chrome_trace(telemetry::snapshot()) << "\n";
+    std::cerr << "wrote " << path << " (open in ui.perfetto.dev)\n";
+}
+
+/// Both on-exit trace sinks; the snapshot is shared implicitly (each call
+/// takes its own, but nothing runs between them).
+void write_trace_outputs(const cli::Cli& cli) {
+    write_trace_json(cli.trace_json_file);
+    write_trace_chrome(cli.trace_chrome_file);
+}
+
+/// `--explain`: the per-pass phase breakdown of one result, from the same
+/// PhaseStats the JSON stats output serialises.
+void print_explain(const verify::VerifyStats& stats) {
+    const auto pass = [](const char* name, const verify::PhaseStats& phase) {
+        if (!phase.ran) return;
+        const auto ms = [](double seconds) { return seconds * 1000.0; };
+        std::cout << "  " << name << ": translate " << ms(phase.translate_seconds)
+                  << "ms  reduce " << ms(phase.reduce_seconds) << "ms  saturate "
+                  << ms(phase.saturate_seconds) << "ms  accept "
+                  << ms(phase.accept_seconds) << "ms  witness "
+                  << ms(phase.witness_seconds) << "ms  (phase total "
+                  << ms(phase.seconds) << "ms)\n";
+        std::cout << "    rules: " << phase.pda_rules_materialized << " materialized of "
+                  << phase.pda_rules_total << " total";
+        if (phase.lazy_translation && phase.pda_rules_total > 0)
+            std::cout << " ("
+                      << 100 * phase.pda_rules_materialized / phase.pda_rules_total
+                      << "%, lazy; materialization happens inside saturate)";
+        else if (!phase.lazy_translation)
+            std::cout << " (eager)";
+        std::cout << "\n";
+        if (phase.truncated) std::cout << "    truncated: iteration cap hit\n";
+    };
+    std::cout << "  explain (total " << stats.total_seconds * 1000.0 << "ms):\n";
+    pass("over pass ", stats.over);
+    pass("under pass", stats.under);
+}
+
 void print_result_text(const Network& network, const verify::VerifyResult& result,
-                       bool stats) {
+                       bool stats, bool explain) {
     std::cout << "  answer: " << to_string(result.answer);
     if (!result.weight.empty()) {
         std::cout << "  weight: (";
@@ -178,6 +235,7 @@ void print_result_text(const Network& network, const verify::VerifyResult& resul
                       << " iterations, " << result.stats.under.worklist_relaxations
                       << " relaxations, " << result.stats.under.seconds << "s\n";
     }
+    if (explain) print_explain(result.stats);
 }
 
 // ---------------------------------------------------------------------------
@@ -192,6 +250,8 @@ extern "C" void handle_stop_signal(int) {
 int serve_main(const cli::ServeCli& serve) {
     server::ServiceConfig service_config;
     service_config.cache_capacity = serve.cache_capacity;
+    service_config.access_log_path = serve.access_log;
+    service_config.slow_query_ms = static_cast<std::uint32_t>(serve.slow_query_ms);
     server::Service service(service_config);
 
     if (!serve.preload.empty()) {
@@ -290,7 +350,7 @@ int run_cli(const cli::Cli& cli) {
     }
     if (!cli.write_topology.empty() || !cli.write_routing.empty() ||
         !cli.write_gml.empty() || cli.info) {
-        write_trace_json(cli.trace_json_file);
+        write_trace_outputs(cli);
         return 0;
     }
 
@@ -326,7 +386,7 @@ int run_cli(const cli::Cli& cli) {
                 io::result_to_json_value(network, query_text, result, cli.stats));
         } else {
             std::cout << query_text << "\n";
-            print_result_text(network, result, cli.stats);
+            print_result_text(network, result, cli.stats, cli.explain);
         }
         if (result.answer == verify::Answer::Inconclusive) all_ok = false;
         if (cli.validate &&
@@ -380,14 +440,15 @@ int run_cli(const cli::Cli& cli) {
                     }
                     std::cout << "  (" << result.stats.total_seconds << "s)\n";
                     if (result.trace) std::cout << display_trace(network, *result.trace);
+                    if (cli.explain) print_explain(result.stats);
                 }
             }
             std::cout.flush();
         }
-        write_trace_json(cli.trace_json_file);
+        write_trace_outputs(cli);
         return validation_ok ? 0 : 4;
     }
-    write_trace_json(cli.trace_json_file);
+    write_trace_outputs(cli);
     if (!validation_ok) return 4;
     if (cli.validate) std::cerr << "aalwines: validate: all checks passed\n";
     return all_ok ? 0 : 3;

@@ -218,7 +218,9 @@ Cli parse_cli(int argc, char** argv) {
         else if (arg == "--json") cli.as_json = true;
         else if (arg == "--html") cli.html_file = value(i);
         else if (arg == "--trace-json") cli.trace_json_file = value(i);
+        else if (arg == "--trace-chrome") cli.trace_chrome_file = value(i);
         else if (arg == "--stats") cli.stats = true;
+        else if (arg == "--explain") cli.explain = true;
         else if (arg == "--write-topology") cli.write_topology = value(i);
         else if (arg == "--write-routing") cli.write_routing = value(i);
         else if (arg == "--write-gml") cli.write_gml = value(i);
@@ -252,6 +254,8 @@ ServeCli parse_serve_cli(int argc, char** argv, int first) {
         else if (arg == "--isis") serve.preload.isis_file = value(i);
         else if (arg == "--demo") serve.preload.demo = value(i);
         else if (arg == "--locations") serve.preload.locations_file = value(i);
+        else if (arg == "--access-log") serve.access_log = value(i);
+        else if (arg == "--slow-query-ms") serve.slow_query_ms = parse_size(arg, value(i));
         else if (arg == "--help" || arg == "-h") serve.help = true;
         else throw usage_error("unknown option '" + arg + "'");
     }

@@ -111,10 +111,12 @@ struct Cli {
     bool validate_deep = false;
     bool as_json = false;
     bool stats = false;
+    bool explain = false; ///< per-query phase breakdown (text output)
     bool info = false;
     bool help = false;
     std::string html_file;
     std::string trace_json_file;
+    std::string trace_chrome_file; ///< span tree as Chrome trace-event JSON
     std::string write_topology, write_routing, write_gml;
 };
 
@@ -132,6 +134,8 @@ struct ServeCli {
     long deadline_ms = 0;          ///< per-request wall budget, 0 = none
     std::size_t max_body_bytes = 64ull << 20;
     NetworkSource preload;         ///< optional network loaded at startup
+    std::string access_log;        ///< JSON-lines request log ("" off, "-" stdout)
+    std::size_t slow_query_ms = 0; ///< slow-request threshold, 0 = off
     bool help = false;
 };
 

@@ -41,6 +41,13 @@ json::Value phase_to_json(const verify::PhaseStats& phase) {
     object.emplace("worklistRelaxations", phase.worklist_relaxations);
     object.emplace("peakWorklist", phase.peak_worklist);
     object.emplace("seconds", phase.seconds);
+    // Wall-clock split of `seconds` by pipeline stage (dual/weighted
+    // engines; zeros for moped/exact, which run their own pipelines).
+    object.emplace("translateSeconds", phase.translate_seconds);
+    object.emplace("reduceSeconds", phase.reduce_seconds);
+    object.emplace("saturateSeconds", phase.saturate_seconds);
+    object.emplace("acceptSeconds", phase.accept_seconds);
+    object.emplace("witnessSeconds", phase.witness_seconds);
     if (phase.truncated) object.emplace("truncated", true);
     return json::Value(std::move(object));
 }

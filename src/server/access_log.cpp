@@ -1,0 +1,70 @@
+#include "server/access_log.hpp"
+
+#include <cstdio>
+#include <ctime>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace aalwines::server {
+
+AccessLog::AccessLog(std::string path, std::uint32_t slow_ms) : _slow_ms(slow_ms) {
+    if (path.empty()) return;
+    if (path == "-") {
+        _fd = ::dup(STDOUT_FILENO);
+    } else {
+        _fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+    }
+    if (_fd < 0) throw std::runtime_error("cannot open access log '" + path + "'");
+}
+
+AccessLog::~AccessLog() {
+    if (_fd >= 0) ::close(_fd);
+}
+
+std::uint64_t AccessLog::next_id() {
+    const std::lock_guard lock(_mutex);
+    return ++_next_id;
+}
+
+void AccessLog::write(const json::Object& record, bool slow) {
+    const bool to_file = _fd >= 0;
+    const bool to_stderr = slow && !to_file;
+    if (!to_file && !to_stderr) return;
+    auto line = json::write(json::Value(record), 0);
+    line.push_back('\n');
+    const std::lock_guard lock(_mutex);
+    if (to_file) {
+        std::string_view rest = line;
+        while (!rest.empty()) {
+            const auto n = ::write(_fd, rest.data(), rest.size());
+            if (n <= 0) break; // logging must never fail the request
+            rest.remove_prefix(static_cast<std::size_t>(n));
+        }
+    } else {
+        std::fputs(line.c_str(), stderr);
+    }
+}
+
+std::string log_timestamp() {
+    const auto now = std::time(nullptr);
+    std::tm utc{};
+    gmtime_r(&now, &utc);
+    char buf[32];
+    std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &utc);
+    return buf;
+}
+
+std::string stable_hash_hex(const std::string& text) {
+    std::uint64_t hash = 14695981039346656037ull; // FNV-1a offset basis
+    for (const unsigned char c : text) {
+        hash ^= c;
+        hash *= 1099511628211ull; // FNV prime
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+} // namespace aalwines::server

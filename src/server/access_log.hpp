@@ -1,0 +1,63 @@
+#pragma once
+// Structured request logging for the verification daemon (`--access-log`).
+//
+// One JSON object per line (JSON Lines), written after each request:
+//
+//   {"id": 17, "time": "2026-08-09T12:34:56Z", "method": "POST",
+//    "target": "/networks/n1/query", "status": 200, "durationMs": 12.3,
+//    "queueWaitMs": 0.4, "network": "n1", "queryHash": "9fc38a1f00215c7d",
+//    "queries": 1, "cacheHits": 0, "cacheMisses": 1, "answer": "yes",
+//    "compileMs": 1.2, "solveMs": 9.8, "witnessMs": 0.7}
+//
+// Requests slower than `--slow-query-ms` additionally carry "slow": true
+// plus the verbatim query texts; with a threshold but no log file, only
+// those slow records are emitted (to stderr), making the flag usable as a
+// standalone slow-query log.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "json/json.hpp"
+
+namespace aalwines::server {
+
+class AccessLog {
+public:
+    /// `path` empty = no file sink; `slow_ms` 0 = no slow-query threshold.
+    /// "-" logs to stdout.  Throws std::runtime_error when the file cannot
+    /// be opened for appending.
+    AccessLog(std::string path, std::uint32_t slow_ms);
+    ~AccessLog();
+    AccessLog(const AccessLog&) = delete;
+    AccessLog& operator=(const AccessLog&) = delete;
+
+    /// Anything to do at all?  False for the default-constructed config.
+    [[nodiscard]] bool enabled() const { return _fd >= 0 || _slow_ms > 0; }
+
+    /// Monotonic per-process request id (first request = 1).
+    [[nodiscard]] std::uint64_t next_id();
+
+    [[nodiscard]] std::uint32_t slow_ms() const { return _slow_ms; }
+
+    /// Serialise `record` as one line.  `slow` routes a copy to stderr when
+    /// no file sink is configured.  Thread-safe; write errors are ignored
+    /// (logging must never fail a request).
+    void write(const json::Object& record, bool slow);
+
+private:
+    int _fd = -1; ///< file or stdout; -1 = slow-to-stderr only
+    std::uint32_t _slow_ms = 0;
+    std::mutex _mutex;
+    std::uint64_t _next_id = 0;
+};
+
+/// RFC 3339 UTC timestamp ("2026-08-09T12:34:56Z") for log records.
+[[nodiscard]] std::string log_timestamp();
+
+/// Stable 64-bit FNV-1a of `text` as 16 lower-case hex digits — the query
+/// hash logged for correlating identical queries across requests (std::hash
+/// is not stable across runs/builds, so it is unsuitable here).
+[[nodiscard]] std::string stable_hash_hex(const std::string& text);
+
+} // namespace aalwines::server

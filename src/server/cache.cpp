@@ -1,5 +1,7 @@
 #include "server/cache.hpp"
 
+#include <chrono>
+
 #include "telemetry/telemetry.hpp"
 
 namespace aalwines::server {
@@ -31,15 +33,22 @@ std::string cache_key(std::uint64_t sequence, const std::string& query_text,
 
 std::shared_ptr<const verify::VerifyResult> ResultCache::find(const std::string& key) {
     if (_capacity == 0) return nullptr;
-    const std::lock_guard lock(_mutex);
-    const auto it = _index.find(key);
-    if (it == _index.end()) {
-        telemetry::count(telemetry::Counter::server_cache_misses);
-        return nullptr;
+    const auto start = std::chrono::steady_clock::now();
+    std::shared_ptr<const verify::VerifyResult> result;
+    {
+        const std::lock_guard lock(_mutex);
+        const auto it = _index.find(key);
+        if (it != _index.end()) {
+            _order.splice(_order.begin(), _order, it->second);
+            result = it->second->result;
+        }
     }
-    _order.splice(_order.begin(), _order, it->second);
-    telemetry::count(telemetry::Counter::server_cache_hits);
-    return it->second->result;
+    telemetry::count(result != nullptr ? telemetry::Counter::server_cache_hits
+                                       : telemetry::Counter::server_cache_misses);
+    telemetry::observe_duration(
+        telemetry::Histogram::cache_lookup,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count());
+    return result;
 }
 
 void ResultCache::insert(const std::string& key,

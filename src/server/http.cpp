@@ -61,8 +61,10 @@ bool parse_head(std::string_view head, Request& request) {
                    [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
     auto target =
         std::string(request_line.substr(method_end + 1, target_end - method_end - 1));
-    if (const auto query = target.find('?'); query != std::string::npos)
+    if (const auto query = target.find('?'); query != std::string::npos) {
+        request.query = target.substr(query + 1);
         target.erase(query);
+    }
     if (target.empty() || target[0] != '/') return false;
     request.target = std::move(target);
 
@@ -81,6 +83,21 @@ bool parse_head(std::string_view head, Request& request) {
 }
 
 } // namespace
+
+bool Request::query_parameter(std::string_view key, std::string_view value) const {
+    std::string_view rest = query;
+    while (!rest.empty()) {
+        const auto amp = rest.find('&');
+        const auto param = rest.substr(0, amp);
+        rest = amp == std::string_view::npos ? std::string_view{} : rest.substr(amp + 1);
+        if (const auto eq = param.find('='); eq != std::string_view::npos) {
+            if (param.substr(0, eq) == key && param.substr(eq + 1) == value) return true;
+        } else if (param == key && value.empty()) {
+            return true;
+        }
+    }
+    return false;
+}
 
 std::string_view status_text(int status) {
     switch (status) {

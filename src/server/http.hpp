@@ -14,7 +14,8 @@ namespace aalwines::server::http {
 
 struct Request {
     std::string method;  ///< upper-case, e.g. "GET"
-    std::string target;  ///< path only; the query string is stripped
+    std::string target;  ///< path only; any query string lands in `query`
+    std::string query;   ///< raw query string without the '?', may be empty
     std::map<std::string, std::string> headers; ///< keys lower-cased
     std::string body;
 
@@ -22,6 +23,13 @@ struct Request {
         const auto it = headers.find(lower_key);
         return it == headers.end() ? nullptr : &it->second;
     }
+
+    /// True when the raw query string carries `key=value` (or a bare `key`
+    /// when `value` is empty) as one of its `&`-separated parameters.
+    /// Sufficient for the daemon's un-escaped parameters (e.g.
+    /// `format=prometheus`); no percent-decoding is performed.
+    [[nodiscard]] bool query_parameter(std::string_view key,
+                                       std::string_view value) const;
 };
 
 struct Response {

@@ -201,7 +201,11 @@ void Server::serve_connection(Pending pending) {
                 break;
             }
             if (_config.on_request) _config.on_request(request);
-            response = _service.handle(request);
+            const auto queue_wait =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - pending.accepted)
+                    .count();
+            response = _service.handle(request, queue_wait);
             break;
         }
         case http::ReadStatus::Closed: respond = false; break;

@@ -1,9 +1,11 @@
 #include "server/service.hpp"
 
+#include <chrono>
 #include <thread>
 
 #include "cli/options.hpp"
 #include "io/results_json.hpp"
+#include "telemetry/exposition.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/errors.hpp"
 #include "verify/batch.hpp"
@@ -78,28 +80,66 @@ http::Response error_response(int status, const std::string& message) {
 }
 
 Service::Service(ServiceConfig config)
-    : _config(config), _cache(config.cache_capacity) {}
+    : _config(config), _cache(config.cache_capacity) {
+    if (!_config.access_log_path.empty() || _config.slow_query_ms > 0)
+        _access_log =
+            std::make_unique<AccessLog>(_config.access_log_path, _config.slow_query_ms);
+}
 
 void Service::set_runtime_info(std::function<json::Object()> provider) {
     _runtime_info = std::move(provider);
 }
 
-http::Response Service::handle(const http::Request& request) {
-    telemetry::count(telemetry::Counter::server_requests);
+http::Response Service::handle(const http::Request& request, double queue_wait_ms) {
+    const auto start = std::chrono::steady_clock::now();
+    json::Object log;
+    http::Response response;
     try {
-        return route(request);
+        response = route(request, _access_log ? &log : nullptr);
     } catch (const cli::usage_error& error) {
-        return error_response(400, error.what());
+        response = error_response(400, error.what());
     } catch (const parse_error& error) {
-        return error_response(400, error.what());
+        response = error_response(400, error.what());
     } catch (const model_error& error) {
-        return error_response(422, error.what());
+        response = error_response(422, error.what());
     } catch (const std::exception& error) {
-        return error_response(500, error.what());
+        response = error_response(500, error.what());
     }
+    // Counted and observed together after routing, so any snapshot — even
+    // one taken by this very /metrics request — sees
+    // request_duration.count == server_requests.
+    telemetry::count(telemetry::Counter::server_requests);
+    const auto seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    telemetry::observe_duration(telemetry::Histogram::request_duration, seconds);
+    if (queue_wait_ms >= 0)
+        telemetry::observe_duration(telemetry::Histogram::request_queue_wait,
+                                    queue_wait_ms / 1000.0);
+
+    if (_access_log) {
+        const auto duration_ms = seconds * 1000.0;
+        const bool slow = _access_log->slow_ms() > 0 &&
+                          duration_ms >= static_cast<double>(_access_log->slow_ms());
+        json::Object record;
+        record.emplace("id", _access_log->next_id());
+        record.emplace("time", log_timestamp());
+        record.emplace("method", request.method);
+        record.emplace("target", request.target);
+        record.emplace("status", response.status);
+        record.emplace("durationMs", duration_ms);
+        if (queue_wait_ms >= 0) record.emplace("queueWaitMs", queue_wait_ms);
+        if (slow) record.emplace("slow", true);
+        for (auto& [key, value] : log) {
+            // Full query texts are verbose; only slow requests carry them.
+            if (key == "queryTexts" && !slow) continue;
+            record.emplace(key, std::move(value));
+        }
+        _access_log->write(record, slow);
+    }
+    return response;
 }
 
-http::Response Service::route(const http::Request& request) {
+http::Response Service::route(const http::Request& request, json::Object* log) {
     const auto& target = request.target;
     if (target == "/healthz") {
         if (request.method != "GET" && request.method != "HEAD")
@@ -112,7 +152,7 @@ http::Response Service::route(const http::Request& request) {
     if (target == "/metrics") {
         if (request.method != "GET")
             return error_response(405, "use GET /metrics");
-        return handle_metrics();
+        return handle_metrics(request);
     }
     if (target == "/networks" || target == "/networks/")
         return handle_networks(request);
@@ -125,7 +165,7 @@ http::Response Service::route(const http::Request& request) {
             if (action != "query") return error_response(404, "unknown endpoint");
             query_endpoint = true;
         }
-        return handle_network_item(request, rest, query_endpoint);
+        return handle_network_item(request, rest, query_endpoint, log);
     }
     return error_response(404, "unknown endpoint");
 }
@@ -161,14 +201,15 @@ http::Response Service::handle_networks(const http::Request& request) {
 }
 
 http::Response Service::handle_network_item(const http::Request& request,
-                                            const std::string& id, bool query_endpoint) {
+                                            const std::string& id, bool query_endpoint,
+                                            json::Object* log) {
     const auto workspace = _workspaces.find(id);
     if (workspace.network == nullptr)
         return error_response(404, "unknown network '" + id + "'");
     if (query_endpoint) {
         if (request.method != "POST")
             return error_response(405, "use POST /networks/{id}/query");
-        return handle_query(request, workspace);
+        return handle_query(request, workspace, log);
     }
     if (request.method == "GET") return json_response(200, network_info(workspace));
     if (request.method == "DELETE") {
@@ -181,7 +222,7 @@ http::Response Service::handle_network_item(const http::Request& request,
 }
 
 http::Response Service::handle_query(const http::Request& request,
-                                     const Workspace& workspace) {
+                                     const Workspace& workspace, json::Object* log) {
     const auto parsed = json::parse(request.body);
     if (!parsed.is_object())
         throw cli::usage_error("request body must be a JSON object");
@@ -260,6 +301,44 @@ http::Response Service::handle_query(const http::Request& request,
         }
     }
 
+    if (log != nullptr) {
+        std::string combined;
+        for (const auto& text : texts) {
+            combined += text;
+            combined += '\n';
+        }
+        log->emplace("network", workspace.id);
+        log->emplace("queryHash", stable_hash_hex(combined));
+        log->emplace("queries", texts.size());
+        std::size_t hits = 0;
+        for (const auto& slot : slots) hits += slot.cached ? 1 : 0;
+        log->emplace("cacheHits", hits);
+        log->emplace("cacheMisses", texts.size() - hits);
+        if (!batch)
+            log->emplace("answer", slots[0].error.empty()
+                                       ? std::string(verify::to_string(slots[0].result->answer))
+                                       : "error");
+        else
+            log->emplace("answer", "batch");
+        // Pipeline time spent by *this* request: cached slots did no work.
+        double compile = 0, solve = 0, witness = 0;
+        for (const auto& slot : slots) {
+            if (slot.cached || slot.result == nullptr) continue;
+            for (const auto* phase : {&slot.result->stats.over, &slot.result->stats.under}) {
+                if (!phase->ran) continue;
+                compile += phase->translate_seconds + phase->reduce_seconds;
+                solve += phase->saturate_seconds;
+                witness += phase->accept_seconds + phase->witness_seconds;
+            }
+        }
+        log->emplace("compileMs", compile * 1000.0);
+        log->emplace("solveMs", solve * 1000.0);
+        log->emplace("witnessMs", witness * 1000.0);
+        json::Array query_texts;
+        for (const auto& text : texts) query_texts.emplace_back(text);
+        log->emplace("queryTexts", json::Value(std::move(query_texts)));
+    }
+
     auto to_entry = [&](std::size_t i) {
         if (!slots[i].error.empty()) {
             json::Object entry;
@@ -290,16 +369,58 @@ http::Response Service::handle_query(const http::Request& request,
     return json_response(200, json::Value(std::move(body)));
 }
 
-http::Response Service::handle_metrics() {
+http::Response Service::handle_metrics(const http::Request& request) {
     const auto snap = telemetry::snapshot();
+    auto runtime = _runtime_info ? _runtime_info() : json::Object{};
+
+    if (request.query_parameter("format", "prometheus")) {
+        // Point-in-time server state rides along as extra gauges; the
+        // registry's own gauges are high-water marks and keep their names.
+        std::vector<telemetry::ExpositionGauge> extra;
+        extra.push_back({"aalwines_cache_entries",
+                         "Compiled-result cache entries currently resident.",
+                         static_cast<double>(_cache.size())});
+        extra.push_back({"aalwines_cache_capacity",
+                         "Compiled-result cache capacity (entries).",
+                         static_cast<double>(_cache.capacity())});
+        extra.push_back({"aalwines_workspaces",
+                         "Networks currently loaded.",
+                         static_cast<double>(_workspaces.size())});
+        if (const auto depth = runtime.find("queueDepth"); depth != runtime.end())
+            extra.push_back({"aalwines_queue_depth",
+                             "Accepted connections currently waiting for a worker.",
+                             static_cast<double>(depth->second.as_int())});
+
+        http::Response response;
+        response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+        response.body = telemetry::to_prometheus(snap, extra);
+        return response;
+    }
+
     json::Object counters;
     for (std::size_t i = 0; i < telemetry::k_counter_count; ++i)
         counters.emplace(std::string(telemetry::name_of(static_cast<telemetry::Counter>(i))),
                          snap.counters[i]);
+    // High-water marks (maximum across threads and runs) — *not* current
+    // values; see the "current" object for the point-in-time state.
     json::Object gauges;
     for (std::size_t i = 0; i < telemetry::k_gauge_count; ++i)
         gauges.emplace(std::string(telemetry::name_of(static_cast<telemetry::Gauge>(i))),
                        snap.gauges[i]);
+    json::Object histograms;
+    for (std::size_t i = 0; i < telemetry::k_histogram_count; ++i) {
+        const auto& data = snap.histograms[i];
+        if (data.count == 0) continue; // only observed histograms
+        json::Object entry;
+        entry.emplace("count", data.count);
+        entry.emplace("sum", data.sum);
+        entry.emplace("p50", data.p50());
+        entry.emplace("p90", data.p90());
+        entry.emplace("p99", data.p99());
+        histograms.emplace(
+            std::string(telemetry::name_of(static_cast<telemetry::Histogram>(i))),
+            json::Value(std::move(entry)));
+    }
 
     json::Object cache;
     cache.emplace("entries", _cache.size());
@@ -307,19 +428,28 @@ http::Response Service::handle_metrics() {
     cache.emplace("hits", snap.counter(telemetry::Counter::server_cache_hits));
     cache.emplace("misses", snap.counter(telemetry::Counter::server_cache_misses));
 
+    json::Object current;
+    current.emplace("cacheEntries", _cache.size());
+    current.emplace("workspaces", _workspaces.size());
+    if (const auto depth = runtime.find("queueDepth"); depth != runtime.end())
+        current.emplace("queueDepth", depth->second);
+
     json::Object server;
     server.emplace("workspaces", _workspaces.size());
     server.emplace("cache", json::Value(std::move(cache)));
     server.emplace("requests", snap.counter(telemetry::Counter::server_requests));
     server.emplace("rejected", snap.counter(telemetry::Counter::server_rejected));
-    if (_runtime_info)
-        for (auto& [key, value] : _runtime_info()) server.emplace(key, std::move(value));
+    for (auto& [key, value] : runtime) server.emplace(key, std::move(value));
 
     json::Object body;
-    body.emplace("schema", "aalwines-metrics-1");
+    body.emplace("schema", "aalwines-metrics-2");
     body.emplace("server", json::Value(std::move(server)));
+    body.emplace("current", json::Value(std::move(current)));
     body.emplace("counters", json::Value(std::move(counters)));
     body.emplace("gauges", json::Value(std::move(gauges)));
+    body.emplace("histograms", json::Value(std::move(histograms)));
+    // Process-wide peak RSS (VmHWM) — covers the whole daemon lifetime,
+    // not the current request.
     body.emplace("peakRssKb", telemetry::peak_rss_kb());
     return json_response(200, json::Value(std::move(body)));
 }

@@ -14,10 +14,13 @@
 // See docs/SERVER.md for the request/response schemas.
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "json/json.hpp"
+#include "server/access_log.hpp"
 #include "server/cache.hpp"
 #include "server/http.hpp"
 #include "server/workspace.hpp"
@@ -27,6 +30,8 @@ namespace aalwines::server {
 struct ServiceConfig {
     std::size_t cache_capacity = 256; ///< compiled-result LRU entries, 0 = off
     std::size_t max_jobs = 0;         ///< per-request --jobs cap, 0 = hardware
+    std::string access_log_path;      ///< JSON-lines request log; "" = off, "-" = stdout
+    std::uint32_t slow_query_ms = 0;  ///< flag+detail requests slower than this; 0 = off
 };
 
 class Service {
@@ -34,8 +39,10 @@ public:
     explicit Service(ServiceConfig config = {});
 
     /// Handle one request.  Thread-safe; never throws (internal errors
-    /// become 500 responses).
-    [[nodiscard]] http::Response handle(const http::Request& request);
+    /// become 500 responses).  `queue_wait_ms` is the accept-to-worker
+    /// delay measured by the socket layer (< 0 = unknown/not queued).
+    [[nodiscard]] http::Response handle(const http::Request& request,
+                                        double queue_wait_ms = -1.0);
 
     /// Extra key/values merged into the /metrics "server" object (queue
     /// depth, worker count, ... — installed by the socket front end).
@@ -45,19 +52,22 @@ public:
     [[nodiscard]] ResultCache& cache() { return _cache; }
 
 private:
-    [[nodiscard]] http::Response route(const http::Request& request);
+    [[nodiscard]] http::Response route(const http::Request& request, json::Object* log);
     [[nodiscard]] http::Response handle_networks(const http::Request& request);
     [[nodiscard]] http::Response handle_network_item(const http::Request& request,
                                                      const std::string& id,
-                                                     bool query_endpoint);
+                                                     bool query_endpoint,
+                                                     json::Object* log);
     [[nodiscard]] http::Response handle_query(const http::Request& request,
-                                              const Workspace& workspace);
-    [[nodiscard]] http::Response handle_metrics();
+                                              const Workspace& workspace,
+                                              json::Object* log);
+    [[nodiscard]] http::Response handle_metrics(const http::Request& request);
 
     ServiceConfig _config;
     WorkspaceRegistry _workspaces;
     ResultCache _cache;
     std::function<json::Object()> _runtime_info;
+    std::unique_ptr<AccessLog> _access_log;
 };
 
 /// JSON error body + status, shared with the socket layer's early replies.

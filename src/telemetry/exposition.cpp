@@ -1,0 +1,141 @@
+#include "telemetry/exposition.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "json/json.hpp"
+
+namespace aalwines::telemetry {
+
+namespace {
+
+/// Shortest round-trippable decimal for exposition values; %.9g keeps
+/// le-boundaries like 1e-09 compact and locale-independent.
+std::string number(double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", value);
+    return buf;
+}
+
+std::string number(std::uint64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+    return buf;
+}
+
+void append_series(std::string& out, std::string_view name, std::string_view labels,
+                   const std::string& value) {
+    out.append(name);
+    if (!labels.empty()) {
+        out.push_back('{');
+        out.append(labels);
+        out.push_back('}');
+    }
+    out.push_back(' ');
+    out.append(value);
+    out.push_back('\n');
+}
+
+void append_header(std::string& out, std::string_view name, std::string_view type,
+                   std::string_view help) {
+    out.append("# HELP ").append(name).push_back(' ');
+    out.append(help).push_back('\n');
+    out.append("# TYPE ").append(name).push_back(' ');
+    out.append(type).push_back('\n');
+}
+
+void append_histogram_series(std::string& out, const HistogramInfo& info,
+                             const HistogramData& data) {
+    const std::string bucket_name = std::string(info.family) + "_bucket";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < k_histogram_buckets; ++b) {
+        cumulative += data.buckets[b];
+        std::string labels(info.label);
+        if (!labels.empty()) labels.push_back(',');
+        labels.append("le=\"");
+        if (b + 1 == k_histogram_buckets)
+            labels.append("+Inf");
+        else
+            labels.append(
+                number(static_cast<double>(histogram_bucket_upper(b)) * info.scale));
+        labels.push_back('"');
+        append_series(out, bucket_name, labels, number(cumulative));
+    }
+    append_series(out, std::string(info.family) + "_sum", info.label,
+                  number(static_cast<double>(data.sum) * info.scale));
+    append_series(out, std::string(info.family) + "_count", info.label,
+                  number(data.count));
+}
+
+} // namespace
+
+std::string to_prometheus(const Snapshot& snap, const std::vector<ExpositionGauge>& extra) {
+    std::string out;
+    out.reserve(1 << 15);
+
+    for (std::size_t i = 0; i < k_counter_count; ++i) {
+        const auto name =
+            "aalwines_" + std::string(name_of(static_cast<Counter>(i))) + "_total";
+        append_header(out, name, "counter",
+                      "Monotonic event count since process start or the last reset.");
+        append_series(out, name, {}, number(snap.counters[i]));
+    }
+
+    for (std::size_t i = 0; i < k_gauge_count; ++i) {
+        const auto name = "aalwines_" + std::string(name_of(static_cast<Gauge>(i)));
+        append_header(out, name, "gauge",
+                      "High-water mark (maximum across threads and runs).");
+        append_series(out, name, {}, number(snap.gauges[i]));
+    }
+
+    for (const auto& gauge : extra) {
+        append_header(out, gauge.name, "gauge", gauge.help);
+        append_series(out, gauge.name, {}, number(gauge.value));
+    }
+
+    {
+        const std::string name = "aalwines_process_peak_rss_kilobytes";
+        append_header(out, name, "gauge",
+                      "Process-wide peak resident set size (VmHWM), in kilobytes.");
+        append_series(out, name, {},
+                      number(static_cast<std::uint64_t>(peak_rss_kb())));
+    }
+
+    // Histograms sharing a family (the per-engine/per-phase variants) must
+    // emit HELP/TYPE once and their labelled series together; variants are
+    // adjacent in enum order, so one look-behind suffices.
+    for (std::size_t i = 0; i < k_histogram_count; ++i) {
+        const auto& info = info_of(static_cast<Histogram>(i));
+        const bool new_family =
+            i == 0 || info_of(static_cast<Histogram>(i - 1)).family != info.family;
+        if (new_family) append_header(out, info.family, "histogram", info.help);
+        append_histogram_series(out, info, snap.histograms[i]);
+    }
+
+    return out;
+}
+
+std::string to_chrome_trace(const Snapshot& snap) {
+    json::Array events;
+    for (const auto& trace : snap.threads) {
+        auto emit = [&](const auto& self, const SpanNode& node) -> void {
+            json::Object event;
+            event.emplace("name", node.name);
+            event.emplace("cat", node.open ? "aalwines,open" : "aalwines");
+            event.emplace("ph", "X");
+            event.emplace("ts", node.start_us);
+            event.emplace("dur", node.duration_us);
+            event.emplace("pid", 1);
+            event.emplace("tid", static_cast<std::size_t>(trace.thread));
+            events.emplace_back(std::move(event));
+            for (const auto& child : node.children) self(self, child);
+        };
+        for (const auto& root : trace.roots) emit(emit, root);
+    }
+    json::Object document;
+    document.emplace("traceEvents", json::Value(std::move(events)));
+    document.emplace("displayTimeUnit", "ms");
+    return json::write(json::Value(std::move(document)), 1);
+}
+
+} // namespace aalwines::telemetry

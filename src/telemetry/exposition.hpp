@@ -1,0 +1,42 @@
+#pragma once
+// Standard-format exports of a telemetry Snapshot:
+//
+//  * to_prometheus()   — text exposition format 0.0.4, scrapeable by any
+//    Prometheus/Grafana stack (served by `GET /metrics?format=prometheus`).
+//  * to_chrome_trace() — Chrome trace-event JSON for the span tree; the
+//    file opens directly in ui.perfetto.dev or chrome://tracing (written
+//    by the CLI's --trace-chrome flag).
+//
+// Both writers are deterministic: metric families are emitted in enum
+// order and span events in (thread, open-order) order, so fixed inputs
+// produce byte-identical output.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace aalwines::telemetry {
+
+/// Extra point-in-time gauge to splice into the exposition (server state
+/// such as cache entries or queue depth that lives outside the registry).
+struct ExpositionGauge {
+    std::string name;  ///< full Prometheus metric name (aalwines_...)
+    std::string help;  ///< one-line HELP text
+    double value = 0;
+};
+
+/// Render the snapshot in Prometheus text exposition format 0.0.4:
+/// counters as `aalwines_<name>_total`, registry gauges as
+/// `aalwines_<name>`, histograms as cumulative `_bucket{le=...}` series
+/// plus `_sum`/`_count`, and `aalwines_process_peak_rss_kilobytes`.
+[[nodiscard]] std::string to_prometheus(const Snapshot& snap,
+                                        const std::vector<ExpositionGauge>& extra = {});
+
+/// Render the span tree as a Chrome trace-event JSON document (an object
+/// with a `traceEvents` array of "ph":"X" complete events; timestamps and
+/// durations in microseconds, tid = registry thread index).
+[[nodiscard]] std::string to_chrome_trace(const Snapshot& snap);
+
+} // namespace aalwines::telemetry

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -45,6 +46,80 @@ std::string_view name_of(Gauge gauge) {
         case Gauge::count_: break;
     }
     return "?";
+}
+
+std::string_view name_of(Histogram histogram) {
+    switch (histogram) {
+        case Histogram::request_duration: return "request_duration";
+        case Histogram::request_queue_wait: return "request_queue_wait";
+        case Histogram::query_duration_dual: return "query_duration_dual";
+        case Histogram::query_duration_weighted: return "query_duration_weighted";
+        case Histogram::query_duration_moped: return "query_duration_moped";
+        case Histogram::query_duration_exact: return "query_duration_exact";
+        case Histogram::query_translate: return "query_translate";
+        case Histogram::query_saturate: return "query_saturate";
+        case Histogram::query_witness: return "query_witness";
+        case Histogram::cache_lookup: return "cache_lookup";
+        case Histogram::materialized_rule_pct: return "materialized_rule_pct";
+        case Histogram::count_: break;
+    }
+    return "?";
+}
+
+const HistogramInfo& info_of(Histogram histogram) {
+    static constexpr double k_ns = 1e-9;   // recorded nanoseconds -> seconds
+    static constexpr double k_pct = 1e-2;  // recorded percent -> ratio
+    static const std::array<HistogramInfo, k_histogram_count> infos = {{
+        {"aalwines_request_duration_seconds", "",
+         k_ns, "Wall-clock time spent handling one HTTP request in the daemon."},
+        {"aalwines_request_queue_wait_seconds", "",
+         k_ns, "Time a request waited in the accept queue before a worker picked it up."},
+        {"aalwines_query_duration_seconds", "engine=\"dual\"",
+         k_ns, "End-to-end verify() wall clock per query, by engine."},
+        {"aalwines_query_duration_seconds", "engine=\"weighted\"",
+         k_ns, "End-to-end verify() wall clock per query, by engine."},
+        {"aalwines_query_duration_seconds", "engine=\"moped\"",
+         k_ns, "End-to-end verify() wall clock per query, by engine."},
+        {"aalwines_query_duration_seconds", "engine=\"exact\"",
+         k_ns, "End-to-end verify() wall clock per query, by engine."},
+        {"aalwines_query_phase_seconds", "phase=\"translate\"",
+         k_ns, "Per-pass pipeline phase wall clock."},
+        {"aalwines_query_phase_seconds", "phase=\"saturate\"",
+         k_ns, "Per-pass pipeline phase wall clock."},
+        {"aalwines_query_phase_seconds", "phase=\"witness\"",
+         k_ns, "Per-pass pipeline phase wall clock."},
+        {"aalwines_cache_lookup_seconds", "",
+         k_ns, "Compiled-query result cache probe latency."},
+        {"aalwines_materialized_rule_ratio", "",
+         k_pct, "Fraction of eager-translation rules materialized by lazy saturation."},
+    }};
+    return infos[static_cast<std::size_t>(histogram)];
+}
+
+double HistogramData::quantile(double q) const {
+    if (count == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    // Rank of the target observation, 1-based, ceil so that q=1 is the max.
+    const auto target = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < k_histogram_buckets; ++i) {
+        if (buckets[i] == 0) continue;
+        if (seen + buckets[i] < target) {
+            seen += buckets[i];
+            continue;
+        }
+        // Interpolate linearly inside bucket i: values lie in
+        // [2^(i-1), 2^i - 1] (bucket 0 holds exactly the value 0).
+        if (i == 0) return 0.0;
+        const auto lower = static_cast<double>(std::uint64_t{1} << (i - 1));
+        const auto upper = static_cast<double>(histogram_bucket_upper(i));
+        const auto into = static_cast<double>(target - seen - 1);
+        const auto width = static_cast<double>(buckets[i]);
+        return lower + (upper - lower) * (width > 1.0 ? into / (width - 1.0) : 0.5);
+    }
+    return static_cast<double>(histogram_bucket_upper(k_histogram_buckets - 1));
 }
 
 namespace detail {
@@ -107,6 +182,14 @@ void Registry::detach(detail::ThreadBuffer* buffer) {
         retired.counters[i] = buffer->counters[i].load(std::memory_order_relaxed);
     for (std::size_t i = 0; i < k_gauge_count; ++i)
         retired.gauges[i] = buffer->gauges[i].load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < k_histogram_count; ++i) {
+        auto& cell = buffer->histograms[i];
+        auto& data = retired.histograms[i];
+        for (std::size_t b = 0; b < k_histogram_buckets; ++b)
+            data.buckets[b] = cell.buckets[b].load(std::memory_order_relaxed);
+        data.count = cell.count.load(std::memory_order_relaxed);
+        data.sum = cell.sum.load(std::memory_order_relaxed);
+    }
     retired.spans = std::move(buffer->spans);
     retired.thread_index = buffer->thread_index;
     _retired.push_back(std::move(retired));
@@ -156,6 +239,14 @@ Snapshot Registry::snapshot() {
         for (std::size_t i = 0; i < k_counter_count; ++i) snap.counters[i] += retired.counters[i];
         for (std::size_t i = 0; i < k_gauge_count; ++i)
             snap.gauges[i] = std::max(snap.gauges[i], retired.gauges[i]);
+        for (std::size_t i = 0; i < k_histogram_count; ++i) {
+            auto& into = snap.histograms[i];
+            const auto& from = retired.histograms[i];
+            for (std::size_t b = 0; b < k_histogram_buckets; ++b)
+                into.buckets[b] += from.buckets[b];
+            into.count += from.count;
+            into.sum += from.sum;
+        }
         if (!retired.spans.empty()) span_sets.emplace_back(retired.thread_index, retired.spans);
     }
     for (auto* live : _live) {
@@ -164,6 +255,14 @@ Snapshot Registry::snapshot() {
         for (std::size_t i = 0; i < k_gauge_count; ++i)
             snap.gauges[i] =
                 std::max(snap.gauges[i], live->gauges[i].load(std::memory_order_relaxed));
+        for (std::size_t i = 0; i < k_histogram_count; ++i) {
+            auto& into = snap.histograms[i];
+            auto& cell = live->histograms[i];
+            for (std::size_t b = 0; b < k_histogram_buckets; ++b)
+                into.buckets[b] += cell.buckets[b].load(std::memory_order_relaxed);
+            into.count += cell.count.load(std::memory_order_relaxed);
+            into.sum += cell.sum.load(std::memory_order_relaxed);
+        }
         const std::lock_guard span_lock(live->span_mutex);
         if (!live->spans.empty()) span_sets.emplace_back(live->thread_index, live->spans);
     }
@@ -186,6 +285,11 @@ void Registry::reset() {
     for (auto* live : _live) {
         for (auto& counter : live->counters) counter.store(0, std::memory_order_relaxed);
         for (auto& gauge : live->gauges) gauge.store(0, std::memory_order_relaxed);
+        for (auto& cell : live->histograms) {
+            for (auto& bucket : cell.buckets) bucket.store(0, std::memory_order_relaxed);
+            cell.count.store(0, std::memory_order_relaxed);
+            cell.sum.store(0, std::memory_order_relaxed);
+        }
         const std::lock_guard span_lock(live->span_mutex);
         // Keep the chain of still-open spans (the caller may hold Span
         // objects across the reset); everything completed is dropped.
@@ -205,6 +309,31 @@ Snapshot snapshot() { return Registry::global().snapshot(); }
 
 void reset() { Registry::global().reset(); }
 
+namespace {
+
+/// Histogram in recorded units: count/sum/quantiles plus the non-empty
+/// buckets as [inclusive_upper_bound, observations] pairs.
+json::Value histogram_to_json(const HistogramData& data) {
+    json::Object object;
+    object.emplace("count", data.count);
+    object.emplace("sum", data.sum);
+    object.emplace("p50", data.p50());
+    object.emplace("p90", data.p90());
+    object.emplace("p99", data.p99());
+    json::Array buckets;
+    for (std::size_t b = 0; b < k_histogram_buckets; ++b) {
+        if (data.buckets[b] == 0) continue;
+        json::Array pair;
+        pair.emplace_back(histogram_bucket_upper(b));
+        pair.emplace_back(data.buckets[b]);
+        buckets.emplace_back(std::move(pair));
+    }
+    object.emplace("buckets", json::Value(std::move(buckets)));
+    return json::Value(std::move(object));
+}
+
+} // namespace
+
 std::string to_json(const Snapshot& snap, int indent) {
     json::Object counters;
     for (std::size_t i = 0; i < k_counter_count; ++i)
@@ -212,6 +341,12 @@ std::string to_json(const Snapshot& snap, int indent) {
     json::Object gauges;
     for (std::size_t i = 0; i < k_gauge_count; ++i)
         gauges.emplace(std::string(name_of(static_cast<Gauge>(i))), snap.gauges[i]);
+    json::Object histograms;
+    for (std::size_t i = 0; i < k_histogram_count; ++i) {
+        if (snap.histograms[i].count == 0) continue; // only observed histograms
+        histograms.emplace(std::string(name_of(static_cast<Histogram>(i))),
+                           histogram_to_json(snap.histograms[i]));
+    }
 
     auto span_to_json = [](const auto& self, const SpanNode& node) -> json::Value {
         json::Object object;
@@ -236,9 +371,10 @@ std::string to_json(const Snapshot& snap, int indent) {
     }
 
     json::Object document;
-    document.emplace("schema", "aalwines-trace-1");
+    document.emplace("schema", "aalwines-trace-2");
     document.emplace("counters", json::Value(std::move(counters)));
     document.emplace("gauges", json::Value(std::move(gauges)));
+    document.emplace("histograms", json::Value(std::move(histograms)));
     document.emplace("threads", json::Value(std::move(threads)));
     return json::write(json::Value(std::move(document)), indent);
 }

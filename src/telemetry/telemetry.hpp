@@ -1,23 +1,27 @@
 #pragma once
 // Cross-cutting telemetry for the verification pipeline: scoped RAII span
-// timers forming a hierarchical trace tree per thread, monotonic counters
-// and max-gauges, aggregated by a process-global Registry.
+// timers forming a hierarchical trace tree per thread, monotonic counters,
+// max-gauges and log2-bucketed latency/size histograms, aggregated by a
+// process-global Registry.
 //
-// Probes are designed for the solver hot path: counters and gauges land in
-// a thread-local buffer (one relaxed atomic add, no shared cache line, no
-// lock), so `verify_batch` workers never contend.  Only opening/closing a
-// span takes a (thread-local, uncontended) mutex, and spans fire per
-// pipeline phase, not per worklist item.  The Registry merges live and
-// retired thread buffers on demand into a Snapshot that serialises to JSON
-// (see docs/OBSERVABILITY.md for the schema).
+// Probes are designed for the solver hot path: counters, gauges and
+// histogram observations land in a thread-local buffer (one relaxed atomic
+// add, no shared cache line, no lock), so `verify_batch` workers never
+// contend.  Only opening/closing a span takes a (thread-local, uncontended)
+// mutex, and spans fire per pipeline phase, not per worklist item.  The
+// Registry merges live and retired thread buffers on demand into a Snapshot
+// that serialises to JSON (see docs/OBSERVABILITY.md for the schema);
+// histograms additionally export as Prometheus text exposition and feed the
+// bucket-interpolated p50/p90/p99 accessors.
 //
 // Compile-time gated by the CMake option AALWINES_TELEMETRY (default ON),
 // which defines AALWINES_TELEMETRY_ENABLED=1/0.  When disabled, every
-// probe — count(), gauge_max(), Span, AALWINES_SPAN — reduces to a no-op
-// and snapshots are empty; the API stays source-compatible.
+// probe — count(), gauge_max(), observe(), Span, AALWINES_SPAN — reduces to
+// a no-op and snapshots are empty; the API stays source-compatible.
 
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -67,8 +71,58 @@ enum class Gauge : std::uint32_t {
 };
 inline constexpr std::size_t k_gauge_count = static_cast<std::size_t>(Gauge::count_);
 
+/// Latency/size distributions.  Observations drop into fixed log2 buckets
+/// (bucket i counts values v with 2^(i-1) <= v < 2^i), so the merge across
+/// threads is a plain per-bucket sum: deterministic and thread-count
+/// invariant for deterministic observations.  Durations are recorded in
+/// nanoseconds; `materialized_rule_pct` records integer percentages.
+enum class Histogram : std::uint32_t {
+    request_duration,        ///< whole HTTP request handling in the daemon (ns)
+    request_queue_wait,      ///< accept -> dequeue wait in the daemon (ns)
+    query_duration_dual,     ///< end-to-end verify() wall clock, dual engine (ns)
+    query_duration_weighted, ///< ... weighted engine (ns)
+    query_duration_moped,    ///< ... moped baseline (ns)
+    query_duration_exact,    ///< ... exact engine (ns)
+    query_translate,         ///< per phase: translation + reduction + initial automaton (ns)
+    query_saturate,          ///< per phase: post* saturation (incl. lazy materialization) (ns)
+    query_witness,           ///< per phase: acceptance search + witness unroll (ns)
+    cache_lookup,            ///< compiled-query cache probe (ns)
+    materialized_rule_pct,   ///< lazy translation: % of eager rules materialized (0-100)
+    count_,
+};
+inline constexpr std::size_t k_histogram_count = static_cast<std::size_t>(Histogram::count_);
+
+/// 48 log2 buckets cover [0, 2^46) exactly (= ~19.5h in nanoseconds) with
+/// everything above in the overflow bucket; upper bound of bucket i is
+/// 2^i - 1 recorded units (the last bucket is +Inf).
+inline constexpr std::size_t k_histogram_buckets = 48;
+
+[[nodiscard]] constexpr std::size_t histogram_bucket(std::uint64_t value) {
+    const auto width = static_cast<std::size_t>(std::bit_width(value));
+    return width < k_histogram_buckets ? width : k_histogram_buckets - 1;
+}
+
+/// Inclusive upper bound of bucket `index` in recorded units; the last
+/// bucket is unbounded and reported as +Inf by the exposition writers.
+[[nodiscard]] constexpr std::uint64_t histogram_bucket_upper(std::size_t index) {
+    return (std::uint64_t{1} << index) - 1;
+}
+
 [[nodiscard]] std::string_view name_of(Counter counter);
 [[nodiscard]] std::string_view name_of(Gauge gauge);
+[[nodiscard]] std::string_view name_of(Histogram histogram);
+
+/// Prometheus exposition metadata for one histogram.  Histograms sharing a
+/// `family` differ only in `label` (e.g. the per-engine query durations all
+/// expose as `aalwines_query_duration_seconds{engine="..."}`).
+struct HistogramInfo {
+    std::string_view family; ///< Prometheus metric family name
+    std::string_view label;  ///< label pair rendered into every series, may be empty
+    double scale = 1.0;      ///< recorded unit -> exposed unit (ns -> s: 1e-9)
+    std::string_view help;   ///< one-line HELP text
+};
+
+[[nodiscard]] const HistogramInfo& info_of(Histogram histogram);
 
 /// One node of the merged trace tree (times relative to the registry
 /// epoch — process start or the last reset()).
@@ -85,9 +139,27 @@ struct ThreadTrace {
     std::vector<SpanNode> roots;
 };
 
+/// Merged distribution for one Histogram: per-bucket observation counts
+/// plus running count/sum in recorded units.
+struct HistogramData {
+    std::array<std::uint64_t, k_histogram_buckets> buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+
+    /// Bucket-interpolated quantile (q in [0,1]) in recorded units.  Walks
+    /// the buckets to the one holding the q-th observation and interpolates
+    /// linearly inside it; exact when every observation in the bucket is
+    /// uniformly spread, and always within one power of two of the truth.
+    [[nodiscard]] double quantile(double q) const;
+    [[nodiscard]] double p50() const { return quantile(0.50); }
+    [[nodiscard]] double p90() const { return quantile(0.90); }
+    [[nodiscard]] double p99() const { return quantile(0.99); }
+};
+
 struct Snapshot {
     std::array<std::uint64_t, k_counter_count> counters{};
     std::array<std::uint64_t, k_gauge_count> gauges{};
+    std::array<HistogramData, k_histogram_count> histograms{};
     std::vector<ThreadTrace> threads;
 
     [[nodiscard]] std::uint64_t counter(Counter c) const {
@@ -95,6 +167,9 @@ struct Snapshot {
     }
     [[nodiscard]] std::uint64_t gauge(Gauge g) const {
         return gauges[static_cast<std::size_t>(g)];
+    }
+    [[nodiscard]] const HistogramData& histogram(Histogram h) const {
+        return histograms[static_cast<std::size_t>(h)];
     }
 };
 
@@ -116,11 +191,19 @@ public:
     ThreadBuffer(const ThreadBuffer&) = delete;
     ThreadBuffer& operator=(const ThreadBuffer&) = delete;
 
-    // Counters/gauges: written by the owning thread with relaxed atomics,
-    // read by snapshots from any thread.  The cache line is effectively
-    // thread-private, so the adds cost the same as plain increments.
+    // Counters/gauges/histograms: written by the owning thread with relaxed
+    // atomics, read by snapshots from any thread.  The cache lines are
+    // effectively thread-private, so the adds cost the same as plain
+    // increments.
     std::array<std::atomic<std::uint64_t>, k_counter_count> counters{};
     std::array<std::atomic<std::uint64_t>, k_gauge_count> gauges{};
+
+    struct HistogramCell {
+        std::array<std::atomic<std::uint64_t>, k_histogram_buckets> buckets{};
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<std::uint64_t> sum{0};
+    };
+    std::array<HistogramCell, k_histogram_count> histograms{};
 
     // Spans: mutated only by the owning thread, but snapshots copy them
     // cross-thread, so open/close/copy are guarded.  Spans are per phase,
@@ -154,6 +237,27 @@ inline void gauge_max([[maybe_unused]] Gauge gauge, [[maybe_unused]] std::uint64
     while (value > current &&
            !cell.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
     }
+#endif
+}
+
+/// Record one observation in recorded units (hot-path safe: three relaxed
+/// adds on thread-private cache lines).
+inline void observe([[maybe_unused]] Histogram histogram,
+                    [[maybe_unused]] std::uint64_t value) {
+#if AALWINES_TELEMETRY_ENABLED
+    auto& cell = detail::buffer().histograms[static_cast<std::size_t>(histogram)];
+    cell.buckets[histogram_bucket(value)].fetch_add(1, std::memory_order_relaxed);
+    cell.count.fetch_add(1, std::memory_order_relaxed);
+    cell.sum.fetch_add(value, std::memory_order_relaxed);
+#endif
+}
+
+/// Record a duration given in seconds into a nanosecond-unit histogram.
+inline void observe_duration([[maybe_unused]] Histogram histogram,
+                             [[maybe_unused]] double seconds) {
+#if AALWINES_TELEMETRY_ENABLED
+    if (seconds < 0) seconds = 0;
+    observe(histogram, static_cast<std::uint64_t>(seconds * 1e9));
 #endif
 }
 
@@ -200,6 +304,7 @@ private:
     struct Retired {
         std::array<std::uint64_t, k_counter_count> counters{};
         std::array<std::uint64_t, k_gauge_count> gauges{};
+        std::array<HistogramData, k_histogram_count> histograms{};
         std::vector<detail::SpanRecord> spans;
         std::uint32_t thread_index = 0;
     };
@@ -215,7 +320,7 @@ private:
 [[nodiscard]] Snapshot snapshot();
 void reset();
 
-/// Serialise a snapshot as the `aalwines-trace-1` JSON document.
+/// Serialise a snapshot as the `aalwines-trace-2` JSON document.
 [[nodiscard]] std::string to_json(const Snapshot& snap, int indent = 2);
 
 /// Peak resident set size in kB (VmHWM from /proc/self/status; 0 when

@@ -89,8 +89,15 @@ PhaseOutcome run_post_star_phase(const Network& network, const query::Query& que
     // makes the two approximations coincide.  reduce() is idempotent.
     Translation& translation = cache.translation(approximation);
     outcome.stats.pda_rules_before_reduction = translation.rules_before_reduction();
+    const auto translated = Clock::now();
+    outcome.stats.translate_seconds = seconds_since(start);
     translation.reduce(options.reduction_level);
+    outcome.stats.reduce_seconds = seconds_since(translated);
+    telemetry::observe_duration(telemetry::Histogram::query_translate,
+                                outcome.stats.translate_seconds +
+                                    outcome.stats.reduce_seconds);
 
+    const auto saturate_start = Clock::now();
     auto automaton = translation.make_initial_automaton();
     const auto domain = static_cast<pda::Symbol>(network.labels.size());
     pda::SolverOptions sopts;
@@ -109,6 +116,9 @@ PhaseOutcome run_post_star_phase(const Network& network, const query::Query& que
     const auto sat_stats = pda::post_star(automaton, sopts);
     absorb_solver_stats(outcome.stats, sat_stats);
     outcome.truncated = sat_stats.truncated;
+    outcome.stats.saturate_seconds = seconds_since(saturate_start);
+    telemetry::observe_duration(telemetry::Histogram::query_saturate,
+                                outcome.stats.saturate_seconds);
 
     // Snapshot the PDA size after saturation: a lazy translation grows its
     // rule set on demand, so the materialized counts are only meaningful
@@ -119,17 +129,26 @@ PhaseOutcome run_post_star_phase(const Network& network, const query::Query& que
     outcome.stats.pda_rules_total = translation.total_rules();
     outcome.stats.pda_rules_materialized = translation.pda().rule_count();
     outcome.stats.pda_states_materialized = translation.pda().materialized_state_count();
+    if (translation.lazy() && outcome.stats.pda_rules_total > 0)
+        telemetry::observe(telemetry::Histogram::materialized_rule_pct,
+                           100 * outcome.stats.pda_rules_materialized /
+                               outcome.stats.pda_rules_total);
 
+    const auto accept_start = Clock::now();
     const auto accepted =
         pda::find_accepted(automaton, translation.accepting_states(),
                            translation.final_header_nfa(), domain, &workspace);
+    outcome.stats.accept_seconds = seconds_since(accept_start);
     if (!accepted) {
+        telemetry::observe_duration(telemetry::Histogram::query_witness,
+                                    outcome.stats.accept_seconds);
         outcome.stats.seconds = seconds_since(start);
         return outcome;
     }
     outcome.satisfied = true;
     outcome.weight = accepted->weight.components();
 
+    const auto witness_start = Clock::now();
     const auto witness = pda::unroll_post_star(automaton, *accepted);
     if (witness) {
         if (auto trace = translation.witness_to_trace(*witness)) {
@@ -171,15 +190,26 @@ PhaseOutcome run_post_star_phase(const Network& network, const query::Query& que
     } else if (outcome.trace && outcome.feasibility.feasible) {
         outcome.witnesses.push_back(*outcome.trace);
     }
+    outcome.stats.witness_seconds = seconds_since(witness_start);
+    telemetry::observe_duration(telemetry::Histogram::query_witness,
+                                outcome.stats.accept_seconds +
+                                    outcome.stats.witness_seconds);
     outcome.stats.seconds = seconds_since(start);
     return outcome;
 }
 
-} // namespace
+telemetry::Histogram duration_histogram(EngineKind engine) {
+    switch (engine) {
+        case EngineKind::Moped: return telemetry::Histogram::query_duration_moped;
+        case EngineKind::Dual: return telemetry::Histogram::query_duration_dual;
+        case EngineKind::Weighted: return telemetry::Histogram::query_duration_weighted;
+        case EngineKind::Exact: return telemetry::Histogram::query_duration_exact;
+    }
+    return telemetry::Histogram::query_duration_dual;
+}
 
-VerifyResult verify(const Network& network, const query::Query& query,
-                    const VerifyOptions& options) {
-    AALWINES_SPAN("verify");
+VerifyResult verify_impl(const Network& network, const query::Query& query,
+                         const VerifyOptions& options) {
     if (options.engine == EngineKind::Moped) {
         if (options.weights != nullptr && !options.weights->empty())
             throw model_error("the Moped engine cannot verify weighted queries");
@@ -279,6 +309,17 @@ VerifyResult verify(const Network& network, const query::Query& query,
     }
     result.stats.total_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    return result;
+}
+
+} // namespace
+
+VerifyResult verify(const Network& network, const query::Query& query,
+                    const VerifyOptions& options) {
+    AALWINES_SPAN("verify");
+    const auto start = Clock::now();
+    auto result = verify_impl(network, query, options);
+    telemetry::observe_duration(duration_histogram(options.engine), seconds_since(start));
     return result;
 }
 

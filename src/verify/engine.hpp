@@ -100,6 +100,15 @@ struct PhaseStats {
     std::size_t pda_states_materialized = 0;
     bool lazy_translation = false;
     double seconds = 0.0;
+    /// Wall-clock split of `seconds` by pipeline stage (dual/weighted
+    /// engines; 0 elsewhere).  With a lazy translation, rule
+    /// materialization happens on demand inside the saturation stage, so
+    /// `translate_seconds` covers only the symbolic setup.
+    double translate_seconds = 0.0; ///< network->PDA translation setup
+    double reduce_seconds = 0.0;    ///< top-of-stack reduction
+    double saturate_seconds = 0.0;  ///< initial automaton + post* saturation
+    double accept_seconds = 0.0;    ///< acceptance search (find_accepted)
+    double witness_seconds = 0.0;   ///< witness unroll + alternatives
     bool ran = false;
     bool truncated = false;
 };

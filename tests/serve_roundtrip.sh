@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
 # End-to-end serve test driven through scripts/aalwines-client: start the
-# daemon with a preloaded demo network, query it (cold, then cached), and
-# check that SIGTERM drains to exit 0.  Exits 127 (ctest SKIP) without curl.
+# daemon with a preloaded demo network and an access log, query it (cold,
+# then cached), scrape both metrics formats, and check that SIGTERM drains
+# to exit 0.  Exits 127 (ctest SKIP) without curl.
 set -eu
 
 bin="$1"
 client="$2"
 port="${AALWINES_SERVE_TEST_PORT:-18923}"
+access_log="${TMPDIR:-/tmp}/serve_roundtrip_access.$$.log"
 
 command -v curl >/dev/null 2>&1 || exit 127
 
-"$bin" serve --port "$port" --demo figure1 --workers 2 &
+"$bin" serve --port "$port" --demo figure1 --workers 2 \
+       --access-log "$access_log" &
 pid=$!
 trap 'kill "$pid" 2>/dev/null || true' EXIT
 
@@ -67,9 +70,32 @@ if a != b:
 PYEOF
 fi
 
-"$client" -s "127.0.0.1:$port" metrics | grep -q '"aalwines-metrics-1"'
+"$client" -s "127.0.0.1:$port" metrics | grep -q '"aalwines-metrics-2"'
+
+# Prometheus exposition: validated line-by-line when the checker is present.
+prom=$("$client" -s "127.0.0.1:$port" metrics --prometheus)
+echo "$prom" | grep -q '^# TYPE aalwines_server_requests_total counter$'
+echo "$prom" | grep -q '^# TYPE aalwines_request_duration_seconds histogram$'
+check_prom="$(dirname "$client")/check-prometheus"
+if command -v python3 >/dev/null 2>&1 && [ -x "$check_prom" ]; then
+    echo "$prom" | "$check_prom"
+fi
+
+# The explain subcommand renders the per-phase breakdown of a stats query.
+if command -v python3 >/dev/null 2>&1; then
+    "$client" -s "127.0.0.1:$port" explain n1 '<ip> [.#v0] .* [v3#.] <ip> 0' \
+        | grep -q 'over pass:'
+fi
 
 kill -TERM "$pid"
 wait "$pid" # graceful drain must exit 0
 trap - EXIT
+
+# Every request above must have produced one JSON line in the access log.
+[ -s "$access_log" ]
+requests=$(wc -l < "$access_log")
+[ "$requests" -ge 5 ]
+grep -q '"queryHash"' "$access_log"
+head -n 1 "$access_log" | grep -q '"id":1,'
+rm -f "$access_log"
 echo ok

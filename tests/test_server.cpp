@@ -16,8 +16,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <fstream>
+
 #include "cli/options.hpp"
 #include "json/json.hpp"
+#include "server/access_log.hpp"
 #include "server/server.hpp"
 #include "server/service.hpp"
 #include "telemetry/telemetry.hpp"
@@ -411,6 +414,136 @@ TEST(Server, ConcurrentClients) {
     }
     for (auto& client : clients) client.join();
     EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Server, PrometheusMetricsExposition) {
+    Daemon daemon;
+    const auto id = daemon.load_figure1();
+    ASSERT_EQ(roundtrip(daemon.server.port(), "POST", "/networks/" + id + "/query",
+                        std::string(R"({"query":")") + k_yes_query + R"("})")
+                  .status,
+              200);
+
+    const auto reply =
+        roundtrip(daemon.server.port(), "GET", "/metrics?format=prometheus");
+    ASSERT_EQ(reply.status, 200) << reply.raw;
+    EXPECT_NE(reply.raw.find("text/plain; version=0.0.4"), std::string::npos);
+    const auto& text = reply.body;
+    EXPECT_NE(text.find("# TYPE aalwines_server_requests_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE aalwines_request_duration_seconds histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("aalwines_request_duration_seconds_bucket{le=\"+Inf\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("aalwines_cache_entries 1\n"), std::string::npos);
+    EXPECT_NE(text.find("aalwines_workspaces 1\n"), std::string::npos);
+
+    // Extract the single un-labelled sample value of `series`.
+    const auto value_of = [&](const std::string& series) {
+        const auto pos = text.find("\n" + series + " ");
+        EXPECT_NE(pos, std::string::npos) << series;
+        if (pos == std::string::npos) return -1LL;
+        return std::stoll(text.substr(pos + series.size() + 2));
+    };
+    // Counter and duration histogram fire together after routing, so any
+    // scrape — including this one — sees them equal.
+    EXPECT_EQ(value_of("aalwines_request_duration_seconds_count"),
+              value_of("aalwines_server_requests_total"));
+
+    // The plain endpoint still answers JSON, now as metrics-2.
+    const auto json_reply = roundtrip(daemon.server.port(), "GET", "/metrics");
+    ASSERT_EQ(json_reply.status, 200);
+    const auto document = parse_body(json_reply);
+    EXPECT_EQ(document.at("schema").as_string(), "aalwines-metrics-2");
+    EXPECT_EQ(document.at("current").at("cacheEntries").as_int(), 1);
+#if AALWINES_TELEMETRY_ENABLED
+    EXPECT_TRUE(document.at("histograms").as_object().contains("request_duration"));
+#endif
+}
+
+TEST(Server, AccessLogRoundTrip) {
+    const std::string path =
+        "/tmp/aalwines_access_" + std::to_string(::getpid()) + ".log";
+    ::unlink(path.c_str());
+    ServiceConfig service_config;
+    service_config.access_log_path = path;
+    service_config.slow_query_ms = 3'600'000; // nothing qualifies as slow
+    std::string id;
+    {
+        Daemon daemon({}, service_config);
+        id = daemon.load_figure1();
+        const auto body = std::string(R"({"query":")") + k_yes_query + R"("})";
+        ASSERT_EQ(roundtrip(daemon.server.port(), "POST",
+                            "/networks/" + id + "/query", body)
+                      .status,
+                  200);
+        ASSERT_EQ(roundtrip(daemon.server.port(), "POST",
+                            "/networks/" + id + "/query", body)
+                      .status,
+                  200);
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open()) << path;
+    std::vector<json::Value> records;
+    std::string line;
+    while (std::getline(in, line))
+        if (!line.empty()) records.push_back(json::parse(line));
+    ::unlink(path.c_str());
+
+    ASSERT_EQ(records.size(), 3u); // load + two queries, in request order
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(records[i].at("id").as_int(), static_cast<std::int64_t>(i + 1));
+        EXPECT_EQ(records[i].at("method").as_string(), "POST");
+        EXPECT_GE(records[i].at("durationMs").as_double(), 0.0);
+        const auto time = records[i].at("time").as_string();
+        ASSERT_EQ(time.size(), 20u) << time;
+        EXPECT_EQ(time[10], 'T');
+        EXPECT_EQ(time.back(), 'Z');
+        EXPECT_EQ(records[i].find("slow"), nullptr);
+        EXPECT_EQ(records[i].find("queryTexts"), nullptr); // slow-only detail
+    }
+    EXPECT_EQ(records[0].at("target").as_string(), "/networks");
+    EXPECT_EQ(records[0].at("status").as_int(), 201);
+
+    const auto& first = records[1];
+    const auto& second = records[2];
+    EXPECT_EQ(first.at("network").as_string(), id);
+    EXPECT_EQ(first.at("queries").as_int(), 1);
+    EXPECT_EQ(first.at("answer").as_string(), "yes");
+    EXPECT_EQ(first.at("cacheMisses").as_int(), 1);
+    EXPECT_EQ(first.at("cacheHits").as_int(), 0);
+    EXPECT_EQ(second.at("cacheHits").as_int(), 1);
+    EXPECT_EQ(second.at("cacheMisses").as_int(), 0);
+    // Identical query => identical stable hash, 16 lower-case hex digits.
+    const auto hash = first.at("queryHash").as_string();
+    EXPECT_EQ(hash.size(), 16u);
+    EXPECT_EQ(hash.find_first_not_of("0123456789abcdef"), std::string::npos);
+    EXPECT_EQ(hash, second.at("queryHash").as_string());
+}
+
+TEST(AccessLog, StableHashIdsAndTimestamp) {
+    // FNV-1a 64: hash of "" is the offset basis, "a" is the textbook value.
+    EXPECT_EQ(stable_hash_hex(""), "cbf29ce484222325");
+    EXPECT_EQ(stable_hash_hex("a"), "af63dc4c8601ec8c");
+    EXPECT_NE(stable_hash_hex("<ip> .* <ip> 0"), stable_hash_hex("<ip> .* <ip> 1"));
+
+    AccessLog slow_only("", 5);
+    EXPECT_TRUE(slow_only.enabled());
+    EXPECT_EQ(slow_only.slow_ms(), 5u);
+    EXPECT_EQ(slow_only.next_id(), 1u);
+    EXPECT_EQ(slow_only.next_id(), 2u);
+
+    AccessLog disabled("", 0);
+    EXPECT_FALSE(disabled.enabled());
+
+    EXPECT_THROW(AccessLog("/nonexistent-dir/x.log", 0), std::runtime_error);
+
+    const auto time = log_timestamp();
+    ASSERT_EQ(time.size(), 20u) << time;
+    EXPECT_EQ(time[4], '-');
+    EXPECT_EQ(time[10], 'T');
+    EXPECT_EQ(time.back(), 'Z');
 }
 
 // --- option-layer units shared with the daemon (src/cli/options) ---------
