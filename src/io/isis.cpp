@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "util/check.hpp"
 #include "xml/xml.hpp"
 
 namespace aalwines::io {
@@ -149,7 +150,11 @@ Network read_isis(const std::vector<IsisRouterDocuments>& routers) {
         for (auto& adjacency : adjacencies[i]) {
             if (adjacency.consumed) continue;
             adjacency.consumed = true;
-            const auto neighbor_id = by_alias.at(adjacency.neighbor);
+            const auto neighbor_it = by_alias.find(adjacency.neighbor);
+            AALWINES_CHECK(neighbor_it != by_alias.end(),
+                           "isis: adjacency toward unknown system '" +
+                               adjacency.neighbor + "'");
+            const auto neighbor_id = neighbor_it->second;
             if (routers[neighbor_id].entry.is_edge()) {
                 // Edge routers export nothing; synthesize their interface.
                 topology.add_duplex(router_i, adjacency.interface_name, neighbor_id,
@@ -161,7 +166,11 @@ Network read_isis(const std::vector<IsisRouterDocuments>& routers) {
             Adjacency* reciprocal = nullptr;
             for (auto& candidate : adjacencies[neighbor_id]) {
                 if (candidate.consumed) continue;
-                if (by_alias.at(candidate.neighbor) != router_i) continue;
+                const auto candidate_it = by_alias.find(candidate.neighbor);
+                AALWINES_CHECK(candidate_it != by_alias.end(),
+                               "isis: adjacency toward unknown system '" +
+                                   candidate.neighbor + "'");
+                if (candidate_it->second != router_i) continue;
                 reciprocal = &candidate;
                 break;
             }

@@ -6,6 +6,7 @@
 
 #include "telemetry/telemetry.hpp"
 #include "util/check.hpp"
+#include "util/hot_path.hpp"
 
 namespace aalwines::pda {
 
@@ -168,8 +169,9 @@ EdgeLabel label_of_pre(const Pda& pda, const PreSpec& pre) {
 }
 
 template <typename WL>
-void post_star_loop(PAutomaton& aut, const SolverOptions& options, SolverStats& stats,
-                    std::size_t& eps_relaxations, WL& worklist) {
+AALWINES_HOT_PATH void post_star_loop(PAutomaton& aut, const SolverOptions& options,
+                                      SolverStats& stats, std::size_t& eps_relaxations,
+                                      WL& worklist) {
     const Pda& pda = aut.pda();
 
     auto enqueue_trans = [&](TransId id) {
@@ -293,8 +295,8 @@ void post_star_loop(PAutomaton& aut, const SolverOptions& options, SolverStats& 
 }
 
 template <typename WL>
-void pre_star_loop(PAutomaton& aut, const SolverOptions& options, SolverStats& stats,
-                   WL& worklist) {
+AALWINES_HOT_PATH void pre_star_loop(PAutomaton& aut, const SolverOptions& options,
+                                     SolverStats& stats, WL& worklist) {
     const Pda& pda = aut.pda();
     // Cached across calls on the same PDA.  pre* consumes rules by *target*
     // state and seeds every pop rule unconditionally below, so demand-driven

@@ -23,18 +23,17 @@ AccessLog::~AccessLog() {
     if (_fd >= 0) ::close(_fd);
 }
 
-std::uint64_t AccessLog::next_id() {
-    const std::lock_guard lock(_mutex);
-    return ++_next_id;
-}
-
-void AccessLog::write(const json::Object& record, bool slow) {
+void AccessLog::write(json::Object record, bool slow) {
     const bool to_file = _fd >= 0;
     const bool to_stderr = slow && !to_file;
     if (!to_file && !to_stderr) return;
-    auto line = json::write(json::Value(record), 0);
+    const util::MutexLock lock(_mutex);
+    // Id and write share one critical section: two requests can otherwise
+    // mint ids 1 and 2 but land in the file in the opposite order, breaking
+    // the "record N carries id N" contract the smoke tests rely on.
+    record.insert_or_assign("id", json::Value(++_next_id));
+    auto line = json::write(json::Value(std::move(record)), 0);
     line.push_back('\n');
-    const std::lock_guard lock(_mutex);
     if (to_file) {
         std::string_view rest = line;
         while (!rest.empty()) {

@@ -15,10 +15,10 @@
 // standalone slow-query log.
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "json/json.hpp"
+#include "util/mutex.hpp"
 
 namespace aalwines::server {
 
@@ -35,21 +35,21 @@ public:
     /// Anything to do at all?  False for the default-constructed config.
     [[nodiscard]] bool enabled() const { return _fd >= 0 || _slow_ms > 0; }
 
-    /// Monotonic per-process request id (first request = 1).
-    [[nodiscard]] std::uint64_t next_id();
-
     [[nodiscard]] std::uint32_t slow_ms() const { return _slow_ms; }
 
-    /// Serialise `record` as one line.  `slow` routes a copy to stderr when
-    /// no file sink is configured.  Thread-safe; write errors are ignored
-    /// (logging must never fail a request).
-    void write(const json::Object& record, bool slow);
+    /// Stamp `record` with the next monotonic request id (first = 1) and
+    /// serialise it as one line.  Id assignment and the file write happen
+    /// under one lock, so line order always matches id order — consumers
+    /// may assume record N of the file carries id N.  `slow` routes a copy
+    /// to stderr when no file sink is configured.  Thread-safe; write
+    /// errors are ignored (logging must never fail a request).
+    void write(json::Object record, bool slow);
 
 private:
-    int _fd = -1; ///< file or stdout; -1 = slow-to-stderr only
-    std::uint32_t _slow_ms = 0;
-    std::mutex _mutex;
-    std::uint64_t _next_id = 0;
+    int _fd = -1;             ///< file or stdout; -1 = slow-to-stderr only
+    std::uint32_t _slow_ms = 0; ///< both immutable after construction
+    util::Mutex _mutex;
+    std::uint64_t _next_id GUARDED_BY(_mutex) = 0;
 };
 
 /// RFC 3339 UTC timestamp ("2026-08-09T12:34:56Z") for log records.

@@ -36,7 +36,7 @@ std::shared_ptr<const verify::VerifyResult> ResultCache::find(const std::string&
     const auto start = std::chrono::steady_clock::now();
     std::shared_ptr<const verify::VerifyResult> result;
     {
-        const std::lock_guard lock(_mutex);
+        const util::MutexLock lock(_mutex);
         const auto it = _index.find(key);
         if (it != _index.end()) {
             _order.splice(_order.begin(), _order, it->second);
@@ -54,7 +54,7 @@ std::shared_ptr<const verify::VerifyResult> ResultCache::find(const std::string&
 void ResultCache::insert(const std::string& key,
                          std::shared_ptr<const verify::VerifyResult> result) {
     if (_capacity == 0) return;
-    const std::lock_guard lock(_mutex);
+    const util::MutexLock lock(_mutex);
     if (const auto it = _index.find(key); it != _index.end()) {
         it->second->result = std::move(result);
         _order.splice(_order.begin(), _order, it->second);
@@ -62,14 +62,21 @@ void ResultCache::insert(const std::string& key,
     }
     _order.push_front({key, std::move(result)});
     _index.emplace(key, _order.begin());
+    evict_locked();
+}
+
+void ResultCache::evict_locked() {
     while (_order.size() > _capacity) {
         _index.erase(_order.back().key);
         _order.pop_back();
     }
+    // Under the mutex: the size is settled, so concurrent inserts cannot
+    // publish a high-water mark the cache never actually reached.
+    telemetry::gauge_max(telemetry::Gauge::cache_entries_high_water, _order.size());
 }
 
 std::size_t ResultCache::size() const {
-    const std::lock_guard lock(_mutex);
+    const util::MutexLock lock(_mutex);
     return _order.size();
 }
 

@@ -11,10 +11,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "util/mutex.hpp"
 #include "verify/engine.hpp"
 
 namespace aalwines::server {
@@ -49,10 +49,16 @@ private:
         std::shared_ptr<const verify::VerifyResult> result;
     };
 
-    mutable std::mutex _mutex;
-    std::size_t _capacity;
-    std::list<Entry> _order; ///< front = most recently used
-    std::unordered_map<std::string, std::list<Entry>::iterator> _index;
+    /// Evict LRU entries beyond capacity and raise the
+    /// cache_entries_high_water gauge — called with the size about to
+    /// settle, so the gauge never reads _order.size() unlocked.
+    void evict_locked() REQUIRES(_mutex);
+
+    mutable util::Mutex _mutex;
+    std::size_t _capacity; ///< immutable after construction
+    std::list<Entry> _order GUARDED_BY(_mutex); ///< front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> _index
+        GUARDED_BY(_mutex);
 };
 
 } // namespace aalwines::server

@@ -103,13 +103,25 @@ void Server::request_stop() noexcept {
 
 void Server::wait() {
     {
-        const std::lock_guard lock(_mutex);
-        if (_joined) return;
-        _joined = true;
+        const util::MutexLock lock(_mutex);
+        if (_join_started) {
+            // Another thread is already joining (e.g. the signal waiter
+            // racing the main thread's stop()).  Returning here would hand
+            // the caller a daemon that is still serving; block until the
+            // drain really finished instead.
+            while (!_join_done) _join_cv.wait(_mutex);
+            return;
+        }
+        _join_started = true;
     }
     if (_acceptor.joinable()) _acceptor.join();
     for (auto& worker : _workers)
         if (worker.joinable()) worker.join();
+    {
+        const util::MutexLock lock(_mutex);
+        _join_done = true;
+    }
+    _join_cv.notify_all();
 }
 
 void Server::stop() {
@@ -118,7 +130,7 @@ void Server::stop() {
 }
 
 std::size_t Server::queue_depth() const {
-    const std::lock_guard lock(_mutex);
+    const util::MutexLock lock(_mutex);
     return _queue.size();
 }
 
@@ -144,7 +156,7 @@ void Server::accept_loop() {
 
         bool admitted = false;
         {
-            const std::lock_guard lock(_mutex);
+            const util::MutexLock lock(_mutex);
             if (_queue.size() < _config.queue_capacity) {
                 _queue.push_back({fd, std::chrono::steady_clock::now()});
                 telemetry::gauge_max(telemetry::Gauge::server_queue_high_water,
@@ -167,7 +179,7 @@ void Server::accept_loop() {
     close_quietly(_listen_fd);
     _listen_fd = -1;
     {
-        const std::lock_guard lock(_mutex);
+        const util::MutexLock lock(_mutex);
         _draining = true;
     }
     _ready.notify_all();
@@ -177,8 +189,8 @@ void Server::worker_loop() {
     for (;;) {
         Pending pending;
         {
-            std::unique_lock lock(_mutex);
-            _ready.wait(lock, [this] { return _draining || !_queue.empty(); });
+            const util::MutexLock lock(_mutex);
+            while (!_draining && _queue.empty()) _ready.wait(_mutex);
             if (_queue.empty()) return; // draining and nothing left
             pending = _queue.front();
             _queue.pop_front();

@@ -8,17 +8,16 @@
 // async-signal-safe (a self-pipe write), so SIGINT/SIGTERM drain
 // gracefully: stop accepting, finish queued and in-flight requests, join.
 
-#include <condition_variable>
 #include <cstdint>
 #include <chrono>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "server/http.hpp"
 #include "server/service.hpp"
+#include "util/mutex.hpp"
 
 namespace aalwines::server {
 
@@ -55,6 +54,8 @@ public:
     void request_stop() noexcept;
 
     /// Block until the daemon has drained and every thread is joined.
+    /// Safe to call from several threads: the first caller joins, the
+    /// others block until the drain completes (none returns early).
     void wait();
 
     /// request_stop() + wait().
@@ -74,20 +75,24 @@ private:
     void serve_connection(Pending pending);
 
     Service& _service;
-    ServerConfig _config;
-    std::uint16_t _port = 0;
-    int _listen_fd = -1;
-    int _wake_read = -1, _wake_write = -1;
+    ServerConfig _config;        ///< immutable after construction
+    std::uint16_t _port = 0;     ///< written by start() before any thread spawns
+    int _listen_fd = -1;         ///< owned by the acceptor thread after start()
+    int _wake_read = -1, _wake_write = -1; ///< written by start() before spawning
 
-    mutable std::mutex _mutex;
-    std::condition_variable _ready;
-    std::deque<Pending> _queue;
-    bool _draining = false;
+    mutable util::Mutex _mutex;
+    util::CondVar _ready; ///< signals _queue growth and the drain flag
+    std::deque<Pending> _queue GUARDED_BY(_mutex);
+    bool _draining GUARDED_BY(_mutex) = false;
 
+    // _acceptor/_workers are written by start() before any concurrency and
+    // joined by the single wait() caller that won _join_started.
     std::thread _acceptor;
     std::vector<std::thread> _workers;
-    bool _started = false;
-    bool _joined = false;
+    bool _started = false; ///< main-thread only (start() / destructor)
+    util::CondVar _join_cv;
+    bool _join_started GUARDED_BY(_mutex) = false;
+    bool _join_done GUARDED_BY(_mutex) = false;
 };
 
 } // namespace aalwines::server

@@ -120,8 +120,7 @@ http::Response Service::handle(const http::Request& request, double queue_wait_m
         const auto duration_ms = seconds * 1000.0;
         const bool slow = _access_log->slow_ms() > 0 &&
                           duration_ms >= static_cast<double>(_access_log->slow_ms());
-        json::Object record;
-        record.emplace("id", _access_log->next_id());
+        json::Object record; // "id" is stamped by AccessLog::write
         record.emplace("time", log_timestamp());
         record.emplace("method", request.method);
         record.emplace("target", request.target);
@@ -134,7 +133,7 @@ http::Response Service::handle(const http::Request& request, double queue_wait_m
             if (key == "queryTexts" && !slow) continue;
             record.emplace(key, std::move(value));
         }
-        _access_log->write(record, slow);
+        _access_log->write(std::move(record), slow);
     }
     return response;
 }

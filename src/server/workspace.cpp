@@ -5,7 +5,7 @@
 namespace aalwines::server {
 
 Workspace WorkspaceRegistry::add(Network&& network) {
-    const std::lock_guard lock(_mutex);
+    const util::MutexLock lock(_mutex);
     Workspace workspace;
     workspace.sequence = _next_sequence++;
     workspace.id = "n" + std::to_string(workspace.sequence);
@@ -15,14 +15,14 @@ Workspace WorkspaceRegistry::add(Network&& network) {
 }
 
 Workspace WorkspaceRegistry::find(const std::string& id) const {
-    const std::lock_guard lock(_mutex);
+    const util::MutexLock lock(_mutex);
     for (const auto& workspace : _workspaces)
         if (workspace.id == id) return workspace;
     return {};
 }
 
 bool WorkspaceRegistry::erase(const std::string& id) {
-    const std::lock_guard lock(_mutex);
+    const util::MutexLock lock(_mutex);
     const auto it = std::find_if(_workspaces.begin(), _workspaces.end(),
                                  [&](const Workspace& w) { return w.id == id; });
     if (it == _workspaces.end()) return false;
@@ -31,12 +31,12 @@ bool WorkspaceRegistry::erase(const std::string& id) {
 }
 
 std::vector<Workspace> WorkspaceRegistry::list() const {
-    const std::lock_guard lock(_mutex);
+    const util::MutexLock lock(_mutex);
     return _workspaces;
 }
 
 std::size_t WorkspaceRegistry::size() const {
-    const std::lock_guard lock(_mutex);
+    const util::MutexLock lock(_mutex);
     return _workspaces.size();
 }
 

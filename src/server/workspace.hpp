@@ -7,11 +7,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "model/routing.hpp"
+#include "util/mutex.hpp"
 
 namespace aalwines::server {
 
@@ -39,9 +39,9 @@ public:
     [[nodiscard]] std::size_t size() const;
 
 private:
-    mutable std::mutex _mutex;
-    std::vector<Workspace> _workspaces;
-    std::uint64_t _next_sequence = 1;
+    mutable util::Mutex _mutex;
+    std::vector<Workspace> _workspaces GUARDED_BY(_mutex);
+    std::uint64_t _next_sequence GUARDED_BY(_mutex) = 1;
 };
 
 } // namespace aalwines::server

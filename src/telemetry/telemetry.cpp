@@ -43,6 +43,7 @@ std::string_view name_of(Gauge gauge) {
         case Gauge::epsilon_high_water: return "epsilon_high_water";
         case Gauge::worklist_high_water: return "worklist_high_water";
         case Gauge::server_queue_high_water: return "server_queue_high_water";
+        case Gauge::cache_entries_high_water: return "cache_entries_high_water";
         case Gauge::count_: break;
     }
     return "?";
@@ -147,7 +148,7 @@ ThreadBuffer& buffer() {
 #if AALWINES_TELEMETRY_ENABLED
 Span::Span(const char* name) {
     auto& buf = detail::buffer();
-    const std::lock_guard lock(buf.span_mutex);
+    const util::MutexLock lock(buf.span_mutex);
     _index = static_cast<std::int32_t>(buf.spans.size());
     buf.spans.push_back({name, buf.current, detail::now_ns(), 0});
     buf.current = _index;
@@ -155,7 +156,7 @@ Span::Span(const char* name) {
 
 Span::~Span() {
     auto& buf = detail::buffer();
-    const std::lock_guard lock(buf.span_mutex);
+    const util::MutexLock lock(buf.span_mutex);
     buf.spans[static_cast<std::size_t>(_index)].end_ns = detail::now_ns();
     buf.current = buf.spans[static_cast<std::size_t>(_index)].parent;
 }
@@ -169,15 +170,19 @@ Registry& Registry::global() {
 }
 
 void Registry::attach(detail::ThreadBuffer* buffer) {
-    const std::lock_guard lock(_mutex);
-    buffer->thread_index = _next_thread_index++;
-    _live.push_back(buffer);
+    const util::MutexLock lock(_mutex);
+    _live.push_back({buffer, _next_thread_index++});
 }
 
 void Registry::detach(detail::ThreadBuffer* buffer) {
-    const std::lock_guard lock(_mutex);
-    _live.erase(std::remove(_live.begin(), _live.end(), buffer), _live.end());
+    const util::MutexLock lock(_mutex);
     Retired retired;
+    for (auto it = _live.begin(); it != _live.end(); ++it) {
+        if (it->buffer != buffer) continue;
+        retired.thread_index = it->thread_index;
+        _live.erase(it);
+        break;
+    }
     for (std::size_t i = 0; i < k_counter_count; ++i)
         retired.counters[i] = buffer->counters[i].load(std::memory_order_relaxed);
     for (std::size_t i = 0; i < k_gauge_count; ++i)
@@ -190,8 +195,12 @@ void Registry::detach(detail::ThreadBuffer* buffer) {
         data.count = cell.count.load(std::memory_order_relaxed);
         data.sum = cell.sum.load(std::memory_order_relaxed);
     }
-    retired.spans = std::move(buffer->spans);
-    retired.thread_index = buffer->thread_index;
+    {
+        // The owning thread is the only span writer and it is in this very
+        // destructor, but the contract is per-field, not per-schedule.
+        const util::MutexLock span_lock(buffer->span_mutex);
+        retired.spans = std::move(buffer->spans);
+    }
     _retired.push_back(std::move(retired));
 }
 
@@ -230,7 +239,7 @@ std::vector<SpanNode> build_tree(const std::vector<detail::SpanRecord>& records,
 } // namespace
 
 Snapshot Registry::snapshot() {
-    const std::lock_guard lock(_mutex);
+    const util::MutexLock lock(_mutex);
     const auto now = detail::now_ns();
     Snapshot snap;
     std::vector<std::pair<std::uint32_t, std::vector<detail::SpanRecord>>> span_sets;
@@ -249,7 +258,8 @@ Snapshot Registry::snapshot() {
         }
         if (!retired.spans.empty()) span_sets.emplace_back(retired.thread_index, retired.spans);
     }
-    for (auto* live : _live) {
+    for (const auto& entry : _live) {
+        auto* live = entry.buffer;
         for (std::size_t i = 0; i < k_counter_count; ++i)
             snap.counters[i] += live->counters[i].load(std::memory_order_relaxed);
         for (std::size_t i = 0; i < k_gauge_count; ++i)
@@ -263,8 +273,8 @@ Snapshot Registry::snapshot() {
             into.count += cell.count.load(std::memory_order_relaxed);
             into.sum += cell.sum.load(std::memory_order_relaxed);
         }
-        const std::lock_guard span_lock(live->span_mutex);
-        if (!live->spans.empty()) span_sets.emplace_back(live->thread_index, live->spans);
+        const util::MutexLock span_lock(live->span_mutex);
+        if (!live->spans.empty()) span_sets.emplace_back(entry.thread_index, live->spans);
     }
 
     std::sort(span_sets.begin(), span_sets.end(),
@@ -279,10 +289,11 @@ Snapshot Registry::snapshot() {
 }
 
 void Registry::reset() {
-    const std::lock_guard lock(_mutex);
+    const util::MutexLock lock(_mutex);
     _retired.clear();
     _epoch_ns = detail::now_ns();
-    for (auto* live : _live) {
+    for (const auto& entry : _live) {
+        auto* live = entry.buffer;
         for (auto& counter : live->counters) counter.store(0, std::memory_order_relaxed);
         for (auto& gauge : live->gauges) gauge.store(0, std::memory_order_relaxed);
         for (auto& cell : live->histograms) {
@@ -290,7 +301,7 @@ void Registry::reset() {
             cell.count.store(0, std::memory_order_relaxed);
             cell.sum.store(0, std::memory_order_relaxed);
         }
-        const std::lock_guard span_lock(live->span_mutex);
+        const util::MutexLock span_lock(live->span_mutex);
         // Keep the chain of still-open spans (the caller may hold Span
         // objects across the reset); everything completed is dropped.
         std::vector<detail::SpanRecord> kept;

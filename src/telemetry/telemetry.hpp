@@ -23,10 +23,11 @@
 #include <atomic>
 #include <bit>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 #ifndef AALWINES_TELEMETRY_ENABLED
 #define AALWINES_TELEMETRY_ENABLED 1
@@ -67,6 +68,7 @@ enum class Gauge : std::uint32_t {
     epsilon_high_water,    ///< ε-transition table size after saturation
     worklist_high_water,   ///< peak saturation worklist length
     server_queue_high_water, ///< peak pending-connection queue depth (daemon)
+    cache_entries_high_water, ///< peak compiled-query cache residency (entries)
     count_,
 };
 inline constexpr std::size_t k_gauge_count = static_cast<std::size_t>(Gauge::count_);
@@ -208,10 +210,9 @@ public:
     // Spans: mutated only by the owning thread, but snapshots copy them
     // cross-thread, so open/close/copy are guarded.  Spans are per phase,
     // not per worklist item, so this mutex is cold and uncontended.
-    std::mutex span_mutex;
-    std::vector<SpanRecord> spans;
-    std::int32_t current = -1; ///< innermost open span, -1 = none
-    std::uint32_t thread_index = 0;
+    util::Mutex span_mutex;
+    std::vector<SpanRecord> spans GUARDED_BY(span_mutex);
+    std::int32_t current GUARDED_BY(span_mutex) = -1; ///< innermost open span, -1 = none
 };
 
 #if AALWINES_TELEMETRY_ENABLED
@@ -308,12 +309,18 @@ private:
         std::vector<detail::SpanRecord> spans;
         std::uint32_t thread_index = 0;
     };
+    struct Live {
+        detail::ThreadBuffer* buffer = nullptr;
+        std::uint32_t thread_index = 0; ///< registry-assigned dense index
+    };
 
-    std::mutex _mutex;
-    std::vector<detail::ThreadBuffer*> _live;
-    std::vector<Retired> _retired;
-    std::uint32_t _next_thread_index = 0;
-    std::uint64_t _epoch_ns = 0;
+    // Lock order: _mutex before any buffer's span_mutex (snapshot/reset/
+    // detach all follow it; Span open/close takes only its own span_mutex).
+    util::Mutex _mutex;
+    std::vector<Live> _live GUARDED_BY(_mutex);
+    std::vector<Retired> _retired GUARDED_BY(_mutex);
+    std::uint32_t _next_thread_index GUARDED_BY(_mutex) = 0;
+    std::uint64_t _epoch_ns GUARDED_BY(_mutex) = 0;
 };
 
 /// Shorthands over the global registry.

@@ -1,0 +1,18 @@
+#pragma once
+// AALWINES_HOT_PATH — marks a function as part of the saturation inner loop
+// (the per-pop work in post*/pre*), where heap allocation is budgeted
+// through util::Arena only.  The marker expands to a clang `annotate`
+// attribute that the aalwines-no-alloc-in-hot-path lint check (tools/lint/,
+// scripts/aalwines-lint) keys on: inside a marked function, `new`
+// expressions and growth of node-based std containers (std::map, std::set,
+// std::unordered_map, std::unordered_set) are diagnosed as errors.
+//
+// The attribute has no effect on code generation; on non-clang compilers it
+// expands to nothing, and the lexical fallback engine of aalwines-lint
+// recognises the macro token itself.
+
+#if defined(__clang__)
+#define AALWINES_HOT_PATH __attribute__((annotate("aalwines_hot_path")))
+#else
+#define AALWINES_HOT_PATH
+#endif

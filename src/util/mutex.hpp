@@ -1,0 +1,98 @@
+#pragma once
+// Annotated synchronization primitives: thin wrappers over std::mutex /
+// std::condition_variable carrying the clang thread-safety attributes from
+// util/thread_annotations.hpp.  All lock-based code in src/ uses these —
+// raw std::mutex outside src/util/ is rejected by the
+// aalwines-no-naked-mutex lint check — so every GUARDED_BY contract in the
+// server, telemetry and batch layers is machine-checked under
+// -Werror=thread-safety in the clang CI jobs.
+//
+//   util::Mutex mutex;
+//   int value GUARDED_BY(mutex);
+//
+//   {
+//       const util::MutexLock lock(mutex);   // scoped acquire
+//       ++value;                             // ok: capability held
+//       while (!ready) condvar.wait(mutex);  // atomically release + reacquire
+//   }
+//
+// The wrappers are zero-cost: Mutex is layout-identical to std::mutex,
+// MutexLock to std::lock_guard, and CondVar waits on the underlying
+// std::mutex through std::unique_lock with adopt/release (no
+// condition_variable_any, no extra indirection).
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace aalwines::util {
+
+class CondVar;
+
+/// Exclusive lockable capability.  Prefer MutexLock over manual
+/// lock()/unlock() pairs; the manual API exists for the rare scope that a
+/// RAII guard cannot express.
+class CAPABILITY("mutex") Mutex {
+public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() ACQUIRE() { _mutex.lock(); }
+    void unlock() RELEASE() { _mutex.unlock(); }
+    [[nodiscard]] bool try_lock() TRY_ACQUIRE(true) { return _mutex.try_lock(); }
+
+private:
+    friend class CondVar;
+    std::mutex _mutex;
+};
+
+/// Scoped acquire/release of a Mutex (std::lock_guard with annotations).
+class SCOPED_CAPABILITY MutexLock {
+public:
+    explicit MutexLock(Mutex& mutex) ACQUIRE(mutex) : _mutex(mutex) { _mutex.lock(); }
+    ~MutexLock() RELEASE() { _mutex.unlock(); }
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+private:
+    Mutex& _mutex;
+};
+
+/// Condition variable bound to util::Mutex.  wait() names the mutex
+/// explicitly so the analysis can check the caller holds it:
+///
+///   util::MutexLock lock(_mutex);
+///   while (_queue.empty() && !_draining) _ready.wait(_mutex);
+class CondVar {
+public:
+    CondVar() = default;
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    /// Atomically release `mutex`, block, reacquire before returning.  The
+    /// caller must hold `mutex` (checked); spurious wakeups happen, so
+    /// always wait in a predicate loop.
+    void wait(Mutex& mutex) REQUIRES(mutex) {
+        std::unique_lock<std::mutex> inner(mutex._mutex, std::adopt_lock);
+        _cv.wait(inner);
+        inner.release(); // ownership returns to the caller's MutexLock
+    }
+
+    /// Predicate form: waits until `pred()` holds.  `pred` runs with
+    /// `mutex` held, so it may read GUARDED_BY(mutex) state when spelled as
+    /// a REQUIRES(mutex)-annotated lambda or helper.
+    template <typename Predicate>
+    void wait(Mutex& mutex, Predicate pred) REQUIRES(mutex) {
+        while (!pred()) wait(mutex);
+    }
+
+    void notify_one() noexcept { _cv.notify_one(); }
+    void notify_all() noexcept { _cv.notify_all(); }
+
+private:
+    std::condition_variable _cv;
+};
+
+} // namespace aalwines::util

@@ -1,0 +1,73 @@
+#pragma once
+// Clang thread-safety-analysis attribute macros (docs/CORRECTNESS.md,
+// "Static analysis").  Annotating a mutex-protected field with
+// GUARDED_BY(mutex) turns its locking protocol into a *compile-time*
+// contract: clang's -Wthread-safety proves, for every path through every
+// function, that the capability is held at each access — all schedules,
+// not just the ones a TSan run happens to observe.
+//
+// Conventions:
+//   * every non-atomic field shared between threads carries GUARDED_BY
+//     (or PT_GUARDED_BY for the pointee of a shared pointer);
+//   * private helpers that assume the lock is held are suffixed `_locked`
+//     and annotated REQUIRES(mutex);
+//   * functions that must NOT be called with the lock held (they take it
+//     themselves) may be annotated EXCLUDES(mutex) to catch self-deadlock.
+//
+// The macros expand to clang attributes under clang and to nothing under
+// any other compiler, so gcc builds are unaffected.  CI compiles the clang
+// jobs with -Werror=thread-safety; there are no suppressions in src/.
+// Use the util::Mutex / util::MutexLock / util::CondVar wrappers from
+// util/mutex.hpp — raw std::mutex outside src/util/ is rejected by the
+// aalwines-no-naked-mutex lint check (scripts/aalwines-lint).
+
+#if defined(__clang__) && !defined(SWIG)
+#define AALWINES_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define AALWINES_THREAD_ANNOTATION(x) // no-op off clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex", "role", ...).
+#define CAPABILITY(x) AALWINES_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define SCOPED_CAPABILITY AALWINES_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field access requires the given capability to be held.
+#define GUARDED_BY(x) AALWINES_THREAD_ANNOTATION(guarded_by(x))
+
+/// Dereferencing this pointer requires the given capability.
+#define PT_GUARDED_BY(x) AALWINES_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Callers must hold the listed capabilities (not acquired/released here).
+#define REQUIRES(...) \
+    AALWINES_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Callers must hold the listed capabilities shared (read) mode.
+#define REQUIRES_SHARED(...) \
+    AALWINES_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define ACQUIRE(...) AALWINES_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases a capability the caller held.
+#define RELEASE(...) AALWINES_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Acquires the capability iff the return value equals the first argument.
+#define TRY_ACQUIRE(...) \
+    AALWINES_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Callers must NOT hold the listed capabilities (deadlock prevention).
+#define EXCLUDES(...) AALWINES_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering declarations between capabilities.
+#define ACQUIRED_BEFORE(...) AALWINES_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) AALWINES_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// The function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) AALWINES_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot follow.  Policy: never used
+/// in src/ outside util/mutex.hpp's wrapper internals (zero suppressions);
+/// the macro exists so the contract is greppable, not so it can spread.
+#define NO_THREAD_SAFETY_ANALYSIS AALWINES_THREAD_ANNOTATION(no_thread_safety_analysis)

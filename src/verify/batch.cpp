@@ -18,6 +18,10 @@ std::vector<BatchItem> verify_batch(const Network& network,
     if (jobs == 0) jobs = std::max(1u, std::thread::hardware_concurrency());
     jobs = std::min(jobs, texts.size());
 
+    // Concurrency contract (no mutex on purpose): `next` is the only shared
+    // mutable word — a relaxed fetch_add hands each worker a distinct index,
+    // so every items[index] slot has exactly one writer.  The joins below
+    // publish the slots to the caller; `network`/`options` are read-only.
     std::atomic<std::size_t> next{0};
     auto worker = [&]() {
         AALWINES_SPAN("batch_worker");

@@ -21,6 +21,7 @@
 #include "cli/options.hpp"
 #include "json/json.hpp"
 #include "server/access_log.hpp"
+#include "server/cache.hpp"
 #include "server/server.hpp"
 #include "server/service.hpp"
 #include "telemetry/telemetry.hpp"
@@ -531,8 +532,23 @@ TEST(AccessLog, StableHashIdsAndTimestamp) {
     AccessLog slow_only("", 5);
     EXPECT_TRUE(slow_only.enabled());
     EXPECT_EQ(slow_only.slow_ms(), 5u);
-    EXPECT_EQ(slow_only.next_id(), 1u);
-    EXPECT_EQ(slow_only.next_id(), 2u);
+
+    // Ids are stamped by write() itself, so line order == id order.
+    const auto path = "/tmp/aalwines_access_ids_" + std::to_string(::getpid()) + ".log";
+    {
+        AccessLog log(path, 0);
+        log.write(json::Object{{"target", json::Value("/a")}}, false);
+        log.write(json::Object{{"target", json::Value("/b")}}, false);
+    }
+    std::ifstream stream(path);
+    std::string line;
+    std::uint64_t expected_id = 0;
+    while (std::getline(stream, line)) {
+        const auto record = json::parse(line);
+        EXPECT_EQ(record.at("id").as_int(), static_cast<std::int64_t>(++expected_id));
+    }
+    EXPECT_EQ(expected_id, 2u);
+    ::unlink(path.c_str());
 
     AccessLog disabled("", 0);
     EXPECT_FALSE(disabled.enabled());
@@ -544,6 +560,92 @@ TEST(AccessLog, StableHashIdsAndTimestamp) {
     EXPECT_EQ(time[4], '-');
     EXPECT_EQ(time[10], 'T');
     EXPECT_EQ(time.back(), 'Z');
+}
+
+// --- TSan regression tests (the tsan CI job runs ctest -R Server) --------
+
+TEST(Server, AccessLogConcurrentWritesKeepIdOrder) {
+    // Regression: ids used to be minted in a critical section separate from
+    // the line write (Service asked next_id(), then AccessLog locked again
+    // to append), so two racing requests could land in the file out of id
+    // order.  write() now stamps the id under the same lock as the append.
+    const auto path =
+        "/tmp/aalwines_access_race_" + std::to_string(::getpid()) + ".log";
+    ::unlink(path.c_str());
+    constexpr int k_threads = 8;
+    constexpr int k_writes = 50;
+    {
+        AccessLog log(path, 0);
+        std::vector<std::thread> writers;
+        writers.reserve(k_threads);
+        for (int t = 0; t < k_threads; ++t)
+            writers.emplace_back([&log] {
+                for (int i = 0; i < k_writes; ++i)
+                    log.write(json::Object{{"target", json::Value("/race")}}, false);
+            });
+        for (auto& writer : writers) writer.join();
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open()) << path;
+    std::string line;
+    std::int64_t expected = 0;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        EXPECT_EQ(json::parse(line).at("id").as_int(), ++expected);
+    }
+    ::unlink(path.c_str());
+    EXPECT_EQ(expected, k_threads * k_writes);
+}
+
+TEST(Server, ConcurrentStopAndWaitDrainTogether) {
+    // Regression: a second concurrent wait() caller used to return straight
+    // away while the first was still joining the worker pool — its caller
+    // then observed a daemon that was still serving.  Every stop() caller
+    // must come back only once the listener is really gone.
+    ServiceConfig service_config;
+    Service service(service_config);
+    Server server(service, {});
+    server.start();
+    const auto port = server.port();
+    ASSERT_EQ(roundtrip(port, "GET", "/healthz").status, 200);
+
+    constexpr int k_threads = 4;
+    std::vector<std::thread> stoppers;
+    stoppers.reserve(k_threads);
+    for (int t = 0; t < k_threads; ++t)
+        stoppers.emplace_back([&server, port] {
+            server.stop();
+            // stop() returned => the drain is complete for *this* caller
+            // too, so the listening socket must be closed already.
+            EXPECT_EQ(roundtrip(port, "GET", "/healthz").status, 0);
+        });
+    for (auto& stopper : stoppers) stopper.join();
+}
+
+TEST(Server, ResultCacheConcurrentInsertFindEvict) {
+    // The LRU list and index share one mutex; hammer insert/find/evict from
+    // several threads (32 hot keys against capacity 8 forces constant
+    // eviction) and check the structural invariants afterwards.
+    ResultCache cache(8);
+    constexpr int k_threads = 4;
+    constexpr int k_ops = 400;
+    std::vector<std::thread> workers;
+    workers.reserve(k_threads);
+    for (int t = 0; t < k_threads; ++t)
+        workers.emplace_back([&cache, t] {
+            for (int i = 0; i < k_ops; ++i) {
+                const auto key = "key-" + std::to_string((t * k_ops + i) % 32);
+                if (cache.find(key) == nullptr)
+                    cache.insert(key, std::make_shared<verify::VerifyResult>());
+            }
+        });
+    for (auto& worker : workers) worker.join();
+    EXPECT_GT(cache.size(), 0u);
+    EXPECT_LE(cache.size(), cache.capacity());
+    const auto snap = telemetry::snapshot();
+    const auto high_water = snap.gauges[static_cast<std::size_t>(
+        telemetry::Gauge::cache_entries_high_water)];
+    EXPECT_GE(high_water, 1u); // raised under the same lock as the insert
 }
 
 // --- option-layer units shared with the daemon (src/cli/options) ---------

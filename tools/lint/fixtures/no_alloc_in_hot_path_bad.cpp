@@ -1,0 +1,19 @@
+// Positive fixture for aalwines-no-alloc-in-hot-path: inside a function
+// marked AALWINES_HOT_PATH (the saturation inner loop), new-expressions and
+// node-based std containers are diagnosed — every pop would pay a heap
+// round-trip that util::Arena exists to avoid.
+#include <map>
+#include <vector>
+
+#define AALWINES_HOT_PATH __attribute__((annotate("aalwines_hot_path")))
+
+namespace fixture {
+
+AALWINES_HOT_PATH void saturate(std::vector<int>& out) {
+    std::map<int, int> order; // expect: aalwines-no-alloc-in-hot-path
+    int* node = new int(7);   // expect: aalwines-no-alloc-in-hot-path
+    out.push_back(*node + static_cast<int>(order.size()));
+    delete node;
+}
+
+} // namespace fixture

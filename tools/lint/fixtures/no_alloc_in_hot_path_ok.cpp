@@ -1,0 +1,18 @@
+// Negative fixture for aalwines-no-alloc-in-hot-path: flat containers that
+// amortize (vector) are fine inside a hot-path function, and unmarked
+// functions may allocate freely.
+#include <vector>
+
+#define AALWINES_HOT_PATH __attribute__((annotate("aalwines_hot_path")))
+
+namespace fixture {
+
+AALWINES_HOT_PATH void relax(std::vector<int>& worklist) {
+    worklist.push_back(1); // amortized growth is allowed in the hot path
+}
+
+void cold_path(std::vector<int*>& owners) {
+    owners.push_back(new int(0)); // unmarked function: allocation is fine
+}
+
+} // namespace fixture

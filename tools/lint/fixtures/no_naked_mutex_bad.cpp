@@ -1,0 +1,27 @@
+// Positive fixture for aalwines-no-naked-mutex: every marked line must
+// produce the diagnostic (scripts/aalwines-lint --fixtures verifies the
+// markers; a check that stops firing fails the lint.* ctest entries).
+// Self-contained: compiles standalone for the clang-tidy engine and scans
+// identically under the lexical engine.
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+struct Queue {
+    std::mutex mutex;              // expect: aalwines-no-naked-mutex
+    std::condition_variable ready; // expect: aalwines-no-naked-mutex
+    int depth = 0;
+
+    void push() {
+        const std::lock_guard<std::mutex> lock(mutex); // expect: aalwines-no-naked-mutex
+        ++depth;
+    }
+
+    void drain() {
+        std::unique_lock<std::mutex> lock(mutex); // expect: aalwines-no-naked-mutex
+        ready.wait(lock, [this] { return depth == 0; });
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,25 @@
+// Negative fixture for aalwines-no-naked-mutex: the annotated wrappers are
+// exactly what the check steers toward, so this file must stay clean.  The
+// stub util namespace stands in for src/util/mutex.hpp (fixtures compile
+// standalone, without the repository include path).
+namespace util {
+class Mutex {};
+class MutexLock {
+public:
+    explicit MutexLock(Mutex&) {}
+};
+} // namespace util
+
+namespace fixture {
+
+struct Cache {
+    util::Mutex mutex;
+    int hits = 0;
+
+    int get() {
+        const util::MutexLock lock(mutex);
+        return ++hits;
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,19 @@
+// Positive fixture for aalwines-unchecked-user-lookup: .at() on a map that
+// (in the real tree) would be fed by a network loader.  A miss surfaces as
+// std::out_of_range instead of the contract-checked model_error.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+int resolve(const std::map<std::string, int>& by_alias, const std::string& name) {
+    return by_alias.at(name); // expect: aalwines-unchecked-user-lookup
+}
+
+int resolve_hashed(const std::unordered_map<std::string, int>& table,
+                   const std::string& name) {
+    return table.at(name); // expect: aalwines-unchecked-user-lookup
+}
+
+} // namespace fixture

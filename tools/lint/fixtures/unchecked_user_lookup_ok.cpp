@@ -1,0 +1,21 @@
+// Negative fixture for aalwines-unchecked-user-lookup: find() with an
+// AALWINES_CHECK guard (stubbed here) is the sanctioned pattern — malformed
+// input throws the model error, and the hot lookup stays branch-predictable.
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#define AALWINES_CHECK(condition, message)                                   \
+    do {                                                                     \
+        if (!(condition)) throw std::runtime_error(message);                 \
+    } while (false)
+
+namespace fixture {
+
+int resolve(const std::map<std::string, int>& by_alias, const std::string& name) {
+    const auto it = by_alias.find(name);
+    AALWINES_CHECK(it != by_alias.end(), "unknown system '" + name + "'");
+    return it->second;
+}
+
+} // namespace fixture
