@@ -1,0 +1,109 @@
+#pragma once
+// Network deltas: the incremental what-if layer's change vocabulary.
+//
+// A NetworkDelta is a small, ordered batch of edits against a network
+// snapshot — add/remove a forwarding rule, drop a whole routing entry, flip
+// a link administratively up/down, or change a link's distance.  Deltas
+// address everything by *name* (router, interface, label), exactly like the
+// XML routing format, so a client can author one without knowing internal
+// ids; `apply_delta` resolves the names against the base snapshot and
+// produces a fresh copy-on-write Network plus a DeltaEffects summary that
+// tells the verification layer which links were disturbed.
+//
+// The base network is never mutated: concurrent queries against the old
+// generation keep their shared_ptr and stay valid for their whole run.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "json/json.hpp"
+#include "model/routing.hpp"
+
+namespace aalwines::delta {
+
+/// One edit.  `kind` decides which fields are meaningful; name fields are
+/// resolved against the base network at apply time.
+struct DeltaOp {
+    enum class Kind : std::uint8_t {
+        AddRule,     ///< append a forwarding rule to (router, in, label)
+        RemoveRule,  ///< remove rule(s) matching out-link (and ops, if given)
+        RemoveEntry, ///< drop the whole (router, in, label) routing entry
+        LinkState,   ///< administratively set router.interface up or down
+        SetDistance, ///< change d(e) of the link through router.interface
+    };
+
+    /// A label operand addressed by (type, name) — the XML `type` attribute
+    /// spelling: "mpls" (default), "smpls", "ip".
+    struct LabelRef {
+        LabelType type = LabelType::Mpls;
+        std::string name;
+    };
+
+    /// A stack operation with named operand (operand unused for Pop).
+    struct OpRef {
+        Op::Kind kind = Op::Kind::Pop;
+        LabelRef label;
+    };
+
+    Kind kind = Kind::AddRule;
+    std::string router;         ///< all kinds
+    std::string in_interface;   ///< AddRule/RemoveRule/RemoveEntry: entry in-link
+    std::string out_interface;  ///< AddRule/RemoveRule: rule out-link;
+                                ///< LinkState/SetDistance: the addressed link
+    LabelRef label;             ///< AddRule/RemoveRule/RemoveEntry: entry label
+    std::vector<OpRef> ops;     ///< AddRule: the rule's operations
+    bool match_ops = false;     ///< RemoveRule: require exact ops match too
+    std::uint32_t priority = 1; ///< AddRule: 1-based TE group priority
+    bool up = true;             ///< LinkState
+    std::uint64_t distance = 1; ///< SetDistance
+};
+
+/// An ordered batch of edits applied atomically (all or nothing — any
+/// resolution error aborts the whole delta before a copy is published).
+struct NetworkDelta {
+    std::vector<DeltaOp> ops;
+
+    /// Parse the wire form: `{"operations": [{"op": "add-rule", ...}, ...]}`.
+    /// See docs/FORMATS.md for the schema.  Throws model_error on unknown
+    /// op kinds or missing fields (structural errors); name-resolution
+    /// errors surface later, from apply_delta.
+    [[nodiscard]] static NetworkDelta from_json(const json::Value& value);
+};
+
+/// Which parts of the network a delta disturbed, in base-network link ids —
+/// the input to the re-verification tiering decision.  Link ids are stable
+/// across apply_delta (deltas never add routers or links), so effects from
+/// successive generations can be merged into one dirty set.
+struct DeltaEffects {
+    std::vector<LinkId> entry_links;    ///< in-links whose routing entry changed
+    std::vector<LinkId> state_links;    ///< links whose up/down state flipped
+    std::vector<LinkId> distance_links; ///< links whose distance changed
+    /// True when the delta minted a label name/type the base network had
+    /// never seen.  A new label widens the PDA alphabet and can change
+    /// query atom sets, so warm re-verification is off the table.
+    bool label_added = false;
+
+    [[nodiscard]] bool empty() const {
+        return entry_links.empty() && state_links.empty() &&
+               distance_links.empty() && !label_added;
+    }
+    /// Accumulate `other` into this (set-union per category).
+    void merge(const DeltaEffects& other);
+};
+
+/// The outcome of applying a delta: a fresh snapshot plus its effects.
+struct AppliedDelta {
+    std::shared_ptr<const Network> network;
+    DeltaEffects effects;
+};
+
+/// Apply `delta` to a copy of `base` (never mutating it).  All names are
+/// resolved against `base`; an unknown router/interface or an ill-formed
+/// rule (out-link not leaving the in-link's target router) throws
+/// model_error and publishes nothing.  Ops referencing labels the base has
+/// never seen mint them (and set effects.label_added).
+[[nodiscard]] AppliedDelta apply_delta(const Network& base, const NetworkDelta& delta);
+
+} // namespace aalwines::delta

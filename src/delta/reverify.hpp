@@ -1,0 +1,110 @@
+#pragma once
+// Incremental re-verification over a patched network: the tiering brain of
+// the what-if PATCH pipeline.
+//
+// A Reverifier owns the evolving network (a chain of copy-on-write
+// snapshots minted by apply()) and a pool of per-query *sessions*.  Each
+// session keeps the parsed query, the resolved options and — crucially — a
+// verify::TranslationCache whose lazily-materialized PDA survives across
+// generations.  When the same query is verified again after a patch, the
+// session decides between three paths, cheapest first:
+//
+//   Reused — the accumulated deltas since the session's base generation
+//            touch neither the materialized translation footprint nor any
+//            initial-configuration candidate link: the stored result is
+//            provably identical, return it without running anything.
+//   Warm   — rebase the translation onto the new snapshot (invalidating
+//            only the affected frontier) and re-run saturation; untouched
+//            materialized states are reused.  Answers are byte-identical
+//            to a cold recompile (see Translation::rebase).
+//   Cold   — rebuild from scratch: first sight of the query, a delta that
+//            minted a new label (alphabet change), an effects window
+//            overflow, a concurrently busy session, or an engine/mode the
+//            warm path does not support (only lazy dual/weighted qualify).
+//
+// Thread-safe: apply() and verify() may race freely; a session is used by
+// at most one verification at a time (competitors fall back to Cold).
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "cli/options.hpp"
+#include "delta/delta.hpp"
+#include "util/mutex.hpp"
+#include "verify/engine.hpp"
+#include "verify/translation.hpp"
+
+namespace aalwines::delta {
+
+/// How a verification was answered — surfaced in results and telemetry
+/// (delta_tier1_reused / delta_tier2_resaturations / delta_cold_rebuilds).
+enum class VerifyPath : std::uint8_t { Reused, Warm, Cold };
+
+[[nodiscard]] std::string_view to_string(VerifyPath path);
+
+class Reverifier {
+public:
+    /// `network`: the generation-0 snapshot.  `max_sessions` bounds the
+    /// per-query session pool (LRU-evicted; 0 disables sessions entirely,
+    /// making every verify() Cold).
+    explicit Reverifier(std::shared_ptr<const Network> network,
+                        std::size_t max_sessions = 64);
+    ~Reverifier();
+
+    Reverifier(const Reverifier&) = delete;
+    Reverifier& operator=(const Reverifier&) = delete;
+
+    struct Applied {
+        std::uint64_t generation = 0; ///< the generation the delta produced
+        DeltaEffects effects;         ///< what it disturbed (deduplicated)
+    };
+
+    /// Apply a delta on top of the current snapshot and publish the result
+    /// as the next generation.  Throws model_error when the delta does not
+    /// resolve; nothing is published in that case.  In-flight
+    /// verifications keep their own snapshot and are unaffected.
+    Applied apply(const NetworkDelta& delta);
+
+    struct Outcome {
+        verify::VerifyResult result;
+        VerifyPath path = VerifyPath::Cold;
+        std::uint64_t generation = 0; ///< generation the result was computed on
+    };
+
+    /// Verify `query_text` under `spec` against the current generation.
+    /// Throws what query parsing / option resolution throw (parse_error,
+    /// usage_error, model_error); engine-level errors also propagate.
+    [[nodiscard]] Outcome verify(const std::string& query_text,
+                                 const cli::VerifySpec& spec);
+
+    /// The current snapshot (for stats endpoints; cheap pointer copy).
+    [[nodiscard]] std::shared_ptr<const Network> network() const;
+    [[nodiscard]] std::uint64_t generation() const;
+
+private:
+    struct Session;
+
+    /// Union of the per-generation effects in (base, current]; nullopt when
+    /// the window no longer reaches back to `base` (session must go Cold).
+    [[nodiscard]] std::optional<DeltaEffects> effects_since(std::uint64_t base) const
+        REQUIRES(_mutex);
+
+    mutable util::Mutex _mutex;
+    std::shared_ptr<const Network> _network GUARDED_BY(_mutex);
+    std::uint64_t _generation GUARDED_BY(_mutex) = 0;
+    /// effects of the delta generation g -> g+1 sits at index
+    /// g - _effects_base; trimmed from the front once the window exceeds
+    /// k_effects_window (sessions older than the window rebuild Cold).
+    std::deque<DeltaEffects> _effects GUARDED_BY(_mutex);
+    std::uint64_t _effects_base GUARDED_BY(_mutex) = 0;
+    std::unordered_map<std::string, std::unique_ptr<Session>> _sessions GUARDED_BY(_mutex);
+    std::uint64_t _session_clock GUARDED_BY(_mutex) = 0; ///< LRU tick
+    std::size_t _max_sessions;
+
+    static constexpr std::size_t k_effects_window = 1024;
+};
+
+} // namespace aalwines::delta

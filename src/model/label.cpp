@@ -19,21 +19,32 @@ std::uint64_t key_of(LabelType type, std::uint32_t name_id) {
 }
 } // namespace
 
+LabelTable::LabelTable() : _impl(std::make_shared<Impl>()) {}
+
+LabelTable::Impl& LabelTable::own() {
+    if (_impl.use_count() > 1) _impl = std::make_shared<Impl>(*_impl);
+    return *_impl;
+}
+
 Label LabelTable::add(LabelType type, std::string_view name) {
-    const auto name_id = _names.intern(name);
+    // Resolve against the shared state first: interning an *existing* label
+    // must not clone (it is a pure lookup).
+    if (const auto existing = find(type, name)) return *existing;
+    auto& impl = own();
+    const auto name_id = impl.names.intern(name);
     const auto key = key_of(type, name_id);
-    if (auto it = _by_type_name.find(key); it != _by_type_name.end()) return it->second;
-    const Label label = static_cast<Label>(_types.size());
-    _types.push_back(type);
-    _name_ids.push_back(name_id);
-    _by_type_name.emplace(key, label);
+    const Label label = static_cast<Label>(impl.types.size());
+    impl.types.push_back(type);
+    impl.name_ids.push_back(name_id);
+    impl.by_type_name.emplace(key, label);
     return label;
 }
 
 std::optional<Label> LabelTable::find(LabelType type, std::string_view name) const {
-    const auto name_id = _names.find(name);
+    const auto name_id = _impl->names.find(name);
     if (!name_id) return std::nullopt;
-    if (auto it = _by_type_name.find(key_of(type, *name_id)); it != _by_type_name.end())
+    if (auto it = _impl->by_type_name.find(key_of(type, *name_id));
+        it != _impl->by_type_name.end())
         return it->second;
     return std::nullopt;
 }
@@ -46,13 +57,14 @@ std::vector<Label> LabelTable::find_by_name(std::string_view name) const {
 }
 
 LabelType LabelTable::type_of(Label label) const {
-    AALWINES_CHECK(label < _types.size(), "unknown label id " + std::to_string(label));
-    return _types[label];
+    AALWINES_CHECK(label < _impl->types.size(), "unknown label id " + std::to_string(label));
+    return _impl->types[label];
 }
 
 const std::string& LabelTable::name_of(Label label) const {
-    AALWINES_CHECK(label < _name_ids.size(), "unknown label id " + std::to_string(label));
-    return _names.at(_name_ids[label]);
+    AALWINES_CHECK(label < _impl->name_ids.size(),
+                   "unknown label id " + std::to_string(label));
+    return _impl->names.at(_impl->name_ids[label]);
 }
 
 std::string LabelTable::display(Label label) const {
@@ -62,8 +74,8 @@ std::string LabelTable::display(Label label) const {
 
 std::vector<Label> LabelTable::of_type(LabelType type) const {
     std::vector<Label> out;
-    for (Label label = 0; label < _types.size(); ++label)
-        if (_types[label] == type) out.push_back(label);
+    for (Label label = 0; label < _impl->types.size(); ++label)
+        if (_impl->types[label] == type) out.push_back(label);
     return out;
 }
 

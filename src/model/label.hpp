@@ -8,6 +8,7 @@
 // alphabet of the compiled pushdown system.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -31,8 +32,17 @@ enum class LabelType : std::uint8_t {
 [[nodiscard]] std::string_view to_string(LabelType type);
 
 /// Interning table for the label alphabet of one network.
+///
+/// Copy-on-write: copies share the interning state behind a refcount, so
+/// copying a Network (the what-if delta overlay, src/delta/) costs nothing
+/// here.  The first add() of a *new* label through a shared copy clones the
+/// state — rare by design, since minting a label invalidates every compiled
+/// PDA over the alphabet anyway (the re-verifier falls back to a cold
+/// rebuild, see delta::DeltaEffects::label_added).
 class LabelTable {
 public:
+    LabelTable();
+
     /// Intern (type, name); returns the existing id when already present.
     Label add(LabelType type, std::string_view name);
 
@@ -52,13 +62,22 @@ public:
     /// All labels of one stratum, sorted by id.
     [[nodiscard]] std::vector<Label> of_type(LabelType type) const;
 
-    [[nodiscard]] std::size_t size() const noexcept { return _types.size(); }
+    [[nodiscard]] std::size_t size() const noexcept { return _impl->types.size(); }
 
 private:
-    StringInterner _names;               // interned names (shared across strata)
-    std::vector<LabelType> _types;       // per label id
-    std::vector<std::uint32_t> _name_ids; // per label id -> name id
-    std::unordered_map<std::uint64_t, Label> _by_type_name; // (type,name id) -> label
+    struct Impl {
+        StringInterner names;               // interned names (shared across strata)
+        std::vector<LabelType> types;       // per label id
+        std::vector<std::uint32_t> name_ids; // per label id -> name id
+        std::unordered_map<std::uint64_t, Label> by_type_name; // (type,name id) -> label
+    };
+
+    /// The state, exclusively owned — cloned first when shared with another
+    /// table (use_count() == 1 proves exclusivity; references are only ever
+    /// gained by copying a table that already holds one).
+    Impl& own();
+
+    std::shared_ptr<Impl> _impl; // never null
 };
 
 } // namespace aalwines

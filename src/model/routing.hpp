@@ -10,8 +10,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "model/label.hpp"
@@ -55,12 +56,33 @@ using TeGroup = std::vector<ForwardingRule>;
 /// Priority-ordered sequence of TE groups for one (link, label) pair.
 using RoutingEntry = std::vector<TeGroup>;
 
+/// Entries are held behind shared_ptr in a sorted flat vector, so copying a
+/// table is a *structural* copy: one contiguous allocation plus refcount
+/// bumps, the entries themselves are shared.  Mutators clone an entry
+/// before touching it when any other table still references it
+/// (copy-on-write) — this is what makes the what-if delta overlay
+/// (src/delta/) cheap: a patched generation shares every untouched entry
+/// with its base, and copying a network costs O(entries) pointer copies,
+/// not O(rules) deep copies.  Inserts land in a small unsorted tail that is
+/// merged into the sorted body once it grows past a threshold (amortised
+/// O(n log n) bulk construction, O(log n) lookups).
 class RoutingTable {
 public:
     /// Append a rule to the group with 1-based `priority` for (in_link, label).
     /// Missing intermediate groups are created empty and skipped at lookup.
     void add_rule(LinkId in_link, Label label, std::uint32_t priority,
                   LinkId out_link, std::vector<Op> ops);
+
+    /// Remove the whole entry for (in_link, label); false when none exists.
+    bool remove_entry(LinkId in_link, Label label);
+
+    /// Remove every forwarding rule matching `out_link` (and, when non-null,
+    /// exactly `ops`) from the entry's groups.  Emptied groups stay in place
+    /// — lookup already skips them, and erasing one would shift the
+    /// priorities of the groups below.  An entry left with no rules at all
+    /// is erased.  Returns the number of rules removed.
+    std::size_t remove_rule(LinkId in_link, Label label, LinkId out_link,
+                            const std::vector<Op>* ops = nullptr);
 
     /// The entry for (in_link, label), or nullptr when none exists.
     [[nodiscard]] const RoutingEntry* entry(LinkId in_link, Label label) const;
@@ -73,12 +95,8 @@ public:
     [[nodiscard]] std::size_t rule_count() const;
 
     /// Number of (link, label) entries.
-    [[nodiscard]] std::size_t entry_count() const noexcept { return _entries.size(); }
-
-    /// Unordered view of every entry (hash order — NOT deterministic across
-    /// processes; use for_each wherever order can leak into results).
-    [[nodiscard]] const std::unordered_map<std::uint64_t, RoutingEntry>& entries() const noexcept {
-        return _entries;
+    [[nodiscard]] std::size_t entry_count() const noexcept {
+        return _sorted.size() + _tail.size();
     }
 
     /// Check referential integrity against `topology` and header-validity of
@@ -87,11 +105,28 @@ public:
     void validate(const Topology& topology) const;
 
 private:
+    /// One (key, shared entry) pair; the entry handle is never null.
+    using Slot = std::pair<std::uint64_t, std::shared_ptr<RoutingEntry>>;
+
     static std::uint64_t key_of(LinkId in_link, Label label) {
         return (static_cast<std::uint64_t>(in_link) << 32) | label;
     }
 
-    std::unordered_map<std::uint64_t, RoutingEntry> _entries;
+    [[nodiscard]] const Slot* find_slot(std::uint64_t key) const;
+    [[nodiscard]] Slot* find_slot(std::uint64_t key);
+
+    /// Merge `_tail` into `_sorted` (keys are unique across both).
+    void compact();
+
+    /// The entry in `slot`, exclusively owned by this table — clones it
+    /// first when another table still shares it.  (use_count() == 1 proves
+    /// exclusivity: a reference can only be gained by copying a table that
+    /// already holds one, so a sole reference can never grow behind our
+    /// back.)
+    static RoutingEntry& own_entry(Slot& slot);
+
+    std::vector<Slot> _sorted; ///< key-ascending
+    std::vector<Slot> _tail;   ///< recent inserts, unsorted, bounded
 };
 
 /// A complete MPLS network: topology, label alphabet and routing function

@@ -45,7 +45,9 @@ public:
                             std::size_t max_steps = 64) const;
 
     [[nodiscard]] const FailureSet& failed() const noexcept { return _failed; }
-    [[nodiscard]] bool is_active(LinkId link) const { return !_failed.contains(link); }
+    [[nodiscard]] bool is_active(LinkId link) const {
+        return !_failed.contains(link) && _network->topology.link_up(link);
+    }
 
 private:
     const Network* _network;

@@ -95,6 +95,19 @@ void Topology::set_distance(LinkId link, std::uint64_t distance) {
     _links.at(link).distance = distance;
 }
 
+void Topology::set_link_state(LinkId link, bool up) {
+    if (link >= _links.size()) throw model_error("set_link_state: unknown link");
+    if (up && link >= _link_down.size()) return; // already up, keep sparse
+    if (_link_down.size() < _links.size()) _link_down.resize(_links.size(), false);
+    _link_down[link] = !up;
+}
+
+std::size_t Topology::down_link_count() const {
+    std::size_t down = 0;
+    for (const auto flag : _link_down) down += flag ? 1 : 0;
+    return down;
+}
+
 std::optional<RouterId> Topology::find_router(std::string_view name) const {
     if (auto it = _router_ids.find(std::string(name)); it != _router_ids.end())
         return it->second;

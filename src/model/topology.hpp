@@ -66,6 +66,19 @@ public:
                                          RouterId b, std::string_view interface_on_b,
                                          std::uint64_t distance = 1);
 
+    /// Administratively set one directed link up or down.  Down links are
+    /// "failed for free": the verification layers treat them as permanently
+    /// failed without charging the query's failure budget k, and no trace
+    /// may start on or traverse them.  State is part of the topology value
+    /// (copied with it), so what-if deltas flip it on a copy-on-write
+    /// network snapshot without touching the shared base.
+    void set_link_state(LinkId link, bool up);
+    [[nodiscard]] bool link_up(LinkId link) const {
+        return link >= _link_down.size() || !_link_down[link];
+    }
+    /// Number of links currently administratively down.
+    [[nodiscard]] std::size_t down_link_count() const;
+
     void set_coordinate(RouterId router, Coordinate coordinate);
     [[nodiscard]] std::optional<Coordinate> coordinate(RouterId router) const;
 
@@ -114,6 +127,9 @@ private:
     std::vector<Link> _links;
     std::vector<std::vector<LinkId>> _out_links;
     std::vector<std::vector<LinkId>> _in_links;
+    /// Sparse down-flags (empty = every link up); sized lazily on the first
+    /// set_link_state so the common all-up topology stays allocation-free.
+    std::vector<bool> _link_down;
 };
 
 } // namespace aalwines

@@ -55,7 +55,11 @@ Feasibility check_feasibility(const Network& network, const Trace& trace,
                 break;
             }
             if (matched) break;
-            for (const auto& rule : group) failed_here.insert(rule.out_link);
+            // Administratively-down links are failed for free: they never
+            // charge the budget, so they are not collected into F.
+            for (const auto& rule : group)
+                if (network.topology.link_up(rule.out_link))
+                    failed_here.insert(rule.out_link);
         }
         if (!matched) {
             result.reason = "step " + std::to_string(i) + ": no rule forwards to " +
@@ -67,8 +71,14 @@ Feasibility check_feasibility(const Network& network, const Trace& trace,
         required.insert(failed_here.begin(), failed_here.end());
     }
 
-    // Every used link must be active, i.e. not in F.
+    // Every used link must be active, i.e. up and not in F.
     for (const auto& entry : trace.entries) {
+        if (!network.topology.link_up(entry.link)) {
+            result.reason = "link " + network.topology.describe_link(entry.link) +
+                            " is administratively down";
+            result.failures_total = failures_total;
+            return result;
+        }
         if (required.contains(entry.link)) {
             result.reason = "link " + network.topology.describe_link(entry.link) +
                             " is both used and required to fail";

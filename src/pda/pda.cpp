@@ -203,6 +203,65 @@ void Pda::remove_rules(const std::vector<RuleId>& discard) {
     _target_index_ready = false;
 }
 
+void Pda::invalidate_states(const std::vector<StateId>& heads,
+                            const std::function<bool(StateId)>& owned) {
+    AALWINES_ASSERT(_provider != nullptr,
+                    "invalidate_states is the lazy-PDA re-saturation path");
+    if (heads.empty()) return;
+    std::vector<bool> drop(state_count(), false);
+    for (const auto s : heads) {
+        AALWINES_ASSERT(s < state_count(), "invalidated state out of range");
+        drop[s] = true;
+    }
+    // Close over owned chain targets.  Chain rules are emitted head-first in
+    // increasing id order, so one forward pass usually reaches the fixpoint;
+    // loop to be safe against any future emission-order change.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto& rule : _rules)
+            if (drop[rule.from] && !drop[rule.to] && owned(rule.to)) {
+                drop[rule.to] = true;
+                changed = true;
+            }
+    }
+    std::size_t cleared = 0;
+    for (StateId s = 0; s < state_count(); ++s)
+        if (drop[s] && _materialized[s]) {
+            _materialized[s] = false;
+            --_materialized_count;
+            ++cleared;
+        }
+    std::vector<Rule> kept;
+    kept.reserve(_rules.size());
+    for (auto& rule : _rules)
+        if (!drop[rule.from]) kept.push_back(std::move(rule));
+    _rules = std::move(kept);
+    // Rebuild the match and per-target indexes over the compacted ids.  The
+    // scalar flag stays the provider's declared hint — it covers rules the
+    // provider has yet to emit, not just the kept subset; only the observed
+    // maximum is recomputed.
+    for (auto& match : _match_by_state) match = StateMatch{};
+    _concrete_lists.clear();
+    _rule_lists.clear();
+    _swaps_into.assign(state_count(), {});
+    _pushes_into.assign(state_count(), {});
+    _max_scalar_weight = 0;
+    for (RuleId id = 0; id < _rules.size(); ++id) {
+        const auto& rule = _rules[id];
+        index_rule(id);
+        switch (rule.op) {
+            case Rule::OpKind::Swap: _swaps_into[rule.to].push_back(id); break;
+            case Rule::OpKind::Push: _pushes_into[rule.to].push_back(id); break;
+            case Rule::OpKind::Pop: break;
+        }
+        if (const auto scalar = rule.weight.as_scalar())
+            _max_scalar_weight = std::max(_max_scalar_weight, *scalar);
+    }
+    _target_index_ready = true;
+    telemetry::count(telemetry::Counter::delta_states_invalidated, cleared);
+}
+
 Pda Pda::expand_concrete() const {
     materialize_all(); // the concrete copy is a whole-PDA pass
     Pda out(_alphabet_size);

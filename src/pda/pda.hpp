@@ -17,6 +17,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -147,6 +148,24 @@ public:
     /// Remove the rules whose ids appear in `discard` (sorted).  Used by the
     /// reduction pass; rebuilds the match indexes.  Tags are preserved.
     void remove_rules(const std::vector<RuleId>& discard);
+
+    /// Un-materialize states of a lazy PDA: drop every rule leaving a state
+    /// in `heads` — following chains, i.e. also dropping the rules of any
+    /// state reached through a rule target for which `owned(target)` holds —
+    /// and clear the materialized flags so the provider is asked again on
+    /// next demand.  Kept rules are renumbered compactly with their relative
+    /// order preserved: a provider that re-emits identical per-state rule
+    /// sequences reproduces the original match-list order exactly, which is
+    /// what keeps incremental re-verification byte-identical to a cold run.
+    /// The scalar-weight hint declared at set_rule_provider is retained.
+    /// The delta subsystem's frontier re-saturation is the only caller.
+    void invalidate_states(const std::vector<StateId>& heads,
+                           const std::function<bool(StateId)>& owned);
+
+    /// Whether `state`'s outgoing rules exist (always true when eager).
+    [[nodiscard]] bool is_materialized(StateId state) const {
+        return _provider == nullptr || _materialized[state];
+    }
 
     /// Swap rules p γ → q γ' with q == `target`; built once per PDA (lazily,
     /// invalidated by add_rule/remove_rules) instead of per pre* call.  Not

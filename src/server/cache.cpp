@@ -6,12 +6,14 @@
 
 namespace aalwines::server {
 
-std::string cache_key(std::uint64_t sequence, const std::string& query_text,
+std::string cache_key(std::uint64_t sequence, std::uint64_t generation,
+                      const std::string& query_text,
                       const std::string& engine, const std::string& weight,
                       int reduction, std::size_t witnesses, std::size_t max_iterations,
                       bool trace, const std::string& translation) {
     // '\x1f' (ASCII unit separator) cannot appear in query or weight text.
-    std::string key = std::to_string(sequence);
+    std::string key = cache_scope(sequence);
+    key += std::to_string(generation);
     key += '\x1f';
     key += engine;
     key += '\x1f';
@@ -29,6 +31,10 @@ std::string cache_key(std::uint64_t sequence, const std::string& query_text,
     key += '\x1f';
     key += query_text;
     return key;
+}
+
+std::string cache_scope(std::uint64_t sequence) {
+    return std::to_string(sequence) + '\x1f';
 }
 
 std::shared_ptr<const verify::VerifyResult> ResultCache::find(const std::string& key) {
@@ -63,6 +69,25 @@ void ResultCache::insert(const std::string& key,
     _order.push_front({key, std::move(result)});
     _index.emplace(key, _order.begin());
     evict_locked();
+}
+
+std::size_t ResultCache::invalidate(const std::string& prefix) {
+    if (_capacity == 0) return 0;
+    std::size_t dropped = 0;
+    {
+        const util::MutexLock lock(_mutex);
+        for (auto it = _order.begin(); it != _order.end();) {
+            if (it->key.compare(0, prefix.size(), prefix) != 0) {
+                ++it;
+                continue;
+            }
+            _index.erase(it->key);
+            it = _order.erase(it);
+            ++dropped;
+        }
+    }
+    if (dropped > 0) telemetry::count(telemetry::Counter::server_cache_evictions, dropped);
+    return dropped;
 }
 
 void ResultCache::evict_locked() {

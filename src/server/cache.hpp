@@ -20,12 +20,19 @@
 namespace aalwines::server {
 
 /// Build the canonical cache key.  `sequence` is the workspace's load
-/// sequence number, so re-loading a network never resurrects stale results.
-[[nodiscard]] std::string cache_key(std::uint64_t sequence, const std::string& query_text,
+/// sequence number, so re-loading a network never resurrects stale results;
+/// `generation` is its delta generation, so a PATCH retires every result
+/// computed against the pre-patch snapshot even if eviction lags.
+[[nodiscard]] std::string cache_key(std::uint64_t sequence, std::uint64_t generation,
+                                    const std::string& query_text,
                                     const std::string& engine, const std::string& weight,
                                     int reduction, std::size_t witnesses,
                                     std::size_t max_iterations, bool trace,
                                     const std::string& translation);
+
+/// The key prefix shared by every entry of the workspace with this load
+/// sequence — the argument for ResultCache::invalidate after a PATCH.
+[[nodiscard]] std::string cache_scope(std::uint64_t sequence);
 
 class ResultCache {
 public:
@@ -39,6 +46,12 @@ public:
     /// Insert (or refresh) a result, evicting the least recently used
     /// entries beyond capacity.
     void insert(const std::string& key, std::shared_ptr<const verify::VerifyResult> result);
+
+    /// Drop every entry whose key starts with `prefix` (one workspace's
+    /// results — see cache_scope), leaving other workspaces' entries alone.
+    /// Counts telemetry::Counter::server_cache_evictions; returns how many
+    /// entries were dropped.
+    std::size_t invalidate(const std::string& prefix);
 
     [[nodiscard]] std::size_t size() const;
     [[nodiscard]] std::size_t capacity() const { return _capacity; }

@@ -38,7 +38,18 @@ json::Value network_info(const Workspace& workspace) {
     info.emplace("tableEntries", network.routing.entry_count());
     info.emplace("forwardingRules", network.routing.rule_count());
     info.emplace("backupRules", backup_rules);
+    info.emplace("generation", workspace.generation);
+    info.emplace("patches", workspace.generation);
+    if (const auto down = topology.down_link_count(); down > 0)
+        info.emplace("linksDown", down);
     return json::Value(std::move(info));
+}
+
+/// Render one DeltaEffects category as human-readable link names.
+json::Value links_to_json(const Topology& topology, const std::vector<LinkId>& links) {
+    json::Array out;
+    for (const auto link : links) out.emplace_back(topology.describe_link(link));
+    return json::Value(std::move(out));
 }
 
 /// Pull an optional typed field out of a request body object.
@@ -203,21 +214,86 @@ http::Response Service::handle_network_item(const http::Request& request,
                                             const std::string& id, bool query_endpoint,
                                             json::Object* log) {
     const auto workspace = _workspaces.find(id);
-    if (workspace.network == nullptr)
-        return error_response(404, "unknown network '" + id + "'");
+    if (!workspace) return error_response(404, "unknown network '" + id + "'");
     if (query_endpoint) {
         if (request.method != "POST")
             return error_response(405, "use POST /networks/{id}/query");
-        return handle_query(request, workspace, log);
+        return handle_query(request, *workspace, log);
     }
-    if (request.method == "GET") return json_response(200, network_info(workspace));
+    if (request.method == "GET") return json_response(200, network_info(*workspace));
+    if (request.method == "PATCH") return handle_patch(request, *workspace, log);
     if (request.method == "DELETE") {
         _workspaces.erase(id);
+        {
+            const util::MutexLock lock(_mutex);
+            _reverifiers.erase(id);
+            _invalidations.erase(id);
+        }
         http::Response response;
         response.status = 204;
         return response;
     }
-    return error_response(405, "use GET or DELETE /networks/{id}");
+    return error_response(405, "use GET, PATCH or DELETE /networks/{id}");
+}
+
+std::shared_ptr<delta::Reverifier> Service::reverifier_for(const Workspace& workspace,
+                                                           bool create) {
+    const util::MutexLock lock(_mutex);
+    if (const auto it = _reverifiers.find(workspace.id); it != _reverifiers.end())
+        return it->second;
+    if (!create) return nullptr;
+    auto reverifier = std::make_shared<delta::Reverifier>(workspace.network);
+    _reverifiers.emplace(workspace.id, reverifier);
+    return reverifier;
+}
+
+http::Response Service::handle_patch(const http::Request& request,
+                                     const Workspace& workspace, json::Object* log) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto parsed = json::parse(request.body);
+    const auto delta = delta::NetworkDelta::from_json(parsed);
+
+    auto reverifier = reverifier_for(workspace, /*create=*/true);
+    const auto applied = reverifier->apply(delta); // model_error -> 422 via handle()
+    // Publish the snapshot, then retire every cached result of this
+    // workspace (and only this workspace) — the key's generation field
+    // already guarantees staleness can't be served, eviction frees memory.
+    _workspaces.update_network(workspace.id, reverifier->network(), applied.generation);
+    const auto evicted = _cache.invalidate(cache_scope(workspace.sequence));
+    std::uint64_t invalidations = 0;
+    {
+        const util::MutexLock lock(_mutex);
+        invalidations = ++_invalidations[workspace.id];
+    }
+
+    telemetry::count(telemetry::Counter::server_patches);
+    telemetry::observe_duration(
+        telemetry::Histogram::patch_apply,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count());
+
+    if (log != nullptr) {
+        log->emplace("network", workspace.id);
+        log->emplace("generation", applied.generation);
+        log->emplace("operations", delta.ops.size());
+        log->emplace("cacheEvictions", evicted);
+    }
+
+    const auto& topology = reverifier->network()->topology;
+    json::Object effects;
+    effects.emplace("entryLinks", links_to_json(topology, applied.effects.entry_links));
+    effects.emplace("stateLinks", links_to_json(topology, applied.effects.state_links));
+    effects.emplace("distanceLinks",
+                    links_to_json(topology, applied.effects.distance_links));
+    effects.emplace("labelAdded", applied.effects.label_added);
+
+    json::Object body;
+    body.emplace("id", workspace.id);
+    body.emplace("generation", applied.generation);
+    body.emplace("operations", delta.ops.size());
+    body.emplace("effects", json::Value(std::move(effects)));
+    body.emplace("cacheEvictions", evicted);
+    body.emplace("invalidations", invalidations);
+    return json_response(200, json::Value(std::move(body)));
 }
 
 http::Response Service::handle_query(const http::Request& request,
@@ -270,15 +346,16 @@ http::Response Service::handle_query(const http::Request& request,
         std::string key;
         std::shared_ptr<const verify::VerifyResult> result;
         std::string error;
+        std::string path; ///< reverifier tier ("reused"|"warm"|"cold"); "" = batch
         bool cached = false;
     };
     std::vector<Slot> slots(texts.size());
     std::vector<std::string> missing;
     std::vector<std::size_t> missing_index;
     for (std::size_t i = 0; i < texts.size(); ++i) {
-        slots[i].key = cache_key(workspace.sequence, texts[i], spec.engine, spec.weight,
-                                 spec.reduction, spec.witnesses, spec.max_iterations,
-                                 spec.trace, spec.translation);
+        slots[i].key = cache_key(workspace.sequence, workspace.generation, texts[i],
+                                 spec.engine, spec.weight, spec.reduction, spec.witnesses,
+                                 spec.max_iterations, spec.trace, spec.translation);
         slots[i].result = _cache.find(slots[i].key);
         slots[i].cached = slots[i].result != nullptr;
         if (!slots[i].cached) {
@@ -287,16 +364,36 @@ http::Response Service::handle_query(const http::Request& request,
         }
     }
     if (!missing.empty()) {
-        auto items = verify::verify_batch(*workspace.network, missing, options, jobs);
-        for (std::size_t m = 0; m < items.size(); ++m) {
-            auto& slot = slots[missing_index[m]];
-            if (!items[m].error.empty()) {
-                slot.error = std::move(items[m].error);
-                continue;
+        // A patched workspace answers through its Reverifier: per-query
+        // translation caches survive across generations, so a repeat query
+        // after a small delta reuses or rebases instead of recompiling.
+        // Never-patched workspaces keep the plain batch path (parallel
+        // across `jobs` workers, zero session overhead).
+        if (const auto reverifier = reverifier_for(workspace, /*create=*/false)) {
+            for (std::size_t m = 0; m < missing.size(); ++m) {
+                auto& slot = slots[missing_index[m]];
+                try {
+                    auto outcome = reverifier->verify(missing[m], spec);
+                    slot.path = delta::to_string(outcome.path);
+                    slot.result = std::make_shared<const verify::VerifyResult>(
+                        std::move(outcome.result));
+                    _cache.insert(slot.key, slot.result);
+                } catch (const std::exception& error) {
+                    slot.error = error.what();
+                }
             }
-            slot.result = std::make_shared<const verify::VerifyResult>(
-                std::move(items[m].result));
-            _cache.insert(slot.key, slot.result);
+        } else {
+            auto items = verify::verify_batch(*workspace.network, missing, options, jobs);
+            for (std::size_t m = 0; m < items.size(); ++m) {
+                auto& slot = slots[missing_index[m]];
+                if (!items[m].error.empty()) {
+                    slot.error = std::move(items[m].error);
+                    continue;
+                }
+                slot.result = std::make_shared<const verify::VerifyResult>(
+                    std::move(items[m].result));
+                _cache.insert(slot.key, slot.result);
+            }
         }
     }
 
@@ -348,6 +445,7 @@ http::Response Service::handle_query(const http::Request& request,
         auto entry = io::result_to_json_value(*workspace.network, texts[i],
                                               *slots[i].result, stats);
         entry.as_object().emplace("cached", slots[i].cached);
+        if (!slots[i].path.empty()) entry.as_object().emplace("path", slots[i].path);
         return entry;
     };
 
@@ -426,6 +524,24 @@ http::Response Service::handle_metrics(const http::Request& request) {
     cache.emplace("capacity", _cache.capacity());
     cache.emplace("hits", snap.counter(telemetry::Counter::server_cache_hits));
     cache.emplace("misses", snap.counter(telemetry::Counter::server_cache_misses));
+    cache.emplace("evictions", snap.counter(telemetry::Counter::server_cache_evictions));
+
+    json::Object deltas;
+    deltas.emplace("patches", snap.counter(telemetry::Counter::server_patches));
+    deltas.emplace("tier1Reused", snap.counter(telemetry::Counter::delta_tier1_reused));
+    deltas.emplace("tier2Resaturations",
+                   snap.counter(telemetry::Counter::delta_tier2_resaturations));
+    deltas.emplace("coldRebuilds", snap.counter(telemetry::Counter::delta_cold_rebuilds));
+    deltas.emplace("statesInvalidated",
+                   snap.counter(telemetry::Counter::delta_states_invalidated));
+    {
+        // Per-workspace invalidation totals: how often each loaded
+        // network's cached results were retired by a PATCH.
+        json::Object per_workspace;
+        const util::MutexLock lock(_mutex);
+        for (const auto& [id, count] : _invalidations) per_workspace.emplace(id, count);
+        deltas.emplace("invalidations", json::Value(std::move(per_workspace)));
+    }
 
     json::Object current;
     current.emplace("cacheEntries", _cache.size());
@@ -436,6 +552,7 @@ http::Response Service::handle_metrics(const http::Request& request) {
     json::Object server;
     server.emplace("workspaces", _workspaces.size());
     server.emplace("cache", json::Value(std::move(cache)));
+    server.emplace("deltas", json::Value(std::move(deltas)));
     server.emplace("requests", snap.counter(telemetry::Counter::server_requests));
     server.emplace("rejected", snap.counter(telemetry::Counter::server_rejected));
     for (auto& [key, value] : runtime) server.emplace(key, std::move(value));

@@ -8,8 +8,15 @@
 //   GET    /networks             list loaded workspaces
 //   POST   /networks             load a network (demo | gml | XML pair)
 //   GET    /networks/{id}        workspace statistics
+//   PATCH  /networks/{id}        apply a what-if delta (new generation)
 //   DELETE /networks/{id}        unload a workspace
 //   POST   /networks/{id}/query  verify one query or a batch
+//
+// A PATCH applies a NetworkDelta (docs/FORMATS.md) to a copy-on-write
+// snapshot and publishes it as the workspace's next delta generation; the
+// workspace's cached results are evicted and later queries run through a
+// delta::Reverifier, which reuses or rebases per-query translation caches
+// instead of recompiling from scratch.
 //
 // See docs/SERVER.md for the request/response schemas.
 
@@ -18,12 +25,15 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 
+#include "delta/reverify.hpp"
 #include "json/json.hpp"
 #include "server/access_log.hpp"
 #include "server/cache.hpp"
 #include "server/http.hpp"
 #include "server/workspace.hpp"
+#include "util/mutex.hpp"
 
 namespace aalwines::server {
 
@@ -61,13 +71,30 @@ private:
     [[nodiscard]] http::Response handle_query(const http::Request& request,
                                               const Workspace& workspace,
                                               json::Object* log);
+    [[nodiscard]] http::Response handle_patch(const http::Request& request,
+                                              const Workspace& workspace,
+                                              json::Object* log);
     [[nodiscard]] http::Response handle_metrics(const http::Request& request);
+
+    /// The workspace's incremental re-verifier.  Created on first demand
+    /// (`create` = true, the PATCH path); queries pass false and get null
+    /// for never-patched workspaces, keeping their fast verify_batch path.
+    [[nodiscard]] std::shared_ptr<delta::Reverifier> reverifier_for(const Workspace& workspace,
+                                                                    bool create);
 
     ServiceConfig _config;
     WorkspaceRegistry _workspaces;
     ResultCache _cache;
     std::function<json::Object()> _runtime_info;
     std::unique_ptr<AccessLog> _access_log;
+    mutable util::Mutex _mutex;
+    /// Keyed by workspace id; dropped with the workspace.  shared_ptr so a
+    /// handler can use one after the workspace was deleted concurrently.
+    std::unordered_map<std::string, std::shared_ptr<delta::Reverifier>> _reverifiers
+        GUARDED_BY(_mutex);
+    /// Per-workspace cache-invalidation totals (PATCHes that evicted), for
+    /// /metrics.
+    std::unordered_map<std::string, std::uint64_t> _invalidations GUARDED_BY(_mutex);
 };
 
 /// JSON error body + status, shared with the socket layer's early replies.

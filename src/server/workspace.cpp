@@ -14,11 +14,24 @@ Workspace WorkspaceRegistry::add(Network&& network) {
     return workspace;
 }
 
-Workspace WorkspaceRegistry::find(const std::string& id) const {
+std::optional<Workspace> WorkspaceRegistry::find(const std::string& id) const {
     const util::MutexLock lock(_mutex);
     for (const auto& workspace : _workspaces)
         if (workspace.id == id) return workspace;
-    return {};
+    return std::nullopt;
+}
+
+bool WorkspaceRegistry::update_network(const std::string& id,
+                                       std::shared_ptr<const Network> network,
+                                       std::uint64_t generation) {
+    const util::MutexLock lock(_mutex);
+    for (auto& workspace : _workspaces) {
+        if (workspace.id != id) continue;
+        workspace.network = std::move(network);
+        workspace.generation = generation;
+        return true;
+    }
+    return false;
 }
 
 bool WorkspaceRegistry::erase(const std::string& id) {

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -18,7 +19,14 @@ namespace aalwines::server {
 struct Workspace {
     std::string id;                         ///< registry handle, "n1", "n2", ...
     std::uint64_t sequence = 0;             ///< monotonic load sequence number
-    std::shared_ptr<const Network> network; ///< immutable once registered
+    /// Delta generation: 0 for the network as loaded, +1 per applied PATCH.
+    /// Together with `sequence` it versions every cache key — patching
+    /// never resurrects results computed against an older snapshot.
+    std::uint64_t generation = 0;
+    /// Each snapshot is immutable; a PATCH swaps in a *new* snapshot via
+    /// update_network, so handlers that already copied the Workspace keep a
+    /// consistent (network, generation) pair for their whole request.
+    std::shared_ptr<const Network> network;
 };
 
 /// Thread-safe id → network map.  Networks are immutable after
@@ -29,8 +37,13 @@ public:
     /// Register a loaded network and mint its id.
     Workspace add(Network&& network);
 
-    /// Look up by id; empty network pointer when unknown.
-    [[nodiscard]] Workspace find(const std::string& id) const;
+    /// Look up by id; nullopt when unknown.
+    [[nodiscard]] std::optional<Workspace> find(const std::string& id) const;
+
+    /// Publish a patched snapshot for `id` (see Workspace::generation);
+    /// false when the id is unknown (e.g. deleted concurrently).
+    bool update_network(const std::string& id, std::shared_ptr<const Network> network,
+                        std::uint64_t generation);
 
     /// Unlink a workspace; false when the id is unknown.
     bool erase(const std::string& id);

@@ -32,6 +32,12 @@ std::string_view name_of(Counter counter) {
         case Counter::server_rejected: return "server_rejected";
         case Counter::server_cache_hits: return "server_cache_hits";
         case Counter::server_cache_misses: return "server_cache_misses";
+        case Counter::server_cache_evictions: return "server_cache_evictions";
+        case Counter::server_patches: return "server_patches";
+        case Counter::delta_tier1_reused: return "delta_tier1_reused";
+        case Counter::delta_tier2_resaturations: return "delta_tier2_resaturations";
+        case Counter::delta_cold_rebuilds: return "delta_cold_rebuilds";
+        case Counter::delta_states_invalidated: return "delta_states_invalidated";
         case Counter::count_: break;
     }
     return "?";
@@ -62,6 +68,7 @@ std::string_view name_of(Histogram histogram) {
         case Histogram::query_witness: return "query_witness";
         case Histogram::cache_lookup: return "cache_lookup";
         case Histogram::materialized_rule_pct: return "materialized_rule_pct";
+        case Histogram::patch_apply: return "patch_apply";
         case Histogram::count_: break;
     }
     return "?";
@@ -93,6 +100,8 @@ const HistogramInfo& info_of(Histogram histogram) {
          k_ns, "Compiled-query result cache probe latency."},
         {"aalwines_materialized_rule_ratio", "",
          k_pct, "Fraction of eager-translation rules materialized by lazy saturation."},
+        {"aalwines_patch_apply_seconds", "",
+         k_ns, "PATCH delta application latency (network copy + overlay + rebase)."},
     }};
     return infos[static_cast<std::size_t>(histogram)];
 }

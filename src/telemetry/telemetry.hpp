@@ -58,6 +58,12 @@ enum class Counter : std::uint32_t {
     server_rejected,        ///< requests refused by admission control (503)
     server_cache_hits,      ///< compiled-query cache hits (src/server/cache.hpp)
     server_cache_misses,    ///< compiled-query cache misses
+    server_cache_evictions, ///< compiled-query cache entries evicted (LRU + invalidation)
+    server_patches,         ///< PATCH /networks/{id} deltas applied
+    delta_tier1_reused,     ///< patched re-verifies answered by result reuse
+    delta_tier2_resaturations, ///< patched re-verifies answered by frontier re-saturation
+    delta_cold_rebuilds,    ///< patched re-verifies that fell back to a cold recompile
+    delta_states_invalidated, ///< control states un-materialized by delta rebasing
     count_,
 };
 inline constexpr std::size_t k_counter_count = static_cast<std::size_t>(Counter::count_);
@@ -90,6 +96,7 @@ enum class Histogram : std::uint32_t {
     query_witness,           ///< per phase: acceptance search + witness unroll (ns)
     cache_lookup,            ///< compiled-query cache probe (ns)
     materialized_rule_pct,   ///< lazy translation: % of eager rules materialized (0-100)
+    patch_apply,             ///< PATCH delta application (copy + overlay + rebase) (ns)
     count_,
 };
 inline constexpr std::size_t k_histogram_count = static_cast<std::size_t>(Histogram::count_);

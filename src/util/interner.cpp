@@ -4,6 +4,22 @@
 
 namespace aalwines {
 
+StringInterner::StringInterner(const StringInterner& other) : _strings(other._strings) {
+    _ids.reserve(_strings.size());
+    for (Id id = 0; id < _strings.size(); ++id)
+        _ids.emplace(std::string_view(_strings[id]), id);
+}
+
+StringInterner& StringInterner::operator=(const StringInterner& other) {
+    if (this == &other) return *this;
+    _strings = other._strings;
+    _ids.clear();
+    _ids.reserve(_strings.size());
+    for (Id id = 0; id < _strings.size(); ++id)
+        _ids.emplace(std::string_view(_strings[id]), id);
+    return *this;
+}
+
 StringInterner::Id StringInterner::intern(std::string_view text) {
     if (auto it = _ids.find(text); it != _ids.end()) return it->second;
     const Id id = static_cast<Id>(_strings.size());

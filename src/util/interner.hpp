@@ -18,6 +18,16 @@ class StringInterner {
 public:
     using Id = std::uint32_t;
 
+    StringInterner() = default;
+    /// Copying rebuilds the lookup map against the copy's own strings — the
+    /// defaulted copy would leave string_view keys pointing into the source
+    /// (dangling once the source dies).  Moves keep the map: a moved deque
+    /// and moved strings preserve the character storage addresses.
+    StringInterner(const StringInterner& other);
+    StringInterner& operator=(const StringInterner& other);
+    StringInterner(StringInterner&&) noexcept = default;
+    StringInterner& operator=(StringInterner&&) noexcept = default;
+
     /// Intern `text`, returning its dense id (existing id if already known).
     Id intern(std::string_view text);
 

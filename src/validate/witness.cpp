@@ -88,7 +88,10 @@ std::optional<ReplayAccumulation> replay_trace(const Network& network, const Tra
                 }
             }
             if (matched) break;
-            for (const auto& rule : group) failed_here.insert(rule.out_link);
+            // Administratively-down links are failed for free and never
+            // charge the budget, so they are not derived into F.
+            for (const auto& rule : group)
+                if (topology.link_up(rule.out_link)) failed_here.insert(rule.out_link);
         }
         if (!matched) {
             report.error("witness", "step " + std::to_string(i) +
@@ -103,6 +106,11 @@ std::optional<ReplayAccumulation> replay_trace(const Network& network, const Tra
     }
 
     for (const auto& entry : trace.entries) {
+        if (!topology.link_up(entry.link)) {
+            report.error("witness", "link " + topology.describe_link(entry.link) +
+                                        " is traversed but administratively down");
+            return std::nullopt;
+        }
         if (acc.required_failures.contains(entry.link)) {
             report.error("witness", "link " + topology.describe_link(entry.link) +
                                         " is both traversed and required to fail");

@@ -5,6 +5,7 @@
 
 #include "pda/solver.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/check.hpp"
 #include "util/errors.hpp"
 #include "verify/translation.hpp"
 
@@ -209,13 +210,19 @@ telemetry::Histogram duration_histogram(EngineKind engine) {
 }
 
 VerifyResult verify_impl(const Network& network, const query::Query& query,
-                         const VerifyOptions& options) {
+                         const VerifyOptions& options, TranslationCache* external) {
     if (options.engine == EngineKind::Moped) {
+        if (external != nullptr)
+            throw model_error("the Moped engine cannot reuse a translation cache");
         if (options.weights != nullptr && !options.weights->empty())
             throw model_error("the Moped engine cannot verify weighted queries");
         return moped_verify(network, query, options);
     }
-    if (options.engine == EngineKind::Exact) return exact_verify(network, query, options);
+    if (options.engine == EngineKind::Exact) {
+        if (external != nullptr)
+            throw model_error("the exact engine cannot reuse a translation cache");
+        return exact_verify(network, query, options);
+    }
     if (options.engine == EngineKind::Weighted &&
         (options.weights == nullptr || options.weights->empty()))
         throw model_error("the weighted engine requires a weight expression");
@@ -226,10 +233,17 @@ VerifyResult verify_impl(const Network& network, const query::Query& query,
     // Shared across both phases: compiled query NFAs (and, when the
     // approximations coincide, the translation itself) plus solver scratch
     // memory, so the under pass reuses the over pass's high-water footprint.
-    TranslationCache cache(network, query,
-                           options.engine == EngineKind::Weighted ? options.weights
-                                                                  : nullptr,
-                           use_lazy_translation(options.translation, options.engine));
+    // An external cache additionally survives across verify calls — the
+    // incremental what-if path rebases it between network generations.
+    std::optional<TranslationCache> local;
+    if (external == nullptr)
+        local.emplace(network, query,
+                      options.engine == EngineKind::Weighted ? options.weights : nullptr,
+                      use_lazy_translation(options.translation, options.engine));
+    else
+        AALWINES_ASSERT(&external->network() == &network,
+                        "external translation cache not rebased to this network");
+    TranslationCache& cache = external != nullptr ? *external : *local;
     pda::SolverWorkspace workspace;
 
     if (query.mode == query::Mode::Under) {
@@ -318,7 +332,16 @@ VerifyResult verify(const Network& network, const query::Query& query,
                     const VerifyOptions& options) {
     AALWINES_SPAN("verify");
     const auto start = Clock::now();
-    auto result = verify_impl(network, query, options);
+    auto result = verify_impl(network, query, options, nullptr);
+    telemetry::observe_duration(duration_histogram(options.engine), seconds_since(start));
+    return result;
+}
+
+VerifyResult verify(const Network& network, const query::Query& query,
+                    const VerifyOptions& options, TranslationCache& cache) {
+    AALWINES_SPAN("verify");
+    const auto start = Clock::now();
+    auto result = verify_impl(network, query, options, &cache);
     telemetry::observe_duration(duration_histogram(options.engine), seconds_since(start));
     return result;
 }

@@ -132,10 +132,21 @@ struct VerifyResult {
     std::string note;                     ///< human-readable detail
 };
 
+class TranslationCache;
+
 /// Decide the query satisfiability problem (Problem 1) — and, for the
 /// weighted engine, the minimum witness problem (Problem 2).
 [[nodiscard]] VerifyResult verify(const Network& network, const query::Query& query,
                                   const VerifyOptions& options = {});
+
+/// Same, reusing a caller-owned TranslationCache — the incremental what-if
+/// path: the cache outlives the call and is rebased between network
+/// generations instead of rebuilt, so saturation re-materializes only the
+/// invalidated frontier.  Only the native post* engines (Dual, Weighted)
+/// accept an external cache; `cache` must have been built for this
+/// query/weights and rebased to exactly `network`.
+[[nodiscard]] VerifyResult verify(const Network& network, const query::Query& query,
+                                  const VerifyOptions& options, TranslationCache& cache);
 
 /// Implementation of the Moped baseline; used directly by benches.
 [[nodiscard]] VerifyResult moped_verify(const Network& network, const query::Query& query,

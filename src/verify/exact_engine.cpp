@@ -22,10 +22,13 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Invoke `fn(F)` for every F ⊆ [0, links) with |F| <= k; returns false if
-/// `fn` asked to stop.
-bool for_each_failure_set(LinkId links, std::uint64_t k,
+/// Invoke `fn(F)` for every F of up links with |F| <= k; returns false if
+/// `fn` asked to stop.  Administratively-down links are excluded: they are
+/// failed in every scenario already ("for free"), so including them would
+/// only enumerate redundant supersets and waste budget slots.
+bool for_each_failure_set(const Topology& topology, std::uint64_t k,
                           const std::function<bool(const std::set<LinkId>&)>& fn) {
+    const auto links = static_cast<LinkId>(topology.link_count());
     std::set<LinkId> current;
     // Iterative enumeration by recursion over the next link to include.
     std::function<bool(LinkId, std::uint64_t)> recurse =
@@ -33,6 +36,7 @@ bool for_each_failure_set(LinkId links, std::uint64_t k,
         if (!fn(current)) return false;
         if (remaining == 0) return true;
         for (LinkId link = next; link < links; ++link) {
+            if (!topology.link_up(link)) continue;
             current.insert(link);
             const bool keep_going = recurse(link + 1, remaining - 1);
             current.erase(link);
@@ -54,7 +58,6 @@ VerifyResult exact_verify(const Network& network, const query::Query& query,
     result.answer = Answer::No;
 
     const auto domain = static_cast<pda::Symbol>(network.labels.size());
-    const auto links = static_cast<LinkId>(network.topology.link_count());
     std::size_t scenarios = 0;
     bool truncated = false;
     std::optional<pda::Weight> best;
@@ -65,7 +68,8 @@ VerifyResult exact_verify(const Network& network, const query::Query& query,
     const auto nfas = compile_query_nfas(network, query);
     pda::SolverWorkspace workspace;
 
-    for_each_failure_set(links, query.max_failures, [&](const std::set<LinkId>& failed) {
+    for_each_failure_set(network.topology, query.max_failures,
+                         [&](const std::set<LinkId>& failed) {
         ++scenarios;
         TranslationOptions topts;
         topts.approximation = Approximation::Exact;

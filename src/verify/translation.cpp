@@ -1,5 +1,6 @@
 #include "verify/translation.hpp"
 
+#include <algorithm>
 #include <set>
 
 #include "telemetry/telemetry.hpp"
@@ -138,13 +139,19 @@ void Translation::build_control_states() {
             }
         }
     }
+    compute_initial_states();
+}
+
+void Translation::compute_initial_states() {
     // Initial configurations: the packet has just traversed any link e₁ the
-    // path NFA can start with; no failures consumed yet.
+    // path NFA can start with; no failures consumed yet.  Administratively
+    // down links never start a trace (they are failed in every scenario).
     std::set<pda::StateId> initial;
-    const auto domain = static_cast<nfa::Symbol>(n_links);
+    const auto domain = static_cast<nfa::Symbol>(_network->topology.link_count());
     for (const auto q0 : _nfa_b.initial()) {
         for (const auto& edge : _nfa_b.states()[q0].edges) {
             for (const auto link : edge.symbols.materialize(domain)) {
+                if (!_network->topology.link_up(link)) continue;
                 if (_options.approximation == Approximation::Exact &&
                     _options.failed_links->contains(link))
                     continue; // a trace cannot start on a failed link
@@ -153,6 +160,15 @@ void Translation::build_control_states() {
         }
     }
     _initial_states.assign(initial.begin(), initial.end());
+}
+
+bool Translation::initial_links_touch(const std::vector<bool>& dirty) const {
+    const auto domain = static_cast<nfa::Symbol>(_network->topology.link_count());
+    for (const auto q0 : _nfa_b.initial())
+        for (const auto& edge : _nfa_b.states()[q0].edges)
+            for (const auto link : edge.symbols.materialize(domain))
+                if (link < dirty.size() && dirty[link]) return true;
+    return false;
 }
 
 pda::Weight Translation::make_step_weight(const ForwardingRule& rule,
@@ -344,9 +360,13 @@ void Translation::walk_chain(Label top, const std::vector<Op>& ops, Sink& sink) 
 pda::StateId Translation::new_chain_state() {
     if (_lazy) {
         // Saturation has already handed out P-automaton helper ids above
-        // state_count(), so interiors must come from the pre-allocated pool.
-        AALWINES_ASSERT(_pool_next < _pool_end, "chain-interior pool exhausted");
-        const auto state = _pool_next++;
+        // state_count(), so interiors must come from the pre-allocated pool
+        // ranges (one per construction/rebase), consumed in order.
+        while (_pool_cursor < _pools.size() &&
+               _pools[_pool_cursor].first == _pools[_pool_cursor].second)
+            ++_pool_cursor;
+        AALWINES_ASSERT(_pool_cursor < _pools.size(), "chain-interior pool exhausted");
+        const auto state = _pools[_pool_cursor].first++;
         _pda->mark_materialized(state); // interiors have no rules of their own
         return state;
     }
@@ -359,13 +379,12 @@ void Translation::build_rules() {
     // Upper-bound the rule count (ignores failure-budget pruning and dead
     // chains) so the rule vector and its match indexes allocate once.
     std::size_t estimated_rules = 0;
-    for (const auto& [key, groups] : _network->routing.entries()) {
-        (void)key;
+    _network->routing.for_each([&](LinkId, Label, const RoutingEntry& groups) {
         for (const auto& group : groups)
             for (const auto& rule : group)
                 estimated_rules += _moves_by_link[rule.out_link].size() *
                                    std::max<std::size_t>(rule.ops.size(), 1);
-    }
+    });
     _pda->reserve_rules(estimated_rules * _failure_slots);
 
     _network->routing.for_each([this](LinkId in_link, Label label, const RoutingEntry& groups) {
@@ -373,16 +392,18 @@ void Translation::build_rules() {
     });
 }
 
-void Translation::build_lazy_index() {
-    AALWINES_SPAN("build_lazy_index");
+void Translation::build_entry_index() {
     const auto n_links = _network->topology.link_count();
     _entries_by_link.assign(n_links, {});
-    std::size_t total_rules = 0;
-    std::size_t total_interiors = 0;
-    const auto k = _query->max_failures;
     _network->routing.for_each([&](LinkId in_link, Label label, const RoutingEntry& groups) {
         _entries_by_link[in_link].emplace_back(label, &groups);
-        for_entry_rules(in_link, groups,
+    });
+}
+
+void Translation::count_link(LinkId in_link, LinkLoad& load) const {
+    const auto k = _query->max_failures;
+    for (const auto& [label, entry] : _entries_by_link[in_link]) {
+        for_entry_rules(in_link, *entry,
                         [&](const ForwardingRule& rule, std::uint64_t local_failures) {
             // One rule-free chain walk per (entry, forwarding rule): the
             // chain's shape depends only on (top label, ops), so its counts
@@ -393,42 +414,65 @@ void Translation::build_lazy_index() {
             if (_options.approximation == Approximation::Under)
                 slots = static_cast<std::size_t>(k - local_failures) + 1;
             const auto copies = _moves_by_link[rule.out_link].size() * slots;
-            total_rules += counts.rules * copies;
-            total_interiors += counts.interiors * copies;
+            load.rules += counts.rules * copies;
+            load.interiors += counts.interiors * copies;
         });
-    });
+    }
+}
+
+void Translation::build_lazy_index() {
+    AALWINES_SPAN("build_lazy_index");
+    build_entry_index();
+    const auto n_links = _network->topology.link_count();
+    _link_load.assign(n_links, {});
+    std::size_t total_rules = 0;
+    std::size_t total_interiors = 0;
+    for (LinkId l = 0; l < n_links; ++l) {
+        count_link(l, _link_load[l]);
+        total_rules += _link_load[l].rules;
+        total_interiors += _link_load[l].interiors;
+    }
     _total_rules = total_rules;
     // Pre-allocate the chain-interior pool: materialization must never add
     // PDA states (the P-automaton's helper states share the id space), so
     // every interior an eager build would create exists up front.  The
     // counting pass is exact, which the equivalence tests pin down by
     // asserting the pool is fully consumed after materialize_all().
-    _pool_next = static_cast<pda::StateId>(_pda->state_count());
+    const auto begin = static_cast<pda::StateId>(_pda->state_count());
     _pda->reserve_states(_pda->state_count() + total_interiors);
     _control_info.reserve(_control_info.size() + total_interiors);
     for (std::size_t i = 0; i < total_interiors; ++i) {
         _pda->add_state();
         _control_info.push_back({k_invalid_id, 0, 0, true});
     }
-    _pool_end = static_cast<pda::StateId>(_pda->state_count());
+    _pools.assign(1, {begin, static_cast<pda::StateId>(_pda->state_count())});
+    _pool_cursor = 0;
 }
 
 template <typename RuleFn>
 void Translation::for_entry_rules(LinkId in_link, const RoutingEntry& groups,
                                   RuleFn&& fn) const {
+    // Administratively-down links are failed for free in every scenario:
+    // packets never arrive on one, rules never forward over one, and a
+    // fully-down group is skipped without charging the failure budget.
+    const auto& topology = _network->topology;
+    if (!topology.link_up(in_link)) return;
     if (_options.approximation == Approximation::Exact) {
         const auto& failed = *_options.failed_links;
         if (failed.contains(in_link)) return; // packets never arrive here
         // Definition 4, exactly: the first TE group with an active link
-        // forwards; higher-priority groups are fully failed.
+        // forwards; higher-priority groups are fully failed (down links for
+        // free, up links charged through the scenario's failure set F).
         std::set<LinkId> higher_priority_links;
         for (const auto& group : groups) {
             std::vector<const ForwardingRule*> active;
             for (const auto& rule : group)
-                if (!failed.contains(rule.out_link)) active.push_back(&rule);
+                if (!failed.contains(rule.out_link) && topology.link_up(rule.out_link))
+                    active.push_back(&rule);
             if (active.empty()) {
                 for (const auto& rule : group)
-                    higher_priority_links.insert(rule.out_link);
+                    if (topology.link_up(rule.out_link))
+                        higher_priority_links.insert(rule.out_link);
                 continue;
             }
             const auto local_failures =
@@ -443,8 +487,11 @@ void Translation::for_entry_rules(LinkId in_link, const RoutingEntry& groups,
     for (const auto& group : groups) {
         const auto local_failures = static_cast<std::uint64_t>(higher_priority_links.size());
         if (local_failures <= k)
-            for (const auto& rule : group) fn(rule, local_failures);
-        for (const auto& rule : group) higher_priority_links.insert(rule.out_link);
+            for (const auto& rule : group)
+                if (topology.link_up(rule.out_link)) fn(rule, local_failures);
+        for (const auto& rule : group)
+            if (topology.link_up(rule.out_link))
+                higher_priority_links.insert(rule.out_link);
     }
 }
 
@@ -490,6 +537,105 @@ void Translation::add_chain(pda::StateId from, Label top, const ForwardingRule& 
                             pda::StateId target, pda::Weight weight, std::uint32_t tag) {
     EmitSink sink{*this, from, target, std::move(weight), tag};
     walk_chain(top, rule.ops, sink);
+}
+
+std::vector<char> Translation::affected_links(
+    const std::vector<bool>& dirty, const std::vector<bool>& behavior_dirty) const {
+    const auto n_links = _network->topology.link_count();
+    const auto dirty_at = [](const std::vector<bool>& bits, LinkId l) {
+        return l < bits.size() && bits[l];
+    };
+    std::vector<char> affected(n_links, 0);
+    // The into-scan is only needed when some out-link *behavior* changed;
+    // the common delta (a routing-entry edit) leaves behavior_dirty empty
+    // and the affected set is just the dirty set.
+    const bool scan_out_links =
+        std::find(behavior_dirty.begin(), behavior_dirty.end(), true) !=
+        behavior_dirty.end();
+    for (LinkId l = 0; l < n_links; ++l) {
+        if (dirty_at(dirty, l)) {
+            affected[l] = 1;
+            continue;
+        }
+        if (!scan_out_links) continue;
+        for (const auto& [label, entry] : _entries_by_link[l]) {
+            (void)label;
+            for (const auto& group : *entry)
+                for (const auto& rule : group)
+                    if (dirty_at(behavior_dirty, rule.out_link)) {
+                        affected[l] = 1;
+                        break;
+                    }
+            if (affected[l]) break;
+        }
+    }
+    return affected;
+}
+
+bool Translation::footprint_touches(const std::vector<bool>& dirty,
+                                    const std::vector<bool>& behavior_dirty) const {
+    AALWINES_ASSERT(_lazy, "footprint queries need a demand-driven translation");
+    const auto affected = affected_links(dirty, behavior_dirty);
+    const auto n_control = _failure_slots * _nfa_b.size() * _network->topology.link_count();
+    for (pda::StateId s = 0; s < n_control; ++s)
+        if (_pda->is_materialized(s) && affected[_control_info[s].link]) return true;
+    return false;
+}
+
+void Translation::rebase(const Network& network, const std::vector<bool>& dirty,
+                         const std::vector<bool>& behavior_dirty) {
+    AALWINES_SPAN("rebase");
+    AALWINES_ASSERT(_lazy, "rebase needs a demand-driven translation");
+    AALWINES_ASSERT(network.topology.link_count() == _network->topology.link_count(),
+                    "rebase cannot change the link set");
+    AALWINES_ASSERT(network.labels.size() == _network->labels.size(),
+                    "rebase cannot mint labels (cold rebuild required)");
+
+    // The affected set can be computed against either table view: for an
+    // unaffected link both generations hold identical entries.  Use the old
+    // index before its RoutingEntry pointers dangle, then re-point at the
+    // patched snapshot and rebuild every bucket (the copy-on-write copy
+    // reallocated them all).
+    const auto affected = affected_links(dirty, behavior_dirty);
+    const auto n_control =
+        _failure_slots * _nfa_b.size() * _network->topology.link_count();
+    std::vector<pda::StateId> heads;
+    for (pda::StateId s = 0; s < n_control; ++s)
+        if (_pda->is_materialized(s) && affected[_control_info[s].link])
+            heads.push_back(s);
+
+    _network = &network;
+    build_entry_index();
+
+    _pda->invalidate_states(
+        heads, [this](pda::StateId s) { return _control_info[s].chain; });
+
+    // Recount the affected links against the new table; adjust the
+    // eager-equivalent total and grow the interior pool by their full new
+    // contribution (see the telescoping argument at _pools).
+    std::size_t new_interiors = 0;
+    for (LinkId l = 0; l < affected.size(); ++l) {
+        if (!affected[l]) continue;
+        LinkLoad load;
+        count_link(l, load);
+        _total_rules -= _link_load[l].rules;
+        _total_rules += load.rules;
+        new_interiors += load.interiors;
+        _link_load[l] = load;
+    }
+    if (new_interiors > 0) {
+        const auto begin = static_cast<pda::StateId>(_pda->state_count());
+        _pda->reserve_states(_pda->state_count() + new_interiors);
+        _control_info.reserve(_control_info.size() + new_interiors);
+        for (std::size_t i = 0; i < new_interiors; ++i) {
+            _pda->add_state();
+            _control_info.push_back({k_invalid_id, 0, 0, true});
+        }
+        _pools.emplace_back(begin, static_cast<pda::StateId>(_pda->state_count()));
+    }
+
+    compute_initial_states();
+    _reduced = false; // refresh the (lazy no-op) reduction stats next verify
 }
 
 void Translation::attach_header_nfa(pda::PAutomaton& aut, const nfa::Nfa& header_nfa,
@@ -586,6 +732,13 @@ TranslationCache::TranslationCache(const Network& network, const query::Query& q
                                    const WeightExpr* weights, bool lazy)
     : _network(&network), _query(&query), _weights(weights), _lazy(lazy),
       _nfas(compile_query_nfas(network, query)) {}
+
+void TranslationCache::rebase(const Network& network, const std::vector<bool>& dirty,
+                              const std::vector<bool>& behavior_dirty) {
+    _network = &network;
+    if (_over) _over->rebase(network, dirty, behavior_dirty);
+    if (_under) _under->rebase(network, dirty, behavior_dirty); // distinct from _over by construction
+}
 
 Translation& TranslationCache::translation(Approximation approximation) {
     AALWINES_ASSERT(approximation != Approximation::Exact,

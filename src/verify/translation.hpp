@@ -96,6 +96,47 @@ public:
     /// Demand-driven construction active (TranslationOptions::lazy).
     [[nodiscard]] bool lazy() const noexcept { return _lazy; }
 
+    /// Re-target this lazy translation at a patched snapshot of the same
+    /// network (identical link set and label alphabet — a delta that mints a
+    /// label must fall back to a cold rebuild).  The two bitmaps split the
+    /// delta by how it reaches a control state's rules:
+    ///
+    ///   `dirty`           links whose *own* entries emit different rules —
+    ///                     routing entries changed, up/down flipped (a down
+    ///                     in-link emits nothing), or (weighted) anything
+    ///                     that reprices its rules.
+    ///   `behavior_dirty`  links whose role as an *out-link* changed — an
+    ///                     up/down flip (down out-links are skipped and drop
+    ///                     out of the failure budget) or (weighted) a
+    ///                     distance change (reprices every rule over it).
+    ///                     A pure routing-entry delta never sets these bits:
+    ///                     forwarding *into* an edited link is unaffected.
+    ///
+    /// The affected control states — a dirty link's, or one whose entries
+    /// forward over a behavior-dirty link — are un-materialized together
+    /// with their chain interiors, the per-link entry index is rebuilt over
+    /// the new routing table (the copy-on-write snapshot reallocates every
+    /// entry), the interior pool grows by the affected links' new
+    /// contribution, and the initial states are recomputed (a down link
+    /// never starts a trace).  The next saturation re-demands exactly the
+    /// invalidated frontier; by the match-order argument in
+    /// pda::Pda::invalidate_states the answer is byte-identical to a cold
+    /// recompile against the patched network.
+    void rebase(const Network& network, const std::vector<bool>& dirty,
+                const std::vector<bool>& behavior_dirty);
+
+    /// Whether any *materialized* control state would be invalidated by a
+    /// rebase over the bitmaps — false means the previous result provably
+    /// carries over (if the initial states don't touch the delta either).
+    [[nodiscard]] bool footprint_touches(const std::vector<bool>& dirty,
+                                         const std::vector<bool>& behavior_dirty) const;
+
+    /// Whether any link the path NFA can start with is flagged in `dirty`
+    /// (candidate links, before the up/down filter — a link-state flip on a
+    /// candidate changes initial-state membership, a distance change on one
+    /// changes the weighted entry weight).
+    [[nodiscard]] bool initial_links_touch(const std::vector<bool>& dirty) const;
+
     /// Rules the eager pipeline would emit before reduction.  For a lazy
     /// translation this is computed by a rule-free counting pass at
     /// construction; compare with pda().rule_count() (the materialized
@@ -164,11 +205,32 @@ private:
     static constexpr std::uint32_t k_any = UINT32_MAX;
 
     void build_control_states();
+    /// (Re)compute the post* source states from the path NFA's initial
+    /// edges, excluding links a trace can never start on (administratively
+    /// down; Exact: in the scenario's failure set).
+    void compute_initial_states();
     void build_move_index();
     void build_rules();
+    /// (Re)build the per-link routing entry index from `_network`.  for_each
+    /// iterates keys in sorted order, so every bucket is label-ascending —
+    /// the canonical order that keeps rebased re-materialization emitting
+    /// per-state rule sequences identical to a cold build.
+    void build_entry_index();
     /// Lazy construction: per-link routing entry index + the counting pass
     /// sizing the chain-state pool and the eager-equivalent rule total.
     void build_lazy_index();
+    /// Eager-equivalent rule/interior counts of one in-link's entries.
+    struct LinkLoad {
+        std::size_t rules = 0;
+        std::size_t interiors = 0;
+    };
+    void count_link(LinkId in_link, LinkLoad& load) const;
+    /// Links whose control states a rebase must invalidate: the link itself
+    /// is dirty, or one of its entries forwards over a behavior-dirty link
+    /// (out-link state/distance changes alter the emitted rules or their
+    /// weights without touching the in-link's own entries).
+    [[nodiscard]] std::vector<char> affected_links(
+        const std::vector<bool>& dirty, const std::vector<bool>& behavior_dirty) const;
     /// Emit the rules of one routing entry.  `only_q`/`only_f` restrict
     /// emission to rules leaving control state (in_link, only_q, only_f) —
     /// the per-state slice lazy materialization demands; `k_any` disables a
@@ -233,9 +295,19 @@ private:
     /// "all entries of link e"; RoutingEntry pointers stay stable — the
     /// routing table is const for the translation's lifetime).
     std::vector<std::vector<std::pair<Label, const RoutingEntry*>>> _entries_by_link;
-    /// Chain-interior state pool [_pool_next, _pool_end), pre-allocated by
-    /// the counting pass so materialization never adds PDA states.
-    pda::StateId _pool_next = 0, _pool_end = 0;
+    /// Per-link eager-equivalent counts behind `_total_rules` and the pool
+    /// size, kept so a rebase can adjust both by recounting only the
+    /// affected links.
+    std::vector<LinkLoad> _link_load;
+    /// Chain-interior state pool: half-open [first, second) ranges consumed
+    /// in order.  Construction allocates one exactly-sized range; each
+    /// rebase appends a fresh (non-contiguous) range covering the affected
+    /// links' full new contribution — unconsumed slack telescopes, so the
+    /// pool always suffices while interiors of invalidated chains leak as
+    /// inert rule-less states (they only inflate the state count, never an
+    /// answer).  Materialization never adds PDA states mid-saturation.
+    std::vector<std::pair<pda::StateId, pda::StateId>> _pools;
+    std::size_t _pool_cursor = 0;
 };
 
 /// Memoizes the network→PDA translation across the over/under dual passes
@@ -254,6 +326,20 @@ public:
     [[nodiscard]] Translation& translation(Approximation approximation);
 
     [[nodiscard]] const CompiledNfas& nfas() const { return _nfas; }
+
+    /// Re-target every built translation at a patched network snapshot (see
+    /// Translation::rebase); never-built slots simply build against the new
+    /// network on first demand.  The caller keeps both network snapshots
+    /// alive across the call and guarantees no label was minted.
+    void rebase(const Network& network, const std::vector<bool>& dirty,
+                const std::vector<bool>& behavior_dirty);
+
+    /// The slots as built so far (nullptr when the phase never ran); the
+    /// incremental re-verifier inspects their demanded footprints.
+    [[nodiscard]] Translation* over_or_null() noexcept { return _over.get(); }
+    [[nodiscard]] Translation* under_or_null() noexcept { return _under.get(); }
+
+    [[nodiscard]] const Network& network() const noexcept { return *_network; }
 
 private:
     const Network* _network;

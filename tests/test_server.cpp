@@ -245,6 +245,105 @@ TEST(Server, WorkspaceLifecycle) {
               404);
 }
 
+TEST(Server, PatchAppliesDeltaAndScopesInvalidation) {
+    Daemon daemon;
+    const auto port = daemon.server.port();
+    const auto patched = daemon.load_figure1();
+    const auto bystander = daemon.load_figure1();
+
+    // Prime both workspaces' result caches.
+    const auto query_body = std::string(R"({"query":")") + k_yes_query + R"("})";
+    for (const auto* id : {&patched, &bystander})
+        ASSERT_EQ(roundtrip(port, "POST", "/networks/" + *id + "/query", query_body).status,
+                  200);
+
+    constexpr const char* k_down_e1 = R"({"operations": [
+        {"op": "link-state", "router": "v0", "interface": "e1", "up": false}]})";
+    EXPECT_EQ(roundtrip(port, "PATCH", "/networks/nosuch", k_down_e1).status, 404);
+    EXPECT_EQ(roundtrip(port, "PATCH", "/networks/" + patched,
+                        R"({"operations": [{"op": "frobnicate"}]})")
+                  .status,
+              422);
+    EXPECT_EQ(roundtrip(port, "PATCH", "/networks/" + patched, R"({"operations": [
+        {"op": "link-state", "router": "nosuch", "interface": "e1", "up": false}]})")
+                  .status,
+              422);
+
+    const auto reply = roundtrip(port, "PATCH", "/networks/" + patched, k_down_e1);
+    ASSERT_EQ(reply.status, 200) << reply.raw;
+    const auto body = parse_body(reply);
+    EXPECT_EQ(body.at("generation").as_int(), 1);
+    EXPECT_EQ(body.at("operations").as_int(), 1);
+    EXPECT_EQ(body.at("invalidations").as_int(), 1);
+    // Only the patched workspace's cached result was retired.
+    EXPECT_EQ(body.at("cacheEvictions").as_int(), 1);
+    EXPECT_EQ(body.at("effects").at("stateLinks").as_array().size(), 1u);
+    EXPECT_FALSE(body.at("effects").at("labelAdded").as_bool());
+
+    const auto info = roundtrip(port, "GET", "/networks/" + patched);
+    ASSERT_EQ(info.status, 200);
+    EXPECT_EQ(parse_body(info).at("generation").as_int(), 1);
+
+    // A patched workspace answers through its Reverifier: still yes (the
+    // query re-routes via e2), freshly computed, with the tier surfaced.
+    const auto requery = roundtrip(port, "POST", "/networks/" + patched + "/query", query_body);
+    ASSERT_EQ(requery.status, 200) << requery.raw;
+    const auto requery_json = parse_body(requery);
+    EXPECT_EQ(requery_json.at("answer").as_string(), "yes");
+    EXPECT_FALSE(requery_json.at("cached").as_bool());
+    EXPECT_TRUE(requery_json.find("path") != nullptr);
+
+    // The bystander workspace still serves its cached result.
+    const auto untouched = roundtrip(port, "POST", "/networks/" + bystander + "/query",
+                                     query_body);
+    ASSERT_EQ(untouched.status, 200);
+    EXPECT_TRUE(parse_body(untouched).at("cached").as_bool());
+}
+
+TEST(Server, ConcurrentPatchAndQueries) {
+    // PATCH races against in-flight queries: every query must land on a
+    // coherent generation (yes either way — figure1 keeps an alternate path
+    // through e2 while e1 is down) and the daemon must stay consistent.
+    // Exercised under the tsan CI job (ctest -R Server).
+    Daemon daemon;
+    const auto port = daemon.server.port();
+    const auto id = daemon.load_figure1();
+    const auto query_body = std::string(R"({"query":")") + k_yes_query + R"("})";
+
+    std::atomic<int> failures{0};
+    std::thread patcher([&] {
+        const char* deltas[] = {
+            R"({"operations": [{"op": "link-state", "router": "v0", "interface": "e1",
+                                "up": false}]})",
+            R"({"operations": [{"op": "link-state", "router": "v0", "interface": "e1",
+                                "up": true}]})",
+        };
+        for (int i = 0; i < 24; ++i) {
+            const auto reply = roundtrip(port, "PATCH", "/networks/" + id, deltas[i % 2]);
+            if (reply.status != 200) ++failures;
+        }
+    });
+    std::vector<std::thread> queriers;
+    for (int t = 0; t < 3; ++t) {
+        queriers.emplace_back([&] {
+            for (int i = 0; i < 16; ++i) {
+                const auto reply =
+                    roundtrip(port, "POST", "/networks/" + id + "/query", query_body);
+                if (reply.status != 200 ||
+                    parse_body(reply).at("answer").as_string() != "yes")
+                    ++failures;
+            }
+        });
+    }
+    patcher.join();
+    for (auto& querier : queriers) querier.join();
+    EXPECT_EQ(failures.load(), 0);
+
+    const auto info = roundtrip(port, "GET", "/networks/" + id);
+    ASSERT_EQ(info.status, 200);
+    EXPECT_EQ(parse_body(info).at("generation").as_int(), 24);
+}
+
 TEST(Server, LoadsGmlDocuments) {
     Daemon daemon;
     const std::string gml =
