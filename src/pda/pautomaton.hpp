@@ -22,6 +22,8 @@
 
 namespace aalwines::pda {
 
+class ParallelSaturation; // sharded saturation engine (solver.cpp)
+
 using TransId = std::uint32_t;
 inline constexpr TransId k_no_trans = UINT32_MAX;
 
@@ -165,6 +167,13 @@ public:
     }
 
 private:
+    /// The sharded parallel solver partitions transition insertion across
+    /// owner threads and must mirror add_transition/add_epsilon against
+    /// per-shard key maps, then merge them back into _concrete_heads and the
+    /// scalar-weight summary.  It upholds every invariant documented here
+    /// (chains append at the tail in id order, note_weight on every commit).
+    friend class ParallelSaturation;
+
     [[nodiscard]] static std::uint64_t pack(StateId hi, std::uint32_t lo) noexcept {
         return (static_cast<std::uint64_t>(hi) << 32) | lo;
     }

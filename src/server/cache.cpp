@@ -10,7 +10,8 @@ std::string cache_key(std::uint64_t sequence, std::uint64_t generation,
                       const std::string& query_text,
                       const std::string& engine, const std::string& weight,
                       int reduction, std::size_t witnesses, std::size_t max_iterations,
-                      bool trace, const std::string& translation) {
+                      bool trace, const std::string& translation,
+                      const std::string& solver_threads) {
     // '\x1f' (ASCII unit separator) cannot appear in query or weight text.
     std::string key = cache_scope(sequence);
     key += std::to_string(generation);
@@ -28,6 +29,10 @@ std::string cache_key(std::uint64_t sequence, std::uint64_t generation,
     key += trace ? '1' : '0';
     key += '\x1f';
     key += translation;
+    key += '\x1f';
+    // Results are answer/weight-identical across thread counts, but witness
+    // tie-breaks are not: keep per-thread-count entries distinct.
+    key += solver_threads;
     key += '\x1f';
     key += query_text;
     return key;

@@ -28,7 +28,8 @@ namespace aalwines::server {
                                     const std::string& engine, const std::string& weight,
                                     int reduction, std::size_t witnesses,
                                     std::size_t max_iterations, bool trace,
-                                    const std::string& translation);
+                                    const std::string& translation,
+                                    const std::string& solver_threads);
 
 /// The key prefix shared by every entry of the workspace with this load
 /// sequence — the argument for ResultCache::invalidate after a PATCH.

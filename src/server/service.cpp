@@ -331,6 +331,7 @@ http::Response Service::handle_query(const http::Request& request,
     spec.max_iterations = size_field(object, "maxIterations", 0);
     spec.translation = string_field(object, "translation");
     if (spec.translation.empty()) spec.translation = "auto";
+    spec.solver_threads = string_field(object, "solverThreads");
     const bool stats = bool_field(object, "stats", false);
     auto jobs = size_field(object, "jobs", 1);
     const auto max_jobs = _config.max_jobs != 0
@@ -355,7 +356,8 @@ http::Response Service::handle_query(const http::Request& request,
     for (std::size_t i = 0; i < texts.size(); ++i) {
         slots[i].key = cache_key(workspace.sequence, workspace.generation, texts[i],
                                  spec.engine, spec.weight, spec.reduction, spec.witnesses,
-                                 spec.max_iterations, spec.trace, spec.translation);
+                                 spec.max_iterations, spec.trace, spec.translation,
+                                 spec.solver_threads);
         slots[i].result = _cache.find(slots[i].key);
         slots[i].cached = slots[i].result != nullptr;
         if (!slots[i].cached) {

@@ -1,0 +1,99 @@
+#include "util/task_pool.hpp"
+
+namespace aalwines::util {
+
+void SpinBarrier::arrive_and_wait() {
+    const auto phase = _phase.load(std::memory_order_acquire);
+    if (_arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == _parties) {
+        _arrived.store(0, std::memory_order_relaxed);
+        const MutexLock lock(_mutex);
+        _phase.store(phase + 1, std::memory_order_release);
+        _wake.notify_all();
+        return;
+    }
+    // Short spin: when every party has its own core the straggler is
+    // microseconds away.  256 polls is well under a scheduler quantum.
+    for (int spin = 0; spin < 256; ++spin) {
+        if (_phase.load(std::memory_order_acquire) != phase) return;
+    }
+    MutexLock lock(_mutex);
+    _wake.wait(_mutex,
+               [&] { return _phase.load(std::memory_order_acquire) != phase; });
+}
+
+TaskPool::TaskPool(unsigned threads) : _count(threads == 0 ? 1 : threads) {
+    _workers.reserve(_count - 1);
+    for (unsigned i = 1; i < _count; ++i)
+        _workers.emplace_back([this, i] { worker_main(i); });
+}
+
+TaskPool::~TaskPool() {
+    {
+        const MutexLock lock(_mutex);
+        _stopping = true;
+    }
+    _work.notify_all();
+    for (auto& worker : _workers) worker.join();
+}
+
+void TaskPool::run(const std::function<void(unsigned)>& fn) {
+    if (_count == 1) {
+        fn(0);
+        return;
+    }
+    {
+        const MutexLock lock(_mutex);
+        _job = &fn;
+        _active = _count - 1;
+        ++_generation;
+    }
+    _work.notify_all();
+
+    std::exception_ptr caller_error;
+    try {
+        fn(0);
+    } catch (...) {
+        caller_error = std::current_exception();
+    }
+
+    std::exception_ptr worker_error;
+    {
+        MutexLock lock(_mutex);
+        _done.wait(_mutex, [this]() REQUIRES(_mutex) { return _active == 0; });
+        _job = nullptr;
+        worker_error = _error;
+        _error = nullptr;
+    }
+    if (caller_error) std::rethrow_exception(caller_error);
+    if (worker_error) std::rethrow_exception(worker_error);
+}
+
+void TaskPool::worker_main(unsigned index) {
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(unsigned)>* job = nullptr;
+        {
+            MutexLock lock(_mutex);
+            _work.wait(_mutex, [&]() REQUIRES(_mutex) {
+                return _stopping || _generation != seen;
+            });
+            if (_stopping) return;
+            seen = _generation;
+            job = _job;
+        }
+        try {
+            (*job)(index);
+        } catch (...) {
+            const MutexLock lock(_mutex);
+            if (!_error) _error = std::current_exception();
+        }
+        bool last = false;
+        {
+            const MutexLock lock(_mutex);
+            last = --_active == 0;
+        }
+        if (last) _done.notify_one();
+    }
+}
+
+} // namespace aalwines::util

@@ -1,0 +1,79 @@
+#pragma once
+// Fork-join worker pool and phase barrier for the parallel solver
+// (pda/solver.cpp, --solver-threads).
+//
+// TaskPool::run(fn) executes fn(0), ..., fn(threads-1) concurrently — fn(0)
+// on the calling thread — and returns once every invocation finished.
+// Workers park on a condvar between run() calls, so a pool cached in a
+// pda::SolverWorkspace amortizes thread spawn across queries: one spawn per
+// verify call, not one per saturation round.
+//
+// SpinBarrier separates the lock-free phases of the sharded saturation
+// rounds.  Arrivals spin briefly (phases are microseconds apart when every
+// party has its own core) and then block on a condvar — oversubscribed
+// machines (CI containers, --solver-threads above the core count) must not
+// busy-wait through scheduler quanta.
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/mutex.hpp"
+
+namespace aalwines::util {
+
+/// Sense-reversing barrier for a fixed number of parties.  The last arrival
+/// of a phase publishes the next phase and wakes any blocked waiters; all
+/// writes made before arriving are visible to every party after it returns.
+class SpinBarrier {
+public:
+    explicit SpinBarrier(unsigned parties) : _parties(parties) {}
+    SpinBarrier(const SpinBarrier&) = delete;
+    SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+    void arrive_and_wait();
+
+private:
+    const unsigned _parties;
+    std::atomic<unsigned> _arrived{0};
+    std::atomic<std::uint64_t> _phase{0};
+    Mutex _mutex;
+    CondVar _wake;
+};
+
+/// Fixed-size fork-join pool.  Not re-entrant: run() must not be called
+/// from inside a running job, and the pool is owned by one thread at a
+/// time (the solver workspace contract).
+class TaskPool {
+public:
+    explicit TaskPool(unsigned threads);
+    ~TaskPool();
+    TaskPool(const TaskPool&) = delete;
+    TaskPool& operator=(const TaskPool&) = delete;
+
+    [[nodiscard]] unsigned threads() const noexcept { return _count; }
+
+    /// Run fn(index) for every index in [0, threads()); fn(0) runs on the
+    /// caller.  The first exception thrown by any invocation is rethrown
+    /// here after all invocations finished.
+    void run(const std::function<void(unsigned)>& fn);
+
+private:
+    void worker_main(unsigned index);
+
+    const unsigned _count;
+    Mutex _mutex;
+    CondVar _work;
+    CondVar _done;
+    const std::function<void(unsigned)>* _job GUARDED_BY(_mutex) = nullptr;
+    std::uint64_t _generation GUARDED_BY(_mutex) = 0;
+    unsigned _active GUARDED_BY(_mutex) = 0;
+    bool _stopping GUARDED_BY(_mutex) = false;
+    std::exception_ptr _error GUARDED_BY(_mutex);
+    std::vector<std::thread> _workers;
+};
+
+} // namespace aalwines::util

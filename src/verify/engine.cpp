@@ -17,6 +17,9 @@ void absorb_solver_stats(PhaseStats& phase, const pda::SolverStats& solver) {
     phase.worklist_relaxations = solver.relaxations;
     phase.peak_worklist = solver.peak_queue;
     phase.truncated = solver.truncated;
+    phase.solver_threads = solver.threads_used;
+    phase.parallel_rounds = solver.rounds;
+    phase.parallel_handoffs = solver.handoffs;
 }
 
 std::string_view to_string(Answer answer) {
@@ -104,6 +107,7 @@ PhaseOutcome run_post_star_phase(const Network& network, const query::Query& que
     pda::SolverOptions sopts;
     sopts.max_iterations = options.max_iterations;
     sopts.workspace = &workspace;
+    sopts.threads = options.solver_threads;
     if (options.max_witnesses <= 1) {
         // Demand-driven: stop saturating once a (minimal) witness is certain.
         // (Alternative-witness collection needs the fully saturated automaton.)

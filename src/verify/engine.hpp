@@ -72,6 +72,12 @@ struct VerifyOptions {
     /// When (and whether) network→PDA rules materialize — see
     /// use_lazy_translation for the Auto resolution.
     TranslationMode translation = TranslationMode::Auto;
+    /// Saturation worker threads, forwarded to pda::SolverOptions::threads:
+    /// 0 = read the AALWINES_SOLVER_THREADS environment override (default 1),
+    /// pda::k_solver_threads_auto = size from the hardware, otherwise an
+    /// explicit count.  Answers and minimal weights are thread-count
+    /// independent; equal-weight witness tie-breaks may differ.
+    std::size_t solver_threads = 0;
 };
 
 /// Timing and size figures for one saturation phase.  Every engine reports
@@ -111,6 +117,11 @@ struct PhaseStats {
     double witness_seconds = 0.0;   ///< witness unroll + alternatives
     bool ran = false;
     bool truncated = false;
+    // Parallel saturation (solver_threads > 1 when the sharded loop ran; the
+    // round/hand-off counters stay 0 on the sequential path).
+    std::size_t solver_threads = 1;
+    std::size_t parallel_rounds = 0;
+    std::size_t parallel_handoffs = 0;
 };
 
 /// Copy solver-side counters into a phase record (shared by every engine so

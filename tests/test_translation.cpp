@@ -271,7 +271,12 @@ TEST_F(TranslationFixture, LazyVerifyMatchesEagerVerify) {
         EXPECT_EQ(lazy.answer, eager.answer) << text;
         EXPECT_EQ(lazy.weight, eager.weight) << text;
         ASSERT_EQ(lazy.trace.has_value(), eager.trace.has_value()) << text;
-        if (lazy.trace && eager.trace) EXPECT_EQ(*lazy.trace, *eager.trace) << text;
+        // Byte-identical traces are a sequential-solver guarantee: the
+        // parallel solver shards by state id, and lazy translation interns
+        // states in demand order, so equal-weight tie-breaks may differ.
+        if (lazy.trace && eager.trace && lazy.stats.over.solver_threads == 1 &&
+            eager.stats.over.solver_threads == 1)
+            EXPECT_EQ(*lazy.trace, *eager.trace) << text;
         EXPECT_TRUE(lazy.stats.over.lazy_translation) << text;
         EXPECT_FALSE(eager.stats.over.lazy_translation) << text;
         EXPECT_LE(lazy.stats.over.pda_rules_materialized,
@@ -321,7 +326,11 @@ TEST(TranslationLazy, NordunetBatteryMatchesEagerAndSavesWork) {
         EXPECT_EQ(lazy.answer, eager.answer) << text;
         EXPECT_EQ(lazy.weight, eager.weight) << text;
         ASSERT_EQ(lazy.trace.has_value(), eager.trace.has_value()) << text;
-        if (lazy.trace && eager.trace) EXPECT_EQ(*lazy.trace, *eager.trace) << text;
+        // See LazyVerifyMatchesEagerVerify: byte-equality of traces only
+        // holds for the sequential solver's tie-break order.
+        if (lazy.trace && eager.trace && lazy.stats.over.solver_threads == 1 &&
+            eager.stats.over.solver_threads == 1)
+            EXPECT_EQ(*lazy.trace, *eager.trace) << text;
         if (lazy.stats.over.pda_rules_materialized < lazy.stats.over.pda_rules_total)
             ++partial;
     }
