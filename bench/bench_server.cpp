@@ -1,9 +1,13 @@
 // Serve-mode benchmark: HTTP request latency and throughput against an
 // in-process `aalwines serve` daemon on a loopback socket.  Axes:
 //   - cold verification (result cache disabled) vs cache hits
+//   - cache churn: a query rotation wider than the LRU, so every request
+//     misses and evicts (the worst-case cache path)
 //   - 1 / 4 / 16 concurrent clients hammering the cached daemon
-// Each benchmark reports queries/s (items_per_second); the --json report
-// adds p50/p90/p99 latency per label (schema: docs/OBSERVABILITY.md).
+// Each benchmark reports queries/s (items_per_second); the cache-path ones
+// add a cache_hit_rate counter.  The --json report adds p50/p90/p99 latency
+// per label (schema: docs/OBSERVABILITY.md) and a top-level "cache" object
+// with the run's hit/miss/eviction totals and derived hit rate.
 
 #include <benchmark/benchmark.h>
 
@@ -20,6 +24,7 @@
 #include "bench_common.hpp"
 #include "server/server.hpp"
 #include "server/service.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -100,9 +105,29 @@ Daemon& cached_daemon() {
     return instance;
 }
 
-/// POST the figure1 query once, timing the exchange, and record a sample.
-double timed_query(Daemon& daemon, const std::string& label) {
-    static const std::string body = std::string(R"({"query":")") + k_query + R"("})";
+Daemon& churn_daemon() {
+    // Capacity below the benchmark's query rotation: every request misses
+    // and evicts the oldest entry.
+    static Daemon instance(2);
+    return instance;
+}
+
+/// Cache hits / (hits + misses) accumulated between two telemetry snapshots.
+double hit_rate_between(const telemetry::Snapshot& before,
+                        const telemetry::Snapshot& after) {
+    const auto hits = after.counter(telemetry::Counter::server_cache_hits) -
+                      before.counter(telemetry::Counter::server_cache_hits);
+    const auto misses = after.counter(telemetry::Counter::server_cache_misses) -
+                        before.counter(telemetry::Counter::server_cache_misses);
+    return hits + misses > 0
+               ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+               : 0.0;
+}
+
+/// POST one query, timing the exchange, and record a sample.
+double timed_query(Daemon& daemon, const std::string& label,
+                   const std::string& query = k_query) {
+    const std::string body = std::string(R"({"query":")") + query + R"("})";
     const auto start = std::chrono::steady_clock::now();
     const auto reply = http_roundtrip(daemon.daemon.port(), "POST",
                                       "/networks/n1/query", body);
@@ -127,7 +152,31 @@ void bm_serve_cold(benchmark::State& state) {
 void bm_serve_cache_hit(benchmark::State& state) {
     auto& daemon = cached_daemon();
     timed_query(daemon, "serve:warmup"); // populate the cache
+    const auto before = telemetry::snapshot();
     for (auto _ : state) benchmark::DoNotOptimize(timed_query(daemon, "serve:hit"));
+    state.counters["cache_hit_rate"] = hit_rate_between(before, telemetry::snapshot());
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void bm_serve_cache_churn(benchmark::State& state) {
+    auto& daemon = churn_daemon();
+    // Three distinct queries through a 2-entry LRU: every request is a miss
+    // that evicts, so the loop prices the miss + evict + verify path.
+    const std::string rotation[3] = {"<ip> [.#v0] .* [v3#.] <ip> 0",
+                                     "<ip> [.#v0] .* [v3#.] <ip> 1",
+                                     "<ip> [.#v0] .* [v3#.] <ip> 2"};
+    const auto before = telemetry::snapshot();
+    std::size_t next = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            timed_query(daemon, "serve:churn", rotation[next]));
+        next = (next + 1) % 3;
+    }
+    const auto after = telemetry::snapshot();
+    state.counters["cache_hit_rate"] = hit_rate_between(before, after);
+    state.counters["cache_evictions"] = static_cast<double>(
+        after.counter(telemetry::Counter::server_cache_evictions) -
+        before.counter(telemetry::Counter::server_cache_evictions));
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 
@@ -141,6 +190,7 @@ void bm_serve_concurrent(benchmark::State& state) {
 
 BENCHMARK(bm_serve_cold)->Unit(benchmark::kMicrosecond);
 BENCHMARK(bm_serve_cache_hit)->Unit(benchmark::kMicrosecond);
+BENCHMARK(bm_serve_cache_churn)->Unit(benchmark::kMicrosecond);
 BENCHMARK(bm_serve_concurrent)
     ->Threads(1)
     ->Threads(4)
@@ -155,6 +205,24 @@ int main(int argc, char** argv) {
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    if (json_path && !bench::write_json_report(*json_path, "bench_server")) return 1;
+    if (json_path) {
+        // Whole-run cache effectiveness, pre-derived for the CI reader.
+        const auto snap = telemetry::snapshot();
+        const auto hits = snap.counter(telemetry::Counter::server_cache_hits);
+        const auto misses = snap.counter(telemetry::Counter::server_cache_misses);
+        json::Object cache;
+        cache.emplace("hits", hits);
+        cache.emplace("misses", misses);
+        cache.emplace("evictions",
+                      snap.counter(telemetry::Counter::server_cache_evictions));
+        cache.emplace("hitRate", hits + misses > 0
+                                     ? static_cast<double>(hits) /
+                                           static_cast<double>(hits + misses)
+                                     : 0.0);
+        json::Object extras;
+        extras.emplace("cache", json::Value(std::move(cache)));
+        if (!bench::write_json_report(*json_path, "bench_server", std::move(extras)))
+            return 1;
+    }
     return 0;
 }

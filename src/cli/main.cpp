@@ -7,6 +7,7 @@
 // Exit codes: 0 ok · 1 load/runtime error · 2 usage error ·
 // 3 inconclusive or failed query · 4 validation violation.
 
+#include <algorithm>
 #include <csignal>
 #include <fstream>
 #include <iostream>
@@ -36,6 +37,7 @@ void usage(std::ostream& out) {
     out <<
         "usage: aalwines [options] --query '<a> b <c> k'\n"
         "       aalwines serve [options]   (run the HTTP daemon, see below)\n"
+        "       aalwines sweep [options]   (amortized what-if battery, see below)\n"
         "\n"
         "network sources (choose one):\n"
         "  --topology FILE --routing FILE   vendor-agnostic XML (Appendix A)\n"
@@ -102,7 +104,24 @@ void usage(std::ostream& out) {
         "  --slow-query-ms N    flag requests slower than N ms in the access\n"
         "                       log with full query detail (without\n"
         "                       --access-log, slow requests go to stderr)\n"
-        "  plus any network source flags above to preload a workspace\n";
+        "  plus any network source flags above to preload a workspace\n"
+        "\n"
+        "sweep options (amortize translation/saturation across a grid of\n"
+        "queries; see docs/PERFORMANCE.md):\n"
+        "  --template T         query template; {src}, {dst} and {k} expand per\n"
+        "                       cell, e.g. '<ip> [.#{src}] .* [{dst}#.] <ip> {k}'\n"
+        "  --pair SRC:DST       endpoint-pair axis (repeatable)\n"
+        "  --k N[,M,...]        failure-budget axis\n"
+        "  --scenarios FILE     link-failure scenarios as JSON:\n"
+        "                       [{\"name\": \"...\", \"failedLinks\": [[router,\n"
+        "                       out-interface], ...]}, ...]\n"
+        "  --single-failures N  also sweep the baseline plus every single-link\n"
+        "                       failure (capped at N scenarios; 0 = all links)\n"
+        "  --jobs N             chain worker threads (default: hardware)\n"
+        "  --json               emit the health-matrix JSON\n"
+        "  --stats              include sharing accounting (and, with --json,\n"
+        "                       per-cell engine stats)\n"
+        "  plus network source and engine/verification flags above\n";
 }
 
 std::string read_file(const std::string& path) { return cli::read_file(path); }
@@ -226,7 +245,9 @@ void print_result_text(const Network& network, const verify::VerifyResult& resul
         if (result.stats.over.solver_threads > 1)
             std::cout << "  solver-threads: " << result.stats.over.solver_threads
                       << "  parallel-rounds: " << result.stats.over.parallel_rounds
-                      << "  handoffs: " << result.stats.over.parallel_handoffs << "\n";
+                      << "  handoffs: " << result.stats.over.parallel_handoffs
+                      << "  shard-imbalance: " << result.stats.over.shard_imbalance
+                      << "\n";
         if (result.stats.over.lazy_translation)
             std::cout << "  materialized-rules: "
                       << result.stats.over.pda_rules_materialized << " of "
@@ -298,6 +319,95 @@ int serve_main(const cli::ServeCli& serve) {
     g_server = nullptr;
     std::cerr << "aalwines: drained, shutting down\n";
     return 0;
+}
+
+// ---------------------------------------------------------------------------
+// `aalwines sweep`
+
+/// One answer character per matrix cell.
+char cell_char(const verify::SweepCell& cell) {
+    if (!cell.error.empty()) return 'E';
+    switch (cell.result.answer) {
+        case verify::Answer::Yes: return 'y';
+        case verify::Answer::No: return 'n';
+        case verify::Answer::Inconclusive: return 'i';
+    }
+    return '?';
+}
+
+int sweep_main(const cli::SweepCli& sweep_cli) {
+    Network network = cli::load_network(sweep_cli.source);
+    if (!sweep_cli.source.locations_file.empty())
+        io::apply_locations_json(read_file(sweep_cli.source.locations_file),
+                                 network.topology);
+    const auto spec = cli::make_sweep_spec(sweep_cli, network);
+    WeightExpr weights;
+    const auto options = cli::make_verify_options(sweep_cli.spec, weights);
+    const auto sweep = verify::run_sweep(network, spec, options, sweep_cli.jobs);
+
+    bool all_ok = true;
+    for (const auto& cell : sweep.cells)
+        if (!cell.error.empty() || cell.result.answer == verify::Answer::Inconclusive)
+            all_ok = false;
+
+    if (sweep_cli.as_json) {
+        std::cout << json::write(io::sweep_to_json_value(network, spec, sweep,
+                                                         sweep_cli.stats),
+                                 2)
+                  << "\n";
+        return all_ok ? 0 : 3;
+    }
+
+    // The effective axes, after the engine's empty-axis collapse.
+    const std::size_t n_pairs = std::max<std::size_t>(1, spec.endpoint_pairs.size());
+    const std::size_t n_budgets = std::max<std::size_t>(1, spec.failure_budgets.size());
+    const std::size_t n_scenarios = std::max<std::size_t>(1, spec.scenarios.size());
+
+    std::cout << "sweep: " << n_pairs << " pairs x " << n_budgets << " budgets x "
+              << n_scenarios << " scenarios = " << sweep.stats.cells << " cells\n"
+              << "template: " << spec.query_template << "\n"
+              << "scenarios:\n";
+    for (std::size_t s = 0; s < n_scenarios; ++s) {
+        const auto* name = s < spec.scenarios.size() ? &spec.scenarios[s].name : nullptr;
+        std::cout << "  s" << s << ": "
+                  << (name != nullptr && !name->empty() ? *name : "baseline") << "\n";
+    }
+    std::cout << "matrix (cols s0..s" << (n_scenarios - 1)
+              << "; y=yes n=no i=inconclusive E=error):\n";
+    for (std::size_t p = 0; p < n_pairs; ++p) {
+        for (std::size_t b = 0; b < n_budgets; ++b) {
+            std::string label = p < spec.endpoint_pairs.size()
+                                    ? spec.endpoint_pairs[p].first + " -> " +
+                                          spec.endpoint_pairs[p].second
+                                    : "(all)";
+            if (b < spec.failure_budgets.size())
+                label += "  k=" + std::to_string(spec.failure_budgets[b]);
+            std::cout << "  " << label << "  ";
+            for (std::size_t s = 0; s < n_scenarios; ++s)
+                std::cout << cell_char(sweep.cells[(p * n_budgets + b) * n_scenarios + s]);
+            std::cout << "\n";
+        }
+    }
+    // Errors repeat along a chain (all its cells fail alike); print each
+    // distinct message once.
+    std::vector<std::string> seen_errors;
+    for (const auto& cell : sweep.cells) {
+        if (cell.error.empty()) continue;
+        if (std::find(seen_errors.begin(), seen_errors.end(), cell.error) !=
+            seen_errors.end())
+            continue;
+        seen_errors.push_back(cell.error);
+        std::cerr << "aalwines: " << cell.query_text << ": " << cell.error << "\n";
+    }
+    if (sweep_cli.stats) {
+        const auto& stats = sweep.stats;
+        std::cout << "stats: cold-saturations " << stats.cold_saturations
+                  << "  reused-frontiers " << stats.reused_frontiers
+                  << "  shared-saturations " << stats.shared_saturations
+                  << "  nfa-compiles " << stats.nfa_compiles << "  errors "
+                  << stats.errors << "  (" << stats.seconds << "s)\n";
+    }
+    return all_ok ? 0 : 3;
 }
 
 // ---------------------------------------------------------------------------
@@ -473,6 +583,14 @@ int main(int argc, char** argv) {
                 return 0;
             }
             return serve_main(serve);
+        }
+        if (argc > 1 && std::string(argv[1]) == "sweep") {
+            const auto sweep = cli::parse_sweep_cli(argc, argv, 2);
+            if (sweep.help) {
+                usage(std::cout);
+                return 0;
+            }
+            return sweep_main(sweep);
         }
         const auto cli = cli::parse_cli(argc, argv);
         if (cli.help) {

@@ -242,6 +242,113 @@ Cli parse_cli(int argc, char** argv) {
     return cli;
 }
 
+SweepCli parse_sweep_cli(int argc, char** argv, int first) {
+    SweepCli sweep;
+    auto value = [&](int& i) -> std::string {
+        if (i + 1 >= argc)
+            throw usage_error(std::string("option '") + argv[i] + "' expects a value");
+        return argv[++i];
+    };
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--topology") sweep.source.topology_file = value(i);
+        else if (arg == "--routing") sweep.source.routing_file = value(i);
+        else if (arg == "--gml") sweep.source.gml_file = value(i);
+        else if (arg == "--isis") sweep.source.isis_file = value(i);
+        else if (arg == "--demo") sweep.source.demo = value(i);
+        else if (arg == "--locations") sweep.source.locations_file = value(i);
+        else if (arg == "--template") sweep.query_template = value(i);
+        else if (arg == "--pair") {
+            const auto pair = value(i);
+            const auto colon = pair.find(':');
+            if (colon == std::string::npos || colon == 0 || colon + 1 == pair.size())
+                throw usage_error("--pair expects SRC:DST, got '" + pair + "'");
+            sweep.pairs.emplace_back(pair.substr(0, colon), pair.substr(colon + 1));
+        } else if (arg == "--k") {
+            std::istringstream parts(value(i));
+            std::string part;
+            while (std::getline(parts, part, ','))
+                sweep.budgets.push_back(parse_size("--k", part));
+            if (sweep.budgets.empty()) throw usage_error("--k expects N[,M,...]");
+        } else if (arg == "--scenarios") sweep.scenarios_file = value(i);
+        else if (arg == "--single-failures") {
+            sweep.single_failures = true;
+            sweep.single_failure_cap = parse_size(arg, value(i));
+        } else if (arg == "--engine") sweep.spec.engine = value(i);
+        else if (arg == "--translation") sweep.spec.translation = value(i);
+        else if (arg == "--weight") sweep.spec.weight = value(i);
+        else if (arg == "--reduction") sweep.spec.reduction = parse_int(arg, value(i));
+        else if (arg == "--max-iterations")
+            sweep.spec.max_iterations = parse_size(arg, value(i));
+        else if (arg == "--solver-threads") sweep.spec.solver_threads = value(i);
+        else if (arg == "--no-trace") sweep.spec.trace = false;
+        else if (arg == "--witnesses") sweep.spec.witnesses = parse_size(arg, value(i));
+        else if (arg == "--jobs") sweep.jobs = parse_size(arg, value(i));
+        else if (arg == "--json") sweep.as_json = true;
+        else if (arg == "--stats") sweep.stats = true;
+        else if (arg == "--help" || arg == "-h") sweep.help = true;
+        else throw usage_error("unknown option '" + arg + "'");
+    }
+    return sweep;
+}
+
+std::vector<verify::SweepScenario> scenarios_from_json(const json::Value& value) {
+    if (!value.is_array())
+        throw usage_error("scenarios must be a JSON array of scenario objects");
+    std::vector<verify::SweepScenario> scenarios;
+    scenarios.reserve(value.as_array().size());
+    for (const auto& entry : value.as_array()) {
+        if (!entry.is_object())
+            throw usage_error("each scenario must be an object with 'failedLinks'");
+        verify::SweepScenario scenario;
+        if (const auto* name = entry.find("name"); name != nullptr) {
+            if (!name->is_string())
+                throw usage_error("scenario 'name' must be a string");
+            scenario.name = name->as_string();
+        }
+        if (const auto* links = entry.find("failedLinks"); links != nullptr) {
+            if (!links->is_array())
+                throw usage_error("scenario 'failedLinks' must be an array of "
+                                  "[router, interface] pairs");
+            for (const auto& link : links->as_array()) {
+                if (!link.is_array() || link.as_array().size() != 2 ||
+                    !link.as_array()[0].is_string() || !link.as_array()[1].is_string())
+                    throw usage_error("each failed link must be a [router, interface] "
+                                      "string pair");
+                scenario.failed_links.emplace_back(link.as_array()[0].as_string(),
+                                                   link.as_array()[1].as_string());
+            }
+        }
+        scenarios.push_back(std::move(scenario));
+    }
+    return scenarios;
+}
+
+void append_single_failure_scenarios(verify::SweepSpec& spec, const Network& network,
+                                     std::size_t cap) {
+    auto generated = verify::make_single_failure_scenarios(network, cap);
+    // The generated battery leads with its own baseline; keep it only when
+    // no explicit scenarios cover the grid yet.
+    const auto begin =
+        spec.scenarios.empty() ? generated.begin() : generated.begin() + 1;
+    spec.scenarios.insert(spec.scenarios.end(), std::make_move_iterator(begin),
+                          std::make_move_iterator(generated.end()));
+}
+
+verify::SweepSpec make_sweep_spec(const SweepCli& sweep, const Network& network) {
+    if (sweep.query_template.empty())
+        throw usage_error("sweep needs --template (with {src}/{dst}/{k} placeholders)");
+    verify::SweepSpec spec;
+    spec.query_template = sweep.query_template;
+    spec.endpoint_pairs = sweep.pairs;
+    spec.failure_budgets = sweep.budgets;
+    if (!sweep.scenarios_file.empty())
+        spec.scenarios = scenarios_from_json(json::parse(read_file(sweep.scenarios_file)));
+    if (sweep.single_failures)
+        append_single_failure_scenarios(spec, network, sweep.single_failure_cap);
+    return spec;
+}
+
 ServeCli parse_serve_cli(int argc, char** argv, int first) {
     ServeCli serve;
     auto value = [&](int& i) -> std::string {

@@ -11,9 +11,11 @@
 #include <string>
 #include <vector>
 
+#include "json/json.hpp"
 #include "model/quantity.hpp"
 #include "model/routing.hpp"
 #include "verify/engine.hpp"
+#include "verify/sweep.hpp"
 
 namespace aalwines::cli {
 
@@ -145,5 +147,45 @@ struct ServeCli {
 
 /// Parse `aalwines serve ...` (argv past the subcommand). Throws usage_error.
 [[nodiscard]] ServeCli parse_serve_cli(int argc, char** argv, int first);
+
+/// Parsed `aalwines sweep` command line (the sweep engine front end; see
+/// verify/sweep.hpp for the grid model and sharing tiers).
+struct SweepCli {
+    NetworkSource source;
+    VerifySpec spec;
+    std::string query_template;   ///< --template, with {src}/{dst}/{k}
+    std::vector<std::pair<std::string, std::string>> pairs; ///< --pair SRC:DST
+    std::vector<std::uint64_t> budgets;                     ///< --k N,M,...
+    std::string scenarios_file;   ///< --scenarios FILE (JSON scenario list)
+    bool single_failures = false; ///< --single-failures N given
+    std::size_t single_failure_cap = 0; ///< its N (0 = every up link)
+    std::size_t jobs = 0;         ///< chain workers (0 = hardware concurrency)
+    bool as_json = false;
+    bool stats = false;
+    bool help = false;
+};
+
+/// Parse `aalwines sweep ...` (argv past the subcommand). Throws usage_error.
+[[nodiscard]] SweepCli parse_sweep_cli(int argc, char** argv, int first);
+
+/// Decode a scenario list from JSON — the `--scenarios` file and the
+/// daemon's sweep request body share this shape:
+///   [ {"name": "core down", "failedLinks": [["R1", "eth0"], ...]}, ... ]
+/// `name` is optional.  Throws usage_error on a malformed document.
+[[nodiscard]] std::vector<verify::SweepScenario> scenarios_from_json(
+    const json::Value& value);
+
+/// Append the generated single-link-failure battery to a spec's scenario
+/// axis (`cap` failure scenarios, 0 = every up link).  The generated
+/// baseline is kept only when the spec had no scenarios yet — explicit
+/// scenario lists decide themselves whether to include one.
+void append_single_failure_scenarios(verify::SweepSpec& spec, const Network& network,
+                                     std::size_t cap);
+
+/// Assemble the sweep grid from a parsed command line: template, pairs and
+/// budgets verbatim, scenarios from the --scenarios file and/or generated
+/// single-link failures.  Throws usage_error when no template was given.
+[[nodiscard]] verify::SweepSpec make_sweep_spec(const SweepCli& sweep,
+                                                const Network& network);
 
 } // namespace aalwines::cli

@@ -52,6 +52,7 @@ json::Value phase_to_json(const verify::PhaseStats& phase) {
         object.emplace("solverThreads", phase.solver_threads);
         object.emplace("parallelRounds", phase.parallel_rounds);
         object.emplace("parallelHandoffs", phase.parallel_handoffs);
+        object.emplace("shardImbalance", phase.shard_imbalance);
     }
     if (phase.truncated) object.emplace("truncated", true);
     return json::Value(std::move(object));
@@ -117,6 +118,77 @@ std::string result_to_json(const Network& network, const std::string& query_text
                            int indent) {
     return json::write(result_to_json_value(network, query_text, result, include_stats),
                        indent);
+}
+
+json::Value sweep_to_json_value(const Network& network, const verify::SweepSpec& spec,
+                                const verify::SweepResult& sweep, bool include_stats) {
+    json::Object object;
+    object.emplace("template", spec.query_template);
+
+    json::Array pairs;
+    for (const auto& [src, dst] : spec.endpoint_pairs) {
+        json::Array pair;
+        pair.emplace_back(src);
+        pair.emplace_back(dst);
+        pairs.push_back(json::Value(std::move(pair)));
+    }
+    object.emplace("pairs", json::Value(std::move(pairs)));
+
+    json::Array budgets;
+    for (const auto k : spec.failure_budgets) budgets.push_back(json::Value(k));
+    object.emplace("budgets", json::Value(std::move(budgets)));
+
+    json::Array scenarios;
+    for (std::size_t s = 0; s < spec.scenarios.size(); ++s) {
+        const auto& scenario = spec.scenarios[s];
+        scenarios.emplace_back(scenario.name.empty() ? "s" + std::to_string(s)
+                                                     : scenario.name);
+    }
+    object.emplace("scenarios", json::Value(std::move(scenarios)));
+
+    json::Array cells;
+    for (const auto& cell : sweep.cells) {
+        json::Object entry;
+        entry.emplace("pair", cell.pair);
+        entry.emplace("budget", cell.budget);
+        if (cell.budget < spec.failure_budgets.size())
+            entry.emplace("k", spec.failure_budgets[cell.budget]);
+        entry.emplace("scenario", cell.scenario);
+        if (!cell.error.empty()) {
+            entry.emplace("query", cell.query_text);
+            entry.emplace("error", cell.error);
+            cells.push_back(json::Value(std::move(entry)));
+            continue;
+        }
+        entry.emplace("answer", std::string(to_string(cell.result.answer)));
+        entry.emplace("path", std::string(to_string(cell.path)));
+        entry.emplace("seconds", cell.seconds);
+        if (!cell.result.weight.empty()) {
+            json::Array weight;
+            for (const auto w : cell.result.weight) weight.push_back(json::Value(w));
+            entry.emplace("weight", json::Value(std::move(weight)));
+        }
+        if (!cell.result.note.empty()) entry.emplace("note", cell.result.note);
+        if (include_stats) {
+            // The full per-query shape (trace and phase stats included),
+            // keyed under "detail" so the compact fields stay flat.
+            entry.emplace("detail", result_to_json_value(network, cell.query_text,
+                                                         cell.result, true));
+        }
+        cells.push_back(json::Value(std::move(entry)));
+    }
+    object.emplace("cells", json::Value(std::move(cells)));
+
+    json::Object stats;
+    stats.emplace("cells", sweep.stats.cells);
+    stats.emplace("coldSaturations", sweep.stats.cold_saturations);
+    stats.emplace("reusedFrontiers", sweep.stats.reused_frontiers);
+    stats.emplace("sharedSaturations", sweep.stats.shared_saturations);
+    stats.emplace("nfaCompiles", sweep.stats.nfa_compiles);
+    stats.emplace("errors", sweep.stats.errors);
+    stats.emplace("seconds", sweep.stats.seconds);
+    object.emplace("stats", json::Value(std::move(stats)));
+    return json::Value(std::move(object));
 }
 
 } // namespace aalwines::io

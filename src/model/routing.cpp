@@ -153,6 +153,36 @@ void RoutingTable::for_each(
     while (sorted_it != _sorted.end()) visit(*sorted_it++);
 }
 
+void RoutingTable::for_each_of(
+    LinkId in_link, const std::function<void(Label, const RoutingEntry&)>& fn) const {
+    const auto lo = key_of(in_link, 0);
+    const auto hi = (static_cast<std::uint64_t>(in_link) + 1) << 32;
+    const auto visit = [&](const Slot& slot) {
+        fn(static_cast<Label>(slot.first & 0xFFFFFFFFu), *slot.second);
+    };
+    const auto key_less = [](const Slot& slot, std::uint64_t k) {
+        return slot.first < k;
+    };
+    auto sorted_it = std::lower_bound(_sorted.begin(), _sorted.end(), lo, key_less);
+    const auto sorted_end = std::lower_bound(sorted_it, _sorted.end(), hi, key_less);
+    if (_tail.empty()) {
+        for (; sorted_it != sorted_end; ++sorted_it) visit(*sorted_it);
+        return;
+    }
+    // Same merged key order as for_each, restricted to this link's range.
+    std::vector<const Slot*> tail;
+    for (const auto& slot : _tail)
+        if (slot.first >= lo && slot.first < hi) tail.push_back(&slot);
+    std::sort(tail.begin(), tail.end(),
+              [](const Slot* a, const Slot* b) { return a->first < b->first; });
+    for (const auto* slot : tail) {
+        while (sorted_it != sorted_end && sorted_it->first < slot->first)
+            visit(*sorted_it++);
+        visit(*slot);
+    }
+    while (sorted_it != sorted_end) visit(*sorted_it++);
+}
+
 std::size_t RoutingTable::rule_count() const {
     std::size_t count = 0;
     for (const auto* slots : {&_sorted, &_tail})

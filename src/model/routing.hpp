@@ -91,6 +91,12 @@ public:
     /// unspecified but deterministic for a fixed table).
     void for_each(const std::function<void(LinkId, Label, const RoutingEntry&)>& fn) const;
 
+    /// Invoke `fn(label, entry)` for every entry of one incoming link, in the
+    /// same relative order `for_each` would visit them (so a per-link index
+    /// rebuilt through this matches one built by a full scan).
+    void for_each_of(LinkId in_link,
+                     const std::function<void(Label, const RoutingEntry&)>& fn) const;
+
     /// Total number of forwarding rules across all entries and groups.
     [[nodiscard]] std::size_t rule_count() const;
 

@@ -1,14 +1,41 @@
 #include "pda/pautomaton.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace aalwines::pda {
+
+int canonical_compare(const EdgeLabel& a, const EdgeLabel& b) {
+    if (a.is_concrete() != b.is_concrete()) return a.is_concrete() ? -1 : 1;
+    if (a.is_concrete()) {
+        if (a.concrete != b.concrete) return a.concrete < b.concrete ? -1 : 1;
+        return 0;
+    }
+    if (a.set.mode() != b.set.mode())
+        return static_cast<int>(a.set.mode()) < static_cast<int>(b.set.mode()) ? -1 : 1;
+    const auto& as = a.set.symbols();
+    const auto& bs = b.set.symbols();
+    const std::size_t n = std::min(as.size(), bs.size());
+    for (std::size_t i = 0; i < n; ++i)
+        if (as[i] != bs[i]) return as[i] < bs[i] ? -1 : 1;
+    if (as.size() != bs.size()) return as.size() < bs.size() ? -1 : 1;
+    return 0;
+}
+
+namespace {
+[[nodiscard]] int cmp_u64(std::uint64_t a, std::uint64_t b) {
+    return a == b ? 0 : (a < b ? -1 : 1);
+}
+} // namespace
 
 PAutomaton::PAutomaton(const Pda& pda) : _pda(&pda), _control_count(pda.state_count()) {
     _final.resize(_control_count, false);
     _trans_from.resize(_control_count);
     _eps_by_target.resize(_control_count);
     _eps_from.resize(_control_count);
+    _canonical_key.resize(_control_count);
+    for (StateId s = 0; s < _control_count; ++s) _canonical_key[s] = s;
 }
 
 StateId PAutomaton::add_state() {
@@ -16,12 +43,56 @@ StateId PAutomaton::add_state() {
     _trans_from.emplace_back();
     _eps_by_target.emplace_back();
     _eps_from.emplace_back();
-    return static_cast<StateId>(_trans_from.size() - 1);
+    const auto id = static_cast<StateId>(_trans_from.size() - 1);
+    // Pre-saturation states (control mirrors, NFA copies) are created in a
+    // deterministic order, so their id doubles as the canonical key;
+    // mid_state() overrides this for saturation-created states.
+    _canonical_key.push_back(id);
+    return id;
 }
 
 void PAutomaton::set_final(StateId state, bool final) {
     AALWINES_ASSERT(state < _final.size(), "set_final on an unknown state");
     _final[state] = final;
+}
+
+int PAutomaton::compare_trans_identity(std::uint32_t a, std::uint32_t b) const {
+    if (a == b) return 0;
+    if (a == k_no_trans || b == k_no_trans) return a == k_no_trans ? -1 : 1;
+    const Transition& ta = _transitions[a];
+    const Transition& tb = _transitions[b];
+    if (const int c = cmp_u64(canonical_state(ta.from), canonical_state(tb.from))) return c;
+    if (const int c = cmp_u64(canonical_state(ta.to), canonical_state(tb.to))) return c;
+    return canonical_compare(ta.label, tb.label);
+}
+
+int PAutomaton::compare_eps_identity(std::uint32_t a, std::uint32_t b) const {
+    if (a == b) return 0;
+    if (a == UINT32_MAX || b == UINT32_MAX) return a == UINT32_MAX ? -1 : 1;
+    const EpsTransition& ea = _epsilons[a];
+    const EpsTransition& eb = _epsilons[b];
+    if (const int c = cmp_u64(canonical_state(ea.from), canonical_state(eb.from))) return c;
+    return cmp_u64(canonical_state(ea.to), canonical_state(eb.to));
+}
+
+int PAutomaton::compare_provenance(const Provenance& a, const Provenance& b) const {
+    if (a.kind != b.kind)
+        return static_cast<int>(a.kind) < static_cast<int>(b.kind) ? -1 : 1;
+    if (a.rule != b.rule) {
+        if (a.rule == UINT32_MAX || b.rule == UINT32_MAX)
+            return a.rule == UINT32_MAX ? -1 : 1;
+        if (const int c =
+                cmp_u64(_pda->rule_canonical_key(a.rule), _pda->rule_canonical_key(b.rule)))
+            return c;
+    }
+    // `a` is an ε id for PostCombine, a TransId everywhere else; `b` is
+    // always a TransId (PostCombine's second component, PrePush's t2).
+    if (a.kind == Provenance::Kind::PostCombine) {
+        if (const int c = compare_eps_identity(a.a, b.a)) return c;
+    } else {
+        if (const int c = compare_trans_identity(a.a, b.a)) return c;
+    }
+    return compare_trans_identity(a.b, b.b);
 }
 
 std::pair<TransId, bool> PAutomaton::add_transition(StateId from, EdgeLabel label,
@@ -50,6 +121,11 @@ std::pair<TransId, bool> PAutomaton::add_transition(StateId from, EdgeLabel labe
                     existing.prov = prov;
                     return {cur, true};
                 }
+                // Equal-weight re-derivation: keep the canonically smallest
+                // provenance so the witness does not depend on arrival order.
+                if (_canonical_tiebreaks && weight == existing.weight &&
+                    compare_provenance(prov, existing.prov) < 0)
+                    existing.prov = prov;
                 return {cur, false};
             }
             _transitions[last].next_same_key = id;
@@ -69,6 +145,9 @@ std::pair<TransId, bool> PAutomaton::add_transition(StateId from, EdgeLabel labe
             existing.prov = prov;
             return {id, true};
         }
+        if (_canonical_tiebreaks && weight == existing.weight &&
+            compare_provenance(prov, existing.prov) < 0)
+            existing.prov = prov;
         return {id, false};
     }
     note_weight(weight);
@@ -90,6 +169,9 @@ std::pair<std::uint32_t, bool> PAutomaton::add_epsilon(StateId from, StateId to,
             existing.prov = prov;
             return {existing_id, true};
         }
+        if (_canonical_tiebreaks && weight == existing.weight &&
+            compare_provenance(prov, existing.prov) < 0)
+            existing.prov = prov;
         return {existing_id, false};
     }
     note_weight(weight);
@@ -104,6 +186,11 @@ StateId PAutomaton::mid_state(StateId to, Symbol top) {
         return found;
     const auto state = add_state();
     _mid_states.try_emplace(pack(to, top), state);
+    // Mid-states are the only states created *during* saturation; their raw
+    // id depends on discovery order, but their (owner, pushed-symbol)
+    // identity does not.  The high bit sorts them after every
+    // pre-saturation state.
+    _canonical_key[state] = (std::uint64_t{1} << 63) | pack(to, top);
     return state;
 }
 

@@ -73,6 +73,10 @@ struct EdgeLabel {
     }
 };
 
+/// Total, run-independent order on edge labels: concrete before symbolic,
+/// concrete by symbol, sets by (mode, sorted payload).  Returns <0/0/>0.
+[[nodiscard]] int canonical_compare(const EdgeLabel& a, const EdgeLabel& b);
+
 /// How a transition came to exist; drives witness reconstruction.
 struct Provenance {
     enum class Kind : std::uint8_t {
@@ -158,6 +162,41 @@ public:
     /// The shared mid-state q_{p,γ} for post* push rules targeting (to, top).
     StateId mid_state(StateId to, Symbol top);
 
+    // --- Canonical witness tie-breaking ------------------------------------
+    //
+    // Raw ids (StateId of mid-states, TransId, RuleId under lazy
+    // materialization) depend on discovery order and therefore on the thread
+    // count.  The keys below are pure functions of *content* instead:
+    //   state   → its pre-saturation id (those are deterministic), or for a
+    //             saturation-created mid-state its (owner, symbol) identity;
+    //   rule    → (from, per-state emission ordinal), see Pda::rule_canonical_key;
+    //   trans/ε → the (canonical from, canonical to, label) triple.
+    // When `canonical_tiebreaks()` is on, equal-weight provenance updates keep
+    // the candidate with the smallest canonical key, making the reconstructed
+    // witness a pure function of the saturated automaton's content — i.e.
+    // identical across worklist disciplines and solver thread counts.  The
+    // flag is enabled by the translation layer for weighted runs (where the
+    // minimal weight level is always fully saturated, see solver.cpp); unit-
+    // weight runs keep first-arrival provenance — their early-terminated
+    // saturation frontier is itself thread-dependent, so canonical selection
+    // there would cost hot-path compares without buying stability.
+
+    [[nodiscard]] bool canonical_tiebreaks() const noexcept { return _canonical_tiebreaks; }
+    void set_canonical_tiebreaks(bool on) noexcept { _canonical_tiebreaks = on; }
+
+    /// Stable content key of a state (see above); sortable, run-independent.
+    [[nodiscard]] std::uint64_t canonical_state(StateId state) const noexcept {
+        return _canonical_key[state];
+    }
+
+    /// Total orders on transition/ε identities and provenance records.
+    /// Return <0/0/>0; ids may be k_no_trans/UINT32_MAX sentinels (sorted
+    /// first).  Only meaningful for comparing candidates of the *same*
+    /// target (equal-weight tie-breaks).
+    [[nodiscard]] int compare_trans_identity(std::uint32_t a, std::uint32_t b) const;
+    [[nodiscard]] int compare_eps_identity(std::uint32_t a, std::uint32_t b) const;
+    [[nodiscard]] int compare_provenance(const Provenance& a, const Provenance& b) const;
+
     /// True while every transition and ε weight is scalar; together with
     /// Pda::all_weights_scalar() this gates the bucketed worklist.
     [[nodiscard]] bool all_scalar_weights() const noexcept { return _all_weights_scalar; }
@@ -196,7 +235,9 @@ private:
     util::FlatMap64 _concrete_heads; ///< (from,symbol) → head of next_same_key chain
     util::FlatMap64 _eps_index;      ///< (from,to) → ε id
     util::FlatMap64 _mid_states;     ///< (to,top) → state
+    std::vector<std::uint64_t> _canonical_key; ///< per state, see canonical_state
     bool _all_weights_scalar = true;
+    bool _canonical_tiebreaks = false;
     std::uint64_t _max_scalar_weight = 0;
 };
 

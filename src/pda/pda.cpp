@@ -66,7 +66,19 @@ RuleId Pda::add_rule(Rule rule) {
     AALWINES_ASSERT(rule.pre.kind != PreSpec::Kind::Concrete ||
                         rule.pre.symbol < _alphabet_size,
                     "rule precondition symbol outside the stack alphabet");
-    const RuleId id = static_cast<RuleId>(_rules.size());
+    // Reuse a tombstoned slot when one exists (lazy rebase churn), else grow.
+    RuleId id;
+    if (!_free_rule_slots.empty()) {
+        id = _free_rule_slots.back();
+        _free_rule_slots.pop_back();
+        _dead_rules[id] = false;
+    } else {
+        id = static_cast<RuleId>(_rules.size());
+    }
+    ++_rules_added;
+    if (_next_rule_ord.size() <= rule.from)
+        _next_rule_ord.resize(state_count(), 0);
+    rule.ord = _next_rule_ord[rule.from]++;
     if (const auto scalar = rule.weight.as_scalar()) {
         _max_scalar_weight = std::max(_max_scalar_weight, *scalar);
     } else {
@@ -85,7 +97,12 @@ RuleId Pda::add_rule(Rule rule) {
     } else {
         _target_index_ready = false;
     }
-    _rules.push_back(std::move(rule));
+    if (id < _rules.size()) {
+        _rules[id] = std::move(rule);
+    } else {
+        _rules.push_back(std::move(rule));
+        _dead_rules.push_back(false);
+    }
     index_rule(id);
     return id;
 }
@@ -136,10 +153,11 @@ void Pda::materialize_state(StateId state) const {
     auto* self = const_cast<Pda*>(this); // NOLINT(cppcoreguidelines-pro-type-const-cast)
     self->_materialized[state] = true;
     ++self->_materialized_count;
-    const auto before = _rules.size();
+    // _rules_added, not _rules.size(): add_rule may be filling reused slots.
+    const auto before = _rules_added;
     self->_provider->materialize_state(*self, state);
     telemetry::count(telemetry::Counter::pda_states_materialized);
-    telemetry::count(telemetry::Counter::pda_rules_materialized, _rules.size() - before);
+    telemetry::count(telemetry::Counter::pda_rules_materialized, _rules_added - before);
 }
 
 void Pda::prefetch_state(StateId state) const {
@@ -197,6 +215,7 @@ void Pda::remove_rules(const std::vector<RuleId>& discard) {
     }
     AALWINES_ASSERT(di == discard.size(), "discard list must be sorted and unique");
     _rules = std::move(kept);
+    _dead_rules.assign(_rules.size(), false); // eager PDAs never have tombstones
     // Rebuild the match indexes with the new rule ids.
     for (auto& match : _match_by_state) match = StateMatch{};
     _concrete_lists.clear();
@@ -218,57 +237,69 @@ void Pda::invalidate_states(const std::vector<StateId>& heads,
     AALWINES_ASSERT(_provider != nullptr,
                     "invalidate_states is the lazy-PDA re-saturation path");
     if (heads.empty()) return;
+    // O(dropped rules), never O(all rules): every rule is indexed under its
+    // from-state, so a dropped state's match lists enumerate exactly the
+    // rules to kill — the chain closure is a plain worklist over them.
     std::vector<bool> drop(state_count(), false);
-    for (const auto s : heads) {
+    std::vector<StateId> dropped;
+    dropped.reserve(heads.size());
+    const auto push_state = [&](StateId s) {
         AALWINES_ASSERT(s < state_count(), "invalidated state out of range");
+        if (drop[s]) return;
         drop[s] = true;
-    }
-    // Close over owned chain targets.  Chain rules are emitted head-first in
-    // increasing id order, so one forward pass usually reaches the fixpoint;
-    // loop to be safe against any future emission-order change.
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        for (const auto& rule : _rules)
-            if (drop[rule.from] && !drop[rule.to] && owned(rule.to)) {
-                drop[rule.to] = true;
-                changed = true;
+        dropped.push_back(s);
+    };
+    for (const auto s : heads) push_state(s);
+    std::vector<RuleId> dead;
+    std::vector<StateId> touched_targets;
+    for (std::size_t i = 0; i < dropped.size(); ++i) { // grows during the loop
+        auto& match = _match_by_state[dropped[i]];
+        // Empty the lists in place: the list slots, the StateMatch entries,
+        // and the (state, symbol) keys in _concrete_lists all survive, so a
+        // provider re-emitting the identical per-state sequence lands in the
+        // same lists in the same order (with _next_rule_ord reset below this
+        // reproduces Rule::ord — the canonical-tie-break contract).
+        const auto drain = [&](std::uint32_t list) {
+            for (const auto id : _rule_lists[list]) {
+                const auto& rule = _rules[id];
+                dead.push_back(id);
+                if (!drop[rule.to] && owned(rule.to)) push_state(rule.to);
+                if (rule.op != Rule::OpKind::Pop) touched_targets.push_back(rule.to);
             }
+            _rule_lists[list].clear();
+        };
+        for (const auto& [symbol, list] : match.concrete) drain(list);
+        for (const auto& [cls, list] : match.classes) drain(list);
+        if (match.any_list != UINT32_MAX) drain(match.any_list);
     }
     std::size_t cleared = 0;
-    for (StateId s = 0; s < state_count(); ++s)
-        if (drop[s] && _materialized[s]) {
+    for (const auto s : dropped)
+        if (_materialized[s]) {
             _materialized[s] = false;
             --_materialized_count;
             ++cleared;
+            if (s < _next_rule_ord.size()) _next_rule_ord[s] = 0;
         }
-    std::vector<Rule> kept;
-    kept.reserve(_rules.size());
-    for (auto& rule : _rules)
-        if (!drop[rule.from]) kept.push_back(std::move(rule));
-    _rules = std::move(kept);
-    // Rebuild the match and per-target indexes over the compacted ids.  The
-    // scalar flag stays the provider's declared hint — it covers rules the
-    // provider has yet to emit, not just the kept subset; only the observed
-    // maximum is recomputed.
-    for (auto& match : _match_by_state) match = StateMatch{};
-    _concrete_lists.clear();
-    _rule_lists.clear();
-    _swaps_into.assign(state_count(), {});
-    _pushes_into.assign(state_count(), {});
-    _max_scalar_weight = 0;
-    for (RuleId id = 0; id < _rules.size(); ++id) {
-        const auto& rule = _rules[id];
-        index_rule(id);
-        switch (rule.op) {
-            case Rule::OpKind::Swap: _swaps_into[rule.to].push_back(id); break;
-            case Rule::OpKind::Push: _pushes_into[rule.to].push_back(id); break;
-            case Rule::OpKind::Pop: break;
-        }
-        if (const auto scalar = rule.weight.as_scalar())
-            _max_scalar_weight = std::max(_max_scalar_weight, *scalar);
+    // Tombstone the dead slots for reuse, then strip them from the touched
+    // per-target lists — one order-preserving pass per distinct target.  The
+    // scalar flag stays the provider's declared hint and _max_scalar_weight
+    // a monotone upper bound (it only sizes worklist buckets).
+    for (const auto id : dead) {
+        _dead_rules[id] = true;
+        _free_rule_slots.push_back(id);
     }
-    _target_index_ready = true;
+    std::sort(touched_targets.begin(), touched_targets.end());
+    touched_targets.erase(std::unique(touched_targets.begin(), touched_targets.end()),
+                          touched_targets.end());
+    for (const auto t : touched_targets) {
+        const auto strip = [&](std::vector<RuleId>& list) {
+            list.erase(std::remove_if(list.begin(), list.end(),
+                                      [&](RuleId id) { return _dead_rules[id]; }),
+                       list.end());
+        };
+        strip(_swaps_into[t]);
+        strip(_pushes_into[t]);
+    }
     telemetry::count(telemetry::Counter::delta_states_invalidated, cleared);
 }
 
@@ -278,7 +309,9 @@ Pda Pda::expand_concrete() const {
     for (StateId s = 0; s < state_count(); ++s) out.add_state();
     for (Symbol s = 0; s < _symbol_classes.size(); ++s)
         if (_symbol_classes[s] != k_no_class) out.set_symbol_class(s, _symbol_classes[s]);
-    for (const auto& rule : _rules) {
+    for (RuleId id = 0; id < _rules.size(); ++id) {
+        if (_dead_rules[id]) continue;
+        const auto& rule = _rules[id];
         if (rule.pre.kind == PreSpec::Kind::Concrete) {
             auto concrete = rule;
             if (concrete.op == Rule::OpKind::Push && concrete.label2 == k_same_symbol)

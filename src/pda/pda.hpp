@@ -65,6 +65,14 @@ struct Rule {
     Symbol label2 = k_no_symbol; ///< Push: symbol below top (or k_same_symbol)
     Weight weight = Weight::one();
     std::uint32_t tag = UINT32_MAX; ///< caller-defined; UINT32_MAX = internal
+    /// Ordinal of this rule among the rules emitted from `from`, assigned by
+    /// add_rule (caller-supplied values are overwritten).  Per-state emission
+    /// sequences are canonical — identical across eager builds, lazy
+    /// materialization order, and rebase re-materialization — so
+    /// (from, ord) is a stable rule identity where the global RuleId is not
+    /// (lazy materialization permutes id blocks between runs).  The solver's
+    /// canonical witness tie-breaking keys on it.
+    std::uint32_t ord = 0;
 };
 
 class Pda;
@@ -120,10 +128,27 @@ public:
     RuleId add_rule(Rule rule);
 
     [[nodiscard]] std::size_t state_count() const noexcept { return _match_by_state.size(); }
-    [[nodiscard]] std::size_t rule_count() const noexcept { return _rules.size(); }
+    /// Live rules (excludes slots tombstoned by invalidate_states).
+    [[nodiscard]] std::size_t rule_count() const noexcept {
+        return _rules.size() - _free_rule_slots.size();
+    }
+    /// Bound for whole-PDA id loops; slots in [0, rule_slot_count()) may be
+    /// dead — check rule_dead(id) when iterating a PDA that has been through
+    /// invalidate_states (eager PDAs never have dead slots).
+    [[nodiscard]] std::size_t rule_slot_count() const noexcept { return _rules.size(); }
+    [[nodiscard]] bool rule_dead(RuleId id) const noexcept { return _dead_rules[id]; }
     [[nodiscard]] Symbol alphabet_size() const noexcept { return _alphabet_size; }
     [[nodiscard]] const Rule& rule(RuleId id) const { return _rules[id]; }
+    /// Raw slot array — includes stale data in dead slots (see rule_dead).
     [[nodiscard]] const std::vector<Rule>& rules() const noexcept { return _rules; }
+
+    /// Run-independent rule identity: (from state, per-state emission
+    /// ordinal) packed into one sortable 64-bit key.  Equal-weight witness
+    /// tie-breaks prefer the smallest key (see pautomaton.hpp).
+    [[nodiscard]] std::uint64_t rule_canonical_key(RuleId id) const {
+        const Rule& r = _rules[id];
+        return (static_cast<std::uint64_t>(r.from) << 32) | r.ord;
+    }
 
     [[nodiscard]] SymbolClass class_of(Symbol symbol) const {
         return symbol < _symbol_classes.size() ? _symbol_classes[symbol] : k_no_class;
@@ -153,10 +178,14 @@ public:
     /// in `heads` — following chains, i.e. also dropping the rules of any
     /// state reached through a rule target for which `owned(target)` holds —
     /// and clear the materialized flags so the provider is asked again on
-    /// next demand.  Kept rules are renumbered compactly with their relative
-    /// order preserved: a provider that re-emits identical per-state rule
-    /// sequences reproduces the original match-list order exactly, which is
-    /// what keeps incremental re-verification byte-identical to a cold run.
+    /// next demand.  Cost is O(dropped rules), not O(all rules): dropped
+    /// slots are tombstoned onto a free list (add_rule reuses them), their
+    /// match lists are emptied in place (list slots and (state, symbol) keys
+    /// survive, so re-emission lands in the same lists in the same order),
+    /// and per-state ordinal counters restart — a provider that re-emits
+    /// identical per-state rule sequences therefore reproduces the original
+    /// Rule::ord values, which is what keeps incremental re-verification
+    /// byte-identical to a cold run.  Surviving rule ids are NOT renumbered.
     /// The scalar-weight hint declared at set_rule_provider is retained.
     /// The delta subsystem's frontier re-saturation is the only caller.
     void invalidate_states(const std::vector<StateId>& heads,
@@ -262,6 +291,9 @@ private:
 
     Symbol _alphabet_size;
     std::vector<Rule> _rules;
+    std::vector<bool> _dead_rules; ///< aligned with _rules; true = tombstone
+    std::vector<RuleId> _free_rule_slots; ///< dead slots awaiting reuse (LIFO)
+    std::size_t _rules_added = 0; ///< monotone add_rule count (telemetry)
     std::vector<StateMatch> _match_by_state;
     util::FlatMap64 _concrete_lists; ///< (state, symbol) → id into _rule_lists
     std::vector<std::vector<RuleId>> _rule_lists;
@@ -275,6 +307,9 @@ private:
     RuleProvider* _provider = nullptr;
     mutable std::vector<bool> _materialized; ///< per state, lazy mode only
     mutable std::size_t _materialized_count = 0;
+    /// Next Rule::ord per from-state (grown on demand by add_rule; reset per
+    /// state by invalidate_states so re-materialization reproduces ordinals).
+    std::vector<std::uint32_t> _next_rule_ord;
 };
 
 template <typename Fn>

@@ -60,8 +60,12 @@ private:
 [[nodiscard]] bool weight_is_current(const HeapItem& item, const Weight& weight) {
     return item.weight == weight;
 }
-[[nodiscard]] bool best_stops(const Weight& best, const HeapItem& item) {
-    return best <= item.weight;
+// `strict` (canonical tie-breaking runs): keep saturating through the whole
+// weight level equal to `best`, so every equal-weight minimal derivation is
+// finalized before we stop — the canonical provenance choice then depends
+// only on automaton content, never on where in the level a run halted.
+[[nodiscard]] bool best_stops(const Weight& best, const HeapItem& item, bool strict) {
+    return strict ? best < item.weight : best <= item.weight;
 }
 
 /// Dial's bucket queue, usable when every weight is a scalar (≤ 1 component).
@@ -156,9 +160,12 @@ private:
     const auto scalar = weight.as_scalar();
     return scalar.has_value() && *scalar == item.key;
 }
-[[nodiscard]] bool best_stops(const Weight& best, const BucketWorklist::Item& item) {
-    if (const auto scalar = best.as_scalar()) return *scalar <= item.key;
-    return best <= Weight::scalar(item.key);
+[[nodiscard]] bool best_stops(const Weight& best, const BucketWorklist::Item& item,
+                              bool strict) {
+    if (const auto scalar = best.as_scalar())
+        return strict ? *scalar < item.key : *scalar <= item.key;
+    const auto frontier = Weight::scalar(item.key);
+    return strict ? best < frontier : best <= frontier;
 }
 
 [[nodiscard]] bool bucket_eligible(const PAutomaton& aut, const SolverOptions& options) {
@@ -211,7 +218,7 @@ AALWINES_HOT_PATH void post_star_loop(PAutomaton& aut, const SolverOptions& opti
             const auto best = options.check_accepted();
             // Items finalize in non-decreasing weight order: once the best
             // accepted weight is <= the frontier, it is globally minimal.
-            if (!best.is_infinite() && best_stops(best, item)) {
+            if (!best.is_infinite() && best_stops(best, item, aut.canonical_tiebreaks())) {
                 stats.early_terminated = true;
                 break;
             }
@@ -329,7 +336,8 @@ AALWINES_HOT_PATH void pre_star_loop(PAutomaton& aut, const SolverOptions& optio
     std::vector<std::vector<std::pair<RuleId, TransId>>> partials(aut.state_count());
 
     for (TransId id = 0; id < aut.transition_count(); ++id) enqueue_trans(id);
-    for (RuleId id = 0; id < pda.rule_count(); ++id) {
+    for (RuleId id = 0; id < pda.rule_slot_count(); ++id) {
+        if (pda.rule_dead(id)) continue;
         const auto& rule = pda.rule(id);
         if (rule.op != Rule::OpKind::Pop) continue;
         auto [nid, improved] =
@@ -489,7 +497,8 @@ public:
         for (const auto& rule : _pda.rules())
             if (rule.pre.kind == PreSpec::Kind::Class) (void)_pda.class_set(rule.pre.cls);
         _partials.resize(_aut.state_count()); // pre* never adds states
-        for (RuleId id = 0; id < _pda.rule_count(); ++id) {
+        for (RuleId id = 0; id < _pda.rule_slot_count(); ++id) {
+            if (_pda.rule_dead(id)) continue;
             const auto& rule = _pda.rule(id);
             if (rule.op != Rule::OpKind::Pop) continue;
             (void)_aut.add_transition(rule.from, label_of_pre(_pda, rule.pre), rule.to,
@@ -633,7 +642,12 @@ private:
             const auto best = _options.check_accepted();
             // Same argument as sequentially: anything still reachable costs
             // at least the frontier key, so a best at or below it is final.
-            if (!best.is_infinite() && best <= Weight::scalar(*min)) {
+            // Canonical runs stop strictly, finishing the whole level (see
+            // best_stops) — with level-synchronous rounds that costs at most
+            // the remainder of the current round.
+            const auto frontier = Weight::scalar(*min);
+            if (!best.is_infinite() &&
+                (_aut.canonical_tiebreaks() ? best < frontier : best <= frontier)) {
                 _stats.early_terminated = true;
                 _done = true;
                 return;
@@ -835,7 +849,12 @@ private:
         const unsigned dest = solver_shard_of(staged.from, _n);
         if (!inserted) {
             EpsTransition& existing = _aut._epsilons[id];
-            if (!(staged.weight < existing.weight)) return;
+            if (!(staged.weight < existing.weight)) {
+                if (_aut._canonical_tiebreaks && staged.weight == existing.weight &&
+                    _aut.compare_provenance(staged.prov, existing.prov) < 0)
+                    existing.prov = staged.prov;
+                return;
+            }
             existing.weight = std::move(staged.weight);
             existing.prov = staged.prov;
             existing.finalized = false; // label-correcting fallback (class doc)
@@ -895,7 +914,16 @@ private:
 
     void relax_existing(Shard& sh, TransId id, StagedTrans& staged) {
         Transition& existing = _aut._transitions[id];
-        if (!(staged.weight < existing.weight)) return;
+        if (!(staged.weight < existing.weight)) {
+            // Equal-weight re-derivation: canonical runs keep the smallest
+            // provenance so the choice is content-determined, not a function
+            // of shard/round arrival order.  Safe without locks — a target
+            // transition is integrated by exactly one shard.
+            if (_aut._canonical_tiebreaks && staged.weight == existing.weight &&
+                _aut.compare_provenance(staged.prov, existing.prov) < 0)
+                existing.prov = staged.prov;
+            return;
+        }
         existing.weight = std::move(staged.weight);
         existing.prov = staged.prov;
         existing.finalized = false; // label-correcting fallback (class doc)
@@ -903,8 +931,13 @@ private:
         sh.wl.push(existing.weight, false, id);
     }
 
-    static void relax_fresh(Fresh& fresh, StagedTrans& staged) {
-        if (!(staged.weight < fresh.weight)) return;
+    void relax_fresh(Fresh& fresh, StagedTrans& staged) {
+        if (!(staged.weight < fresh.weight)) {
+            if (_aut._canonical_tiebreaks && staged.weight == fresh.weight &&
+                _aut.compare_provenance(staged.prov, fresh.prov) < 0)
+                fresh.prov = staged.prov;
+            return;
+        }
         fresh.weight = std::move(staged.weight);
         fresh.prov = staged.prov;
     }
@@ -1065,6 +1098,14 @@ private:
         _stats.handoffs = handoffs;
         _stats.relaxations = relaxations;
         _aut._max_scalar_weight = max_scalar;
+        if (pops > 0) {
+            std::size_t max_pops = 0;
+            for (const auto p : _stats.shard_pops) max_pops = std::max(max_pops, p);
+            _stats.shard_imbalance = static_cast<double>(max_pops) * static_cast<double>(_n) /
+                                     static_cast<double>(pops);
+            telemetry::gauge_max(telemetry::Gauge::shard_imbalance_pct_high_water,
+                                 static_cast<std::uint64_t>(_stats.shard_imbalance * 100.0));
+        }
         telemetry::count(telemetry::Counter::solver_parallel_pops, pops);
         telemetry::count(telemetry::Counter::solver_handoff_tuples, handoffs);
         telemetry::count(telemetry::Counter::solver_parallel_rounds, _rounds);
@@ -1231,6 +1272,13 @@ std::vector<AcceptedConfig> find_accepted_n(const PAutomaton& aut,
     // settled up to `count` times; every settled visit keeps a back-pointer
     // to the visit it was reached from, so each accepting visit spells its
     // own path.
+    //
+    // Known caveat: multi-witness enumeration keeps the plain (weight, seq)
+    // discipline — equal-weight walk *order* here is insertion-order based
+    // and is not covered by the canonical tie-breaking guarantee (which
+    // applies to the single-witness find_accepted only).  Callers requesting
+    // max_witnesses > 1 may see equal-weight witnesses permuted across
+    // solver thread counts.
     struct Visit {
         Weight dist;
         std::uint64_t key = 0;            // (automaton state << 32) | nfa state
@@ -1335,7 +1383,7 @@ std::vector<AcceptedConfig> find_accepted_n(const PAutomaton& aut,
 namespace {
 
 /// Scalar product-search cap: the flat node table is product-indexed, so
-/// bound its footprint (nodes are 24 bytes; 2²¹ entries ≈ 48 MiB).
+/// bound its footprint (nodes are 32 bytes; 2²¹ entries ≈ 64 MiB).
 constexpr std::size_t k_flat_search_cap = std::size_t{1} << 21;
 
 /// Product-graph node of the scalar fast path.  Trivially destructible and
@@ -1344,8 +1392,18 @@ constexpr std::size_t k_flat_search_cap = std::size_t{1} << 21;
 /// initialized with one memset.  No `finalized` flag: pushes happen only on
 /// strict improvement, so at most one live heap entry matches `dist`, and
 /// monotone weights make relaxing a settled node impossible.
+///
+/// Canonical runs (PAutomaton::canonical_tiebreaks) search by the composite
+/// key (dist, hops) instead of dist alone: hops is a strictly positive edge
+/// increment, so every parent pointer crosses to a strictly smaller key —
+/// equal-*weight* parent rewrites can never form a cycle (zero-weight product
+/// cycles otherwise could), and every candidate for a node's final parent is
+/// offered by a strictly-smaller-key predecessor before the node itself pops.
+/// Among exact (dist, hops) ties the canonically smallest step is kept, so
+/// the reconstructed path is a pure function of automaton content.
 struct ScalarNode {
     std::uint64_t dist;
+    std::uint32_t hops;      ///< canonical runs only; UINT32_MAX = unreached
     std::uint32_t parent;    ///< product index, UINT32_MAX = search root
     TransId via_trans;       ///< k_no_trans => ε-move or root
     std::uint32_t via_epsilon;
@@ -1356,11 +1414,14 @@ static_assert(std::is_trivially_destructible_v<ScalarNode>);
 struct ScalarItem {
     std::uint64_t dist;
     std::uint64_t seq;
+    std::uint32_t hops;
     std::uint32_t node;
 };
 struct ScalarCompare {
+    bool canonical = false;
     bool operator()(const ScalarItem& a, const ScalarItem& b) const {
         if (a.dist != b.dist) return a.dist > b.dist;
+        if (canonical && a.hops != b.hops) return a.hops > b.hops;
         return a.seq > b.seq;
     }
 };
@@ -1384,54 +1445,105 @@ std::optional<AcceptedConfig> find_accepted_scalar(const PAutomaton& aut,
                                                    Symbol domain, util::Arena& arena) {
     const std::size_t n_nfa = stack_nfa.states().size();
     const std::size_t n_product = aut.state_count() * n_nfa;
+    const bool canonical = aut.canonical_tiebreaks();
     auto* nodes = arena.create_array<ScalarNode>(n_product);
     std::memset(static_cast<void*>(nodes), 0xFF, n_product * sizeof(ScalarNode));
 
-    std::priority_queue<ScalarItem, std::vector<ScalarItem>, ScalarCompare> queue;
+    std::priority_queue<ScalarItem, std::vector<ScalarItem>, ScalarCompare> queue{
+        ScalarCompare{canonical}};
     std::uint64_t seq = 0;
     std::size_t decrease_keys = 0;
+
+    // Content key of a product node: (canonical automaton state, NFA state).
+    auto prod_key = [&](std::uint32_t index) {
+        return std::pair(aut.canonical_state(static_cast<StateId>(index / n_nfa)),
+                         static_cast<std::uint32_t>(index % n_nfa));
+    };
+    // Canonical order on the (incoming step, predecessor) candidates of a
+    // node at an exact (dist, hops) tie: ε-steps first, then the edge's
+    // content identity, the read symbol, and finally the predecessor's key.
+    auto step_less = [&](std::uint32_t cand_parent, TransId cand_trans,
+                         std::uint32_t cand_eps, Symbol cand_symbol,
+                         const ScalarNode& inc) {
+        const bool cand_is_eps = cand_trans == k_no_trans;
+        const bool inc_is_eps = inc.via_trans == k_no_trans;
+        if (cand_is_eps != inc_is_eps) return cand_is_eps;
+        if (cand_is_eps) {
+            if (const int c = aut.compare_eps_identity(cand_eps, inc.via_epsilon))
+                return c < 0;
+        } else {
+            if (const int c = aut.compare_trans_identity(cand_trans, inc.via_trans))
+                return c < 0;
+            if (cand_symbol != inc.via_symbol) return cand_symbol < inc.via_symbol;
+        }
+        if (inc.parent == UINT32_MAX) return false; // a root incumbent stays
+        return prod_key(cand_parent) < prod_key(inc.parent);
+    };
+    auto reconstruct = [&](std::uint32_t accept) {
+        AcceptedConfig config;
+        std::uint32_t cursor = accept;
+        while (nodes[cursor].parent != UINT32_MAX) {
+            const auto& info = nodes[cursor];
+            if (info.via_trans == k_no_trans) {
+                // ε-move: only possible as the very first step.
+                config.leading_epsilon = info.via_epsilon;
+            } else {
+                config.path.emplace_back(info.via_trans, info.via_symbol);
+            }
+            cursor = info.parent;
+        }
+        std::reverse(config.path.begin(), config.path.end());
+        config.control_state = static_cast<StateId>(cursor / n_nfa);
+        Weight weight = Weight::one();
+        if (config.leading_epsilon)
+            weight = extend(weight, aut.epsilon(*config.leading_epsilon).weight);
+        for (const auto& [tid, symbol] : config.path)
+            weight = extend(weight, aut.transition(tid).weight);
+        config.weight = std::move(weight);
+        return config;
+    };
 
     for (const auto start : starts) {
         for (const auto n0 : stack_nfa.initial()) {
             const auto index = static_cast<std::uint32_t>(start * n_nfa + n0);
             if (nodes[index].dist > 0) {
                 nodes[index].dist = 0;
-                queue.push({0, seq++, index});
+                nodes[index].hops = 0;
+                queue.push({0, seq++, 0, index});
             }
         }
     }
 
+    // Canonical runs drain the whole minimal-dist level before choosing the
+    // accepting node, instead of returning at the first accepting pop.
+    std::optional<std::uint32_t> accept_node;
+    std::uint64_t accept_dist = 0;
+
     while (!queue.empty()) {
+        if (accept_node && queue.top().dist > accept_dist) break;
         const auto item = queue.top();
         queue.pop();
-        if (item.dist != nodes[item.node].dist) continue; // stale
+        if (item.dist != nodes[item.node].dist ||
+            (canonical && item.hops != nodes[item.node].hops))
+            continue; // stale
         const auto dist = item.dist;
+        const auto hops = item.hops;
         const auto a_state = static_cast<StateId>(item.node / n_nfa);
         const auto n_state = static_cast<std::uint32_t>(item.node % n_nfa);
 
         if (aut.is_final(a_state) && stack_nfa.states()[n_state].accepting) {
-            AcceptedConfig config;
-            std::uint32_t cursor = item.node;
-            while (nodes[cursor].parent != UINT32_MAX) {
-                const auto& info = nodes[cursor];
-                if (info.via_trans == k_no_trans) {
-                    // ε-move: only possible as the very first step.
-                    config.leading_epsilon = info.via_epsilon;
-                } else {
-                    config.path.emplace_back(info.via_trans, info.via_symbol);
-                }
-                cursor = info.parent;
+            if (!canonical) {
+                telemetry::count(telemetry::Counter::accept_decrease_keys, decrease_keys);
+                return reconstruct(item.node);
             }
-            std::reverse(config.path.begin(), config.path.end());
-            config.control_state = static_cast<StateId>(cursor / n_nfa);
-            Weight weight = Weight::one();
-            if (config.leading_epsilon)
-                weight = extend(weight, aut.epsilon(*config.leading_epsilon).weight);
-            for (const auto& [tid, symbol] : config.path)
-                weight = extend(weight, aut.transition(tid).weight);
-            config.weight = std::move(weight);
-            telemetry::count(telemetry::Counter::accept_decrease_keys, decrease_keys);
-            return config;
+            if (!accept_node) {
+                accept_node = item.node;
+                accept_dist = dist;
+            } else if (prod_key(item.node) < prod_key(*accept_node)) {
+                accept_node = item.node; // same dist: drained level only
+            }
+            // Fall through: this node may still be a parent candidate on
+            // another equal-dist accepting chain (zero-weight edges).
         }
 
         // ε-moves (post* only; they leave control states and read nothing).
@@ -1443,14 +1555,22 @@ std::optional<AcceptedConfig> find_accepted_scalar(const PAutomaton& aut,
                     static_cast<std::uint32_t>(eps.to * n_nfa + n_state);
                 const auto next_dist = saturating_add(dist, *eps.weight.as_scalar());
                 auto& next = nodes[next_index];
-                if (next_dist < next.dist) {
+                if (next_dist < next.dist ||
+                    (canonical && next_dist == next.dist && hops + 1 < next.hops)) {
                     next.dist = next_dist;
+                    next.hops = hops + 1;
                     next.parent = item.node;
                     next.via_trans = k_no_trans;
                     next.via_epsilon = eps_id;
                     next.via_symbol = k_no_symbol;
                     ++decrease_keys;
-                    queue.push({next_dist, seq++, next_index});
+                    queue.push({next_dist, seq++, hops + 1, next_index});
+                } else if (canonical && next_dist == next.dist && hops + 1 == next.hops &&
+                           step_less(item.node, k_no_trans, eps_id, k_no_symbol, next)) {
+                    next.parent = item.node;
+                    next.via_trans = k_no_trans;
+                    next.via_epsilon = eps_id;
+                    next.via_symbol = k_no_symbol;
                 }
             }
         }
@@ -1468,19 +1588,28 @@ std::optional<AcceptedConfig> find_accepted_scalar(const PAutomaton& aut,
                     static_cast<std::uint32_t>(trans.to * n_nfa + edge.target);
                 const auto next_dist = saturating_add(dist, trans_weight);
                 auto& next = nodes[next_index];
-                if (next_dist < next.dist) {
+                if (next_dist < next.dist ||
+                    (canonical && next_dist == next.dist && hops + 1 < next.hops)) {
                     next.dist = next_dist;
+                    next.hops = hops + 1;
                     next.parent = item.node;
                     next.via_trans = tid;
                     next.via_epsilon = UINT32_MAX;
                     next.via_symbol = *symbol;
                     ++decrease_keys;
-                    queue.push({next_dist, seq++, next_index});
+                    queue.push({next_dist, seq++, hops + 1, next_index});
+                } else if (canonical && next_dist == next.dist && hops + 1 == next.hops &&
+                           step_less(item.node, tid, UINT32_MAX, *symbol, next)) {
+                    next.parent = item.node;
+                    next.via_trans = tid;
+                    next.via_epsilon = UINT32_MAX;
+                    next.via_symbol = *symbol;
                 }
             }
         }
     }
     telemetry::count(telemetry::Counter::accept_decrease_keys, decrease_keys);
+    if (accept_node) return reconstruct(*accept_node);
     return std::nullopt;
 }
 
@@ -1493,6 +1622,7 @@ std::optional<AcceptedConfig> find_accepted_general(const PAutomaton& aut,
     struct NodeInfo {
         Weight dist = Weight::infinity();
         std::uint64_t key = 0;
+        std::uint32_t hops = UINT32_MAX;     // canonical runs only (see ScalarNode)
         std::uint32_t parent = UINT32_MAX;   // index into `nodes`
         TransId via_trans = k_no_trans;      // k_no_trans => via ε-transition
         std::uint32_t via_epsilon = UINT32_MAX;
@@ -1518,59 +1648,107 @@ std::optional<AcceptedConfig> find_accepted_general(const PAutomaton& aut,
     struct ProductItem {
         Weight weight;
         std::uint64_t seq;
+        std::uint32_t hops;
         std::uint32_t node;
     };
     struct ProductCompare {
+        bool canonical = false;
         bool operator()(const ProductItem& a, const ProductItem& b) const {
             const auto cmp = a.weight <=> b.weight;
             if (cmp != std::strong_ordering::equal)
                 return cmp == std::strong_ordering::greater;
+            if (canonical && a.hops != b.hops) return a.hops > b.hops;
             return a.seq > b.seq;
         }
     };
-    std::priority_queue<ProductItem, std::vector<ProductItem>, ProductCompare> queue;
+    const bool canonical = aut.canonical_tiebreaks();
+    std::priority_queue<ProductItem, std::vector<ProductItem>, ProductCompare> queue{
+        ProductCompare{canonical}};
     std::uint64_t seq = 0;
     std::size_t decrease_keys = 0;
+
+    // See find_accepted_scalar: content keys and the canonical step order for
+    // exact (dist, hops) ties; hops keep the parent graph acyclic.
+    auto prod_key = [&](std::uint32_t id) {
+        return std::pair(aut.canonical_state(static_cast<StateId>(nodes[id].key >> 32)),
+                         static_cast<std::uint32_t>(nodes[id].key & 0xFFFFFFFFu));
+    };
+    auto step_less = [&](std::uint32_t cand_parent, TransId cand_trans,
+                         std::uint32_t cand_eps, Symbol cand_symbol,
+                         const NodeInfo& inc) {
+        const bool cand_is_eps = cand_trans == k_no_trans;
+        const bool inc_is_eps = inc.via_trans == k_no_trans;
+        if (cand_is_eps != inc_is_eps) return cand_is_eps;
+        if (cand_is_eps) {
+            if (const int c = aut.compare_eps_identity(cand_eps, inc.via_epsilon))
+                return c < 0;
+        } else {
+            if (const int c = aut.compare_trans_identity(cand_trans, inc.via_trans))
+                return c < 0;
+            if (cand_symbol != inc.via_symbol) return cand_symbol < inc.via_symbol;
+        }
+        if (inc.parent == UINT32_MAX) return false; // a root incumbent stays
+        return prod_key(cand_parent) < prod_key(inc.parent);
+    };
+    auto reconstruct = [&](std::uint32_t accept) {
+        AcceptedConfig config;
+        config.weight = nodes[accept].dist;
+        std::uint32_t cursor = accept;
+        while (nodes[cursor].parent != UINT32_MAX) {
+            const auto& info = nodes[cursor];
+            if (info.via_trans == k_no_trans) {
+                // ε-move: only possible as the very first step.
+                config.leading_epsilon = info.via_epsilon;
+            } else {
+                config.path.emplace_back(info.via_trans, info.via_symbol);
+            }
+            cursor = info.parent;
+        }
+        std::reverse(config.path.begin(), config.path.end());
+        config.control_state = static_cast<StateId>(nodes[cursor].key >> 32);
+        return config;
+    };
 
     for (const auto start : starts) {
         for (const auto n0 : stack_nfa.initial()) {
             const auto id = intern(key_of(start, n0));
             if (Weight::one() < nodes[id].dist) {
                 nodes[id].dist = Weight::one();
-                queue.push({Weight::one(), seq++, id});
+                nodes[id].hops = 0;
+                queue.push({Weight::one(), seq++, 0, id});
             }
         }
     }
 
+    std::optional<std::uint32_t> accept_node;
+    Weight accept_dist = Weight::infinity();
+
     while (!queue.empty()) {
+        if (accept_node && accept_dist < queue.top().weight) break;
         const auto item = queue.top();
         queue.pop();
         auto& node = nodes[item.node];
-        if (node.finalized || !(item.weight == node.dist)) continue;
+        if (node.finalized || !(item.weight == node.dist) ||
+            (canonical && item.hops != node.hops))
+            continue;
         node.finalized = true;
         const Weight dist = node.dist; // copy: `nodes` may relocate below
+        const auto hops = item.hops;
         const auto a_state = static_cast<StateId>(node.key >> 32);
         const auto n_state = static_cast<std::uint32_t>(node.key & 0xFFFFFFFFu);
 
         if (aut.is_final(a_state) && stack_nfa.states()[n_state].accepting) {
-            // Reconstruct the accepting path.
-            AcceptedConfig config;
-            config.weight = dist;
-            std::uint32_t cursor = item.node;
-            while (nodes[cursor].parent != UINT32_MAX) {
-                const auto& info = nodes[cursor];
-                if (info.via_trans == k_no_trans) {
-                    // ε-move: only possible as the very first step.
-                    config.leading_epsilon = info.via_epsilon;
-                } else {
-                    config.path.emplace_back(info.via_trans, info.via_symbol);
-                }
-                cursor = info.parent;
+            if (!canonical) {
+                telemetry::count(telemetry::Counter::accept_decrease_keys, decrease_keys);
+                return reconstruct(item.node);
             }
-            std::reverse(config.path.begin(), config.path.end());
-            config.control_state = static_cast<StateId>(nodes[cursor].key >> 32);
-            telemetry::count(telemetry::Counter::accept_decrease_keys, decrease_keys);
-            return config;
+            if (!accept_node) {
+                accept_node = item.node;
+                accept_dist = dist;
+            } else if (prod_key(item.node) < prod_key(*accept_node)) {
+                accept_node = item.node; // same dist: drained level only
+            }
+            // Fall through and keep draining the minimal-dist level.
         }
 
         // ε-moves (post* only; they leave control states and read nothing).
@@ -1581,14 +1759,23 @@ std::optional<AcceptedConfig> find_accepted_general(const PAutomaton& aut,
                 const auto next_id = intern(key_of(eps.to, n_state));
                 auto next_dist = extend(dist, eps.weight);
                 auto& next = nodes[next_id];
-                if (next_dist < next.dist && !next.finalized) {
+                if (next.finalized) continue;
+                if (next_dist < next.dist ||
+                    (canonical && next_dist == next.dist && hops + 1 < next.hops)) {
                     next.dist = next_dist;
+                    next.hops = hops + 1;
                     next.parent = item.node;
                     next.via_trans = k_no_trans;
                     next.via_epsilon = eps_id;
                     next.via_symbol = k_no_symbol;
                     ++decrease_keys;
-                    queue.push({std::move(next_dist), seq++, next_id});
+                    queue.push({std::move(next_dist), seq++, hops + 1, next_id});
+                } else if (canonical && next_dist == next.dist && hops + 1 == next.hops &&
+                           step_less(item.node, k_no_trans, eps_id, k_no_symbol, next)) {
+                    next.parent = item.node;
+                    next.via_trans = k_no_trans;
+                    next.via_epsilon = eps_id;
+                    next.via_symbol = k_no_symbol;
                 }
             }
         }
@@ -1604,19 +1791,29 @@ std::optional<AcceptedConfig> find_accepted_general(const PAutomaton& aut,
                 const auto next_id = intern(key_of(trans.to, edge.target));
                 auto next_dist = extend(dist, trans.weight);
                 auto& next = nodes[next_id];
-                if (next_dist < next.dist && !next.finalized) {
+                if (next.finalized) continue;
+                if (next_dist < next.dist ||
+                    (canonical && next_dist == next.dist && hops + 1 < next.hops)) {
                     next.dist = next_dist;
+                    next.hops = hops + 1;
                     next.parent = item.node;
                     next.via_trans = tid;
                     next.via_epsilon = UINT32_MAX;
                     next.via_symbol = *symbol;
                     ++decrease_keys;
-                    queue.push({std::move(next_dist), seq++, next_id});
+                    queue.push({std::move(next_dist), seq++, hops + 1, next_id});
+                } else if (canonical && next_dist == next.dist && hops + 1 == next.hops &&
+                           step_less(item.node, tid, UINT32_MAX, *symbol, next)) {
+                    next.parent = item.node;
+                    next.via_trans = tid;
+                    next.via_epsilon = UINT32_MAX;
+                    next.via_symbol = *symbol;
                 }
             }
         }
     }
     telemetry::count(telemetry::Counter::accept_decrease_keys, decrease_keys);
+    if (accept_node) return reconstruct(*accept_node);
     return std::nullopt;
 }
 

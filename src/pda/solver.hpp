@@ -108,6 +108,10 @@ struct SolverStats {
     std::size_t rounds = 0;   ///< level-synchronous key rounds executed
     std::size_t handoffs = 0; ///< staged tuples routed to a different shard
     std::vector<std::size_t> shard_pops; ///< per-shard finalized items
+    /// max/mean of shard_pops (1.0 = perfectly balanced, threads = one shard
+    /// did all the work); 0 when the sharded loop did not run or popped
+    /// nothing.  The measurable target for work-stealing (ROADMAP item 1a).
+    double shard_imbalance = 0.0;
 };
 
 /// Saturate `aut` (which initially accepts the source configurations C)

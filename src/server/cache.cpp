@@ -10,8 +10,7 @@ std::string cache_key(std::uint64_t sequence, std::uint64_t generation,
                       const std::string& query_text,
                       const std::string& engine, const std::string& weight,
                       int reduction, std::size_t witnesses, std::size_t max_iterations,
-                      bool trace, const std::string& translation,
-                      const std::string& solver_threads) {
+                      bool trace, const std::string& translation) {
     // '\x1f' (ASCII unit separator) cannot appear in query or weight text.
     std::string key = cache_scope(sequence);
     key += std::to_string(generation);
@@ -29,10 +28,6 @@ std::string cache_key(std::uint64_t sequence, std::uint64_t generation,
     key += trace ? '1' : '0';
     key += '\x1f';
     key += translation;
-    key += '\x1f';
-    // Results are answer/weight-identical across thread counts, but witness
-    // tie-breaks are not: keep per-thread-count entries distinct.
-    key += solver_threads;
     key += '\x1f';
     key += query_text;
     return key;
@@ -96,10 +91,14 @@ std::size_t ResultCache::invalidate(const std::string& prefix) {
 }
 
 void ResultCache::evict_locked() {
+    std::size_t dropped = 0;
     while (_order.size() > _capacity) {
         _index.erase(_order.back().key);
         _order.pop_back();
+        ++dropped;
     }
+    if (dropped > 0)
+        telemetry::count(telemetry::Counter::server_cache_evictions, dropped);
     // Under the mutex: the size is settled, so concurrent inserts cannot
     // publish a high-water mark the cache never actually reached.
     telemetry::gauge_max(telemetry::Gauge::cache_entries_high_water, _order.size());

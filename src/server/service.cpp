@@ -168,14 +168,14 @@ http::Response Service::route(const http::Request& request, json::Object* log) {
         return handle_networks(request);
     if (target.rfind("/networks/", 0) == 0) {
         auto rest = target.substr(10);
-        bool query_endpoint = false;
+        std::string action;
         if (const auto slash = rest.find('/'); slash != std::string::npos) {
-            const auto action = rest.substr(slash + 1);
+            action = rest.substr(slash + 1);
             rest.erase(slash);
-            if (action != "query") return error_response(404, "unknown endpoint");
-            query_endpoint = true;
+            if (action != "query" && action != "sweep")
+                return error_response(404, "unknown endpoint");
         }
-        return handle_network_item(request, rest, query_endpoint, log);
+        return handle_network_item(request, rest, action, log);
     }
     return error_response(404, "unknown endpoint");
 }
@@ -211,14 +211,16 @@ http::Response Service::handle_networks(const http::Request& request) {
 }
 
 http::Response Service::handle_network_item(const http::Request& request,
-                                            const std::string& id, bool query_endpoint,
+                                            const std::string& id,
+                                            const std::string& action,
                                             json::Object* log) {
     const auto workspace = _workspaces.find(id);
     if (!workspace) return error_response(404, "unknown network '" + id + "'");
-    if (query_endpoint) {
+    if (!action.empty()) {
         if (request.method != "POST")
-            return error_response(405, "use POST /networks/{id}/query");
-        return handle_query(request, *workspace, log);
+            return error_response(405, "use POST /networks/{id}/" + action);
+        return action == "sweep" ? handle_sweep(request, *workspace, log)
+                                 : handle_query(request, *workspace, log);
     }
     if (request.method == "GET") return json_response(200, network_info(*workspace));
     if (request.method == "PATCH") return handle_patch(request, *workspace, log);
@@ -356,8 +358,7 @@ http::Response Service::handle_query(const http::Request& request,
     for (std::size_t i = 0; i < texts.size(); ++i) {
         slots[i].key = cache_key(workspace.sequence, workspace.generation, texts[i],
                                  spec.engine, spec.weight, spec.reduction, spec.witnesses,
-                                 spec.max_iterations, spec.trace, spec.translation,
-                                 spec.solver_threads);
+                                 spec.max_iterations, spec.trace, spec.translation);
         slots[i].result = _cache.find(slots[i].key);
         slots[i].cached = slots[i].result != nullptr;
         if (!slots[i].cached) {
@@ -466,6 +467,88 @@ http::Response Service::handle_query(const http::Request& request,
     body.emplace("network", workspace.id);
     body.emplace("results", json::Value(std::move(results)));
     return json_response(200, json::Value(std::move(body)));
+}
+
+http::Response Service::handle_sweep(const http::Request& request,
+                                     const Workspace& workspace, json::Object* log) {
+    const auto parsed = json::parse(request.body);
+    if (!parsed.is_object())
+        throw cli::usage_error("request body must be a JSON object");
+    const auto& object = parsed.as_object();
+
+    verify::SweepSpec sweep_spec;
+    sweep_spec.query_template = string_field(object, "template");
+    if (sweep_spec.query_template.empty())
+        throw cli::usage_error("missing field 'template'");
+    if (const auto* pairs = field(object, "pairs"); pairs != nullptr) {
+        if (!pairs->is_array())
+            throw cli::usage_error("field 'pairs' must be an array of [src, dst] pairs");
+        for (const auto& pair : pairs->as_array()) {
+            if (!pair.is_array() || pair.as_array().size() != 2 ||
+                !pair.as_array()[0].is_string() || !pair.as_array()[1].is_string())
+                throw cli::usage_error("each pair must be a [src, dst] string pair");
+            sweep_spec.endpoint_pairs.emplace_back(pair.as_array()[0].as_string(),
+                                                   pair.as_array()[1].as_string());
+        }
+    }
+    if (const auto* budgets = field(object, "budgets"); budgets != nullptr) {
+        if (!budgets->is_array())
+            throw cli::usage_error("field 'budgets' must be an array of integers");
+        for (const auto& k : budgets->as_array()) {
+            if (!k.is_int() || k.as_int() < 0)
+                throw cli::usage_error(
+                    "field 'budgets' must be an array of non-negative integers");
+            sweep_spec.failure_budgets.push_back(static_cast<std::uint64_t>(k.as_int()));
+        }
+    }
+    if (const auto* scenarios = field(object, "scenarios"); scenarios != nullptr)
+        sweep_spec.scenarios = cli::scenarios_from_json(*scenarios);
+    if (field(object, "singleFailures") != nullptr)
+        cli::append_single_failure_scenarios(sweep_spec, *workspace.network,
+                                             size_field(object, "singleFailures", 0));
+
+    cli::VerifySpec spec;
+    spec.engine = string_field(object, "engine");
+    if (spec.engine.empty()) spec.engine = "dual";
+    spec.weight = string_field(object, "weight");
+    spec.reduction =
+        static_cast<int>(size_field(object, "reduction", static_cast<std::size_t>(2)));
+    spec.trace = bool_field(object, "trace", true);
+    spec.witnesses = size_field(object, "witnesses", 1);
+    spec.max_iterations = size_field(object, "maxIterations", 0);
+    spec.translation = string_field(object, "translation");
+    if (spec.translation.empty()) spec.translation = "auto";
+    spec.solver_threads = string_field(object, "solverThreads");
+    const bool stats = bool_field(object, "stats", false);
+    auto jobs = size_field(object, "jobs", 0); // 0 = one worker per chain, capped
+    const auto max_jobs = _config.max_jobs != 0
+                              ? _config.max_jobs
+                              : std::max(1u, std::thread::hardware_concurrency());
+    jobs = jobs == 0 ? max_jobs : std::min(jobs, max_jobs);
+
+    WeightExpr weights;
+    const auto options = cli::make_verify_options(spec, weights); // validates
+
+    // Sweeps bypass the result cache: the sweep engine *is* the
+    // amortization (shared NFAs, rebased frontiers, pooled workspaces),
+    // and a grid rarely repeats verbatim.
+    const auto sweep =
+        verify::run_sweep(*workspace.network, sweep_spec, options, jobs);
+
+    if (log != nullptr) {
+        log->emplace("network", workspace.id);
+        log->emplace("sweepCells", sweep.stats.cells);
+        log->emplace("coldSaturations", sweep.stats.cold_saturations);
+        log->emplace("reusedFrontiers", sweep.stats.reused_frontiers);
+        log->emplace("sharedSaturations", sweep.stats.shared_saturations);
+        log->emplace("errors", sweep.stats.errors);
+        log->emplace("answer", "sweep");
+    }
+
+    auto body = io::sweep_to_json_value(*workspace.network, sweep_spec, sweep, stats);
+    body.as_object().emplace("network", workspace.id);
+    body.as_object().emplace("generation", workspace.generation);
+    return json_response(200, std::move(body));
 }
 
 http::Response Service::handle_metrics(const http::Request& request) {

@@ -11,6 +11,10 @@
 //   PATCH  /networks/{id}        apply a what-if delta (new generation)
 //   DELETE /networks/{id}        unload a workspace
 //   POST   /networks/{id}/query  verify one query or a batch
+//   POST   /networks/{id}/sweep  run an amortized what-if battery (a query
+//                                template over endpoint-pair × failure-budget
+//                                × link-failure-scenario axes) and return the
+//                                health matrix (see verify/sweep.hpp)
 //
 // A PATCH applies a NetworkDelta (docs/FORMATS.md) to a copy-on-write
 // snapshot and publishes it as the workspace's next delta generation; the
@@ -66,9 +70,12 @@ private:
     [[nodiscard]] http::Response handle_networks(const http::Request& request);
     [[nodiscard]] http::Response handle_network_item(const http::Request& request,
                                                      const std::string& id,
-                                                     bool query_endpoint,
+                                                     const std::string& action,
                                                      json::Object* log);
     [[nodiscard]] http::Response handle_query(const http::Request& request,
+                                              const Workspace& workspace,
+                                              json::Object* log);
+    [[nodiscard]] http::Response handle_sweep(const http::Request& request,
                                               const Workspace& workspace,
                                               json::Object* log);
     [[nodiscard]] http::Response handle_patch(const http::Request& request,

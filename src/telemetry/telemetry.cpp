@@ -54,6 +54,7 @@ std::string_view name_of(Gauge gauge) {
         case Gauge::server_queue_high_water: return "server_queue_high_water";
         case Gauge::cache_entries_high_water: return "cache_entries_high_water";
         case Gauge::solver_threads_high_water: return "solver_threads_high_water";
+        case Gauge::shard_imbalance_pct_high_water: return "shard_imbalance_pct_high_water";
         case Gauge::count_: break;
     }
     return "?";

@@ -79,6 +79,7 @@ enum class Gauge : std::uint32_t {
     server_queue_high_water, ///< peak pending-connection queue depth (daemon)
     cache_entries_high_water, ///< peak compiled-query cache residency (entries)
     solver_threads_high_water, ///< widest saturation thread count used
+    shard_imbalance_pct_high_water, ///< worst max/mean per-shard pop ratio × 100
     count_,
 };
 inline constexpr std::size_t k_gauge_count = static_cast<std::size_t>(Gauge::count_);

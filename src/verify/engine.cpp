@@ -20,6 +20,7 @@ void absorb_solver_stats(PhaseStats& phase, const pda::SolverStats& solver) {
     phase.solver_threads = solver.threads_used;
     phase.parallel_rounds = solver.rounds;
     phase.parallel_handoffs = solver.handoffs;
+    phase.shard_imbalance = solver.shard_imbalance;
 }
 
 std::string_view to_string(Answer answer) {
@@ -103,6 +104,13 @@ PhaseOutcome run_post_star_phase(const Network& network, const query::Query& que
 
     const auto saturate_start = Clock::now();
     auto automaton = translation.make_initial_automaton();
+    // Weighted runs stop saturation strictly past the minimal weight level,
+    // so every equal-weight minimal derivation is present in any run and the
+    // canonically smallest one can be kept — witnesses become thread-count
+    // and worklist-discipline independent (the server query cache relies on
+    // this to drop solverThreads from its key).
+    if (options.engine == EngineKind::Weighted)
+        automaton.set_canonical_tiebreaks(true);
     const auto domain = static_cast<pda::Symbol>(network.labels.size());
     pda::SolverOptions sopts;
     sopts.max_iterations = options.max_iterations;
@@ -248,7 +256,10 @@ VerifyResult verify_impl(const Network& network, const query::Query& query,
         AALWINES_ASSERT(&external->network() == &network,
                         "external translation cache not rebased to this network");
     TranslationCache& cache = external != nullptr ? *external : *local;
-    pda::SolverWorkspace workspace;
+    std::optional<pda::SolverWorkspace> local_workspace;
+    if (options.workspace == nullptr) local_workspace.emplace();
+    pda::SolverWorkspace& workspace =
+        options.workspace != nullptr ? *options.workspace : *local_workspace;
 
     if (query.mode == query::Mode::Under) {
         // Under-approximation only: YES answers are trustworthy, everything

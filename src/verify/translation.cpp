@@ -394,6 +394,7 @@ void Translation::build_rules() {
 
 void Translation::build_entry_index() {
     const auto n_links = _network->topology.link_count();
+    _links_into.clear();
     _entries_by_link.assign(n_links, {});
     _network->routing.for_each([&](LinkId in_link, Label label, const RoutingEntry& groups) {
         _entries_by_link[in_link].emplace_back(label, &groups);
@@ -552,23 +553,30 @@ std::vector<char> Translation::affected_links(
     const bool scan_out_links =
         std::find(behavior_dirty.begin(), behavior_dirty.end(), true) !=
         behavior_dirty.end();
-    for (LinkId l = 0; l < n_links; ++l) {
-        if (dirty_at(dirty, l)) {
-            affected[l] = 1;
-            continue;
+    for (LinkId l = 0; l < n_links; ++l)
+        if (dirty_at(dirty, l)) affected[l] = 1;
+    if (!scan_out_links) return affected;
+    if (_links_into.empty()) {
+        // Invert the out-link relation once; later queries are O(|dirty| +
+        // |result|) instead of a full table scan per call.  The index stays
+        // valid until a rebase replaces an affected entry list.
+        _links_into.assign(n_links, {});
+        for (LinkId l = 0; l < n_links; ++l) {
+            for (const auto& [label, entry] : _entries_by_link[l]) {
+                (void)label;
+                for (const auto& group : *entry)
+                    for (const auto& rule : group)
+                        _links_into[rule.out_link].push_back(l);
+            }
         }
-        if (!scan_out_links) continue;
-        for (const auto& [label, entry] : _entries_by_link[l]) {
-            (void)label;
-            for (const auto& group : *entry)
-                for (const auto& rule : group)
-                    if (dirty_at(behavior_dirty, rule.out_link)) {
-                        affected[l] = 1;
-                        break;
-                    }
-            if (affected[l]) break;
+        for (auto& into : _links_into) {
+            std::sort(into.begin(), into.end());
+            into.erase(std::unique(into.begin(), into.end()), into.end());
         }
     }
+    for (LinkId out = 0; out < n_links; ++out)
+        if (dirty_at(behavior_dirty, out))
+            for (const auto l : _links_into[out]) affected[l] = 1;
     return affected;
 }
 
@@ -582,6 +590,32 @@ bool Translation::footprint_touches(const std::vector<bool>& dirty,
     return false;
 }
 
+void Translation::add_to_footprint(LinkFootprint& fp) const {
+    AALWINES_ASSERT(_lazy, "footprint snapshots need a demand-driven translation");
+    const auto n_links = _network->topology.link_count();
+    if (fp.materialized.size() < n_links) fp.materialized.resize(n_links, false);
+    if (fp.out_links.size() < n_links) fp.out_links.resize(n_links, false);
+    if (fp.initial.size() < n_links) fp.initial.resize(n_links, false);
+    const auto n_control = _failure_slots * _nfa_b.size() * n_links;
+    for (pda::StateId s = 0; s < n_control; ++s)
+        if (_pda->is_materialized(s)) fp.materialized[_control_info[s].link] = true;
+    // Only a materialized link's rules can be invalidated by an out-link
+    // flip (the affected_links into-scan restricted to where it matters).
+    for (LinkId l = 0; l < n_links; ++l) {
+        if (!fp.materialized[l]) continue;
+        for (const auto& [label, entry] : _entries_by_link[l]) {
+            (void)label;
+            for (const auto& group : *entry)
+                for (const auto& rule : group) fp.out_links[rule.out_link] = true;
+        }
+    }
+    const auto domain = static_cast<nfa::Symbol>(n_links);
+    for (const auto q0 : _nfa_b.initial())
+        for (const auto& edge : _nfa_b.states()[q0].edges)
+            for (const auto link : edge.symbols.materialize(domain))
+                fp.initial[link] = true;
+}
+
 void Translation::rebase(const Network& network, const std::vector<bool>& dirty,
                          const std::vector<bool>& behavior_dirty) {
     AALWINES_SPAN("rebase");
@@ -593,9 +627,7 @@ void Translation::rebase(const Network& network, const std::vector<bool>& dirty,
 
     // The affected set can be computed against either table view: for an
     // unaffected link both generations hold identical entries.  Use the old
-    // index before its RoutingEntry pointers dangle, then re-point at the
-    // patched snapshot and rebuild every bucket (the copy-on-write copy
-    // reallocated them all).
+    // index before any of its RoutingEntry pointers can dangle.
     const auto affected = affected_links(dirty, behavior_dirty);
     const auto n_control =
         _failure_slots * _nfa_b.size() * _network->topology.link_count();
@@ -605,7 +637,25 @@ void Translation::rebase(const Network& network, const std::vector<bool>& dirty,
             heads.push_back(s);
 
     _network = &network;
-    build_entry_index();
+    // Re-bucket only the affected links against the patched table.  An
+    // unaffected link's bucket stays valid verbatim: entries are shared_ptr-
+    // shared across copy-on-write generations, so the new table holds the
+    // very objects the old pointers reference (and every generation in the
+    // chain keeps them alive).  The into-index survives unless an affected
+    // bucket actually changed — a pure link-state flip never replaces one.
+    bool entries_changed = false;
+    for (LinkId l = 0; l < affected.size(); ++l) {
+        if (!affected[l]) continue;
+        std::vector<std::pair<Label, const RoutingEntry*>> fresh;
+        _network->routing.for_each_of(l, [&](Label label, const RoutingEntry& groups) {
+            fresh.emplace_back(label, &groups);
+        });
+        if (fresh != _entries_by_link[l]) {
+            entries_changed = true;
+            _entries_by_link[l] = std::move(fresh);
+        }
+    }
+    if (entries_changed) _links_into.clear();
 
     _pda->invalidate_states(
         heads, [this](pda::StateId s) { return _control_info[s].chain; });
@@ -733,6 +783,14 @@ TranslationCache::TranslationCache(const Network& network, const query::Query& q
     : _network(&network), _query(&query), _weights(weights), _lazy(lazy),
       _nfas(compile_query_nfas(network, query)) {}
 
+TranslationCache::TranslationCache(const Network& network, const query::Query& query,
+                                   const WeightExpr* weights, bool lazy,
+                                   std::shared_ptr<const CompiledNfas> nfas)
+    : _network(&network), _query(&query), _weights(weights), _lazy(lazy),
+      _shared_nfas(std::move(nfas)) {
+    AALWINES_ASSERT(_shared_nfas != nullptr, "shared-NFA cache without NFAs");
+}
+
 void TranslationCache::rebase(const Network& network, const std::vector<bool>& dirty,
                               const std::vector<bool>& behavior_dirty) {
     _network = &network;
@@ -753,7 +811,7 @@ Translation& TranslationCache::translation(Approximation approximation) {
         TranslationOptions topts;
         topts.approximation = approximation;
         topts.weights = _weights;
-        topts.nfas = &_nfas;
+        topts.nfas = &nfas();
         topts.lazy = _lazy;
         slot = std::make_unique<Translation>(*_network, *_query, topts);
     }

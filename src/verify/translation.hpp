@@ -43,6 +43,30 @@ struct CompiledNfas {
 [[nodiscard]] CompiledNfas compile_query_nfas(const Network& network,
                                               const query::Query& query);
 
+/// A frozen, session-independent image of a saturation's link footprint —
+/// everything `footprint_touches` + `initial_links_touch` consult, captured
+/// as three bitsets so the carry-over test outlives the live translation
+/// (which may rebase away afterwards).  Valid across link-state flips only:
+/// those never edit routing entries, so the out-link relation recorded at
+/// snapshot time holds for every scenario of the same base network.
+struct LinkFootprint {
+    std::vector<bool> materialized; ///< link carries a materialized control state
+    std::vector<bool> out_links;    ///< out-link of some materialized link's rule
+    std::vector<bool> initial;      ///< path-NFA start candidate links
+
+    /// Whether toggling the up/down state of `toggled` links could change
+    /// the snapshotted saturation — false means its result provably carries
+    /// over to the toggled network (same argument as footprint_touches).
+    [[nodiscard]] bool touches(const std::vector<LinkId>& toggled) const {
+        for (const auto link : toggled) {
+            if (link < materialized.size() && materialized[link]) return true;
+            if (link < out_links.size() && out_links[link]) return true;
+            if (link < initial.size() && initial[link]) return true;
+        }
+        return false;
+    }
+};
+
 struct TranslationOptions {
     Approximation approximation = Approximation::Over;
     /// Weight vector for the minimum-witness problem; nullptr = unweighted.
@@ -136,6 +160,12 @@ public:
     /// candidate changes initial-state membership, a distance change on one
     /// changes the weighted entry weight).
     [[nodiscard]] bool initial_links_touch(const std::vector<bool>& dirty) const;
+
+    /// OR this translation's current footprint into `fp` (sized to the link
+    /// count on first use).  Call right after a verify so the bitsets cover
+    /// everything that saturation materialized; see LinkFootprint for the
+    /// validity contract.
+    void add_to_footprint(LinkFootprint& fp) const;
 
     /// Rules the eager pipeline would emit before reduction.  For a lazy
     /// translation this is computed by a rule-free counting pass at
@@ -295,6 +325,13 @@ private:
     /// "all entries of link e"; RoutingEntry pointers stay stable — the
     /// routing table is const for the translation's lifetime).
     std::vector<std::vector<std::pair<Label, const RoutingEntry*>>> _entries_by_link;
+    /// Inverse of the rule out-link relation: `_links_into[out]` lists the
+    /// in-links holding a rule that forwards over `out` (sorted, deduped).
+    /// Built on first demand by affected_links; dropped whenever a rebase
+    /// replaces an affected link's entry list (link-state flips never do —
+    /// they leave every routing entry untouched — so sweeping a scenario
+    /// axis pays the O(rules) build exactly once).
+    mutable std::vector<std::vector<LinkId>> _links_into;
     /// Per-link eager-equivalent counts behind `_total_rules` and the pool
     /// size, kept so a rebase can adjust both by recounting only the
     /// affected links.
@@ -321,11 +358,24 @@ public:
     TranslationCache(const Network& network, const query::Query& query,
                      const WeightExpr* weights, bool lazy = false);
 
+    /// Same, adopting pre-compiled query NFAs instead of compiling them
+    /// here.  The sweep engine compiles one CompiledNfas per query template
+    /// and shares it across every (failure budget, scenario) cell — the
+    /// NFAs depend only on the query's regexes and the label table, never
+    /// on k or link state, so the share is exact.  `nfas` must be non-null
+    /// and compiled from an identical query against a network with the same
+    /// link ids and label table.
+    TranslationCache(const Network& network, const query::Query& query,
+                     const WeightExpr* weights, bool lazy,
+                     std::shared_ptr<const CompiledNfas> nfas);
+
     /// The memoized translation for `approximation` (Over or Under only;
     /// exact scenarios each need their own Translation — share nfas()).
     [[nodiscard]] Translation& translation(Approximation approximation);
 
-    [[nodiscard]] const CompiledNfas& nfas() const { return _nfas; }
+    [[nodiscard]] const CompiledNfas& nfas() const {
+        return _shared_nfas != nullptr ? *_shared_nfas : _nfas;
+    }
 
     /// Re-target every built translation at a patched network snapshot (see
     /// Translation::rebase); never-built slots simply build against the new
@@ -346,7 +396,8 @@ private:
     const query::Query* _query;
     const WeightExpr* _weights;
     bool _lazy;
-    CompiledNfas _nfas;
+    CompiledNfas _nfas; ///< empty when _shared_nfas is set
+    std::shared_ptr<const CompiledNfas> _shared_nfas;
     std::unique_ptr<Translation> _over;
     std::unique_ptr<Translation> _under;
 };

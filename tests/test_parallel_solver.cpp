@@ -74,6 +74,17 @@ TEST_P(ParallelRandom, PostStarMatchesSequential) {
         const auto stats = post_star(parallel, with_threads(threads));
         EXPECT_EQ(stats.threads_used, threads);
         EXPECT_EQ(stats.shard_pops.size(), threads);
+        // The balance gauge must be populated whenever the sharded loop
+        // popped anything: max/mean per-shard pops is ≥ 1.0 by construction
+        // and at most the thread count.
+        std::size_t total_pops = 0;
+        for (const auto pops : stats.shard_pops) total_pops += pops;
+        if (total_pops > 0) {
+            EXPECT_GE(stats.shard_imbalance, 1.0)
+                << "seed " << GetParam() << " threads " << threads;
+            EXPECT_LE(stats.shard_imbalance, static_cast<double>(threads))
+                << "seed " << GetParam() << " threads " << threads;
+        }
         std::size_t mismatches = 0;
         for (const auto& [state, stack] : probes) {
             const StateId starts[] = {state};

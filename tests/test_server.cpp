@@ -169,6 +169,55 @@ TEST(Server, BatchQueriesWithPerItemErrors) {
     EXPECT_EQ(results[2].at("answer").as_string(), "no");
 }
 
+TEST(Server, SweepEndpointReturnsHealthMatrix) {
+    Daemon daemon;
+    const auto id = daemon.load_figure1();
+    const auto reply = roundtrip(
+        daemon.server.port(), "POST", "/networks/" + id + "/sweep",
+        R"({"template":"<ip> [.#{src}] .* [{dst}#.] <ip> {k}",
+            "pairs":[["v0","v3"]], "budgets":[0,1],
+            "singleFailures":0, "stats":true})");
+    ASSERT_EQ(reply.status, 200) << reply.raw;
+    const auto body = parse_body(reply);
+    EXPECT_EQ(body.at("network").as_string(), id);
+    EXPECT_EQ(body.at("template").as_string(), "<ip> [.#{src}] .* [{dst}#.] <ip> {k}");
+    const auto& cells = body.at("cells").as_array();
+    const auto& stats = body.at("stats").as_object();
+    // figure1 has 8 up links: baseline + 8 scenarios, 1 pair x 2 budgets.
+    EXPECT_EQ(body.at("scenarios").as_array().size(), 9u);
+    ASSERT_EQ(cells.size(), 18u);
+    EXPECT_EQ(stats.at("cells").as_int(), 18);
+    EXPECT_EQ(stats.at("errors").as_int(), 0);
+    EXPECT_EQ(stats.at("nfaCompiles").as_int(), 1);
+    EXPECT_GT(stats.at("reusedFrontiers").as_int() +
+                  stats.at("sharedSaturations").as_int(),
+              0);
+
+    // The baseline k=0 cell is exactly k_yes_query; its answer must agree
+    // with the one-by-one /query endpoint.
+    EXPECT_EQ(cells[0].at("answer").as_string(), "yes");
+    EXPECT_EQ(cells[0].at("path").as_string(), "cold");
+    // --stats carries each cell's full per-query detail.
+    EXPECT_NE(cells[0].find("detail"), nullptr);
+
+    // Missing template is a usage error; unresolvable scenario names are a
+    // model error (422), reported before anything runs.
+    EXPECT_EQ(roundtrip(daemon.server.port(), "POST", "/networks/" + id + "/sweep",
+                        R"({"pairs":[["v0","v3"]]})")
+                  .status,
+              400);
+    EXPECT_EQ(roundtrip(daemon.server.port(), "POST", "/networks/" + id + "/sweep",
+                        R"({"template":"<ip> .* <ip> 0",
+                            "scenarios":[{"failedLinks":[["ghost","x"]]}]})")
+                  .status,
+              422);
+    // Sweep on an unknown workspace.
+    EXPECT_EQ(roundtrip(daemon.server.port(), "POST", "/networks/n999/sweep",
+                        R"({"template":"<ip> .* <ip> 0"})")
+                  .status,
+              404);
+}
+
 TEST(Server, QueryOptionsSelectEngineAndWeights) {
     Daemon daemon;
     const auto id = daemon.load_figure1();
